@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+
+	"walberla/internal/blockforest"
+)
+
+// fileSizes reproduces the block-structure file claims of section 2.2:
+// only the low-order bytes carrying information are stored, so ranks of
+// simulations with up to 65,536 processes cost two bytes, and forests for
+// hundreds of thousands of processes fit in tens of megabytes.
+func fileSizes() {
+	header("Block structure file size (section 2.2)")
+	fmt.Println("processes\tblocks\tfile_bytes\tbytes/block")
+	cases := []struct{ grid, procs int }{
+		{16, 4096},
+		{32, 32768},
+		{40, 64000},
+		{64, 262144},
+	}
+	if *quick {
+		cases = cases[:2]
+	}
+	for _, c := range cases {
+		f := blockforest.NewSetupForest(
+			blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+			[3]int{c.grid, c.grid, c.grid}, [3]int{8, 8, 8}, [3]bool{})
+		f.BalanceMorton(c.procs)
+		size := f.FileSize()
+		fmt.Printf("%d\t%d\t%d\t%.2f\n", c.procs, f.NumBlocks(), size, float64(size)/float64(f.NumBlocks()))
+	}
+	fmt.Println("# paper: ~40 MiB for half a million processes; 2-byte ranks up to 65,536 processes")
+}

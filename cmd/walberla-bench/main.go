@@ -1,0 +1,57 @@
+// Command walberla-bench regenerates the evaluation of the paper: every
+// figure of section 4 is reproduced either as a real measurement on the
+// host machine (node-level kernel studies, sparse-strategy ablation,
+// small-scale distributed runs through the in-process message passing
+// runtime) or as a projection of the calibrated machine/network models
+// (the petascale scaling figures), or both. Output is tab-separated with
+// one header line per table, suitable for plotting.
+//
+// Usage:
+//
+//	walberla-bench -fig all        # everything
+//	walberla-bench -fig 6 -quick   # one figure, reduced sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+var quick = flag.Bool("quick", false, "reduce problem sizes for fast runs")
+
+func main() {
+	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|all")
+	flag.Parse()
+
+	figures := map[string]func(){
+		"1":        figure1,
+		"2":        figure2,
+		"3":        figure3,
+		"4":        figure4,
+		"5":        figure5,
+		"6":        figure6,
+		"7":        figure7,
+		"8":        figure8,
+		"sparse":   sparseAblation,
+		"filesize": fileSizes,
+		"balance":  balanceAblation,
+		"iaca":     iacaReport,
+	}
+	if *figure == "all" {
+		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca"} {
+			figures[name]()
+		}
+		return
+	}
+	f, ok := figures[*figure]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+	f()
+}
+
+func header(title string) {
+	fmt.Printf("\n### %s\n", title)
+}

@@ -1,0 +1,17 @@
+// Package walberla is a Go reproduction of the waLBerla framework as
+// published in "A Framework for Hybrid Parallel Flow Simulations with a
+// Trillion Cells in Complex Geometries" (SC '13): a block-structured
+// lattice Boltzmann framework with fully distributed data structures,
+// optimized D3Q19 SRT/TRT compute kernels in the paper's three
+// optimization stages, a parallel initialization pipeline for complex
+// surface-mesh geometries, static load balancing, and the roofline/ECM
+// performance models with machine and network descriptions of SuperMUC
+// and JUQUEEN used to regenerate the paper's evaluation.
+//
+// The library lives under internal/: see internal/core for the high-level
+// entry point, examples/ for runnable programs, cmd/walberla-bench for
+// the harness regenerating every figure of the paper, and DESIGN.md /
+// EXPERIMENTS.md for the system inventory and the paper-vs-measured
+// record. The root package holds the benchmark suite (bench_test.go),
+// one benchmark per table and figure.
+package walberla

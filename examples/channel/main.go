@@ -1,0 +1,102 @@
+// Channel flow around a fixed obstacle — the second dense weak scaling
+// scenario of the paper (obstacle-to-fluid ratio below 1 %). A velocity
+// inflow drives fluid through a long channel past a box obstacle toward a
+// pressure outflow; the run reports flow statistics and the performance
+// metrics of the distributed simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"walberla/internal/boundary"
+	"walberla/internal/comm"
+	"walberla/internal/core"
+	"walberla/internal/field"
+	"walberla/internal/sim"
+)
+
+func main() {
+	const (
+		blocksX = 4
+		cells   = 16
+		ranks   = 4
+		inflow  = 0.03
+		steps   = 800
+	)
+	// A channel of 4x1x1 blocks (64x16x16 cells) with a 4x6x6 obstacle
+	// in the second block: obstacle/fluid ratio ~0.9 %.
+	obstacleMin := [3]int{24, 5, 5}
+	obstacleMax := [3]int{28, 11, 11}
+	problem := &core.Problem{
+		Grid:          [3]int{blocksX, 1, 1},
+		CellsPerBlock: [3]int{cells, cells, cells},
+		Tau:           0.55,
+		Boundary: boundary.Config{
+			WallVelocity: [3]float64{inflow, 0, 0},
+			Density:      1.0,
+		},
+		Ranks:      ranks,
+		SetupFlags: core.ChannelFlags(obstacleMin, obstacleMax),
+	}
+
+	var mu sync.Mutex
+	var metrics sim.Metrics
+	var maxSpeed float64
+	var obstacleCells int
+	// Mean streamwise velocity upstream and beside the obstacle.
+	var upstreamSum, besideSum float64
+	var upstreamN, besideN int
+
+	err := problem.RunEach(steps, func(c *comm.Comm, s *sim.Simulation, m sim.Metrics) {
+		mu.Lock()
+		defer mu.Unlock()
+		if c.Rank() == 0 {
+			metrics = m
+		}
+		for _, bd := range s.Blocks {
+			baseX := bd.Block.Coord[0] * cells
+			for z := 0; z < cells; z++ {
+				for y := 0; y < cells; y++ {
+					for x := 0; x < cells; x++ {
+						if bd.Flags.Get(x, y, z) != field.Fluid {
+							if gx := baseX + x; gx >= obstacleMin[0] && gx < obstacleMax[0] {
+								obstacleCells++
+							}
+							continue
+						}
+						_, ux, uy, uz := bd.Src.Moments(x, y, z)
+						speed := math.Sqrt(ux*ux + uy*uy + uz*uz)
+						if speed > maxSpeed {
+							maxSpeed = speed
+						}
+						gx := baseX + x
+						switch {
+						case gx == 8: // upstream cross-section
+							upstreamSum += ux
+							upstreamN++
+						case gx == 26 && (y < obstacleMin[1] || y >= obstacleMax[1]):
+							// beside the obstacle: the flow accelerates
+							besideSum += ux
+							besideN++
+						}
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("channel flow around obstacle:", metrics)
+	up := upstreamSum / float64(upstreamN)
+	beside := besideSum / float64(besideN)
+	fmt.Printf("obstacle cells (non-fluid in channel): %d\n", obstacleCells)
+	fmt.Printf("mean u_x upstream:        %.5f\n", up)
+	fmt.Printf("mean u_x beside obstacle: %.5f (blockage accelerates the flow %.1fx)\n",
+		beside, beside/up)
+	fmt.Printf("max |u|: %.5f (stability bound 0.1-0.3)\n", maxSpeed)
+}

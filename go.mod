@@ -1,0 +1,3 @@
+module walberla
+
+go 1.22

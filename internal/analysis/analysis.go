@@ -1,0 +1,303 @@
+// Package analysis provides in-situ measurement tools for running
+// simulations: point probes recording time series of the macroscopic
+// fields, volumetric fluxes through axis-aligned planes (e.g. through a
+// vessel cross-section), and a steady-state residual monitor — the
+// quantities a production flow solver reports while it runs.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"walberla/internal/comm"
+	"walberla/internal/field"
+	"walberla/internal/sim"
+)
+
+// Probe records a time series of density and velocity at one global
+// lattice cell. Sampling is collective: every rank calls Sample, the
+// owner measures, and the value is broadcast so all ranks hold the same
+// series.
+type Probe struct {
+	Coord [3]int // global cell coordinate
+	Steps []int
+	Rho   []float64
+	Ux    []float64
+	Uy    []float64
+	Uz    []float64
+}
+
+// NewProbe creates a probe at a global cell coordinate.
+func NewProbe(coord [3]int) *Probe { return &Probe{Coord: coord} }
+
+// locate finds the block and local coordinates of a global cell on this
+// rank, if owned.
+func locate(s *sim.Simulation, coord [3]int) (*sim.BlockData, [3]int, bool) {
+	for _, bd := range s.Blocks {
+		c := bd.Block.Cells
+		base := [3]int{bd.Block.Coord[0] * c[0], bd.Block.Coord[1] * c[1], bd.Block.Coord[2] * c[2]}
+		lx, ly, lz := coord[0]-base[0], coord[1]-base[1], coord[2]-base[2]
+		if lx >= 0 && lx < c[0] && ly >= 0 && ly < c[1] && lz >= 0 && lz < c[2] {
+			return bd, [3]int{lx, ly, lz}, true
+		}
+	}
+	return nil, [3]int{}, false
+}
+
+// Sample measures the probe location at the given step. Collective.
+func (p *Probe) Sample(c *comm.Comm, s *sim.Simulation, step int) {
+	var local [5]float64 // owned flag, rho, ux, uy, uz
+	if bd, l, ok := locate(s, p.Coord); ok {
+		rho, ux, uy, uz := bd.Src.Moments(l[0], l[1], l[2])
+		local = [5]float64{1, rho, ux, uy, uz}
+	}
+	// Owner wins: exactly one rank holds the cell (sum works since the
+	// non-owners contribute zeros; the flag guards against no owner).
+	owned := c.AllreduceFloat64(local[0], comm.Sum[float64])
+	if owned == 0 {
+		// Outside the domain: record NaNs to keep the series aligned.
+		p.append(step, math.NaN(), math.NaN(), math.NaN(), math.NaN())
+		return
+	}
+	rho := c.AllreduceFloat64(local[1], comm.Sum[float64])
+	ux := c.AllreduceFloat64(local[2], comm.Sum[float64])
+	uy := c.AllreduceFloat64(local[3], comm.Sum[float64])
+	uz := c.AllreduceFloat64(local[4], comm.Sum[float64])
+	p.append(step, rho, ux, uy, uz)
+}
+
+func (p *Probe) append(step int, rho, ux, uy, uz float64) {
+	p.Steps = append(p.Steps, step)
+	p.Rho = append(p.Rho, rho)
+	p.Ux = append(p.Ux, ux)
+	p.Uy = append(p.Uy, uy)
+	p.Uz = append(p.Uz, uz)
+}
+
+// Len returns the number of recorded samples.
+func (p *Probe) Len() int { return len(p.Steps) }
+
+// Axis selects a coordinate axis.
+type Axis int
+
+// Coordinate axes.
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "x"
+	case AxisY:
+		return "y"
+	case AxisZ:
+		return "z"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// PlaneFlux computes the volumetric flux (sum of the axis-normal velocity
+// component over fluid cells, in cells^3 per step) through the global
+// plane at the given index along the axis. Collective.
+func PlaneFlux(c *comm.Comm, s *sim.Simulation, axis Axis, index int) float64 {
+	var local float64
+	for _, bd := range s.Blocks {
+		cells := bd.Block.Cells
+		base := [3]int{
+			bd.Block.Coord[0] * cells[0],
+			bd.Block.Coord[1] * cells[1],
+			bd.Block.Coord[2] * cells[2],
+		}
+		lo := index - base[axis]
+		if lo < 0 || lo >= cells[axis] {
+			continue
+		}
+		// Iterate the in-plane coordinates of this block.
+		dims := [3]int{cells[0], cells[1], cells[2]}
+		dims[axis] = 1
+		for k := 0; k < dims[2]; k++ {
+			for j := 0; j < dims[1]; j++ {
+				for i := 0; i < dims[0]; i++ {
+					var l [3]int
+					l[0], l[1], l[2] = i, j, k
+					l[axis] = lo
+					if bd.Flags.Get(l[0], l[1], l[2]) != field.Fluid {
+						continue
+					}
+					_, ux, uy, uz := bd.Src.Moments(l[0], l[1], l[2])
+					switch axis {
+					case AxisX:
+						local += ux
+					case AxisY:
+						local += uy
+					case AxisZ:
+						local += uz
+					}
+				}
+			}
+		}
+	}
+	return c.AllreduceFloat64(local, comm.Sum[float64])
+}
+
+// LineProfile extracts the velocity component `component` along a full
+// grid line in direction `along`, at the fixed transverse coordinates
+// given by fix (the coordinate along the line in fix is ignored).
+// Non-fluid cells record NaN. Collective; every rank receives the full
+// profile.
+func LineProfile(c *comm.Comm, s *sim.Simulation, along Axis, fix [3]int, component Axis) []float64 {
+	length := s.Forest.GridSize[along] * s.Forest.CellsPerBlock[along]
+	local := make([]float64, length)
+	owned := make([]float64, length)
+	for i := range local {
+		local[i] = 0
+	}
+	for _, bd := range s.Blocks {
+		cells := bd.Block.Cells
+		base := [3]int{
+			bd.Block.Coord[0] * cells[0],
+			bd.Block.Coord[1] * cells[1],
+			bd.Block.Coord[2] * cells[2],
+		}
+		// Does the line pass through this block?
+		hit := true
+		for d := 0; d < 3; d++ {
+			if Axis(d) == along {
+				continue
+			}
+			if fix[d] < base[d] || fix[d] >= base[d]+cells[d] {
+				hit = false
+			}
+		}
+		if !hit {
+			continue
+		}
+		for i := 0; i < cells[along]; i++ {
+			var l [3]int
+			for d := 0; d < 3; d++ {
+				l[d] = fix[d] - base[d]
+			}
+			l[along] = i
+			g := base[along] + i
+			owned[g] = 1
+			if bd.Flags.Get(l[0], l[1], l[2]) != field.Fluid {
+				local[g] = math.NaN()
+				continue
+			}
+			_, ux, uy, uz := bd.Src.Moments(l[0], l[1], l[2])
+			switch component {
+			case AxisX:
+				local[g] = ux
+			case AxisY:
+				local[g] = uy
+			default:
+				local[g] = uz
+			}
+		}
+	}
+	// Combine: exactly one rank owns each line cell; sum assembles the
+	// profile (NaN propagates through the sum only for owned cells).
+	out := make([]float64, length)
+	for g := 0; g < length; g++ {
+		v := c.AllreduceFloat64(nanToZero(local[g]), comm.Sum[float64])
+		own := c.AllreduceFloat64(owned[g], comm.Sum[float64])
+		nan := c.AllreduceFloat64(boolToFloat(math.IsNaN(local[g])), comm.Sum[float64])
+		switch {
+		case own == 0 || nan > 0:
+			out[g] = math.NaN()
+		default:
+			out[g] = v
+		}
+	}
+	return out
+}
+
+func nanToZero(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Residual monitors convergence toward steady state: the relative L2
+// change of the velocity field between successive calls.
+type Residual struct {
+	prev map[[3]int][3]float64
+}
+
+// NewResidual creates an empty monitor; the first Update returns +Inf.
+func NewResidual() *Residual { return &Residual{} }
+
+// Update computes ||u - u_prev||_2 / max(||u||_2, eps) over all fluid
+// cells and stores the field for the next call. Collective.
+func (r *Residual) Update(c *comm.Comm, s *sim.Simulation) float64 {
+	cur := make(map[[3]int][3]float64)
+	var diffSq, normSq float64
+	for _, bd := range s.Blocks {
+		cells := bd.Block.Cells
+		base := [3]int{
+			bd.Block.Coord[0] * cells[0],
+			bd.Block.Coord[1] * cells[1],
+			bd.Block.Coord[2] * cells[2],
+		}
+		for z := 0; z < cells[2]; z++ {
+			for y := 0; y < cells[1]; y++ {
+				for x := 0; x < cells[0]; x++ {
+					if bd.Flags.Get(x, y, z) != field.Fluid {
+						continue
+					}
+					_, ux, uy, uz := bd.Src.Moments(x, y, z)
+					g := [3]int{base[0] + x, base[1] + y, base[2] + z}
+					cur[g] = [3]float64{ux, uy, uz}
+					normSq += ux*ux + uy*uy + uz*uz
+					if prev, ok := r.prev[g]; ok {
+						dx, dy, dz := ux-prev[0], uy-prev[1], uz-prev[2]
+						diffSq += dx*dx + dy*dy + dz*dz
+					} else {
+						diffSq += ux*ux + uy*uy + uz*uz
+					}
+				}
+			}
+		}
+	}
+	first := r.prev == nil
+	r.prev = cur
+	gDiff := c.AllreduceFloat64(diffSq, comm.Sum[float64])
+	gNorm := c.AllreduceFloat64(normSq, comm.Sum[float64])
+	if first {
+		return math.Inf(1)
+	}
+	if gNorm < 1e-300 {
+		return 0
+	}
+	return math.Sqrt(gDiff / gNorm)
+}
+
+// RunToSteadyState advances the simulation in chunks until the residual
+// between chunks drops below tol or maxSteps is reached. Returns the
+// steps taken and the final residual. Collective.
+func RunToSteadyState(c *comm.Comm, s *sim.Simulation, chunk, maxSteps int, tol float64) (int, float64) {
+	r := NewResidual()
+	r.Update(c, s)
+	steps := 0
+	res := math.Inf(1)
+	for steps < maxSteps {
+		s.Run(chunk)
+		steps += chunk
+		res = r.Update(c, s)
+		if res < tol {
+			break
+		}
+	}
+	return steps, res
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/field"
+	"walberla/internal/lattice"
+	"walberla/internal/sim"
+)
+
+// poiseuilleSim builds a force-driven channel over the given ranks.
+func poiseuilleSim(t *testing.T, c *comm.Comm, f *blockforest.SetupForest, force float64) *sim.Simulation {
+	t.Helper()
+	var in *blockforest.SetupForest
+	if c.Rank() == 0 {
+		in = f
+	}
+	forest, err := blockforest.Distribute(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(c, forest, sim.Config{
+		Tau:   0.9,
+		Force: [3]float64{force, 0, 0},
+		SetupFlags: func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+			flags.Fill(field.Fluid)
+			if b.Neighbor([3]int{0, 0, -1}) == nil {
+				sim.MarkGhostFace(flags, lattice.FaceB, field.NoSlip)
+			}
+			if b.Neighbor([3]int{0, 0, 1}) == nil {
+				sim.MarkGhostFace(flags, lattice.FaceT, field.NoSlip)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func channelForest() *blockforest.SetupForest {
+	f := blockforest.NewSetupForest(
+		blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+		[3]int{2, 1, 1}, [3]int{4, 4, 8}, [3]bool{true, true, false})
+	f.BalanceMorton(2)
+	return f
+}
+
+// Mass conservation implies the streamwise flux is identical through
+// every cross-section plane.
+func TestPlaneFluxUniformAcrossChannel(t *testing.T) {
+	f := channelForest()
+	comm.Run(2, func(c *comm.Comm) {
+		s := poiseuilleSim(t, c, f, 1e-6)
+		s.Run(2000)
+		var fluxes []float64
+		for x := 0; x < 8; x++ {
+			fluxes = append(fluxes, PlaneFlux(c, s, AxisX, x))
+		}
+		if c.Rank() != 0 {
+			return
+		}
+		if fluxes[0] <= 0 {
+			t.Errorf("no through-flow: flux %v", fluxes[0])
+		}
+		for x := 1; x < 8; x++ {
+			if math.Abs(fluxes[x]-fluxes[0]) > 1e-9*math.Abs(fluxes[0])+1e-15 {
+				t.Errorf("flux varies across planes: %v vs %v", fluxes[x], fluxes[0])
+			}
+		}
+	})
+}
+
+func TestProbeSeries(t *testing.T) {
+	f := channelForest()
+	comm.Run(2, func(c *comm.Comm) {
+		s := poiseuilleSim(t, c, f, 1e-6)
+		// One probe per block owner plus one out-of-domain probe.
+		center := NewProbe([3]int{6, 2, 4}) // inside the second block
+		outside := NewProbe([3]int{99, 0, 0})
+		for i := 0; i < 5; i++ {
+			s.Run(100)
+			center.Sample(c, s, (i+1)*100)
+			outside.Sample(c, s, (i+1)*100)
+		}
+		if center.Len() != 5 || outside.Len() != 5 {
+			t.Errorf("series lengths %d, %d", center.Len(), outside.Len())
+			return
+		}
+		// The force accelerates the flow: the probe series is increasing.
+		for i := 1; i < 5; i++ {
+			if center.Ux[i] <= center.Ux[i-1] {
+				t.Errorf("probe ux not increasing: %v", center.Ux)
+				break
+			}
+		}
+		if !math.IsNaN(outside.Ux[0]) {
+			t.Error("out-of-domain probe did not record NaN")
+		}
+		// All ranks hold identical series (collective sampling).
+		sum := c.AllreduceFloat64(center.Ux[4], comm.Sum[float64])
+		if math.Abs(sum-float64(c.Size())*center.Ux[4]) > 1e-12 {
+			t.Error("probe series differ across ranks")
+		}
+	})
+}
+
+// The residual monitor converges for a flow approaching steady state and
+// RunToSteadyState stops on tolerance.
+func TestResidualAndSteadyState(t *testing.T) {
+	f := channelForest()
+	comm.Run(2, func(c *comm.Comm) {
+		s := poiseuilleSim(t, c, f, 1e-6)
+		r := NewResidual()
+		if !math.IsInf(r.Update(c, s), 1) {
+			t.Error("first residual not +Inf")
+		}
+		s.Run(50)
+		r1 := r.Update(c, s)
+		s.Run(400)
+		r2 := r.Update(c, s)
+		if !(r2 < r1) {
+			t.Errorf("residual not decreasing: %v -> %v", r1, r2)
+		}
+		steps, res := RunToSteadyState(c, s, 200, 20000, 1e-6)
+		if res >= 1e-6 {
+			t.Errorf("did not converge: residual %v after %d steps", res, steps)
+		}
+		if steps == 0 {
+			t.Error("no steps taken")
+		}
+	})
+}
+
+// LineProfile across the channel height reproduces the Poiseuille
+// parabola shape: symmetric, maximal at the center, lower at the walls.
+func TestLineProfilePoiseuille(t *testing.T) {
+	f := channelForest()
+	comm.Run(2, func(c *comm.Comm) {
+		s := poiseuilleSim(t, c, f, 1e-6)
+		s.Run(3000)
+		profile := LineProfile(c, s, AxisZ, [3]int{2, 2, 0}, AxisX)
+		if len(profile) != 8 {
+			t.Fatalf("profile length %d, want 8", len(profile))
+		}
+		for z, v := range profile {
+			if math.IsNaN(v) || v <= 0 {
+				t.Fatalf("profile[%d] = %v", z, v)
+			}
+		}
+		// Symmetry and center maximum.
+		for z := 0; z < 4; z++ {
+			if math.Abs(profile[z]-profile[7-z]) > 1e-9 {
+				t.Errorf("asymmetric: profile[%d]=%v profile[%d]=%v", z, profile[z], 7-z, profile[7-z])
+			}
+		}
+		if !(profile[3] > profile[0]) {
+			t.Errorf("no center maximum: %v", profile)
+		}
+		// All ranks agree.
+		sum := c.AllreduceFloat64(profile[3], comm.Sum[float64])
+		if math.Abs(sum-2*profile[3]) > 1e-12 {
+			t.Error("ranks disagree on the profile")
+		}
+	})
+}
+
+func TestAxisString(t *testing.T) {
+	if AxisX.String() != "x" || AxisY.String() != "y" || AxisZ.String() != "z" {
+		t.Error("axis names wrong")
+	}
+}

@@ -1,0 +1,117 @@
+// Package blockforest implements the block-structured domain partitioning
+// of the paper: the simulation domain is subdivided into equally sized
+// blocks, each the root of an octree (forming a forest of octrees), and
+// each block carries a uniform grid of lattice cells.
+//
+// Two representations exist. The SetupForest is the global view used by
+// the initialization phase: it knows every block, assigns workloads and
+// ranks, and can be serialized to the compact binary file format of
+// section 2.2. The BlockForest is the fully distributed per-rank view used
+// during the simulation: a rank stores complete data only for its own
+// blocks and lightweight headers for blocks in its immediate neighborhood,
+// so per-rank memory is independent of the total number of processes.
+package blockforest
+
+import (
+	"fmt"
+	"math"
+)
+
+// AABB is an axis-aligned bounding box.
+type AABB struct {
+	Min [3]float64
+	Max [3]float64
+}
+
+// NewAABB constructs a box from two corner points, normalizing the order.
+func NewAABB(min, max [3]float64) AABB {
+	b := AABB{Min: min, Max: max}
+	for i := 0; i < 3; i++ {
+		if b.Min[i] > b.Max[i] {
+			b.Min[i], b.Max[i] = b.Max[i], b.Min[i]
+		}
+	}
+	return b
+}
+
+// Size returns the edge lengths of the box.
+func (b AABB) Size() [3]float64 {
+	return [3]float64{b.Max[0] - b.Min[0], b.Max[1] - b.Min[1], b.Max[2] - b.Min[2]}
+}
+
+// Center returns the barycenter of the box.
+func (b AABB) Center() [3]float64 {
+	return [3]float64{
+		0.5 * (b.Min[0] + b.Max[0]),
+		0.5 * (b.Min[1] + b.Max[1]),
+		0.5 * (b.Min[2] + b.Max[2]),
+	}
+}
+
+// Volume returns the volume of the box.
+func (b AABB) Volume() float64 {
+	s := b.Size()
+	return s[0] * s[1] * s[2]
+}
+
+// Contains reports whether p lies inside or on the boundary of the box.
+func (b AABB) Contains(p [3]float64) bool {
+	for i := 0; i < 3; i++ {
+		if p[i] < b.Min[i] || p[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two boxes overlap (closed boxes: touching
+// counts as intersecting).
+func (b AABB) Intersects(o AABB) bool {
+	for i := 0; i < 3; i++ {
+		if b.Max[i] < o.Min[i] || o.Max[i] < b.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CircumsphereRadius returns the radius of the smallest sphere around the
+// box center containing the box — the paper's R(b) for the quick
+// block-domain intersection rejection test.
+func (b AABB) CircumsphereRadius() float64 {
+	s := b.Size()
+	return 0.5 * math.Sqrt(s[0]*s[0]+s[1]*s[1]+s[2]*s[2])
+}
+
+// InsphereRadius returns the radius of the largest sphere around the box
+// center contained in the box — the paper's r(b) for the quick acceptance
+// test.
+func (b AABB) InsphereRadius() float64 {
+	s := b.Size()
+	m := s[0]
+	if s[1] < m {
+		m = s[1]
+	}
+	if s[2] < m {
+		m = s[2]
+	}
+	return 0.5 * m
+}
+
+// Octant returns the i-th (0..7) child box of an octree subdivision; bit 0
+// selects the upper half in x, bit 1 in y, bit 2 in z.
+func (b AABB) Octant(i int) AABB {
+	if i < 0 || i > 7 {
+		panic(fmt.Sprintf("blockforest: invalid octant %d", i))
+	}
+	c := b.Center()
+	var o AABB
+	for d := 0; d < 3; d++ {
+		if i>>(d)&1 == 1 {
+			o.Min[d], o.Max[d] = c[d], b.Max[d]
+		} else {
+			o.Min[d], o.Max[d] = b.Min[d], c[d]
+		}
+	}
+	return o
+}

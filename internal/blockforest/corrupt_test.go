@@ -1,0 +1,95 @@
+package blockforest
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Corrupted block-structure files must produce errors, never panics: the
+// loader is the single point where external data enters the simulation.
+func TestLoadCorruptedInputs(t *testing.T) {
+	f := NewSetupForest(
+		NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+		[3]int{4, 4, 4}, [3]int{8, 8, 8}, [3]bool{})
+	f.BalanceMorton(8)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		defer func() {
+			if p := recover(); p != nil {
+				t.Errorf("%s: Load panicked: %v", name, p)
+			}
+		}()
+		// Errors are fine; panics and silent success with broken trailers
+		// are not. (Truncations inside the last block record may pass or
+		// fail depending on cut position; we only require no panic.)
+		_, _ = Load(bytes.NewReader(data))
+	}
+
+	check("empty", nil)
+	check("magic only", good[:4])
+	check("bad magic", append([]byte("XXXX"), good[4:]...))
+	for _, cut := range []int{5, 20, 50, len(good) / 2, len(good) - 3} {
+		check("truncated", good[:cut])
+	}
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		corrupted := append([]byte(nil), good...)
+		for i := 0; i < 5; i++ {
+			corrupted[4+r.Intn(len(corrupted)-4)] ^= byte(1 << r.Intn(8))
+		}
+		check("bitflips", corrupted)
+	}
+}
+
+// Truncations that cut whole block records still decode the header and
+// must report an error rather than returning a short forest silently.
+func TestLoadTruncatedBlocksErrors(t *testing.T) {
+	f := NewSetupForest(
+		NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+		[3]int{4, 4, 4}, [3]int{8, 8, 8}, [3]bool{})
+	f.BalanceMorton(8)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Remove exactly the last two block records.
+	perBlock := (len(good) - int(headerSize())) / f.NumBlocks()
+	short := good[:len(good)-2*perBlock]
+	if _, err := Load(bytes.NewReader(short)); err == nil {
+		t.Error("truncated block list accepted")
+	}
+}
+
+func TestLoadRefinedCorrupted(t *testing.T) {
+	f := NewSetupForest(
+		NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+		[3]int{2, 2, 2}, [3]int{8, 8, 8}, [3]bool{})
+	if _, err := f.RefineBlock(f.Block([3]int{0, 0, 0}).ID); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.SaveRefined(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for _, cut := range []int{3, 10, 40, len(good) / 2} {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("cut %d: panicked: %v", cut, p)
+				}
+			}()
+			if _, err := LoadRefined(bytes.NewReader(good[:cut])); err == nil {
+				t.Errorf("cut %d: truncated refined file accepted", cut)
+			}
+		}()
+	}
+}

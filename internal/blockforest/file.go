@@ -1,0 +1,258 @@
+package blockforest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The compact block-structure file format of section 2.2: a custom
+// endian-independent binary format (all integers little-endian by
+// definition) heavily optimized for minimal file size. Quantities such as
+// process ranks and grid coordinates are stored using only the low-order
+// bytes that actually carry information — e.g. two bytes suffice for the
+// ranks of a simulation with up to 65,536 processes even though four
+// bytes are used in memory.
+
+const fileMagic = "WBF1"
+
+// minBytes returns the number of bytes needed to represent maxVal.
+func minBytes(maxVal uint64) int {
+	n := 1
+	for maxVal > 0xFF {
+		maxVal >>= 8
+		n++
+	}
+	return n
+}
+
+func putUint(buf *bytes.Buffer, v uint64, nbytes int) {
+	for i := 0; i < nbytes; i++ {
+		buf.WriteByte(byte(v >> (8 * i)))
+	}
+}
+
+func getUint(r io.Reader, nbytes int) (uint64, error) {
+	if nbytes < 1 || nbytes > 8 {
+		return 0, fmt.Errorf("blockforest: invalid field width %d", nbytes)
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:nbytes]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < nbytes; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+func putFloat(buf *bytes.Buffer, v float64) {
+	putUint(buf, math.Float64bits(v), 8)
+}
+
+func getFloat(r io.Reader) (float64, error) {
+	v, err := getUint(r, 8)
+	return math.Float64frombits(v), err
+}
+
+// Save writes the forest, including block ranks and workloads, in the
+// compact binary format. Blocks must have been balanced (non-negative
+// ranks) or ranks are stored as zero.
+func (f *SetupForest) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.WriteString(fileMagic)
+	for i := 0; i < 3; i++ {
+		putFloat(&buf, f.Domain.Min[i])
+	}
+	for i := 0; i < 3; i++ {
+		putFloat(&buf, f.Domain.Max[i])
+	}
+	for i := 0; i < 3; i++ {
+		putUint(&buf, uint64(f.GridSize[i]), 4)
+	}
+	for i := 0; i < 3; i++ {
+		putUint(&buf, uint64(f.CellsPerBlock[i]), 4)
+	}
+	var periodic byte
+	for i := 0; i < 3; i++ {
+		if f.Periodic[i] {
+			periodic |= 1 << i
+		}
+	}
+	buf.WriteByte(periodic)
+
+	blocks := f.Blocks()
+	maxRank := 0
+	maxCoord := 0
+	maxWork := uint64(0)
+	for _, b := range blocks {
+		if b.Rank > maxRank {
+			maxRank = b.Rank
+		}
+		for i := 0; i < 3; i++ {
+			if b.Coord[i] > maxCoord {
+				maxCoord = b.Coord[i]
+			}
+		}
+		if w := uint64(b.Workload + 0.5); w > maxWork {
+			maxWork = w
+		}
+	}
+	putUint(&buf, uint64(len(blocks)), 8)
+	putUint(&buf, uint64(maxRank+1), 4)
+	bytesCoord := minBytes(uint64(maxCoord))
+	bytesRank := minBytes(uint64(maxRank))
+	bytesWork := minBytes(maxWork)
+	buf.WriteByte(byte(bytesCoord))
+	buf.WriteByte(byte(bytesRank))
+	buf.WriteByte(byte(bytesWork))
+
+	for _, b := range blocks {
+		for i := 0; i < 3; i++ {
+			putUint(&buf, uint64(b.Coord[i]), bytesCoord)
+		}
+		rank := b.Rank
+		if rank < 0 {
+			rank = 0
+		}
+		putUint(&buf, uint64(rank), bytesRank)
+		putUint(&buf, uint64(b.Workload+0.5), bytesWork)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Load reads a forest previously written by Save.
+func Load(r io.Reader) (*SetupForest, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("blockforest: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("blockforest: bad magic %q", magic)
+	}
+	var domain AABB
+	for i := 0; i < 3; i++ {
+		v, err := getFloat(r)
+		if err != nil {
+			return nil, err
+		}
+		domain.Min[i] = v
+	}
+	for i := 0; i < 3; i++ {
+		v, err := getFloat(r)
+		if err != nil {
+			return nil, err
+		}
+		domain.Max[i] = v
+	}
+	var grid, cells [3]int
+	for i := 0; i < 3; i++ {
+		v, err := getUint(r, 4)
+		if err != nil {
+			return nil, err
+		}
+		grid[i] = int(v)
+	}
+	for i := 0; i < 3; i++ {
+		v, err := getUint(r, 4)
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = int(v)
+	}
+	pb, err := getUint(r, 1)
+	if err != nil {
+		return nil, err
+	}
+	var periodic [3]bool
+	for i := 0; i < 3; i++ {
+		periodic[i] = pb>>i&1 == 1
+	}
+
+	numBlocks, err := getUint(r, 8)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := getUint(r, 4); err != nil { // numRanks (informational)
+		return nil, err
+	}
+	sizes := make([]byte, 3)
+	if _, err := io.ReadFull(r, sizes); err != nil {
+		return nil, err
+	}
+	bytesCoord, bytesRank, bytesWork := int(sizes[0]), int(sizes[1]), int(sizes[2])
+	for _, s := range sizes {
+		if s < 1 || s > 8 {
+			return nil, fmt.Errorf("blockforest: invalid field width %d", s)
+		}
+	}
+
+	// Sanity-check the block count against the grid before trusting it
+	// for allocation: a corrupted count must not drive memory use.
+	maxBlocks := uint64(grid[0]) * uint64(grid[1]) * uint64(grid[2])
+	if grid[0] <= 0 || grid[1] <= 0 || grid[2] <= 0 || numBlocks > maxBlocks {
+		return nil, fmt.Errorf("blockforest: implausible header: grid %v with %d blocks", grid, numBlocks)
+	}
+	f := &SetupForest{
+		Domain:        domain,
+		GridSize:      grid,
+		CellsPerBlock: cells,
+		Periodic:      periodic,
+		blocks:        make(map[[3]int]*SetupBlock, numBlocks),
+	}
+	for n := uint64(0); n < numBlocks; n++ {
+		var c [3]int
+		for i := 0; i < 3; i++ {
+			v, err := getUint(r, bytesCoord)
+			if err != nil {
+				return nil, fmt.Errorf("blockforest: block %d: %w", n, err)
+			}
+			c[i] = int(v)
+		}
+		rank, err := getUint(r, bytesRank)
+		if err != nil {
+			return nil, err
+		}
+		work, err := getUint(r, bytesWork)
+		if err != nil {
+			return nil, err
+		}
+		f.blocks[c] = &SetupBlock{
+			ID:       BlockID{Tree: f.treeIndex(c)},
+			Coord:    c,
+			AABB:     f.BlockAABB(c),
+			Workload: float64(work),
+			Memory:   float64(cells[0] * cells[1] * cells[2]),
+			Rank:     int(rank),
+		}
+	}
+	return f, nil
+}
+
+// FileSize returns the exact number of bytes Save will produce without
+// writing them — used to validate the file-size claims of section 2.2.
+func (f *SetupForest) FileSize() int64 {
+	blocks := f.Blocks()
+	maxRank := 0
+	maxCoord := 0
+	maxWork := uint64(0)
+	for _, b := range blocks {
+		if b.Rank > maxRank {
+			maxRank = b.Rank
+		}
+		for i := 0; i < 3; i++ {
+			if b.Coord[i] > maxCoord {
+				maxCoord = b.Coord[i]
+			}
+		}
+		if w := uint64(b.Workload + 0.5); w > maxWork {
+			maxWork = w
+		}
+	}
+	header := int64(4 + 6*8 + 3*4 + 3*4 + 1 + 8 + 4 + 3)
+	perBlock := int64(3*minBytes(uint64(maxCoord)) + minBytes(uint64(maxRank)) + minBytes(maxWork))
+	return header + perBlock*int64(len(blocks))
+}

@@ -1,0 +1,84 @@
+package blockforest
+
+import "fmt"
+
+// BlockID identifies a block within the forest of octrees. A block is
+// addressed by the index of its root block (the tree it belongs to) and
+// the descent path from that root: three bits per refinement level
+// selecting the octant. The zero value is the root block of tree 0.
+//
+// The ID encodes to a single uint64 with a marker bit above the path so
+// that the level is recoverable, mirroring waLBerla's bit-packed block
+// IDs; the compact file format then stores only the low-order bytes that
+// carry information.
+type BlockID struct {
+	Tree  uint32 // index of the root block
+	Path  uint64 // 3 bits per level, most significant level first
+	Level uint8  // refinement depth below the root
+}
+
+// Child returns the ID of the given octant (0..7) one level below b.
+func (b BlockID) Child(octant int) BlockID {
+	if octant < 0 || octant > 7 {
+		panic(fmt.Sprintf("blockforest: invalid octant %d", octant))
+	}
+	if b.Level >= 20 {
+		panic("blockforest: refinement depth limit exceeded")
+	}
+	return BlockID{Tree: b.Tree, Path: b.Path<<3 | uint64(octant), Level: b.Level + 1}
+}
+
+// Parent returns the ID one level above b; calling it on a root block
+// panics.
+func (b BlockID) Parent() BlockID {
+	if b.Level == 0 {
+		panic("blockforest: root block has no parent")
+	}
+	return BlockID{Tree: b.Tree, Path: b.Path >> 3, Level: b.Level - 1}
+}
+
+// Octant returns the octant of b within its parent.
+func (b BlockID) Octant() int {
+	if b.Level == 0 {
+		panic("blockforest: root block has no octant")
+	}
+	return int(b.Path & 7)
+}
+
+// Encode packs the ID into a uint64: tree index above a marker bit above
+// the path bits. Supports up to 20 refinement levels within a tree index
+// budget of 64-1-3*level bits.
+func (b BlockID) Encode() uint64 {
+	shift := 3 * uint(b.Level)
+	return (uint64(b.Tree)<<1|1)<<shift | b.Path&(1<<shift-1)
+}
+
+// DecodeBlockID reverses Encode given the refinement level.
+func DecodeBlockID(v uint64, level uint8) BlockID {
+	shift := 3 * uint(level)
+	marker := v >> shift
+	return BlockID{
+		Tree:  uint32(marker >> 1),
+		Path:  v & (1<<shift - 1),
+		Level: level,
+	}
+}
+
+func (b BlockID) String() string {
+	if b.Level == 0 {
+		return fmt.Sprintf("block(%d)", b.Tree)
+	}
+	return fmt.Sprintf("block(%d/%o@%d)", b.Tree, b.Path, b.Level)
+}
+
+// Less orders IDs by tree, then level, then path — a total order used for
+// deterministic iteration.
+func (b BlockID) Less(o BlockID) bool {
+	if b.Tree != o.Tree {
+		return b.Tree < o.Tree
+	}
+	if b.Level != o.Level {
+		return b.Level < o.Level
+	}
+	return b.Path < o.Path
+}

@@ -1,0 +1,359 @@
+package blockforest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Grid refinement support. The paper: "Each initial block can be further
+// subdivided into eight equally sized, smaller blocks. This process can
+// be applied recursively. The resulting domain partitioning geometrically
+// represents a forest of octrees ... Though this is supported in the data
+// structures, our current algorithms and applications do not yet make use
+// of this capability." This file reproduces exactly that status: the
+// setup forest can be refined recursively, refined forests serialize to
+// an extended file format, and balancing distributes refined leaves — but
+// the neighborhood construction and the simulation drivers operate on
+// unrefined forests only (refinement-aware algorithms are the paper's
+// future work).
+
+// ensureRefinedIndex lazily initializes the refined-leaf index.
+func (f *SetupForest) ensureRefinedIndex() {
+	if f.refined == nil {
+		f.refined = make(map[BlockID]*SetupBlock)
+	}
+}
+
+// BlockByID returns a leaf block by its octree ID: a root block (level 0)
+// or a refined child.
+func (f *SetupForest) BlockByID(id BlockID) *SetupBlock {
+	if id.Level == 0 {
+		for _, b := range f.blocks {
+			if b.ID == id {
+				return b
+			}
+		}
+		return nil
+	}
+	return f.refined[id]
+}
+
+// RefineBlock subdivides the given leaf block into its eight octree
+// children, distributing workload and memory equally, and returns them.
+// The parent ceases to be a leaf. Root blocks are addressed by their grid
+// coordinate through Block(); children by their BlockID.
+func (f *SetupForest) RefineBlock(id BlockID) ([]*SetupBlock, error) {
+	f.ensureRefinedIndex()
+	var parent *SetupBlock
+	if id.Level == 0 {
+		parent = f.Block(f.coordOf(id))
+		if parent == nil || parent.ID != id {
+			return nil, fmt.Errorf("blockforest: root block %v not found", id)
+		}
+		delete(f.blocks, parent.Coord)
+	} else {
+		parent = f.refined[id]
+		if parent == nil {
+			return nil, fmt.Errorf("blockforest: refined block %v not found", id)
+		}
+		delete(f.refined, id)
+	}
+	children := make([]*SetupBlock, 8)
+	for o := 0; o < 8; o++ {
+		child := &SetupBlock{
+			ID:       id.Child(o),
+			Coord:    parent.Coord,
+			AABB:     parent.AABB.Octant(o),
+			Workload: parent.Workload / 8,
+			Memory:   parent.Memory / 8,
+			Rank:     parent.Rank,
+		}
+		f.refined[child.ID] = child
+		children[o] = child
+	}
+	return children, nil
+}
+
+// coordOf recovers the grid coordinate of a root block from its tree
+// index.
+func (f *SetupForest) coordOf(id BlockID) [3]int {
+	t := int(id.Tree)
+	x := t % f.GridSize[0]
+	t /= f.GridSize[0]
+	y := t % f.GridSize[1]
+	z := t / f.GridSize[1]
+	return [3]int{x, y, z}
+}
+
+// MaxLevel returns the deepest refinement level of any leaf (0 for flat
+// forests).
+func (f *SetupForest) MaxLevel() int {
+	m := 0
+	for id := range f.refined {
+		if int(id.Level) > m {
+			m = int(id.Level)
+		}
+	}
+	return m
+}
+
+// NumRefined returns the number of refined leaf blocks.
+func (f *SetupForest) NumRefined() int { return len(f.refined) }
+
+// AllLeaves returns every leaf block — unrefined roots and refined
+// children — in deterministic order (Morton order of the root coordinate,
+// then octree ID order within each tree).
+func (f *SetupForest) AllLeaves() []*SetupBlock {
+	out := make([]*SetupBlock, 0, len(f.blocks)+len(f.refined))
+	for _, b := range f.blocks {
+		out = append(out, b)
+	}
+	for _, b := range f.refined {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := mortonKey(out[i].Coord), mortonKey(out[j].Coord)
+		if ki != kj {
+			return ki < kj
+		}
+		return out[i].ID.Less(out[j].ID)
+	})
+	return out
+}
+
+// TotalLeafVolume sums the AABB volume of all leaves; refinement must
+// preserve it exactly (children tile the parent).
+func (f *SetupForest) TotalLeafVolume() float64 {
+	var v float64
+	for _, b := range f.AllLeaves() {
+		v += b.AABB.Volume()
+	}
+	return v
+}
+
+// BalanceMortonLeaves assigns all leaves (including refined children) to
+// ranks along the Morton curve by workload — the refinement-aware variant
+// of BalanceMorton.
+func (f *SetupForest) BalanceMortonLeaves(numRanks int) {
+	if numRanks <= 0 {
+		panic("blockforest: BalanceMortonLeaves requires at least one rank")
+	}
+	leaves := f.AllLeaves()
+	var total float64
+	for _, b := range leaves {
+		total += b.Workload
+	}
+	target := total / float64(numRanks)
+	rank := 0
+	var acc float64
+	for _, b := range leaves {
+		if acc >= target && rank < numRanks-1 {
+			rank++
+			acc = 0
+		}
+		b.Rank = rank
+		acc += b.Workload
+	}
+}
+
+// Extended file format for refined forests ("WBF2"): like the flat format
+// plus, per block, a level byte and the octree path in minimal bytes.
+
+const refinedMagic = "WBF2"
+
+// SaveRefined writes a (possibly refined) forest in the WBF2 format. For
+// flat forests Save remains the compact choice.
+func (f *SetupForest) SaveRefined(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.WriteString(refinedMagic)
+	for i := 0; i < 3; i++ {
+		putFloat(&buf, f.Domain.Min[i])
+	}
+	for i := 0; i < 3; i++ {
+		putFloat(&buf, f.Domain.Max[i])
+	}
+	for i := 0; i < 3; i++ {
+		putUint(&buf, uint64(f.GridSize[i]), 4)
+	}
+	for i := 0; i < 3; i++ {
+		putUint(&buf, uint64(f.CellsPerBlock[i]), 4)
+	}
+	var periodic byte
+	for i := 0; i < 3; i++ {
+		if f.Periodic[i] {
+			periodic |= 1 << i
+		}
+	}
+	buf.WriteByte(periodic)
+
+	leaves := f.AllLeaves()
+	maxRank, maxCoord, maxWork, maxLevel := 0, 0, uint64(0), 0
+	for _, b := range leaves {
+		if b.Rank > maxRank {
+			maxRank = b.Rank
+		}
+		for i := 0; i < 3; i++ {
+			if b.Coord[i] > maxCoord {
+				maxCoord = b.Coord[i]
+			}
+		}
+		if wk := uint64(b.Workload + 0.5); wk > maxWork {
+			maxWork = wk
+		}
+		if int(b.ID.Level) > maxLevel {
+			maxLevel = int(b.ID.Level)
+		}
+	}
+	putUint(&buf, uint64(len(leaves)), 8)
+	putUint(&buf, uint64(maxRank+1), 4)
+	bytesCoord := minBytes(uint64(maxCoord))
+	bytesRank := minBytes(uint64(maxRank))
+	bytesWork := minBytes(maxWork)
+	bytesPath := minBytes(1<<(3*uint(maxLevel)) - 1)
+	buf.WriteByte(byte(bytesCoord))
+	buf.WriteByte(byte(bytesRank))
+	buf.WriteByte(byte(bytesWork))
+	buf.WriteByte(byte(bytesPath))
+
+	for _, b := range leaves {
+		for i := 0; i < 3; i++ {
+			putUint(&buf, uint64(b.Coord[i]), bytesCoord)
+		}
+		buf.WriteByte(byte(b.ID.Level))
+		putUint(&buf, b.ID.Path, bytesPath)
+		rank := b.Rank
+		if rank < 0 {
+			rank = 0
+		}
+		putUint(&buf, uint64(rank), bytesRank)
+		putUint(&buf, uint64(b.Workload+0.5), bytesWork)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// LoadRefined reads a forest written by SaveRefined.
+func LoadRefined(r io.Reader) (*SetupForest, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("blockforest: reading magic: %w", err)
+	}
+	if string(magic) != refinedMagic {
+		return nil, fmt.Errorf("blockforest: bad refined magic %q", magic)
+	}
+	var domain AABB
+	for i := 0; i < 3; i++ {
+		v, err := getFloat(r)
+		if err != nil {
+			return nil, err
+		}
+		domain.Min[i] = v
+	}
+	for i := 0; i < 3; i++ {
+		v, err := getFloat(r)
+		if err != nil {
+			return nil, err
+		}
+		domain.Max[i] = v
+	}
+	var grid, cells [3]int
+	for i := 0; i < 3; i++ {
+		v, err := getUint(r, 4)
+		if err != nil {
+			return nil, err
+		}
+		grid[i] = int(v)
+	}
+	for i := 0; i < 3; i++ {
+		v, err := getUint(r, 4)
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = int(v)
+	}
+	pb, err := getUint(r, 1)
+	if err != nil {
+		return nil, err
+	}
+	var periodic [3]bool
+	for i := 0; i < 3; i++ {
+		periodic[i] = pb>>i&1 == 1
+	}
+	numBlocks, err := getUint(r, 8)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := getUint(r, 4); err != nil { // numRanks (informational)
+		return nil, err
+	}
+	sizes := make([]byte, 4)
+	if _, err := io.ReadFull(r, sizes); err != nil {
+		return nil, err
+	}
+	bytesCoord, bytesRank, bytesWork, bytesPath := int(sizes[0]), int(sizes[1]), int(sizes[2]), int(sizes[3])
+	for _, s := range sizes {
+		if s < 1 || s > 8 {
+			return nil, fmt.Errorf("blockforest: invalid field width %d", s)
+		}
+	}
+
+	if grid[0] <= 0 || grid[1] <= 0 || grid[2] <= 0 {
+		return nil, fmt.Errorf("blockforest: implausible refined header grid %v", grid)
+	}
+	f := &SetupForest{
+		Domain:        domain,
+		GridSize:      grid,
+		CellsPerBlock: cells,
+		Periodic:      periodic,
+		blocks:        make(map[[3]int]*SetupBlock),
+		refined:       make(map[BlockID]*SetupBlock),
+	}
+	for n := uint64(0); n < numBlocks; n++ {
+		var c [3]int
+		for i := 0; i < 3; i++ {
+			v, err := getUint(r, bytesCoord)
+			if err != nil {
+				return nil, fmt.Errorf("blockforest: block %d: %w", n, err)
+			}
+			c[i] = int(v)
+		}
+		lvl, err := getUint(r, 1)
+		if err != nil {
+			return nil, err
+		}
+		path, err := getUint(r, bytesPath)
+		if err != nil {
+			return nil, err
+		}
+		rank, err := getUint(r, bytesRank)
+		if err != nil {
+			return nil, err
+		}
+		work, err := getUint(r, bytesWork)
+		if err != nil {
+			return nil, err
+		}
+		id := BlockID{Tree: f.treeIndex(c), Path: path, Level: uint8(lvl)}
+		aabb := f.BlockAABB(c)
+		// Walk the path to the leaf AABB, most significant octant first.
+		for l := int(lvl) - 1; l >= 0; l-- {
+			aabb = aabb.Octant(int(path >> (3 * uint(l)) & 7))
+		}
+		b := &SetupBlock{
+			ID:       id,
+			Coord:    c,
+			AABB:     aabb,
+			Workload: float64(work),
+			Memory:   float64(cells[0]*cells[1]*cells[2]) / float64(uint64(1)<<(3*lvl)),
+			Rank:     int(rank),
+		}
+		if lvl == 0 {
+			f.blocks[c] = b
+		} else {
+			f.refined[id] = b
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,194 @@
+package blockforest
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func refineTestForest() *SetupForest {
+	return NewSetupForest(
+		NewAABB([3]float64{0, 0, 0}, [3]float64{2, 2, 2}),
+		[3]int{2, 2, 2}, [3]int{8, 8, 8}, [3]bool{})
+}
+
+func TestRefineBlockBasics(t *testing.T) {
+	f := refineTestForest()
+	root := f.Block([3]int{0, 0, 0})
+	root.Workload = 800
+	children, err := f.RefineBlock(root.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(children) != 8 {
+		t.Fatalf("%d children", len(children))
+	}
+	if f.NumRefined() != 8 || f.MaxLevel() != 1 {
+		t.Errorf("NumRefined=%d MaxLevel=%d", f.NumRefined(), f.MaxLevel())
+	}
+	// The root is no longer a leaf; its coordinate slot is empty.
+	if f.Block([3]int{0, 0, 0}) != nil {
+		t.Error("refined root still a leaf")
+	}
+	// Children tile the parent volume and split the workload.
+	var vol, work float64
+	for _, c := range children {
+		vol += c.AABB.Volume()
+		work += c.Workload
+		if c.ID.Parent() != root.ID {
+			t.Error("child parent mismatch")
+		}
+		if f.BlockByID(c.ID) != c {
+			t.Error("BlockByID lookup failed")
+		}
+	}
+	if math.Abs(vol-root.AABB.Volume()) > 1e-12 {
+		t.Errorf("children volume %v != parent %v", vol, root.AABB.Volume())
+	}
+	if math.Abs(work-800) > 1e-9 {
+		t.Errorf("children workload %v != 800", work)
+	}
+}
+
+func TestRefineRecursive(t *testing.T) {
+	f := refineTestForest()
+	root := f.Block([3]int{1, 0, 1})
+	children, err := f.RefineBlock(root.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grand, err := f.RefineBlock(children[3].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MaxLevel() != 2 {
+		t.Errorf("MaxLevel = %d, want 2", f.MaxLevel())
+	}
+	// 7 unrefined roots + 7 remaining children + 8 grandchildren = 22 leaves.
+	if got := len(f.AllLeaves()); got != 22 {
+		t.Errorf("leaves = %d, want 22", got)
+	}
+	if f.TotalLeafVolume() != 8.0 {
+		t.Errorf("leaf volume %v, want 8 (domain volume)", f.TotalLeafVolume())
+	}
+	// Grandchild AABB nested in child, child in root.
+	for _, g := range grand {
+		if !children[3].AABB.Intersects(g.AABB) {
+			t.Error("grandchild escapes child")
+		}
+		c := g.AABB.Center()
+		if !children[3].AABB.Contains(c) || !root.AABB.Contains(c) {
+			t.Error("grandchild center outside ancestors")
+		}
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	f := refineTestForest()
+	bogus := BlockID{Tree: 99}
+	if _, err := f.RefineBlock(bogus); err == nil {
+		t.Error("refining missing root accepted")
+	}
+	if _, err := f.RefineBlock(BlockID{Tree: 0, Path: 5, Level: 1}); err == nil {
+		t.Error("refining missing child accepted")
+	}
+	// Double refinement of the same block fails (no longer a leaf).
+	root := f.Block([3]int{0, 0, 0})
+	if _, err := f.RefineBlock(root.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RefineBlock(root.ID); err == nil {
+		t.Error("refining a non-leaf accepted")
+	}
+}
+
+func TestBalanceMortonLeaves(t *testing.T) {
+	f := refineTestForest()
+	if _, err := f.RefineBlock(f.Block([3]int{0, 0, 0}).ID); err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 3
+	f.BalanceMortonLeaves(ranks)
+	counts := map[int]int{}
+	var total, maxW float64
+	per := map[int]float64{}
+	for _, b := range f.AllLeaves() {
+		if b.Rank < 0 || b.Rank >= ranks {
+			t.Fatalf("invalid rank %d", b.Rank)
+		}
+		counts[b.Rank]++
+		per[b.Rank] += b.Workload
+		total += b.Workload
+	}
+	for _, w := range per {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if len(counts) != ranks {
+		t.Errorf("only %d ranks used", len(counts))
+	}
+	if maxW > 1.6*total/ranks {
+		t.Errorf("imbalance: max %v vs avg %v", maxW, total/ranks)
+	}
+}
+
+func TestRefinedFileRoundTrip(t *testing.T) {
+	f := refineTestForest()
+	c1, err := f.RefineBlock(f.Block([3]int{0, 1, 0}).ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RefineBlock(c1[6].ID); err != nil {
+		t.Fatal(err)
+	}
+	f.BalanceMortonLeaves(4)
+	var buf bytes.Buffer
+	if err := f.SaveRefined(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadRefined(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, gl := f.AllLeaves(), g.AllLeaves()
+	if len(fl) != len(gl) {
+		t.Fatalf("leaf counts differ: %d vs %d", len(fl), len(gl))
+	}
+	for i := range fl {
+		if fl[i].ID != gl[i].ID || fl[i].Rank != gl[i].Rank || fl[i].Coord != gl[i].Coord {
+			t.Errorf("leaf %d: %+v vs %+v", i, fl[i], gl[i])
+		}
+		for d := 0; d < 3; d++ {
+			if math.Abs(fl[i].AABB.Min[d]-gl[i].AABB.Min[d]) > 1e-12 ||
+				math.Abs(fl[i].AABB.Max[d]-gl[i].AABB.Max[d]) > 1e-12 {
+				t.Errorf("leaf %d AABB differs: %+v vs %+v", i, fl[i].AABB, gl[i].AABB)
+			}
+		}
+	}
+	if g.MaxLevel() != 2 {
+		t.Errorf("restored MaxLevel = %d", g.MaxLevel())
+	}
+}
+
+func TestLoadRefinedRejectsFlatMagic(t *testing.T) {
+	f := refineTestForest()
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRefined(&buf); err == nil {
+		t.Error("flat file accepted by LoadRefined")
+	}
+}
+
+func TestCoordOfRoundTrip(t *testing.T) {
+	f := NewSetupForest(
+		NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+		[3]int{3, 4, 5}, [3]int{4, 4, 4}, [3]bool{})
+	for _, b := range f.Blocks() {
+		if got := f.coordOf(b.ID); got != b.Coord {
+			t.Fatalf("coordOf(%v) = %v, want %v", b.ID, got, b.Coord)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package boundary
+
+import (
+	"math"
+	"testing"
+
+	"walberla/internal/collide"
+	"walberla/internal/field"
+	"walberla/internal/kernels"
+	"walberla/internal/lattice"
+)
+
+func TestMarkBoxAndLinkCounts(t *testing.T) {
+	s := lattice.D3Q19()
+	fl := field.NewFlagField(4, 4, 4, 1)
+	MarkBox(fl, [6]field.CellType{
+		field.NoSlip, field.NoSlip, field.NoSlip, field.NoSlip, field.NoSlip, field.VelocityBounce,
+	})
+	if fl.Count(field.Fluid) != 64 {
+		t.Fatalf("fluid cells = %d, want 64", fl.Count(field.Fluid))
+	}
+	bs := NewSweep(s, fl, Config{WallVelocity: [3]float64{0.1, 0, 0}})
+	noSlip, vel, press := bs.Links()
+	if press != 0 {
+		t.Errorf("pressure links = %d, want 0", press)
+	}
+	if vel == 0 || noSlip == 0 {
+		t.Errorf("expected both no-slip (%d) and velocity (%d) links", noSlip, vel)
+	}
+	// Every link of the lid: the lid is the +z ghost plane; each of the
+	// 16 lid cells above the fluid sees 5 directions into the interior
+	// except where the target cell is outside -> count equals the number
+	// of (boundary cell, dir) pairs hitting interior fluid.
+	want := 0
+	for z := -1; z < 5; z++ {
+		for y := -1; y < 5; y++ {
+			for x := -1; x < 5; x++ {
+				if fl.Get(x, y, z) != field.VelocityBounce {
+					continue
+				}
+				for a := 0; a < s.Q; a++ {
+					nx, ny, nz := x+s.Cx[a], y+s.Cy[a], z+s.Cz[a]
+					if (s.Cx[a] != 0 || s.Cy[a] != 0 || s.Cz[a] != 0) &&
+						nx >= 0 && nx < 4 && ny >= 0 && ny < 4 && nz >= 0 && nz < 4 {
+						want++
+					}
+				}
+			}
+		}
+	}
+	if vel != want {
+		t.Errorf("velocity links = %d, want %d", vel, want)
+	}
+}
+
+func TestNoSlipReflection(t *testing.T) {
+	s := lattice.D3Q19()
+	fl := field.NewFlagField(3, 3, 3, 1)
+	MarkBox(fl, [6]field.CellType{
+		field.NoSlip, field.NoSlip, field.NoSlip, field.NoSlip, field.NoSlip, field.NoSlip,
+	})
+	bs := NewSweep(s, fl, Config{})
+	src := field.NewPDFField(s, 3, 3, 3, 1, field.AoS)
+	// Unique values everywhere.
+	v := 1.0
+	for z := -1; z < 4; z++ {
+		for y := -1; y < 4; y++ {
+			for x := -1; x < 4; x++ {
+				for a := 0; a < s.Q; a++ {
+					src.Set(x, y, z, lattice.Direction(a), v)
+					v++
+				}
+			}
+		}
+	}
+	bs.Apply(src)
+	// For the wall cell at (-1,1,1) the direction E points into fluid
+	// (0,1,1): the sweep must have copied src(0,1,1,W) into src(-1,1,1,E).
+	got := src.Get(-1, 1, 1, lattice.E)
+	want := src.Get(0, 1, 1, lattice.W)
+	if got != want {
+		t.Errorf("no-slip link value = %v, want %v", got, want)
+	}
+}
+
+func TestVelocityBounceMomentumCorrection(t *testing.T) {
+	s := lattice.D3Q19()
+	fl := field.NewFlagField(3, 3, 3, 1)
+	MarkBox(fl, [6]field.CellType{
+		field.NoSlip, field.NoSlip, field.NoSlip, field.NoSlip, field.NoSlip, field.VelocityBounce,
+	})
+	u := 0.08
+	bs := NewSweep(s, fl, Config{WallVelocity: [3]float64{u, 0, 0}})
+	src := field.NewPDFField(s, 3, 3, 3, 1, field.AoS)
+	src.FillEquilibrium(1, 0, 0, 0)
+	bs.Apply(src)
+	// Lid cell (1,1,3), direction BW=(-1,0,-1) points into fluid (0,1,2).
+	// e_d . u_w = -u.
+	want := src.Get(0, 1, 2, lattice.TE) + 6.0*s.W[lattice.BW]*(-u)
+	got := src.Get(1, 1, 3, lattice.BW)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("velocity link value = %v, want %v", got, want)
+	}
+	// Direction B=(0,0,-1) is orthogonal to the wall motion: pure
+	// bounce-back without correction.
+	want = src.Get(1, 1, 2, lattice.T)
+	got = src.Get(1, 1, 3, lattice.B)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("orthogonal link value = %v, want %v", got, want)
+	}
+}
+
+// A resting fluid enclosed by resting walls (no-slip and pressure at the
+// reference density) must remain exactly at rest.
+func TestRestingStateStable(t *testing.T) {
+	s := lattice.D3Q19()
+	const n = 6
+	fl := field.NewFlagField(n, n, n, 1)
+	MarkBox(fl, [6]field.CellType{
+		field.NoSlip, field.PressureBounce, field.NoSlip, field.NoSlip, field.NoSlip, field.NoSlip,
+	})
+	bs := NewSweep(s, fl, Config{Density: 1.0})
+	trt := collide.NewTRT(0.9, collide.MagicParameter)
+	k := kernels.NewD3Q19TRT(trt)
+	src := field.NewPDFField(s, n, n, n, 1, field.AoS)
+	dst := src.CopyShape()
+	src.FillEquilibrium(1, 0, 0, 0)
+	for step := 0; step < 50; step++ {
+		bs.Apply(src)
+		k.Sweep(src, dst, fl)
+		field.Swap(src, dst)
+	}
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				rho, ux, uy, uz := src.Moments(x, y, z)
+				if math.Abs(rho-1) > 1e-12 || math.Abs(ux) > 1e-12 || math.Abs(uy) > 1e-12 || math.Abs(uz) > 1e-12 {
+					t.Fatalf("cell (%d,%d,%d) drifted: rho=%v u=(%v,%v,%v)", x, y, z, rho, ux, uy, uz)
+				}
+			}
+		}
+	}
+}
+
+// fillPeriodicGhostsXY copies the interior layers periodically in x and y
+// only; z ghosts (the walls) are left to the boundary sweep.
+func fillPeriodicGhostsXY(f *field.PDFField) {
+	nx, ny := f.Nx, f.Ny
+	wrap := func(v, n int) int { return ((v % n) + n) % n }
+	for z := 0; z < f.Nz; z++ {
+		for y := -1; y < ny+1; y++ {
+			for x := -1; x < nx+1; x++ {
+				if x >= 0 && x < nx && y >= 0 && y < ny {
+					continue
+				}
+				sx, sy := wrap(x, nx), wrap(y, ny)
+				for a := 0; a < f.Stencil.Q; a++ {
+					f.Set(x, y, z, lattice.Direction(a), f.Get(sx, sy, z, lattice.Direction(a)))
+				}
+			}
+		}
+	}
+}
+
+// Plane Couette flow: plate at the bottom at rest, lid at the top moving
+// with velocity U in x, periodic in x and y. The steady solution is the
+// exact linear profile u_x(z) = U (z + 1/2) / Nz with link bounce-back
+// walls located half a cell outside the first/last fluid cell layer.
+func TestCouetteFlowLinearProfile(t *testing.T) {
+	s := lattice.D3Q19()
+	const nx, ny, nzc = 4, 4, 8
+	const U = 0.05
+	fl := field.NewFlagField(nx, ny, nzc, 1)
+	fl.FillInterior(field.Fluid)
+	// Bottom and top ghost planes only; x/y ghosts stay Outside (they are
+	// filled periodically each step, never pulled as boundaries).
+	for y := -1; y < ny+1; y++ {
+		for x := -1; x < nx+1; x++ {
+			fl.Set(x, y, -1, field.NoSlip)
+			fl.Set(x, y, nzc, field.VelocityBounce)
+		}
+	}
+	bs := NewSweep(s, fl, Config{WallVelocity: [3]float64{U, 0, 0}})
+	trt := collide.NewTRT(0.9, collide.MagicParameter)
+	k := kernels.NewD3Q19TRT(trt)
+	src := field.NewPDFField(s, nx, ny, nzc, 1, field.AoS)
+	dst := src.CopyShape()
+	src.FillEquilibrium(1, 0, 0, 0)
+	for step := 0; step < 4000; step++ {
+		fillPeriodicGhostsXY(src)
+		bs.Apply(src)
+		k.Sweep(src, dst, fl)
+		field.Swap(src, dst)
+	}
+	for z := 0; z < nzc; z++ {
+		want := U * (float64(z) + 0.5) / float64(nzc)
+		_, ux, uy, uz := src.Moments(1, 2, z)
+		if math.Abs(ux-want) > 1e-6 {
+			t.Errorf("z=%d: ux = %v, want %v", z, ux, want)
+		}
+		if math.Abs(uy) > 1e-9 || math.Abs(uz) > 1e-9 {
+			t.Errorf("z=%d: transverse flow uy=%v uz=%v", z, uy, uz)
+		}
+	}
+}
+
+// An overpressure outlet must raise the mean density of the adjacent
+// fluid: qualitative check of the anti-bounce-back sign convention.
+func TestPressureBoundaryRaisesDensity(t *testing.T) {
+	s := lattice.D3Q19()
+	const n = 6
+	fl := field.NewFlagField(n, n, n, 1)
+	MarkBox(fl, [6]field.CellType{
+		field.PressureBounce, field.NoSlip, field.NoSlip, field.NoSlip, field.NoSlip, field.NoSlip,
+	})
+	bs := NewSweep(s, fl, Config{Density: 1.05})
+	trt := collide.NewTRT(0.9, collide.MagicParameter)
+	k := kernels.NewD3Q19TRT(trt)
+	src := field.NewPDFField(s, n, n, n, 1, field.AoS)
+	dst := src.CopyShape()
+	src.FillEquilibrium(1, 0, 0, 0)
+	for step := 0; step < 200; step++ {
+		bs.Apply(src)
+		k.Sweep(src, dst, fl)
+		field.Swap(src, dst)
+	}
+	mass := src.TotalMass()
+	if mass <= float64(n*n*n) {
+		t.Errorf("total mass %v did not increase above %v under overpressure", mass, n*n*n)
+	}
+}
+
+func TestPerCellCallbacks(t *testing.T) {
+	s := lattice.D3Q19()
+	fl := field.NewFlagField(3, 3, 3, 1)
+	MarkBox(fl, [6]field.CellType{
+		field.VelocityBounce, field.PressureBounce, field.NoSlip, field.NoSlip, field.NoSlip, field.NoSlip,
+	})
+	velCalled, denCalled := false, false
+	bs := NewSweep(s, fl, Config{
+		VelocityAt: func(x, y, z int) (float64, float64, float64) {
+			velCalled = true
+			return 0.01, 0, 0
+		},
+		DensityAt: func(x, y, z int) float64 {
+			denCalled = true
+			return 1.0
+		},
+	})
+	src := field.NewPDFField(s, 3, 3, 3, 1, field.AoS)
+	src.FillEquilibrium(1, 0, 0, 0)
+	bs.Apply(src)
+	if !velCalled || !denCalled {
+		t.Errorf("callbacks used: velocity=%v density=%v, want both", velCalled, denCalled)
+	}
+}

@@ -1,0 +1,156 @@
+// Package collide implements the LBM collision operators used in the
+// paper: the single-relaxation-time (SRT/LBGK) model of Bhatnagar, Gross
+// and Krook and the two-relaxation-time (TRT) model of Ginzburg et al.
+//
+// Both operators act on the PDF vector of a single cell; the compute
+// kernels in package kernels inline specialized versions of the same math,
+// and the generic implementations here serve as their reference and as the
+// collision stage of the generic kernel.
+package collide
+
+import (
+	"fmt"
+	"math"
+
+	"walberla/internal/lattice"
+)
+
+// Operator is a collision operator acting in place on the PDFs of one cell.
+type Operator interface {
+	// Name identifies the operator ("SRT", "TRT") in reports.
+	Name() string
+	// Collide relaxes f (length s.Q) toward equilibrium in place.
+	Collide(s *lattice.Stencil, f []float64)
+}
+
+// SRT is the single-relaxation-time (LBGK) collision operator
+//
+//	Omega_a = -1/tau * (f_a - f_a^eq).
+type SRT struct {
+	// Tau is the relaxation time; stability requires Tau > 1/2.
+	Tau float64
+}
+
+// NewSRT constructs an SRT operator from the relaxation time tau.
+func NewSRT(tau float64) SRT {
+	if tau <= 0.5 {
+		panic(fmt.Sprintf("collide: SRT tau = %v must exceed 1/2", tau))
+	}
+	return SRT{Tau: tau}
+}
+
+// NewSRTFromViscosity constructs an SRT operator for the given kinematic
+// viscosity in lattice units: nu = c_s^2 (tau - 1/2), c_s^2 = 1/3.
+func NewSRTFromViscosity(nu float64) SRT {
+	if nu <= 0 {
+		panic(fmt.Sprintf("collide: viscosity %v must be positive", nu))
+	}
+	return SRT{Tau: 3.0*nu + 0.5}
+}
+
+// Name implements Operator.
+func (o SRT) Name() string { return "SRT" }
+
+// Omega returns the relaxation rate 1/tau.
+func (o SRT) Omega() float64 { return 1.0 / o.Tau }
+
+// Viscosity returns the kinematic viscosity nu = (tau - 1/2)/3.
+func (o SRT) Viscosity() float64 { return (o.Tau - 0.5) / 3.0 }
+
+// Collide implements Operator.
+func (o SRT) Collide(s *lattice.Stencil, f []float64) {
+	rho, ux, uy, uz := s.Moments(f)
+	omega := 1.0 / o.Tau
+	usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+	for a := 0; a < s.Q; a++ {
+		cu := 3.0 * (float64(s.Cx[a])*ux + float64(s.Cy[a])*uy + float64(s.Cz[a])*uz)
+		feq := s.W[a] * rho * (1.0 + cu + 0.5*cu*cu - usq)
+		f[a] -= omega * (f[a] - feq)
+	}
+}
+
+// TRT is the two-relaxation-time collision operator
+//
+//	Omega_a = lambdaE (f_a^+ - f_a^eq+) + lambdaO (f_a^- - f_a^eq-)
+//
+// with f^+/f^- the even/odd (symmetric/antisymmetric) parts of f over
+// direction pairs (a, abar). Both relaxation parameters are negative;
+// lambdaE = lambdaO = -1/tau recovers SRT.
+type TRT struct {
+	// LambdaE relaxes the even (symmetric) part and fixes the viscosity.
+	LambdaE float64
+	// LambdaO relaxes the odd (antisymmetric) part.
+	LambdaO float64
+}
+
+// MagicParameter is the canonical "magic" value Lambda = 3/16 at which the
+// TRT bounce-back wall is located exactly halfway between lattice nodes.
+const MagicParameter = 3.0 / 16.0
+
+// NewTRT constructs a TRT operator from the relaxation time tau (defining
+// viscosity exactly as SRT) and the magic parameter
+//
+//	Lambda = (1/omegaE - 1/2)(1/omegaO - 1/2),  omega = -lambda.
+func NewTRT(tau, magic float64) TRT {
+	if tau <= 0.5 {
+		panic(fmt.Sprintf("collide: TRT tau = %v must exceed 1/2", tau))
+	}
+	if magic <= 0 {
+		panic(fmt.Sprintf("collide: magic parameter %v must be positive", magic))
+	}
+	lambdaE := -1.0 / tau
+	// Solve (tau - 1/2)(1/omegaO - 1/2) = Lambda for omegaO.
+	tauO := magic/(tau-0.5) + 0.5
+	return TRT{LambdaE: lambdaE, LambdaO: -1.0 / tauO}
+}
+
+// Name implements Operator.
+func (o TRT) Name() string { return "TRT" }
+
+// Viscosity returns the kinematic viscosity nu = (-1/lambdaE - 1/2)/3.
+func (o TRT) Viscosity() float64 { return (-1.0/o.LambdaE - 0.5) / 3.0 }
+
+// Magic returns the magic parameter Lambda of the operator.
+func (o TRT) Magic() float64 {
+	return (-1.0/o.LambdaE - 0.5) * (-1.0/o.LambdaO - 0.5)
+}
+
+// maxQ bounds the stencil sizes the stack-allocated scratch of Collide
+// supports (D3Q27 is the largest shipped model).
+const maxQ = 27
+
+// Collide implements Operator. It is allocation-free for all shipped
+// stencils (Q <= 27).
+func (o TRT) Collide(s *lattice.Stencil, f []float64) {
+	rho, ux, uy, uz := s.Moments(f)
+	usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+	var feqBuf, postBuf [maxQ]float64
+	feq := feqBuf[:s.Q]
+	post := postBuf[:s.Q]
+	if s.Q > maxQ {
+		feq = make([]float64, s.Q)
+		post = make([]float64, s.Q)
+	}
+	for a := 0; a < s.Q; a++ {
+		cu := 3.0 * (float64(s.Cx[a])*ux + float64(s.Cy[a])*uy + float64(s.Cz[a])*uz)
+		feq[a] = s.W[a] * rho * (1.0 + cu + 0.5*cu*cu - usq)
+	}
+	for a := 0; a < s.Q; a++ {
+		ab := int(s.Inv[a])
+		fp := 0.5 * (f[a] + f[ab])
+		fm := 0.5 * (f[a] - f[ab])
+		feqP := 0.5 * (feq[a] + feq[ab])
+		feqM := 0.5 * (feq[a] - feq[ab])
+		post[a] = f[a] + o.LambdaE*(fp-feqP) + o.LambdaO*(fm-feqM)
+	}
+	copy(f, post)
+}
+
+// EquivalentSRT reports whether the TRT parameters reduce the operator to
+// SRT (lambdaE == lambdaO) and, if so, the corresponding tau.
+func (o TRT) EquivalentSRT() (tau float64, ok bool) {
+	if math.Abs(o.LambdaE-o.LambdaO) > 1e-15 {
+		return 0, false
+	}
+	return -1.0 / o.LambdaE, true
+}

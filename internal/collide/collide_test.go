@@ -1,0 +1,189 @@
+package collide
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"walberla/internal/lattice"
+)
+
+func randomPDFs(r *rand.Rand, q int) []float64 {
+	f := make([]float64, q)
+	for a := range f {
+		f[a] = 0.02 + 0.1*r.Float64()
+	}
+	return f
+}
+
+func TestSRTConstruction(t *testing.T) {
+	o := NewSRT(0.9)
+	if o.Tau != 0.9 {
+		t.Errorf("Tau = %v, want 0.9", o.Tau)
+	}
+	if math.Abs(o.Omega()-1.0/0.9) > 1e-15 {
+		t.Errorf("Omega = %v, want %v", o.Omega(), 1.0/0.9)
+	}
+	nu := o.Viscosity()
+	o2 := NewSRTFromViscosity(nu)
+	if math.Abs(o2.Tau-0.9) > 1e-14 {
+		t.Errorf("viscosity round trip tau = %v, want 0.9", o2.Tau)
+	}
+}
+
+func TestSRTPanicsOnUnstableTau(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSRT(0.5) did not panic")
+		}
+	}()
+	NewSRT(0.5)
+}
+
+func TestTRTPanicsOnUnstableTau(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTRT(0.4, ...) did not panic")
+		}
+	}()
+	NewTRT(0.4, MagicParameter)
+}
+
+// Collision must conserve mass and momentum exactly (they are collision
+// invariants of both operators).
+func TestCollisionInvariants(t *testing.T) {
+	s := lattice.D3Q19()
+	r := rand.New(rand.NewSource(1))
+	ops := []Operator{NewSRT(0.8), NewSRT(1.9), NewTRT(0.8, MagicParameter), NewTRT(1.2, 0.25)}
+	for _, op := range ops {
+		for trial := 0; trial < 50; trial++ {
+			f := randomPDFs(r, s.Q)
+			rho0, ux0, uy0, uz0 := s.Moments(f)
+			op.Collide(s, f)
+			rho1, ux1, uy1, uz1 := s.Moments(f)
+			if math.Abs(rho1-rho0) > 1e-13 {
+				t.Fatalf("%s: mass not conserved: %v -> %v", op.Name(), rho0, rho1)
+			}
+			if math.Abs(ux1-ux0) > 1e-12 || math.Abs(uy1-uy0) > 1e-12 || math.Abs(uz1-uz0) > 1e-12 {
+				t.Fatalf("%s: momentum not conserved", op.Name())
+			}
+		}
+	}
+}
+
+// Equilibrium is a fixed point of collision.
+func TestEquilibriumFixedPoint(t *testing.T) {
+	s := lattice.D3Q19()
+	ops := []Operator{NewSRT(0.7), NewTRT(0.7, MagicParameter)}
+	for _, op := range ops {
+		f := make([]float64, s.Q)
+		s.Equilibrium(f, 1.1, 0.03, -0.02, 0.01)
+		want := append([]float64(nil), f...)
+		op.Collide(s, f)
+		for a := range f {
+			if math.Abs(f[a]-want[a]) > 1e-14 {
+				t.Errorf("%s: equilibrium not a fixed point at %d: %v vs %v", op.Name(), a, f[a], want[a])
+			}
+		}
+	}
+}
+
+// TRT with lambdaE == lambdaO == -1/tau must reproduce SRT exactly
+// (equation (8) of the paper).
+func TestTRTReducesToSRT(t *testing.T) {
+	s := lattice.D3Q19()
+	tau := 0.83
+	srt := NewSRT(tau)
+	trt := TRT{LambdaE: -1.0 / tau, LambdaO: -1.0 / tau}
+	if gotTau, ok := trt.EquivalentSRT(); !ok || math.Abs(gotTau-tau) > 1e-14 {
+		t.Fatalf("EquivalentSRT = (%v, %v), want (%v, true)", gotTau, ok, tau)
+	}
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		f1 := randomPDFs(r, s.Q)
+		f2 := append([]float64(nil), f1...)
+		srt.Collide(s, f1)
+		trt.Collide(s, f2)
+		for a := range f1 {
+			if math.Abs(f1[a]-f2[a]) > 1e-13 {
+				t.Fatalf("TRT(l,l) != SRT at direction %d: %v vs %v", a, f1[a], f2[a])
+			}
+		}
+	}
+}
+
+func TestTRTMagicParameter(t *testing.T) {
+	for _, tau := range []float64{0.6, 0.9, 1.7} {
+		for _, magic := range []float64{MagicParameter, 0.25, 1.0 / 12.0} {
+			o := NewTRT(tau, magic)
+			if math.Abs(o.Magic()-magic) > 1e-12 {
+				t.Errorf("tau=%v: Magic() = %v, want %v", tau, o.Magic(), magic)
+			}
+			if math.Abs(o.Viscosity()-(tau-0.5)/3.0) > 1e-14 {
+				t.Errorf("tau=%v: viscosity %v, want %v", tau, o.Viscosity(), (tau-0.5)/3.0)
+			}
+		}
+	}
+}
+
+func TestTRTNotEquivalentSRT(t *testing.T) {
+	o := NewTRT(0.9, MagicParameter)
+	if _, ok := o.EquivalentSRT(); ok {
+		t.Error("TRT with magic parameter should not reduce to SRT for tau != 1")
+	}
+}
+
+// Property: collision is a contraction toward equilibrium — the distance
+// to equilibrium never grows for stable relaxation parameters.
+func TestCollisionContractsTowardEquilibrium(t *testing.T) {
+	s := lattice.D3Q19()
+	check := func(op Operator) func(seed int64) bool {
+		return func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			f := randomPDFs(r, s.Q)
+			rho, ux, uy, uz := s.Moments(f)
+			feq := make([]float64, s.Q)
+			s.Equilibrium(feq, rho, ux, uy, uz)
+			var before float64
+			for a := range f {
+				before += (f[a] - feq[a]) * (f[a] - feq[a])
+			}
+			op.Collide(s, f)
+			// Moments unchanged, so equilibrium is unchanged too.
+			var after float64
+			for a := range f {
+				after += (f[a] - feq[a]) * (f[a] - feq[a])
+			}
+			return after <= before+1e-13
+		}
+	}
+	for _, op := range []Operator{NewSRT(0.8), NewTRT(0.8, MagicParameter)} {
+		if err := quick.Check(check(op), &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", op.Name(), err)
+		}
+	}
+}
+
+// SRT with tau=1 projects straight onto equilibrium.
+func TestSRTFullRelaxation(t *testing.T) {
+	s := lattice.D3Q19()
+	o := NewSRT(1.0)
+	r := rand.New(rand.NewSource(3))
+	f := randomPDFs(r, s.Q)
+	rho, ux, uy, uz := s.Moments(f)
+	feq := make([]float64, s.Q)
+	s.Equilibrium(feq, rho, ux, uy, uz)
+	o.Collide(s, f)
+	for a := range f {
+		if math.Abs(f[a]-feq[a]) > 1e-14 {
+			t.Errorf("tau=1 did not project onto equilibrium at %d", a)
+		}
+	}
+}
+
+func TestOperatorNames(t *testing.T) {
+	if NewSRT(1).Name() != "SRT" || NewTRT(1, MagicParameter).Name() != "TRT" {
+		t.Error("operator names wrong")
+	}
+}

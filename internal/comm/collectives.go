@@ -1,0 +1,210 @@
+package comm
+
+import "fmt"
+
+// Collective tags. Each collective uses a distinct internal tag so that
+// overlapping collectives on disjoint rank subsets cannot mismatch; within
+// one communicator collectives are ordered per rank exactly as in MPI.
+const (
+	tagBarrier = internalTag - iota
+	tagBcast
+	tagGather
+	tagReduce
+	tagAlltoall
+	tagScan
+)
+
+// Barrier blocks until every rank has entered it. Implemented as a
+// zero-byte reduce-to-zero followed by a broadcast (the classic two-phase
+// tree barrier).
+func (c *Comm) Barrier() {
+	c.reduceTree(tagBarrier, nil, func(a, b any) any { return nil })
+	c.bcastTree(tagBarrier, nil)
+}
+
+// Bcast distributes root's payload to every rank and returns it; non-root
+// ranks pass nil (or any placeholder, which is ignored).
+func (c *Comm) Bcast(root int, data any) any {
+	if c.rank != root {
+		data = nil
+	}
+	// Rotate ranks so the tree is rooted at rank 0.
+	return c.bcastTreeRooted(tagBcast, root, data)
+}
+
+// rel translates an absolute rank into the tree coordinate system rooted
+// at root.
+func (c *Comm) rel(root int) int { return (c.rank - root + c.Size()) % c.Size() }
+
+// abs translates a tree coordinate back to an absolute rank.
+func (c *Comm) abs(root, r int) int { return (r + root) % c.Size() }
+
+// bcastTreeRooted runs a binomial broadcast tree rooted at root.
+func (c *Comm) bcastTreeRooted(tag int, root int, data any) any {
+	n := c.Size()
+	me := c.rel(root)
+	// Receive from parent (if not root).
+	if me != 0 {
+		mask := 1
+		for mask <= me {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := me &^ mask
+		data, _ = c.recv(c.abs(root, parent), tag)
+	}
+	// Forward to children.
+	mask := 1
+	for mask <= me {
+		mask <<= 1
+	}
+	for ; mask < n; mask <<= 1 {
+		child := me | mask
+		if child < n {
+			c.send(c.abs(root, child), tag, data)
+		}
+	}
+	return data
+}
+
+// bcastTree broadcasts from rank 0.
+func (c *Comm) bcastTree(tag int, data any) any {
+	return c.bcastTreeRooted(tag, 0, data)
+}
+
+// reduceTree combines every rank's contribution at rank 0 using op; only
+// rank 0 receives the final value (other ranks get nil).
+func (c *Comm) reduceTree(tag int, data any, op func(a, b any) any) any {
+	n := c.Size()
+	me := c.rank
+	for mask := 1; mask < n; mask <<= 1 {
+		if me&mask != 0 {
+			c.send(me&^mask, tag, data)
+			return nil
+		}
+		if partner := me | mask; partner < n {
+			other, _ := c.recv(partner, tag)
+			data = op(data, other)
+		}
+	}
+	return data
+}
+
+// ReduceFloat64 combines the per-rank values with op at root; other ranks
+// receive 0.
+func (c *Comm) ReduceFloat64(root int, v float64, op func(a, b float64) float64) float64 {
+	// Reduce to rank 0, then move to root if different (a minor shortcut
+	// MPI implementations also take).
+	res := c.reduceTree(tagReduce, v, func(a, b any) any {
+		return op(a.(float64), b.(float64))
+	})
+	if root == 0 {
+		if c.rank == 0 {
+			return res.(float64)
+		}
+		return 0
+	}
+	if c.rank == 0 {
+		c.send(root, tagReduce, res)
+		return 0
+	}
+	if c.rank == root {
+		got, _ := c.recv(0, tagReduce)
+		return got.(float64)
+	}
+	return 0
+}
+
+// AllreduceFloat64 combines the per-rank values with op and returns the
+// result on every rank (reduce + broadcast).
+func (c *Comm) AllreduceFloat64(v float64, op func(a, b float64) float64) float64 {
+	res := c.reduceTree(tagReduce, v, func(a, b any) any {
+		return op(a.(float64), b.(float64))
+	})
+	return c.bcastTree(tagReduce, res).(float64)
+}
+
+// AllreduceInt64 combines the per-rank values with op on every rank.
+func (c *Comm) AllreduceInt64(v int64, op func(a, b int64) int64) int64 {
+	res := c.reduceTree(tagReduce, v, func(a, b any) any {
+		return op(a.(int64), b.(int64))
+	})
+	return c.bcastTree(tagReduce, res).(int64)
+}
+
+// Sum, Max and Min are the common reduction operators.
+func Sum[T int64 | float64](a, b T) T { return a + b }
+
+// Max returns the larger value.
+func Max[T int64 | float64](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller value.
+func Min[T int64 | float64](a, b T) T {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Gather collects every rank's payload at root in rank order; non-root
+// ranks receive nil.
+func (c *Comm) Gather(root int, data any) []any {
+	if c.rank != root {
+		c.send(root, tagGather, data)
+		return nil
+	}
+	out := make([]any, c.Size())
+	out[c.rank] = data
+	for i := 0; i < c.Size()-1; i++ {
+		data, source := c.recv(AnySource, tagGather)
+		out[source] = data
+	}
+	return out
+}
+
+// Allgather collects every rank's payload on every rank in rank order.
+func (c *Comm) Allgather(data any) []any {
+	gathered := c.Gather(0, data)
+	res := c.bcastTree(tagGather, gathered)
+	return res.([]any)
+}
+
+// Alltoall sends bufs[i] to rank i and returns the payloads received from
+// every rank, indexed by source. bufs must have length Size.
+func (c *Comm) Alltoall(bufs []any) []any {
+	if len(bufs) != c.Size() {
+		panic(fmt.Sprintf("comm: Alltoall with %d buffers on %d ranks", len(bufs), c.Size()))
+	}
+	for dst := 0; dst < c.Size(); dst++ {
+		if dst == c.rank {
+			continue
+		}
+		c.send(dst, tagAlltoall, bufs[dst])
+	}
+	out := make([]any, c.Size())
+	out[c.rank] = bufs[c.rank]
+	for i := 0; i < c.Size()-1; i++ {
+		data, source := c.recv(AnySource, tagAlltoall)
+		out[source] = data
+	}
+	return out
+}
+
+// ExscanInt64 returns the exclusive prefix sum of v over ranks: rank r
+// receives the sum of the values of ranks 0..r-1 (0 on rank 0). Used for
+// assigning global offsets during parallel setup.
+func (c *Comm) ExscanInt64(v int64) int64 {
+	// Gather + broadcast keeps this O(n) messages; fine at our scales and
+	// faithful in pattern (MPI_Exscan).
+	all := c.Allgather(v)
+	var sum int64
+	for r := 0; r < c.rank; r++ {
+		sum += all[r].(int64)
+	}
+	return sum
+}

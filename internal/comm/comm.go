@@ -1,0 +1,311 @@
+// Package comm provides the message-passing runtime the framework is
+// written against — the reproduction's stand-in for MPI.
+//
+// A "process" (rank) is a goroutine executing the same SPMD function; the
+// communicator offers the MPI subset waLBerla uses: blocking point-to-point
+// send/receive with tag matching, nonblocking sends, the collectives
+// Barrier, Bcast, Gather, Allgather, Reduce, Allreduce and Alltoall (built
+// on point-to-point messages, binomial trees for the rooted collectives),
+// and communicator splitting into subgroups. The communication patterns
+// and volumes therefore match a real distributed run, and ranks share no
+// data except through messages, keeping the paper's fully distributed
+// data structure invariants testable in process.
+//
+// Message passing is "eager": sends never block (each rank owns an
+// unbounded mailbox), receives block until a matching message arrives.
+// Messages match on (communicator context, source, tag), so traffic in a
+// subcommunicator cannot interfere with the parent's. Per-rank statistics
+// (message and byte counts, time blocked in receives) support the %MPI
+// accounting of the scaling experiments.
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AnySource matches messages from every rank in Recv.
+const AnySource = -1
+
+// AnyTag matches every tag in Recv.
+const AnyTag = -2
+
+// internalTag marks messages of the collective implementations; user tags
+// must be non-negative.
+const internalTag = -1000
+
+type message struct {
+	ctx    int // communicator context id
+	source int // world rank of the sender
+	tag    int
+	data   any
+}
+
+// mailbox is the unbounded receive queue of one world rank.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.pending = append(m.pending, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take removes and returns the first message matching context, source
+// (world rank or AnySource) and tag, blocking until one arrives.
+func (m *mailbox) take(ctx, source, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.pending {
+			if msg.ctx == ctx &&
+				(source == AnySource || msg.source == source) &&
+				(tag == AnyTag || msg.tag == tag) {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// world is the shared state of one Run invocation.
+type world struct {
+	size      int
+	mailboxes []*mailbox
+}
+
+// Stats accumulates per-rank communication statistics. All communicators
+// derived from one rank share the same counters.
+type Stats struct {
+	// Sends is the number of point-to-point messages sent (including those
+	// issued on behalf of collectives).
+	Sends int64
+	// BytesSent is the estimated payload volume of all sends.
+	BytesSent int64
+	// RecvWait is the total wall time this rank spent blocked in receives,
+	// the numerator of the %MPI metric.
+	RecvWait time.Duration
+}
+
+// Comm is one rank's handle to a communicator: the world communicator
+// created by Run, or a subgroup created by Split. Ranks are relative to
+// the communicator (0..Size-1).
+type Comm struct {
+	w       *world
+	group   []int       // world ranks of the members, sorted by comm rank
+	toIndex map[int]int // world rank -> comm rank
+	rank    int         // this rank's position within group
+	ctx     int         // context id isolating this communicator's traffic
+	splits  int         // number of Split calls issued on this handle
+	stats   *Stats
+}
+
+// Run executes f on n ranks, one goroutine per rank, and returns when all
+// ranks have finished. A panic on any rank is re-raised on the caller with
+// the rank attached.
+func Run(n int, f func(c *Comm)) {
+	if n <= 0 {
+		panic("comm: Run requires at least one rank")
+	}
+	w := &world{size: n, mailboxes: make([]*mailbox, n)}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	group := make([]int, n)
+	toIndex := make(map[int]int, n)
+	for i := range group {
+		group[i] = i
+		toIndex[i] = i
+	}
+	var wg sync.WaitGroup
+	panics := make(chan string, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					select {
+					case panics <- fmt.Sprintf("rank %d: %v", rank, p):
+					default:
+					}
+				}
+			}()
+			f(&Comm{w: w, group: group, toIndex: toIndex, rank: rank, stats: &Stats{}})
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic("comm: " + p)
+	default:
+	}
+}
+
+// Rank returns this rank's id within the communicator, in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank returns this rank's id in the world communicator.
+func (c *Comm) WorldRank() int { return c.group[c.rank] }
+
+// Stats returns the communication statistics accumulated so far (shared
+// across all communicators of this rank).
+func (c *Comm) Stats() Stats { return *c.stats }
+
+// ResetStats zeroes the statistics counters.
+func (c *Comm) ResetStats() { *c.stats = Stats{} }
+
+// Split partitions the communicator into subgroups: ranks passing the
+// same color form a new communicator, ordered by (key, parent rank). A
+// negative color opts out and receives nil. Collective: every rank of the
+// communicator must call Split.
+func (c *Comm) Split(color, key int) *Comm {
+	c.splits++
+	type entry struct{ Color, Key, Rank int }
+	gathered := c.Allgather(entry{color, key, c.rank})
+	var members []entry
+	for _, g := range gathered {
+		e := g.(entry)
+		if e.Color == color {
+			members = append(members, e)
+		}
+	}
+	if color < 0 {
+		return nil
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].Key != members[j].Key {
+			return members[i].Key < members[j].Key
+		}
+		return members[i].Rank < members[j].Rank
+	})
+	group := make([]int, len(members))
+	toIndex := make(map[int]int, len(members))
+	myRank := -1
+	for i, e := range members {
+		world := c.group[e.Rank]
+		group[i] = world
+		toIndex[world] = i
+		if e.Rank == c.rank {
+			myRank = i
+		}
+	}
+	// Deterministic context id: every member executed the same sequence
+	// of Split calls on the same parent, so (parent ctx, split counter,
+	// color) agree across the subgroup and differ between sibling groups.
+	ctx := (c.ctx*31+c.splits)*1000003 + color + 1
+	return &Comm{
+		w: c.w, group: group, toIndex: toIndex, rank: myRank,
+		ctx: ctx, stats: c.stats,
+	}
+}
+
+// payloadBytes estimates the wire size of a payload for the statistics.
+func payloadBytes(data any) int64 {
+	switch d := data.(type) {
+	case nil:
+		return 0
+	case []byte:
+		return int64(len(d))
+	case []float64:
+		return int64(8 * len(d))
+	case []int:
+		return int64(8 * len(d))
+	case []int64:
+		return int64(8 * len(d))
+	case []int32:
+		return int64(4 * len(d))
+	case float64, int, int64, uint64:
+		return 8
+	case int32, uint32, float32:
+		return 4
+	case bool, int8, uint8:
+		return 1
+	case string:
+		return int64(len(d))
+	default:
+		return 8 // opaque payloads count as one word
+	}
+}
+
+// Send delivers data to rank dst with the given non-negative tag. Send is
+// asynchronous (eager): it never blocks. The payload is shared, not
+// copied; the sender must not modify it afterwards (pack fresh buffers per
+// message, as the ghost-layer exchange does).
+func (c *Comm) Send(dst, tag int, data any) {
+	if tag < 0 {
+		panic("comm: user tags must be non-negative")
+	}
+	c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data any) {
+	if dst < 0 || dst >= len(c.group) {
+		panic(fmt.Sprintf("comm: rank %d sends to invalid rank %d (size %d)", c.rank, dst, len(c.group)))
+	}
+	c.stats.Sends++
+	c.stats.BytesSent += payloadBytes(data)
+	c.w.mailboxes[c.group[dst]].put(message{
+		ctx: c.ctx, source: c.WorldRank(), tag: tag, data: data,
+	})
+}
+
+// Recv blocks until a message from src (or AnySource) with the given tag
+// (or AnyTag) arrives on this communicator and returns its payload and
+// origin (communicator-relative).
+func (c *Comm) Recv(src, tag int) (data any, source int) {
+	if tag < 0 && tag != AnyTag {
+		panic("comm: user tags must be non-negative")
+	}
+	return c.recv(src, tag)
+}
+
+func (c *Comm) recv(src, tag int) (any, int) {
+	worldSrc := AnySource
+	if src != AnySource {
+		if src < 0 || src >= len(c.group) {
+			panic(fmt.Sprintf("comm: rank %d receives from invalid rank %d", c.rank, src))
+		}
+		worldSrc = c.group[src]
+	}
+	start := time.Now()
+	msg := c.w.mailboxes[c.WorldRank()].take(c.ctx, worldSrc, tag)
+	c.stats.RecvWait += time.Since(start)
+	return msg.data, c.toIndex[msg.source]
+}
+
+// RecvFloat64s is Recv with a typed payload, panicking on type mismatch.
+func (c *Comm) RecvFloat64s(src, tag int) ([]float64, int) {
+	data, source := c.Recv(src, tag)
+	f, ok := data.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("comm: rank %d expected []float64 from %d tag %d, got %T", c.rank, src, tag, data))
+	}
+	return f, source
+}
+
+// RecvBytes is Recv with a []byte payload, panicking on type mismatch.
+func (c *Comm) RecvBytes(src, tag int) ([]byte, int) {
+	data, source := c.Recv(src, tag)
+	b, ok := data.([]byte)
+	if !ok {
+		panic(fmt.Sprintf("comm: rank %d expected []byte from %d tag %d, got %T", c.rank, src, tag, data))
+	}
+	return b, source
+}

@@ -1,0 +1,153 @@
+package comm
+
+import "testing"
+
+// Split partitions ranks into independent communicators with their own
+// rank numbering, collectives and isolated message traffic.
+func TestSplitBasics(t *testing.T) {
+	const n = 8
+	Run(n, func(c *Comm) {
+		// Even/odd split, ordered by world rank.
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if sub == nil {
+			t.Errorf("rank %d: nil subcomm", c.Rank())
+			return
+		}
+		if sub.Size() != n/2 {
+			t.Errorf("subcomm size %d, want %d", sub.Size(), n/2)
+		}
+		if sub.Rank() != c.Rank()/2 {
+			t.Errorf("world %d: sub rank %d, want %d", c.Rank(), sub.Rank(), c.Rank()/2)
+		}
+		if sub.WorldRank() != c.Rank() {
+			t.Errorf("WorldRank = %d, want %d", sub.WorldRank(), c.Rank())
+		}
+		// Collectives within the subgroup.
+		sum := sub.AllreduceInt64(int64(c.Rank()), Sum[int64])
+		want := int64(0 + 2 + 4 + 6)
+		if c.Rank()%2 == 1 {
+			want = 1 + 3 + 5 + 7
+		}
+		if sum != want {
+			t.Errorf("world %d: subgroup sum %d, want %d", c.Rank(), sum, want)
+		}
+	})
+}
+
+// Messages in a subcommunicator must not interfere with world traffic,
+// even with identical tags and overlapping rank numbers.
+func TestSplitContextIsolation(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, 0)
+		// World: rank 0 -> rank 1, tag 7. Sub (even group): sub-rank 0
+		// (world 0) -> sub-rank 1 (world 2), same tag.
+		if c.Rank() == 0 {
+			c.Send(1, 7, "world")
+			sub.Send(1, 7, "sub-even")
+		}
+		if c.Rank() == 1 {
+			v, _ := c.Recv(0, 7)
+			if v.(string) != "world" {
+				t.Errorf("world message got %v", v)
+			}
+		}
+		if c.Rank() == 2 {
+			v, src := sub.Recv(0, 7)
+			if v.(string) != "sub-even" || src != 0 {
+				t.Errorf("sub message got %v from %d", v, src)
+			}
+		}
+		c.Barrier()
+	})
+}
+
+// Key ordering controls the new rank numbering; negative colors opt out.
+func TestSplitKeysAndOptOut(t *testing.T) {
+	const n = 6
+	Run(n, func(c *Comm) {
+		color := 0
+		if c.Rank() == 5 {
+			color = -1 // opt out
+		}
+		// Reverse ordering via descending keys.
+		sub := c.Split(color, -c.Rank())
+		if c.Rank() == 5 {
+			if sub != nil {
+				t.Error("opted-out rank received a communicator")
+			}
+			return
+		}
+		if sub.Size() != 5 {
+			t.Errorf("size %d, want 5", sub.Size())
+		}
+		// World rank 4 has the smallest key (-4) -> sub rank 0.
+		want := 4 - c.Rank()
+		if sub.Rank() != want {
+			t.Errorf("world %d: sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+	})
+}
+
+// Nested splits: a subgroup can be split again; contexts stay distinct.
+func TestNestedSplit(t *testing.T) {
+	const n = 8
+	Run(n, func(c *Comm) {
+		half := c.Split(c.Rank()/4, c.Rank()) // 0-3 and 4-7
+		quarter := half.Split(half.Rank()/2, half.Rank())
+		if quarter.Size() != 2 {
+			t.Errorf("quarter size %d, want 2", quarter.Size())
+		}
+		sum := quarter.AllreduceInt64(int64(c.Rank()), Sum[int64])
+		pair := c.Rank() / 2 * 2
+		if sum != int64(pair+pair+1) {
+			t.Errorf("world %d: pair sum %d, want %d", c.Rank(), sum, pair+pair+1)
+		}
+		// The parent communicator still works afterwards.
+		total := c.AllreduceInt64(1, Sum[int64])
+		if total != n {
+			t.Errorf("world collective after splits = %d", total)
+		}
+	})
+}
+
+// Repeated splits on the same handle produce distinct contexts: two
+// same-color splits do not cross-match.
+func TestRepeatedSplitDistinctContexts(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		a := c.Split(0, c.Rank())
+		b := c.Split(0, c.Rank())
+		if c.Rank() == 0 {
+			a.Send(1, 3, "A")
+			b.Send(1, 3, "B")
+		}
+		if c.Rank() == 1 {
+			// Receive from b first: must get "B", not "A".
+			vb, _ := b.Recv(0, 3)
+			va, _ := a.Recv(0, 3)
+			if vb.(string) != "B" || va.(string) != "A" {
+				t.Errorf("context mixing: a=%v b=%v", va, vb)
+			}
+		}
+		c.Barrier()
+	})
+}
+
+// Stats are shared across a rank's communicators.
+func TestSplitSharedStats(t *testing.T) {
+	Run(2, func(c *Comm) {
+		c.ResetStats()
+		sub := c.Split(0, c.Rank())
+		before := c.Stats().Sends
+		if sub.Rank() == 0 {
+			sub.Send(1, 1, []byte{1, 2, 3})
+		} else {
+			sub.Recv(0, 1)
+		}
+		if sub.Rank() == 0 && c.Stats().Sends != before+1 {
+			t.Errorf("subcomm send not visible in shared stats")
+		}
+		c.Barrier()
+	})
+}

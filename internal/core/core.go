@@ -1,0 +1,252 @@
+// Package core is the high-level façade of the framework: it wires the
+// setup pipeline, the distributed block forest, and the simulation driver
+// into a single Problem description that runs SPMD over the in-process
+// communicator — the API the examples and command line tools build on.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/boundary"
+	"walberla/internal/comm"
+	"walberla/internal/distance"
+	"walberla/internal/field"
+	"walberla/internal/lattice"
+	"walberla/internal/setup"
+	"walberla/internal/sim"
+)
+
+// Problem describes a complete simulation: either a dense box domain
+// (Grid x CellsPerBlock cells with walls or periodic boundaries) or a
+// complex geometry given as a signed distance field, to be voxelized with
+// boundary conditions from surface colors.
+type Problem struct {
+	// Geometry, if non-nil, selects the complex-geometry path: the block
+	// grid is derived from the geometry bounds and Dx, blocks outside the
+	// domain are discarded, and blocks are voxelized per rank.
+	Geometry distance.SDF
+	// Dx is the lattice spacing for geometry problems.
+	Dx float64
+
+	// Grid is the block grid for dense problems.
+	Grid [3]int
+	// CellsPerBlock is the per-block cell grid (both paths).
+	CellsPerBlock [3]int
+	// Periodic marks periodic axes of dense problems.
+	Periodic [3]bool
+
+	// Stencil, Kernel, Tau, Magic, Boundary, Force and InitialVelocity
+	// configure the solver as in sim.Config (nil Stencil means D3Q19).
+	Stencil         *lattice.Stencil
+	Kernel          sim.KernelChoice
+	Tau             float64
+	Magic           float64
+	Boundary        boundary.Config
+	Force           [3]float64
+	InitialVelocity [3]float64
+	// InitialState optionally initializes every cell individually (global
+	// cell coordinates), e.g. for analytic validation flows.
+	InitialState func(x, y, z int) (rho, ux, uy, uz float64)
+	// SetupFlags overrides the per-block flag setup of dense problems
+	// (e.g. marking a moving lid); geometry problems voxelize instead.
+	SetupFlags func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField)
+
+	// Ranks is the number of SPMD processes; zero means one.
+	Ranks int
+	// Seed drives randomized setup stages.
+	Seed int64
+	// UseGraphPartitioner selects METIS-style balancing; Morton curve
+	// otherwise.
+	UseGraphPartitioner bool
+	// MemoryLimitCells caps allocated cells per rank during balancing.
+	MemoryLimitCells float64
+}
+
+// buildForest constructs the balanced global forest on the calling
+// goroutine (rank 0 does this before broadcasting).
+func (p *Problem) buildForest() (*blockforest.SetupForest, error) {
+	ranks := p.Ranks
+	if ranks == 0 {
+		ranks = 1
+	}
+	if p.Geometry != nil {
+		if p.Dx <= 0 {
+			return nil, fmt.Errorf("core: geometry problems need Dx > 0")
+		}
+		f, _, err := setup.BuildForest(p.Geometry, setup.Options{
+			CellsPerBlock:       p.CellsPerBlock,
+			Dx:                  p.Dx,
+			Ranks:               ranks,
+			MemoryLimitCells:    p.MemoryLimitCells,
+			Seed:                p.Seed,
+			UseGraphPartitioner: p.UseGraphPartitioner,
+		})
+		return f, err
+	}
+	for d := 0; d < 3; d++ {
+		if p.Grid[d] <= 0 || p.CellsPerBlock[d] <= 0 {
+			return nil, fmt.Errorf("core: dense problems need positive Grid and CellsPerBlock")
+		}
+	}
+	domain := blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{
+		float64(p.Grid[0] * p.CellsPerBlock[0]),
+		float64(p.Grid[1] * p.CellsPerBlock[1]),
+		float64(p.Grid[2] * p.CellsPerBlock[2]),
+	})
+	f := blockforest.NewSetupForest(domain, p.Grid, p.CellsPerBlock, p.Periodic)
+	f.BalanceMorton(ranks)
+	return f, nil
+}
+
+func (p *Problem) simConfig() sim.Config {
+	cfg := sim.Config{
+		Stencil:         p.Stencil,
+		Kernel:          p.Kernel,
+		Tau:             p.Tau,
+		Magic:           p.Magic,
+		Boundary:        p.Boundary,
+		Force:           p.Force,
+		InitialVelocity: p.InitialVelocity,
+		InitialState:    p.InitialState,
+		SetupFlags:      p.SetupFlags,
+	}
+	if p.Geometry != nil && cfg.SetupFlags == nil {
+		cfg.SetupFlags = setup.FlagsFromSDF(p.Geometry)
+	}
+	return cfg
+}
+
+// Run executes the problem for the given number of time steps and returns
+// the globally reduced metrics.
+func (p *Problem) Run(steps int) (sim.Metrics, error) {
+	var m sim.Metrics
+	err := p.RunEach(steps, func(c *comm.Comm, s *sim.Simulation, metrics sim.Metrics) {
+		if c.Rank() == 0 {
+			m = metrics
+		}
+	})
+	return m, err
+}
+
+// RunEach executes the problem and invokes fn on every rank after the
+// time loop, giving access to the local simulation state (for probing
+// fields, writing output, or assertions in tests).
+func (p *Problem) RunEach(steps int, fn func(c *comm.Comm, s *sim.Simulation, m sim.Metrics)) error {
+	forest, err := p.buildForest()
+	if err != nil {
+		return err
+	}
+	ranks := p.Ranks
+	if ranks == 0 {
+		ranks = 1
+	}
+	var mu sync.Mutex
+	var firstErr error
+	comm.Run(ranks, func(c *comm.Comm) {
+		var in *blockforest.SetupForest
+		if c.Rank() == 0 {
+			in = forest
+		}
+		bf, err := blockforest.Distribute(c, in)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		s, err := sim.New(c, bf, p.simConfig())
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		m := s.Run(steps)
+		if fn != nil {
+			fn(c, s, m)
+		}
+	})
+	return firstErr
+}
+
+// LidDrivenCavity returns a ready-to-run lid-driven cavity problem: a
+// closed box of grid x cells lattice cells whose +z lid moves with the
+// given velocity — the scenario of the paper's dense weak scaling study.
+func LidDrivenCavity(grid, cells [3]int, lidVelocity float64, ranks int) *Problem {
+	return &Problem{
+		Grid:          grid,
+		CellsPerBlock: cells,
+		Tau:           0.65,
+		Boundary:      boundary.Config{WallVelocity: [3]float64{lidVelocity, 0, 0}},
+		Ranks:         ranks,
+		SetupFlags:    CavityFlags,
+	}
+}
+
+// CavityFlags marks all domain faces no-slip except the +z lid, which
+// moves (VelocityBounce).
+func CavityFlags(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+	flags.Fill(field.Fluid)
+	for f := lattice.FaceW; f < lattice.NumFaces; f++ {
+		nx, ny, nz := f.Normal()
+		if b.Neighbor([3]int{nx, ny, nz}) != nil {
+			continue
+		}
+		t := field.NoSlip
+		if f == lattice.FaceT {
+			t = field.VelocityBounce
+		}
+		sim.MarkGhostFace(flags, f, t)
+	}
+}
+
+// ChannelFlags returns a setup hook for channel flow along +x: velocity
+// inflow at -x, pressure outflow at +x, no-slip walls elsewhere, plus an
+// optional box obstacle given in global cell coordinates.
+func ChannelFlags(obstacleMin, obstacleMax [3]int) func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+	return func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+		flags.Fill(field.Fluid)
+		for f := lattice.FaceW; f < lattice.NumFaces; f++ {
+			nx, ny, nz := f.Normal()
+			if b.Neighbor([3]int{nx, ny, nz}) != nil {
+				continue
+			}
+			t := field.NoSlip
+			switch f {
+			case lattice.FaceW:
+				t = field.VelocityBounce
+			case lattice.FaceE:
+				t = field.PressureBounce
+			}
+			sim.MarkGhostFace(flags, f, t)
+		}
+		// Obstacle: mark cells of this block covered by the global box,
+		// including the ghost ring so neighboring blocks see the obstacle
+		// cells in their own flag fields (their boundary sweeps own the
+		// links into their fluid cells).
+		base := [3]int{
+			b.Coord[0] * b.Cells[0],
+			b.Coord[1] * b.Cells[1],
+			b.Coord[2] * b.Cells[2],
+		}
+		g := flags.Ghost
+		for z := -g; z < b.Cells[2]+g; z++ {
+			for y := -g; y < b.Cells[1]+g; y++ {
+				for x := -g; x < b.Cells[0]+g; x++ {
+					gx, gy, gz := base[0]+x, base[1]+y, base[2]+z
+					if gx >= obstacleMin[0] && gx < obstacleMax[0] &&
+						gy >= obstacleMin[1] && gy < obstacleMax[1] &&
+						gz >= obstacleMin[2] && gz < obstacleMax[2] {
+						flags.Set(x, y, z, field.NoSlip)
+					}
+				}
+			}
+		}
+	}
+}

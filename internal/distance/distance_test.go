@@ -1,0 +1,243 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/mesh"
+)
+
+func TestClosestPointTriangleRegions(t *testing.T) {
+	a := [3]float64{0, 0, 0}
+	b := [3]float64{2, 0, 0}
+	c := [3]float64{0, 2, 0}
+	cases := []struct {
+		p     [3]float64
+		wantQ [3]float64
+		wantF Feature
+	}{
+		{[3]float64{0.5, 0.5, 1}, [3]float64{0.5, 0.5, 0}, FeatureFace},
+		{[3]float64{-1, -1, 0}, a, FeatureVertex0},
+		{[3]float64{3, -1, 0}, b, FeatureVertex1},
+		{[3]float64{-1, 3, 0}, c, FeatureVertex2},
+		{[3]float64{1, -1, 0}, [3]float64{1, 0, 0}, FeatureEdge0},
+		{[3]float64{2, 2, 0}, [3]float64{1, 1, 0}, FeatureEdge1},
+		{[3]float64{-1, 1, 0}, [3]float64{0, 1, 0}, FeatureEdge2},
+	}
+	for i, tc := range cases {
+		q, f := ClosestPointTriangle(tc.p, a, b, c)
+		if f != tc.wantF {
+			t.Errorf("case %d: feature %v, want %v", i, f, tc.wantF)
+		}
+		if mesh.Norm(mesh.Sub(q, tc.wantQ)) > 1e-14 {
+			t.Errorf("case %d: closest %v, want %v", i, q, tc.wantQ)
+		}
+	}
+}
+
+// Property: the reported closest point is never farther than any sampled
+// point of the triangle.
+func TestClosestPointIsMinimal(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		var a, b, c, p [3]float64
+		for i := 0; i < 3; i++ {
+			a[i] = r.Float64()*4 - 2
+			b[i] = r.Float64()*4 - 2
+			c[i] = r.Float64()*4 - 2
+			p[i] = r.Float64()*8 - 4
+		}
+		d2, q, _ := PointTriangleDistSq(p, a, b, c)
+		// Sample barycentric points.
+		for s := 0; s < 30; s++ {
+			u := r.Float64()
+			v := r.Float64() * (1 - u)
+			w := 1 - u - v
+			pt := mesh.Add(mesh.Add(mesh.Scale(a, u), mesh.Scale(b, v)), mesh.Scale(c, w))
+			dd := mesh.Sub(p, pt)
+			if mesh.Dot(dd, dd) < d2-1e-12 {
+				t.Fatalf("found closer point %v than %v (d2=%v)", pt, q, d2)
+			}
+		}
+	}
+}
+
+func sphereMesh() *mesh.Mesh {
+	return mesh.NewSphere([3]float64{0, 0, 0}, 1.0, 3)
+}
+
+func TestSignedDistanceSphere(t *testing.T) {
+	f, err := NewField(sphereMesh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points along a ray: the signed distance of an icosphere approximates
+	// r - 1 (slightly inside the unit sphere due to faceting).
+	dirs := [][3]float64{
+		{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+		mesh.Normalize([3]float64{1, 1, 1}),
+		mesh.Normalize([3]float64{-1, 2, 0.5}),
+	}
+	for _, dir := range dirs {
+		for _, r := range []float64{0.2, 0.5, 0.9, 1.1, 1.5, 3.0} {
+			p := mesh.Scale(dir, r)
+			got := f.Signed(p)
+			want := r - 1.0
+			if math.Abs(got-want) > 0.02 {
+				t.Errorf("phi(%v) = %v, want ~%v", p, got, want)
+			}
+			if (got < 0) != (r < 0.997) { // faceted sphere slightly inside
+				t.Errorf("sign of phi at r=%v: %v", r, got)
+			}
+		}
+	}
+	// Center is inside at depth ~1.
+	if got := f.Signed([3]float64{0, 0, 0}); math.Abs(got+1) > 0.02 {
+		t.Errorf("phi(center) = %v, want ~-1", got)
+	}
+}
+
+func TestSignedDistanceBox(t *testing.T) {
+	box := blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{2, 2, 2})
+	f, err := NewField(mesh.NewBox(box))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    [3]float64
+		want float64
+	}{
+		{[3]float64{1, 1, 1}, -1},              // center
+		{[3]float64{0.5, 1, 1}, -0.5},          // near -x face
+		{[3]float64{3, 1, 1}, 1},               // outside +x face
+		{[3]float64{3, 3, 1}, math.Sqrt2},      // outside edge
+		{[3]float64{-1, -1, -1}, math.Sqrt(3)}, // outside corner
+		{[3]float64{1, 1, 1.75}, -0.25},
+	}
+	for i, tc := range cases {
+		got := f.Signed(tc.p)
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("case %d: phi(%v) = %v, want %v", i, tc.p, got, tc.want)
+		}
+	}
+}
+
+// The edge and corner exterior sign cases are exactly where naive face
+// normals fail and pseudonormals are required.
+func TestPseudonormalSignNearEdges(t *testing.T) {
+	box := blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1})
+	f, err := NewField(mesh.NewBox(box))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		// Random points in an enclosing box; classify analytically.
+		p := [3]float64{r.Float64()*3 - 1, r.Float64()*3 - 1, r.Float64()*3 - 1}
+		inside := p[0] > 0 && p[0] < 1 && p[1] > 0 && p[1] < 1 && p[2] > 0 && p[2] < 1
+		if got := f.Inside(p); got != inside {
+			t.Fatalf("Inside(%v) = %v, want %v (phi=%v)", p, got, inside, f.Signed(p))
+		}
+	}
+}
+
+func TestPseudonormalsTables(t *testing.T) {
+	m := mesh.NewBox(blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}))
+	pn, err := NewPseudonormals(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corner vertex (0,0,0) pseudonormal must point along -(1,1,1).
+	var idx int32 = -1
+	for i, v := range m.Vertices {
+		if v == [3]float64{0, 0, 0} {
+			idx = int32(i)
+		}
+	}
+	if idx < 0 {
+		t.Fatal("corner vertex not found")
+	}
+	n := pn.Vertex(idx)
+	want := mesh.Normalize([3]float64{-1, -1, -1})
+	if mesh.Norm(mesh.Sub(n, want)) > 1e-12 {
+		t.Errorf("corner pseudonormal %v, want %v", n, want)
+	}
+	// All face normals are unit.
+	for tr := range m.Triangles {
+		if math.Abs(mesh.Norm(pn.Face(tr))-1) > 1e-12 {
+			t.Errorf("face normal %d not unit", tr)
+		}
+	}
+}
+
+func TestNewFieldRejectsOpenMesh(t *testing.T) {
+	m := mesh.NewBox(blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}))
+	m.Triangles = m.Triangles[:11]
+	if _, err := NewField(m); err == nil {
+		t.Error("open mesh accepted")
+	}
+}
+
+// Octree queries must agree exactly with brute force.
+func TestOctreeMatchesBruteForce(t *testing.T) {
+	m := mesh.NewSphere([3]float64{0.3, -0.2, 0.1}, 0.8, 2)
+	tree := NewOctree(m)
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		p := [3]float64{r.Float64()*4 - 2, r.Float64()*4 - 2, r.Float64()*4 - 2}
+		_, _, got, _ := tree.Nearest(p)
+		best := math.Inf(1)
+		for tr := range m.Triangles {
+			a, b, c := m.TriangleVertices(tr)
+			d, _, _ := PointTriangleDistSq(p, a, b, c)
+			if d < best {
+				best = d
+			}
+		}
+		if math.Abs(got-best) > 1e-12 {
+			t.Fatalf("octree distance^2 %v, brute force %v at %v", got, best, p)
+		}
+	}
+}
+
+func TestOctreeStats(t *testing.T) {
+	m := mesh.NewSphere([3]float64{0, 0, 0}, 1, 3) // 1280 triangles
+	tree := NewOctree(m)
+	nodes, leaves := tree.Stats()
+	if nodes < 8 || leaves < 8 {
+		t.Errorf("octree did not subdivide: %d nodes, %d leaves", nodes, leaves)
+	}
+}
+
+func TestClosestTriangleColor(t *testing.T) {
+	m := mesh.NewTube([3]float64{0, 0, 0}, [3]float64{0, 0, 4}, 1, 24, mesh.ColorInflow, mesh.ColorOutflow)
+	f, err := NewField(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.ClosestTriangleColor([3]float64{0, 0, -0.5}); got != mesh.ColorInflow {
+		t.Errorf("inflow cap color = %v, want inflow", got)
+	}
+	if got := f.ClosestTriangleColor([3]float64{0, 0, 4.5}); got != mesh.ColorOutflow {
+		t.Errorf("outflow cap color = %v, want outflow", got)
+	}
+	if got := f.ClosestTriangleColor([3]float64{1.1, 0, 2}); got != mesh.ColorWall {
+		t.Errorf("side color = %v, want wall", got)
+	}
+}
+
+func BenchmarkOctreeNearest(b *testing.B) {
+	m := mesh.NewSphere([3]float64{0, 0, 0}, 1, 4)
+	tree := NewOctree(m)
+	r := rand.New(rand.NewSource(1))
+	pts := make([][3]float64, 1024)
+	for i := range pts {
+		pts[i] = [3]float64{r.Float64()*2 - 1, r.Float64()*2 - 1, r.Float64()*2 - 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Nearest(pts[i%len(pts)])
+	}
+}

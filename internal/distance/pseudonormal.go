@@ -1,0 +1,115 @@
+package distance
+
+import (
+	"fmt"
+	"math"
+
+	"walberla/internal/mesh"
+)
+
+// Pseudonormals precomputes, for a watertight mesh, the face normals and
+// the angle-weighted pseudonormals of all edges and vertices (Bærentzen
+// and Aanæs): the vertex pseudonormal is the sum of the incident face
+// normals weighted by the incident angle; the edge pseudonormal is the
+// (equal-weight) sum of the two adjacent face normals. The sign of the
+// dot product between (p - closestPoint) and the pseudonormal of the
+// closest feature is then a numerically reliable inside/outside test.
+type Pseudonormals struct {
+	m *mesh.Mesh
+
+	face   [][3]float64            // unit face normals
+	vertex [][3]float64            // angle-weighted vertex pseudonormals
+	edge   map[[2]int32][3]float64 // edge pseudonormals
+}
+
+// NewPseudonormals builds the pseudonormal tables. The mesh must be
+// watertight with consistent outward winding.
+func NewPseudonormals(m *mesh.Mesh) (*Pseudonormals, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.CheckWatertight(); err != nil {
+		return nil, err
+	}
+	pn := &Pseudonormals{
+		m:      m,
+		face:   make([][3]float64, m.TriangleCount()),
+		vertex: make([][3]float64, m.VertexCount()),
+		edge:   make(map[[2]int32][3]float64, 3*m.TriangleCount()/2),
+	}
+	for t := range m.Triangles {
+		pn.face[t] = m.UnitNormal(t)
+	}
+	// Vertex pseudonormals: incident-angle weighting.
+	for t, tri := range m.Triangles {
+		a, b, c := m.TriangleVertices(t)
+		pts := [3][3]float64{a, b, c}
+		for i := 0; i < 3; i++ {
+			p0 := pts[i]
+			p1 := pts[(i+1)%3]
+			p2 := pts[(i+2)%3]
+			e1 := mesh.Normalize(mesh.Sub(p1, p0))
+			e2 := mesh.Normalize(mesh.Sub(p2, p0))
+			angle := math.Acos(clamp(mesh.Dot(e1, e2), -1, 1))
+			pn.vertex[tri[i]] = mesh.Add(pn.vertex[tri[i]], mesh.Scale(pn.face[t], angle))
+		}
+	}
+	for i := range pn.vertex {
+		pn.vertex[i] = mesh.Normalize(pn.vertex[i])
+	}
+	// Edge pseudonormals: sum of the two adjacent face normals.
+	for e, ts := range m.EdgeTriangles() {
+		if len(ts) != 2 {
+			return nil, fmt.Errorf("distance: edge %v shared by %d triangles", e, len(ts))
+		}
+		pn.edge[e] = mesh.Normalize(mesh.Add(pn.face[ts[0]], pn.face[ts[1]]))
+	}
+	return pn, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Face returns the unit face normal of triangle t.
+func (pn *Pseudonormals) Face(t int) [3]float64 { return pn.face[t] }
+
+// Vertex returns the angle-weighted pseudonormal of vertex v.
+func (pn *Pseudonormals) Vertex(v int32) [3]float64 { return pn.vertex[v] }
+
+// Edge returns the pseudonormal of the edge between vertices a and b.
+func (pn *Pseudonormals) Edge(a, b int32) [3]float64 {
+	if a > b {
+		a, b = b, a
+	}
+	return pn.edge[[2]int32{a, b}]
+}
+
+// Normal returns the pseudonormal matching the closest feature of
+// triangle t.
+func (pn *Pseudonormals) Normal(t int, feat Feature) [3]float64 {
+	tri := pn.m.Triangles[t]
+	switch feat {
+	case FeatureFace:
+		return pn.face[t]
+	case FeatureEdge0:
+		return pn.Edge(tri[0], tri[1])
+	case FeatureEdge1:
+		return pn.Edge(tri[1], tri[2])
+	case FeatureEdge2:
+		return pn.Edge(tri[2], tri[0])
+	case FeatureVertex0:
+		return pn.vertex[tri[0]]
+	case FeatureVertex1:
+		return pn.vertex[tri[1]]
+	case FeatureVertex2:
+		return pn.vertex[tri[2]]
+	}
+	panic(fmt.Sprintf("distance: invalid feature %d", feat))
+}

@@ -1,0 +1,145 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/mesh"
+)
+
+func mustField(t *testing.T, m *mesh.Mesh) *Field {
+	t.Helper()
+	f, err := NewField(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestUnionOfTwoSpheres(t *testing.T) {
+	a := mustField(t, mesh.NewSphere([3]float64{-1, 0, 0}, 0.8, 2))
+	b := mustField(t, mesh.NewSphere([3]float64{1, 0, 0}, 0.8, 2))
+	u := NewUnion(a, b)
+
+	// Inside either component.
+	if !u.Inside([3]float64{-1, 0, 0}) || !u.Inside([3]float64{1, 0, 0}) {
+		t.Error("sphere centers not inside union")
+	}
+	// The overlap region (spheres of radius 0.8 at distance 2 just miss
+	// each other) — the midpoint is outside both.
+	if u.Inside([3]float64{0, 0, 0}) {
+		t.Error("gap point classified inside")
+	}
+	// Overlapping case.
+	c := mustField(t, mesh.NewSphere([3]float64{0.5, 0, 0}, 0.8, 2))
+	u2 := NewUnion(a, c)
+	if !u2.Inside([3]float64{-0.2, 0, 0}) {
+		t.Error("overlap region not inside")
+	}
+	// Union sign equals min over components everywhere.
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 300; i++ {
+		p := [3]float64{r.Float64()*4 - 2, r.Float64()*2 - 1, r.Float64()*2 - 1}
+		want := math.Min(a.Signed(p), c.Signed(p))
+		if got := u2.Signed(p); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("union phi(%v) = %v, want min %v", p, got, want)
+		}
+		if u2.Inside(p) != (want < 0) {
+			t.Fatalf("union Inside(%v) inconsistent with phi %v", p, want)
+		}
+	}
+}
+
+func TestUnionBounds(t *testing.T) {
+	a := mustField(t, mesh.NewSphere([3]float64{-2, 0, 0}, 0.5, 1))
+	b := mustField(t, mesh.NewSphere([3]float64{3, 1, -1}, 0.5, 1))
+	u := NewUnion(a, b)
+	bounds := u.Bounds()
+	// Probe points strictly inside each component's extent (the faceted
+	// icosphere does not reach the full radius on every axis).
+	for _, p := range [][3]float64{{-2.4, -0.4, -0.4}, {3.4, 1.4, -0.6}} {
+		if !bounds.Contains(p) {
+			t.Errorf("union bounds %+v miss %v", bounds, p)
+		}
+	}
+}
+
+func TestUnionColorFromClosestComponent(t *testing.T) {
+	// Two tubes with different cap colors; probes near each inlet pick the
+	// right component's color.
+	a := mustField(t, mesh.NewTube([3]float64{0, 0, 0}, [3]float64{0, 0, 1}, 0.2, 12, mesh.ColorInflow, mesh.ColorWall))
+	b := mustField(t, mesh.NewTube([3]float64{3, 0, 0}, [3]float64{3, 0, 1}, 0.2, 12, mesh.ColorWall, mesh.ColorOutflow))
+	u := NewUnion(a, b)
+	if got := u.ClosestTriangleColor([3]float64{0, 0, -0.05}); got != mesh.ColorInflow {
+		t.Errorf("near tube A inlet: %v", got)
+	}
+	if got := u.ClosestTriangleColor([3]float64{3, 0, 1.05}); got != mesh.ColorOutflow {
+		t.Errorf("near tube B outlet: %v", got)
+	}
+}
+
+func TestUnionPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty union accepted")
+		}
+	}()
+	NewUnion()
+}
+
+func TestFieldNearestAndDistance(t *testing.T) {
+	f := mustField(t, mesh.NewSphere([3]float64{0, 0, 0}, 1, 2))
+	tri, closest := f.Nearest([3]float64{2, 0, 0})
+	if tri < 0 {
+		t.Fatal("no nearest triangle")
+	}
+	if r := mesh.Norm(closest); math.Abs(r-1) > 0.02 {
+		t.Errorf("closest point radius %v, want ~1", r)
+	}
+	if d := f.Distance([3]float64{2, 0, 0}); math.Abs(d-1) > 0.02 {
+		t.Errorf("distance %v, want ~1", d)
+	}
+}
+
+// Every pseudonormal feature branch of Normal is exercised by probing a
+// box from positions whose closest features are known.
+func TestPseudonormalFeatureBranches(t *testing.T) {
+	m := mesh.NewBox(blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}))
+	f := mustField(t, m)
+	probes := [][3]float64{
+		{0.5, 0.5, 2},    // face
+		{2, 2, 0.5},      // edge
+		{2, 2, 2},        // vertex
+		{-1, 0.5, 0.5},   // face
+		{-1, -1, 0.5},    // edge
+		{-1, -1, -1},     // vertex
+		{0.5, 2, 0.5},    // face
+		{0.5, -0.5, 1.5}, // edge region
+	}
+	for _, p := range probes {
+		tri, q, _, feat := f.Tree().Nearest(p)
+		n := f.pn.Normal(tri, feat)
+		if math.Abs(mesh.Norm(n)-1) > 1e-12 {
+			t.Errorf("pseudonormal at %v (feature %v) not unit: %v", p, feat, n)
+		}
+		// Outside probes: the vector to the probe has positive dot product
+		// with the pseudonormal.
+		if mesh.Dot(mesh.Sub(p, q), n) <= 0 {
+			t.Errorf("probe %v misclassified by feature %v", p, feat)
+		}
+	}
+}
+
+func TestEdgePseudonormalLookupOrderIndependent(t *testing.T) {
+	m := mesh.NewBox(blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}))
+	pn, err := NewPseudonormals(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := m.Triangles[0]
+	if pn.Edge(tri[0], tri[1]) != pn.Edge(tri[1], tri[0]) {
+		t.Error("edge pseudonormal depends on vertex order")
+	}
+}

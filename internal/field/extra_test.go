@@ -1,0 +1,90 @@
+package field
+
+import (
+	"testing"
+
+	"walberla/internal/lattice"
+)
+
+func TestLayoutStrings(t *testing.T) {
+	if AoS.String() != "AoS" || SoA.String() != "SoA" {
+		t.Error("layout names wrong")
+	}
+	if Layout(9).String() != "Layout(9)" {
+		t.Errorf("invalid layout string %q", Layout(9).String())
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	s := lattice.D3Q19()
+	mustPanic("zero extent PDF", func() { NewPDFField(s, 0, 4, 4, 1, AoS) })
+	mustPanic("negative ghost", func() { NewPDFField(s, 4, 4, 4, -1, AoS) })
+	mustPanic("zero extent flags", func() { NewFlagField(4, 0, 4, 1) })
+	mustPanic("zero extent scalar", func() { NewScalarField(4, 4, 0) })
+	mustPanic("zero extent vector", func() { NewVectorField(0, 1, 1) })
+}
+
+func TestStrides(t *testing.T) {
+	s := lattice.D3Q19()
+	f := NewPDFField(s, 4, 5, 6, 1, SoA)
+	sx, sy, sz := f.Strides()
+	if sx != 1 || sy != 6 || sz != 6*7 {
+		t.Errorf("PDF strides (%d,%d,%d)", sx, sy, sz)
+	}
+	// Stride consistency with CellIndex.
+	if f.CellIndex(1, 0, 0)-f.CellIndex(0, 0, 0) != sx ||
+		f.CellIndex(0, 1, 0)-f.CellIndex(0, 0, 0) != sy ||
+		f.CellIndex(0, 0, 1)-f.CellIndex(0, 0, 0) != sz {
+		t.Error("strides inconsistent with CellIndex")
+	}
+	fl := NewFlagField(4, 5, 6, 1)
+	fx, fy, fz := fl.Strides()
+	if fx != 1 || fy != 6 || fz != 42 {
+		t.Errorf("flag strides (%d,%d,%d)", fx, fy, fz)
+	}
+	if len(fl.Data()) != 6*7*8 {
+		t.Errorf("flag data length %d", len(fl.Data()))
+	}
+}
+
+func TestFlagFill(t *testing.T) {
+	f := NewFlagField(3, 3, 3, 1)
+	f.Fill(NoSlip)
+	for _, v := range f.Data() {
+		if v != NoSlip {
+			t.Fatal("Fill missed a cell")
+		}
+	}
+}
+
+func TestScalarFieldData(t *testing.T) {
+	f := NewScalarField(2, 3, 4)
+	if len(f.Data()) != 24 {
+		t.Errorf("data length %d", len(f.Data()))
+	}
+	f.Data()[f.Index(1, 2, 3)] = 5
+	if f.Get(1, 2, 3) != 5 {
+		t.Error("Data not aliased with Get")
+	}
+}
+
+func TestGhostZeroField(t *testing.T) {
+	// A ghost-free field is legal for pure post-processing containers.
+	s := lattice.D2Q9()
+	f := NewPDFField(s, 3, 3, 1, 0, AoS)
+	if f.AllocatedCells() != 9 {
+		t.Errorf("allocated %d, want 9", f.AllocatedCells())
+	}
+	f.Set(2, 2, 0, lattice.Direction(4), 1.5)
+	if f.Get(2, 2, 0, lattice.Direction(4)) != 1.5 {
+		t.Error("round trip failed")
+	}
+}

@@ -1,0 +1,201 @@
+// Package field provides the cell data containers used by the LBM kernels:
+// particle distribution function (PDF) fields with ghost layers in either
+// array-of-structures or structure-of-arrays memory layout, plus flag and
+// scalar fields sharing the same indexing scheme.
+//
+// The layout choice is the node-level optimization lever of the paper: the
+// SoA layout stores all PDFs of one direction contiguously, enabling the
+// vectorized by-direction kernels, while AoS stores all PDFs of one cell
+// together, the natural layout for the generic kernel.
+package field
+
+import (
+	"fmt"
+
+	"walberla/internal/lattice"
+)
+
+// Layout selects the memory layout of a PDF field.
+type Layout int
+
+const (
+	// AoS (array of structures) stores the Q PDFs of each cell
+	// consecutively.
+	AoS Layout = iota
+	// SoA (structure of arrays) stores the PDFs of each direction in a
+	// separate contiguous array, the layout required for SIMD-style
+	// by-direction updates.
+	SoA
+)
+
+func (l Layout) String() string {
+	switch l {
+	case AoS:
+		return "AoS"
+	case SoA:
+		return "SoA"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
+
+// PDFField holds the particle distribution functions of one block: an
+// Nx x Ny x Nz interior grid surrounded by a ghost layer of the given
+// width. Cell (0,0,0) is the first interior cell; ghost cells have
+// coordinates down to -Ghost and up to N+Ghost-1.
+type PDFField struct {
+	Stencil *lattice.Stencil
+	Nx      int // interior cells in x
+	Ny      int // interior cells in y
+	Nz      int // interior cells in z
+	Ghost   int // ghost layer width
+	Layout  Layout
+
+	ax, ay, az int // allocated extents including ghosts
+	cells      int // ax*ay*az
+	data       []float64
+}
+
+// NewPDFField allocates a PDF field of nx x ny x nz interior cells with the
+// given ghost layer width and layout. All PDFs start at zero.
+func NewPDFField(s *lattice.Stencil, nx, ny, nz, ghost int, layout Layout) *PDFField {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("field: invalid extents %dx%dx%d", nx, ny, nz))
+	}
+	if ghost < 0 {
+		panic("field: negative ghost layer width")
+	}
+	ax, ay, az := nx+2*ghost, ny+2*ghost, nz+2*ghost
+	cells := ax * ay * az
+	return &PDFField{
+		Stencil: s,
+		Nx:      nx, Ny: ny, Nz: nz,
+		Ghost:  ghost,
+		Layout: layout,
+		ax:     ax, ay: ay, az: az,
+		cells: cells,
+		data:  make([]float64, cells*s.Q),
+	}
+}
+
+// CellIndex converts interior-relative coordinates (ghost cells allowed,
+// from -Ghost to N+Ghost-1) into the linear cell index used by Data.
+func (f *PDFField) CellIndex(x, y, z int) int {
+	return ((z+f.Ghost)*f.ay+(y+f.Ghost))*f.ax + (x + f.Ghost)
+}
+
+// Index returns the position of PDF (x,y,z,dir) within Data.
+func (f *PDFField) Index(x, y, z int, dir lattice.Direction) int {
+	ci := f.CellIndex(x, y, z)
+	if f.Layout == AoS {
+		return ci*f.Stencil.Q + int(dir)
+	}
+	return int(dir)*f.cells + ci
+}
+
+// Get returns the PDF value at (x,y,z) for direction dir.
+func (f *PDFField) Get(x, y, z int, dir lattice.Direction) float64 {
+	return f.data[f.Index(x, y, z, dir)]
+}
+
+// Set stores the PDF value at (x,y,z) for direction dir.
+func (f *PDFField) Set(x, y, z int, dir lattice.Direction, v float64) {
+	f.data[f.Index(x, y, z, dir)] = v
+}
+
+// Data exposes the raw storage for compute kernels. Layout-dependent; use
+// Index or the stride accessors to address it.
+func (f *PDFField) Data() []float64 { return f.data }
+
+// DirSlice returns the contiguous per-direction array of a SoA field. It
+// panics for AoS fields, where directions are interleaved.
+func (f *PDFField) DirSlice(dir lattice.Direction) []float64 {
+	if f.Layout != SoA {
+		panic("field: DirSlice requires SoA layout")
+	}
+	off := int(dir) * f.cells
+	return f.data[off : off+f.cells : off+f.cells]
+}
+
+// Strides returns the linear-index increments for a step in x, y and z,
+// in units of cells (multiply by Q for AoS PDF offsets).
+func (f *PDFField) Strides() (sx, sy, sz int) { return 1, f.ax, f.ax * f.ay }
+
+// AllocatedCells returns the total cell count including ghost layers.
+func (f *PDFField) AllocatedCells() int { return f.cells }
+
+// InteriorCells returns Nx*Ny*Nz.
+func (f *PDFField) InteriorCells() int { return f.Nx * f.Ny * f.Nz }
+
+// FillEquilibrium sets every cell, including ghosts, to the equilibrium
+// distribution for the given density and velocity.
+func (f *PDFField) FillEquilibrium(rho, ux, uy, uz float64) {
+	feq := make([]float64, f.Stencil.Q)
+	f.Stencil.Equilibrium(feq, rho, ux, uy, uz)
+	for z := -f.Ghost; z < f.Nz+f.Ghost; z++ {
+		for y := -f.Ghost; y < f.Ny+f.Ghost; y++ {
+			for x := -f.Ghost; x < f.Nx+f.Ghost; x++ {
+				for a := 0; a < f.Stencil.Q; a++ {
+					f.Set(x, y, z, lattice.Direction(a), feq[a])
+				}
+			}
+		}
+	}
+}
+
+// CopyShape allocates a new zeroed field with identical shape, ghost width,
+// stencil and layout — the destination field of a stream-pull update.
+func (f *PDFField) CopyShape() *PDFField {
+	return NewPDFField(f.Stencil, f.Nx, f.Ny, f.Nz, f.Ghost, f.Layout)
+}
+
+// ConvertLayout returns a copy of the field in the requested layout.
+func (f *PDFField) ConvertLayout(layout Layout) *PDFField {
+	out := NewPDFField(f.Stencil, f.Nx, f.Ny, f.Nz, f.Ghost, layout)
+	for z := -f.Ghost; z < f.Nz+f.Ghost; z++ {
+		for y := -f.Ghost; y < f.Ny+f.Ghost; y++ {
+			for x := -f.Ghost; x < f.Nx+f.Ghost; x++ {
+				for a := 0; a < f.Stencil.Q; a++ {
+					out.Set(x, y, z, lattice.Direction(a), f.Get(x, y, z, lattice.Direction(a)))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Swap exchanges the storage of two fields with identical shapes. It is the
+// cheap src/dst exchange at the end of a stream-pull time step.
+func Swap(a, b *PDFField) {
+	if a.Nx != b.Nx || a.Ny != b.Ny || a.Nz != b.Nz || a.Ghost != b.Ghost ||
+		a.Layout != b.Layout || a.Stencil != b.Stencil {
+		panic("field: Swap requires identically shaped fields")
+	}
+	a.data, b.data = b.data, a.data
+}
+
+// Moments computes density and velocity of the interior cell (x,y,z).
+func (f *PDFField) Moments(x, y, z int) (rho, ux, uy, uz float64) {
+	q := f.Stencil.Q
+	tmp := make([]float64, q)
+	for a := 0; a < q; a++ {
+		tmp[a] = f.Get(x, y, z, lattice.Direction(a))
+	}
+	return f.Stencil.Moments(tmp)
+}
+
+// TotalMass sums the density over all interior cells; with periodic or
+// bounce-back boundaries a correct LBM step conserves it exactly (up to
+// floating point rounding).
+func (f *PDFField) TotalMass() float64 {
+	var m float64
+	for z := 0; z < f.Nz; z++ {
+		for y := 0; y < f.Ny; y++ {
+			for x := 0; x < f.Nx; x++ {
+				for a := 0; a < f.Stencil.Q; a++ {
+					m += f.Get(x, y, z, lattice.Direction(a))
+				}
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,318 @@
+package field
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"walberla/internal/lattice"
+)
+
+func TestNewPDFFieldShape(t *testing.T) {
+	s := lattice.D3Q19()
+	f := NewPDFField(s, 4, 5, 6, 1, AoS)
+	if f.InteriorCells() != 4*5*6 {
+		t.Errorf("InteriorCells = %d, want %d", f.InteriorCells(), 4*5*6)
+	}
+	if f.AllocatedCells() != 6*7*8 {
+		t.Errorf("AllocatedCells = %d, want %d", f.AllocatedCells(), 6*7*8)
+	}
+	if len(f.Data()) != 6*7*8*19 {
+		t.Errorf("len(Data) = %d, want %d", len(f.Data()), 6*7*8*19)
+	}
+}
+
+func TestPDFFieldGetSetRoundTrip(t *testing.T) {
+	s := lattice.D3Q19()
+	for _, layout := range []Layout{AoS, SoA} {
+		f := NewPDFField(s, 3, 4, 5, 1, layout)
+		// Write a unique value into every slot including ghosts, read back.
+		v := 0.0
+		for z := -1; z < f.Nz+1; z++ {
+			for y := -1; y < f.Ny+1; y++ {
+				for x := -1; x < f.Nx+1; x++ {
+					for a := 0; a < s.Q; a++ {
+						f.Set(x, y, z, lattice.Direction(a), v)
+						v++
+					}
+				}
+			}
+		}
+		v = 0.0
+		for z := -1; z < f.Nz+1; z++ {
+			for y := -1; y < f.Ny+1; y++ {
+				for x := -1; x < f.Nx+1; x++ {
+					for a := 0; a < s.Q; a++ {
+						if got := f.Get(x, y, z, lattice.Direction(a)); got != v {
+							t.Fatalf("%v: Get(%d,%d,%d,%d) = %v, want %v", layout, x, y, z, a, got, v)
+						}
+						v++
+					}
+				}
+			}
+		}
+	}
+}
+
+// All Index values must be distinct and within bounds — the indexing maps
+// cells and directions bijectively onto the storage.
+func TestIndexBijective(t *testing.T) {
+	s := lattice.D2Q9()
+	for _, layout := range []Layout{AoS, SoA} {
+		f := NewPDFField(s, 3, 3, 2, 1, layout)
+		seen := make(map[int]bool)
+		for z := -1; z < f.Nz+1; z++ {
+			for y := -1; y < f.Ny+1; y++ {
+				for x := -1; x < f.Nx+1; x++ {
+					for a := 0; a < s.Q; a++ {
+						i := f.Index(x, y, z, lattice.Direction(a))
+						if i < 0 || i >= len(f.Data()) {
+							t.Fatalf("%v: index %d out of bounds", layout, i)
+						}
+						if seen[i] {
+							t.Fatalf("%v: duplicate index %d", layout, i)
+						}
+						seen[i] = true
+					}
+				}
+			}
+		}
+		if len(seen) != len(f.Data()) {
+			t.Errorf("%v: covered %d of %d slots", layout, len(seen), len(f.Data()))
+		}
+	}
+}
+
+func TestSoADirSliceContiguity(t *testing.T) {
+	s := lattice.D3Q19()
+	f := NewPDFField(s, 4, 4, 4, 1, SoA)
+	for a := 0; a < s.Q; a++ {
+		sl := f.DirSlice(lattice.Direction(a))
+		if len(sl) != f.AllocatedCells() {
+			t.Fatalf("DirSlice(%d) length %d, want %d", a, len(sl), f.AllocatedCells())
+		}
+	}
+	// Writing through the direction slice must be visible through Get.
+	sl := f.DirSlice(lattice.E)
+	sl[f.CellIndex(1, 2, 3)] = 42.0
+	if got := f.Get(1, 2, 3, lattice.E); got != 42.0 {
+		t.Errorf("Get after DirSlice write = %v, want 42", got)
+	}
+}
+
+func TestDirSlicePanicsOnAoS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DirSlice on AoS field did not panic")
+		}
+	}()
+	NewPDFField(lattice.D3Q19(), 2, 2, 2, 1, AoS).DirSlice(0)
+}
+
+func TestConvertLayoutPreservesValues(t *testing.T) {
+	s := lattice.D3Q19()
+	f := NewPDFField(s, 3, 4, 2, 1, AoS)
+	v := 1.0
+	for z := -1; z < f.Nz+1; z++ {
+		for y := -1; y < f.Ny+1; y++ {
+			for x := -1; x < f.Nx+1; x++ {
+				for a := 0; a < s.Q; a++ {
+					f.Set(x, y, z, lattice.Direction(a), v)
+					v *= 1.0000001
+				}
+			}
+		}
+	}
+	g := f.ConvertLayout(SoA)
+	h := g.ConvertLayout(AoS)
+	for z := -1; z < f.Nz+1; z++ {
+		for y := -1; y < f.Ny+1; y++ {
+			for x := -1; x < f.Nx+1; x++ {
+				for a := 0; a < s.Q; a++ {
+					d := lattice.Direction(a)
+					if f.Get(x, y, z, d) != g.Get(x, y, z, d) || f.Get(x, y, z, d) != h.Get(x, y, z, d) {
+						t.Fatalf("layout round trip altered value at (%d,%d,%d,%d)", x, y, z, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFillEquilibriumAndMoments(t *testing.T) {
+	s := lattice.D3Q19()
+	f := NewPDFField(s, 4, 4, 4, 1, SoA)
+	f.FillEquilibrium(1.2, 0.02, -0.01, 0.05)
+	rho, ux, uy, uz := f.Moments(2, 2, 2)
+	if math.Abs(rho-1.2) > 1e-13 || math.Abs(ux-0.02) > 1e-13 ||
+		math.Abs(uy+0.01) > 1e-13 || math.Abs(uz-0.05) > 1e-13 {
+		t.Errorf("moments (%v, %v, %v, %v), want (1.2, 0.02, -0.01, 0.05)", rho, ux, uy, uz)
+	}
+}
+
+func TestTotalMass(t *testing.T) {
+	s := lattice.D3Q19()
+	f := NewPDFField(s, 3, 3, 3, 1, AoS)
+	f.FillEquilibrium(1.0, 0, 0, 0)
+	want := float64(f.InteriorCells())
+	if got := f.TotalMass(); math.Abs(got-want) > 1e-10 {
+		t.Errorf("TotalMass = %v, want %v", got, want)
+	}
+}
+
+func TestSwap(t *testing.T) {
+	s := lattice.D3Q19()
+	a := NewPDFField(s, 2, 2, 2, 1, SoA)
+	b := NewPDFField(s, 2, 2, 2, 1, SoA)
+	a.Set(0, 0, 0, lattice.C, 7)
+	b.Set(0, 0, 0, lattice.C, 9)
+	Swap(a, b)
+	if a.Get(0, 0, 0, lattice.C) != 9 || b.Get(0, 0, 0, lattice.C) != 7 {
+		t.Error("Swap did not exchange storage")
+	}
+}
+
+func TestSwapPanicsOnShapeMismatch(t *testing.T) {
+	s := lattice.D3Q19()
+	a := NewPDFField(s, 2, 2, 2, 1, SoA)
+	b := NewPDFField(s, 2, 2, 3, 1, SoA)
+	defer func() {
+		if recover() == nil {
+			t.Error("Swap with mismatched shapes did not panic")
+		}
+	}()
+	Swap(a, b)
+}
+
+func TestCopyShape(t *testing.T) {
+	s := lattice.D3Q19()
+	f := NewPDFField(s, 5, 3, 2, 1, SoA)
+	g := f.CopyShape()
+	if g.Nx != 5 || g.Ny != 3 || g.Nz != 2 || g.Ghost != 1 || g.Layout != SoA {
+		t.Error("CopyShape changed the shape")
+	}
+	for _, v := range g.Data() {
+		if v != 0 {
+			t.Fatal("CopyShape result not zeroed")
+		}
+	}
+}
+
+func TestFlagFieldBasics(t *testing.T) {
+	f := NewFlagField(4, 4, 4, 1)
+	if f.Get(0, 0, 0) != Outside {
+		t.Error("new flag field must start Outside")
+	}
+	f.FillInterior(Fluid)
+	if f.Count(Fluid) != 64 {
+		t.Errorf("Count(Fluid) = %d, want 64", f.Count(Fluid))
+	}
+	if f.Get(-1, 0, 0) != Outside {
+		t.Error("FillInterior must not touch ghost cells")
+	}
+	f.Set(1, 1, 1, NoSlip)
+	if f.Count(Fluid) != 63 || f.Count(NoSlip) != 1 {
+		t.Error("Set/Count mismatch")
+	}
+	if got := f.FluidFraction(); math.Abs(got-63.0/64.0) > 1e-15 {
+		t.Errorf("FluidFraction = %v, want %v", got, 63.0/64.0)
+	}
+}
+
+func TestCellTypeClassification(t *testing.T) {
+	if Outside.IsBoundary() || Fluid.IsBoundary() {
+		t.Error("Outside/Fluid must not be boundary types")
+	}
+	for _, c := range []CellType{NoSlip, VelocityBounce, PressureBounce} {
+		if !c.IsBoundary() {
+			t.Errorf("%v must be a boundary type", c)
+		}
+	}
+}
+
+func TestCellTypeStrings(t *testing.T) {
+	names := map[CellType]string{
+		Outside: "Outside", Fluid: "Fluid", NoSlip: "NoSlip",
+		VelocityBounce: "VelocityBounce", PressureBounce: "PressureBounce",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("String(%d) = %q, want %q", uint8(c), c.String(), want)
+		}
+	}
+}
+
+func TestScalarFieldRoundTrip(t *testing.T) {
+	f := NewScalarField(3, 4, 5)
+	v := 0.0
+	for z := 0; z < 5; z++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 3; x++ {
+				f.Set(x, y, z, v)
+				v++
+			}
+		}
+	}
+	v = 0.0
+	for z := 0; z < 5; z++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 3; x++ {
+				if f.Get(x, y, z) != v {
+					t.Fatalf("Get(%d,%d,%d) = %v, want %v", x, y, z, f.Get(x, y, z), v)
+				}
+				v++
+			}
+		}
+	}
+}
+
+func TestVectorFieldRoundTrip(t *testing.T) {
+	f := NewVectorField(3, 3, 3)
+	f.Set(1, 2, 0, 1.5, -2.5, 3.5)
+	vx, vy, vz := f.Get(1, 2, 0)
+	if vx != 1.5 || vy != -2.5 || vz != 3.5 {
+		t.Errorf("Get = (%v,%v,%v), want (1.5,-2.5,3.5)", vx, vy, vz)
+	}
+	// Unset cells stay zero.
+	vx, vy, vz = f.Get(0, 0, 0)
+	if vx != 0 || vy != 0 || vz != 0 {
+		t.Error("unset cell not zero")
+	}
+}
+
+// Property: for arbitrary (small) shapes, indices of distinct coordinates
+// never collide in either layout.
+func TestIndexUniqueProperty(t *testing.T) {
+	s := lattice.D2Q9()
+	f := func(nx, ny, nz uint8) bool {
+		x := int(nx%4) + 1
+		y := int(ny%4) + 1
+		z := int(nz%4) + 1
+		for _, layout := range []Layout{AoS, SoA} {
+			fld := NewPDFField(s, x, y, z, 1, layout)
+			seen := map[int]bool{}
+			total := 0
+			for zz := -1; zz < z+1; zz++ {
+				for yy := -1; yy < y+1; yy++ {
+					for xx := -1; xx < x+1; xx++ {
+						for a := 0; a < s.Q; a++ {
+							i := fld.Index(xx, yy, zz, lattice.Direction(a))
+							if seen[i] {
+								return false
+							}
+							seen[i] = true
+							total++
+						}
+					}
+				}
+			}
+			if total != len(fld.Data()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

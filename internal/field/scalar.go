@@ -1,0 +1,63 @@
+package field
+
+import "fmt"
+
+// ScalarField is a simple Nx x Ny x Nz grid of float64 values without ghost
+// layers, used for output quantities such as density or velocity magnitude.
+type ScalarField struct {
+	Nx, Ny, Nz int
+	data       []float64
+}
+
+// NewScalarField allocates a zeroed scalar field.
+func NewScalarField(nx, ny, nz int) *ScalarField {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("field: invalid extents %dx%dx%d", nx, ny, nz))
+	}
+	return &ScalarField{Nx: nx, Ny: ny, Nz: nz, data: make([]float64, nx*ny*nz)}
+}
+
+// Index converts coordinates to a linear index.
+func (f *ScalarField) Index(x, y, z int) int { return (z*f.Ny+y)*f.Nx + x }
+
+// Get returns the value at (x,y,z).
+func (f *ScalarField) Get(x, y, z int) float64 { return f.data[f.Index(x, y, z)] }
+
+// Set stores the value at (x,y,z).
+func (f *ScalarField) Set(x, y, z int, v float64) { f.data[f.Index(x, y, z)] = v }
+
+// Data exposes the raw storage in z-major order.
+func (f *ScalarField) Data() []float64 { return f.data }
+
+// VectorField stores a 3-component vector per cell, component-major (SoA).
+type VectorField struct {
+	Nx, Ny, Nz int
+	data       []float64 // 3 * Nx*Ny*Nz, component-major
+}
+
+// NewVectorField allocates a zeroed vector field.
+func NewVectorField(nx, ny, nz int) *VectorField {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("field: invalid extents %dx%dx%d", nx, ny, nz))
+	}
+	return &VectorField{Nx: nx, Ny: ny, Nz: nz, data: make([]float64, 3*nx*ny*nz)}
+}
+
+func (f *VectorField) cells() int { return f.Nx * f.Ny * f.Nz }
+
+// Index converts coordinates to the cell index (add c*cells for component c).
+func (f *VectorField) Index(x, y, z int) int { return (z*f.Ny+y)*f.Nx + x }
+
+// Get returns the vector at (x,y,z).
+func (f *VectorField) Get(x, y, z int) (vx, vy, vz float64) {
+	i := f.Index(x, y, z)
+	n := f.cells()
+	return f.data[i], f.data[n+i], f.data[2*n+i]
+}
+
+// Set stores the vector at (x,y,z).
+func (f *VectorField) Set(x, y, z int, vx, vy, vz float64) {
+	i := f.Index(x, y, z)
+	n := f.cells()
+	f.data[i], f.data[n+i], f.data[2*n+i] = vx, vy, vz
+}

@@ -1,0 +1,228 @@
+package kernels
+
+import (
+	"walberla/internal/collide"
+	"walberla/internal/field"
+	"walberla/internal/lattice"
+)
+
+// pullOffsets returns, for each D3Q19 direction, the linear cell-index
+// offset of the upstream neighbor a stream-pull update reads from.
+func pullOffsets(f *field.PDFField) [lattice.Q19]int {
+	s := f.Stencil
+	sx, sy, sz := f.Strides()
+	var offs [lattice.Q19]int
+	for a := 0; a < lattice.Q19; a++ {
+		offs[a] = s.Cx[a]*sx + s.Cy[a]*sy + s.Cz[a]*sz
+	}
+	return offs
+}
+
+// D3Q19SRT is the SRT kernel specialized for the D3Q19 model: streaming and
+// collision are fused, the direction loop is fully unrolled against the
+// fixed ordering, and common subexpressions of the equilibrium (the
+// symmetric/antisymmetric parts shared by direction pairs) are computed
+// once. This is the paper's "SRT D3Q19" optimization stage.
+type D3Q19SRT struct {
+	p srtParams
+}
+
+// NewD3Q19SRT constructs the specialized SRT kernel.
+func NewD3Q19SRT(op collide.SRT) *D3Q19SRT {
+	return &D3Q19SRT{p: srtParams{omega: op.Omega()}}
+}
+
+// Name implements Kernel.
+func (k *D3Q19SRT) Name() string { return "SRT D3Q19" }
+
+// Layout implements Kernel.
+func (k *D3Q19SRT) Layout() field.Layout { return field.AoS }
+
+// Sweep implements Kernel.
+func (k *D3Q19SRT) Sweep(src, dst *field.PDFField, flags *field.FlagField) {
+	checkShapes(src, dst, field.AoS)
+	if src.Stencil.Q != lattice.Q19 {
+		panic("kernels: D3Q19 kernel requires the D3Q19 stencil")
+	}
+	offs := pullOffsets(src)
+	in := src.Data()
+	out := dst.Data()
+	omega := k.p.omega
+	om1 := 1.0 - omega
+	const q = lattice.Q19
+	for z := 0; z < src.Nz; z++ {
+		for y := 0; y < src.Ny; y++ {
+			ci := src.CellIndex(0, y, z)
+			for x := 0; x < src.Nx; x++ {
+				if !isFluid(flags, x, y, z) {
+					ci++
+					continue
+				}
+				// Pull all 19 PDFs from their upstream neighbors.
+				fC := in[(ci-offs[lattice.C])*q+int(lattice.C)]
+				fN := in[(ci-offs[lattice.N])*q+int(lattice.N)]
+				fS := in[(ci-offs[lattice.S])*q+int(lattice.S)]
+				fW := in[(ci-offs[lattice.W])*q+int(lattice.W)]
+				fE := in[(ci-offs[lattice.E])*q+int(lattice.E)]
+				fT := in[(ci-offs[lattice.T])*q+int(lattice.T)]
+				fB := in[(ci-offs[lattice.B])*q+int(lattice.B)]
+				fNE := in[(ci-offs[lattice.NE])*q+int(lattice.NE)]
+				fNW := in[(ci-offs[lattice.NW])*q+int(lattice.NW)]
+				fSE := in[(ci-offs[lattice.SE])*q+int(lattice.SE)]
+				fSW := in[(ci-offs[lattice.SW])*q+int(lattice.SW)]
+				fTN := in[(ci-offs[lattice.TN])*q+int(lattice.TN)]
+				fTS := in[(ci-offs[lattice.TS])*q+int(lattice.TS)]
+				fTE := in[(ci-offs[lattice.TE])*q+int(lattice.TE)]
+				fTW := in[(ci-offs[lattice.TW])*q+int(lattice.TW)]
+				fBN := in[(ci-offs[lattice.BN])*q+int(lattice.BN)]
+				fBS := in[(ci-offs[lattice.BS])*q+int(lattice.BS)]
+				fBE := in[(ci-offs[lattice.BE])*q+int(lattice.BE)]
+				fBW := in[(ci-offs[lattice.BW])*q+int(lattice.BW)]
+
+				// Macroscopic values with shared partial sums.
+				rho := fC + fN + fS + fW + fE + fT + fB +
+					fNE + fNW + fSE + fSW + fTN + fTS + fTE + fTW + fBN + fBS + fBE + fBW
+				invRho := 1.0 / rho
+				ux := (fE + fNE + fSE + fTE + fBE - fW - fNW - fSW - fTW - fBW) * invRho
+				uy := (fN + fNE + fNW + fTN + fBN - fS - fSE - fSW - fTS - fBS) * invRho
+				uz := (fT + fTN + fTS + fTE + fTW - fB - fBN - fBS - fBE - fBW) * invRho
+				usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+
+				w0r := rho * (1.0 / 3.0)
+				w1r := rho * (1.0 / 18.0)
+				w2r := rho * (1.0 / 36.0)
+				base := ci * q
+
+				out[base+int(lattice.C)] = om1*fC + omega*w0r*(1.0-usq)
+
+				// Each direction pair (a, abar) shares the symmetric part
+				// of the equilibrium; only the antisymmetric part differs
+				// in sign — the eliminated common subexpression.
+				srtPair(out, base, int(lattice.E), int(lattice.W), fE, fW, w1r, ux, usq, omega, om1)
+				srtPair(out, base, int(lattice.N), int(lattice.S), fN, fS, w1r, uy, usq, omega, om1)
+				srtPair(out, base, int(lattice.T), int(lattice.B), fT, fB, w1r, uz, usq, omega, om1)
+				srtPair(out, base, int(lattice.NE), int(lattice.SW), fNE, fSW, w2r, ux+uy, usq, omega, om1)
+				srtPair(out, base, int(lattice.NW), int(lattice.SE), fNW, fSE, w2r, uy-ux, usq, omega, om1)
+				srtPair(out, base, int(lattice.TN), int(lattice.BS), fTN, fBS, w2r, uy+uz, usq, omega, om1)
+				srtPair(out, base, int(lattice.TS), int(lattice.BN), fTS, fBN, w2r, uz-uy, usq, omega, om1)
+				srtPair(out, base, int(lattice.TE), int(lattice.BW), fTE, fBW, w2r, ux+uz, usq, omega, om1)
+				srtPair(out, base, int(lattice.TW), int(lattice.BE), fTW, fBE, w2r, uz-ux, usq, omega, om1)
+				ci++
+			}
+		}
+	}
+}
+
+// srtPair relaxes a direction pair toward equilibrium. d is the dot product
+// e_a . u of the positive representative a; wr is w_a * rho.
+func srtPair(out []float64, base, a, b int, fa, fb, wr, d, usq, omega, om1 float64) {
+	cu := 3.0 * d
+	sym := wr * (1.0 + 0.5*cu*cu - usq)
+	asym := wr * cu
+	out[base+a] = om1*fa + omega*(sym+asym)
+	out[base+b] = om1*fb + omega*(sym-asym)
+}
+
+// D3Q19TRT is the TRT kernel specialized for D3Q19: like D3Q19SRT but with
+// the two-relaxation-time collision, exploiting that the even/odd split of
+// the TRT operator coincides with the direction-pair structure used for
+// common subexpression elimination (the paper's "TRT D3Q19").
+type D3Q19TRT struct {
+	p trtParams
+}
+
+// NewD3Q19TRT constructs the specialized TRT kernel.
+func NewD3Q19TRT(op collide.TRT) *D3Q19TRT {
+	return &D3Q19TRT{p: trtParams{lambdaE: op.LambdaE, lambdaO: op.LambdaO}}
+}
+
+// Name implements Kernel.
+func (k *D3Q19TRT) Name() string { return "TRT D3Q19" }
+
+// Layout implements Kernel.
+func (k *D3Q19TRT) Layout() field.Layout { return field.AoS }
+
+// Sweep implements Kernel.
+func (k *D3Q19TRT) Sweep(src, dst *field.PDFField, flags *field.FlagField) {
+	checkShapes(src, dst, field.AoS)
+	if src.Stencil.Q != lattice.Q19 {
+		panic("kernels: D3Q19 kernel requires the D3Q19 stencil")
+	}
+	offs := pullOffsets(src)
+	in := src.Data()
+	out := dst.Data()
+	le, lo := k.p.lambdaE, k.p.lambdaO
+	const q = lattice.Q19
+	for z := 0; z < src.Nz; z++ {
+		for y := 0; y < src.Ny; y++ {
+			ci := src.CellIndex(0, y, z)
+			for x := 0; x < src.Nx; x++ {
+				if !isFluid(flags, x, y, z) {
+					ci++
+					continue
+				}
+				fC := in[(ci-offs[lattice.C])*q+int(lattice.C)]
+				fN := in[(ci-offs[lattice.N])*q+int(lattice.N)]
+				fS := in[(ci-offs[lattice.S])*q+int(lattice.S)]
+				fW := in[(ci-offs[lattice.W])*q+int(lattice.W)]
+				fE := in[(ci-offs[lattice.E])*q+int(lattice.E)]
+				fT := in[(ci-offs[lattice.T])*q+int(lattice.T)]
+				fB := in[(ci-offs[lattice.B])*q+int(lattice.B)]
+				fNE := in[(ci-offs[lattice.NE])*q+int(lattice.NE)]
+				fNW := in[(ci-offs[lattice.NW])*q+int(lattice.NW)]
+				fSE := in[(ci-offs[lattice.SE])*q+int(lattice.SE)]
+				fSW := in[(ci-offs[lattice.SW])*q+int(lattice.SW)]
+				fTN := in[(ci-offs[lattice.TN])*q+int(lattice.TN)]
+				fTS := in[(ci-offs[lattice.TS])*q+int(lattice.TS)]
+				fTE := in[(ci-offs[lattice.TE])*q+int(lattice.TE)]
+				fTW := in[(ci-offs[lattice.TW])*q+int(lattice.TW)]
+				fBN := in[(ci-offs[lattice.BN])*q+int(lattice.BN)]
+				fBS := in[(ci-offs[lattice.BS])*q+int(lattice.BS)]
+				fBE := in[(ci-offs[lattice.BE])*q+int(lattice.BE)]
+				fBW := in[(ci-offs[lattice.BW])*q+int(lattice.BW)]
+
+				rho := fC + fN + fS + fW + fE + fT + fB +
+					fNE + fNW + fSE + fSW + fTN + fTS + fTE + fTW + fBN + fBS + fBE + fBW
+				invRho := 1.0 / rho
+				ux := (fE + fNE + fSE + fTE + fBE - fW - fNW - fSW - fTW - fBW) * invRho
+				uy := (fN + fNE + fNW + fTN + fBN - fS - fSE - fSW - fTS - fBS) * invRho
+				uz := (fT + fTN + fTS + fTE + fTW - fB - fBN - fBS - fBE - fBW) * invRho
+				usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+
+				w0r := rho * (1.0 / 3.0)
+				w1r := rho * (1.0 / 18.0)
+				w2r := rho * (1.0 / 36.0)
+				base := ci * q
+
+				// Center direction has no odd part.
+				out[base+int(lattice.C)] = fC + le*(fC-w0r*(1.0-usq))
+
+				trtPair(out, base, int(lattice.E), int(lattice.W), fE, fW, w1r, ux, usq, le, lo)
+				trtPair(out, base, int(lattice.N), int(lattice.S), fN, fS, w1r, uy, usq, le, lo)
+				trtPair(out, base, int(lattice.T), int(lattice.B), fT, fB, w1r, uz, usq, le, lo)
+				trtPair(out, base, int(lattice.NE), int(lattice.SW), fNE, fSW, w2r, ux+uy, usq, le, lo)
+				trtPair(out, base, int(lattice.NW), int(lattice.SE), fNW, fSE, w2r, uy-ux, usq, le, lo)
+				trtPair(out, base, int(lattice.TN), int(lattice.BS), fTN, fBS, w2r, uy+uz, usq, le, lo)
+				trtPair(out, base, int(lattice.TS), int(lattice.BN), fTS, fBN, w2r, uz-uy, usq, le, lo)
+				trtPair(out, base, int(lattice.TE), int(lattice.BW), fTE, fBW, w2r, ux+uz, usq, le, lo)
+				trtPair(out, base, int(lattice.TW), int(lattice.BE), fTW, fBE, w2r, uz-ux, usq, le, lo)
+				ci++
+			}
+		}
+	}
+}
+
+// trtPair applies the TRT collision to a direction pair. The even part of
+// the equilibrium is the shared symmetric term, the odd part the shared
+// antisymmetric term — the same subexpressions the SRT pair update reuses.
+func trtPair(out []float64, base, a, b int, fa, fb, wr, d, usq, le, lo float64) {
+	cu := 3.0 * d
+	feqP := wr * (1.0 + 0.5*cu*cu - usq)
+	feqM := wr * cu
+	fp := 0.5 * (fa + fb)
+	fm := 0.5 * (fa - fb)
+	even := le * (fp - feqP)
+	odd := lo * (fm - feqM)
+	out[base+a] = fa + even + odd
+	out[base+b] = fb + even - odd
+}

@@ -1,0 +1,379 @@
+package kernels
+
+import (
+	"walberla/internal/collide"
+	"walberla/internal/field"
+	"walberla/internal/lattice"
+)
+
+// splitScratch holds the per-row temporaries of the split kernels: the 19
+// pulled PDF rows and the macroscopic value rows. Buffers grow on demand
+// and are reused across rows and sweeps, so a kernel instance must not be
+// shared between goroutines (each block gets its own kernel).
+type splitScratch struct {
+	f             [lattice.Q19][]float64
+	rho, usq      []float64
+	ux, uy, uz    []float64
+	width, stride int
+}
+
+func (sc *splitScratch) ensure(n int) {
+	if len(sc.rho) >= n {
+		return
+	}
+	for a := range sc.f {
+		sc.f[a] = make([]float64, n)
+	}
+	sc.rho = make([]float64, n)
+	sc.usq = make([]float64, n)
+	sc.ux = make([]float64, n)
+	sc.uy = make([]float64, n)
+	sc.uz = make([]float64, n)
+}
+
+// dirRows caches the per-direction SoA slices of src and dst for a sweep.
+type dirRows struct {
+	in   [lattice.Q19][]float64
+	out  [lattice.Q19][]float64
+	offs [lattice.Q19]int
+}
+
+func newDirRows(src, dst *field.PDFField) dirRows {
+	var r dirRows
+	r.offs = pullOffsets(src)
+	for a := 0; a < lattice.Q19; a++ {
+		r.in[a] = src.DirSlice(lattice.Direction(a))
+		r.out[a] = dst.DirSlice(lattice.Direction(a))
+	}
+	return r
+}
+
+// pullAndMoments performs the first phase of the split update for the row
+// of n cells starting at linear cell index base: per direction, one loop
+// copies the pulled PDFs into scratch and accumulates the moment rows —
+// each inner loop touches one load stream and at most four accumulators,
+// the stream-count reduction that makes the layout SIMD-friendly.
+func (sc *splitScratch) pullAndMoments(r *dirRows, base, n int) {
+	// Center: initializes rho.
+	{
+		s := r.in[lattice.C][base:][:n]
+		f := sc.f[lattice.C][:n]
+		rho := sc.rho[:n]
+		for i := 0; i < n; i++ {
+			v := s[i]
+			f[i] = v
+			rho[i] = v
+		}
+	}
+	for i := range sc.ux[:n] {
+		sc.ux[i], sc.uy[i], sc.uz[i] = 0, 0, 0
+	}
+	type accum struct {
+		dir        lattice.Direction
+		sx, sy, sz float64
+	}
+	// One pass per direction; signs are the velocity components.
+	dirs := [...]accum{
+		{lattice.N, 0, 1, 0}, {lattice.S, 0, -1, 0},
+		{lattice.W, -1, 0, 0}, {lattice.E, 1, 0, 0},
+		{lattice.T, 0, 0, 1}, {lattice.B, 0, 0, -1},
+		{lattice.NE, 1, 1, 0}, {lattice.NW, -1, 1, 0},
+		{lattice.SE, 1, -1, 0}, {lattice.SW, -1, -1, 0},
+		{lattice.TN, 0, 1, 1}, {lattice.TS, 0, -1, 1},
+		{lattice.TE, 1, 0, 1}, {lattice.TW, -1, 0, 1},
+		{lattice.BN, 0, 1, -1}, {lattice.BS, 0, -1, -1},
+		{lattice.BE, 1, 0, -1}, {lattice.BW, -1, 0, -1},
+	}
+	rho := sc.rho[:n]
+	ux, uy, uz := sc.ux[:n], sc.uy[:n], sc.uz[:n]
+	for _, d := range dirs {
+		s := r.in[d.dir][base-r.offs[d.dir]:][:n]
+		f := sc.f[d.dir][:n]
+		switch {
+		case d.sy == 0 && d.sz == 0: // pure x
+			for i := 0; i < n; i++ {
+				v := s[i]
+				f[i] = v
+				rho[i] += v
+				ux[i] += d.sx * v
+			}
+		case d.sx == 0 && d.sz == 0: // pure y
+			for i := 0; i < n; i++ {
+				v := s[i]
+				f[i] = v
+				rho[i] += v
+				uy[i] += d.sy * v
+			}
+		case d.sx == 0 && d.sy == 0: // pure z
+			for i := 0; i < n; i++ {
+				v := s[i]
+				f[i] = v
+				rho[i] += v
+				uz[i] += d.sz * v
+			}
+		case d.sz == 0: // xy diagonal
+			for i := 0; i < n; i++ {
+				v := s[i]
+				f[i] = v
+				rho[i] += v
+				ux[i] += d.sx * v
+				uy[i] += d.sy * v
+			}
+		case d.sx == 0: // yz diagonal
+			for i := 0; i < n; i++ {
+				v := s[i]
+				f[i] = v
+				rho[i] += v
+				uy[i] += d.sy * v
+				uz[i] += d.sz * v
+			}
+		default: // xz diagonal
+			for i := 0; i < n; i++ {
+				v := s[i]
+				f[i] = v
+				rho[i] += v
+				ux[i] += d.sx * v
+				uz[i] += d.sz * v
+			}
+		}
+	}
+	// Normalize momentum to velocity and precompute the kinetic term.
+	usq := sc.usq[:n]
+	for i := 0; i < n; i++ {
+		inv := 1.0 / rho[i]
+		x := ux[i] * inv
+		y := uy[i] * inv
+		z := uz[i] * inv
+		ux[i], uy[i], uz[i] = x, y, z
+		usq[i] = 1.5 * (x*x + y*y + z*z)
+	}
+}
+
+// pairSpec describes one direction pair of the D3Q19 stencil for the
+// by-direction collision loops: the weight and the coefficients of the
+// velocity dot product of the positive representative.
+type pairSpec struct {
+	a, b       lattice.Direction
+	w          float64
+	cx, cy, cz float64
+}
+
+var d3q19Pairs = [...]pairSpec{
+	{lattice.E, lattice.W, 1.0 / 18.0, 1, 0, 0},
+	{lattice.N, lattice.S, 1.0 / 18.0, 0, 1, 0},
+	{lattice.T, lattice.B, 1.0 / 18.0, 0, 0, 1},
+	{lattice.NE, lattice.SW, 1.0 / 36.0, 1, 1, 0},
+	{lattice.NW, lattice.SE, 1.0 / 36.0, -1, 1, 0},
+	{lattice.TN, lattice.BS, 1.0 / 36.0, 0, 1, 1},
+	{lattice.TS, lattice.BN, 1.0 / 36.0, 0, -1, 1},
+	{lattice.TE, lattice.BW, 1.0 / 36.0, 1, 0, 1},
+	{lattice.TW, lattice.BE, 1.0 / 36.0, -1, 0, 1},
+}
+
+// dot fills d with the velocity dot product of the pair's representative.
+func (p *pairSpec) dot(d, ux, uy, uz []float64, n int) {
+	switch {
+	case p.cy == 0 && p.cz == 0:
+		copy(d[:n], ux[:n])
+	case p.cx == 0 && p.cz == 0:
+		copy(d[:n], uy[:n])
+	case p.cx == 0 && p.cy == 0:
+		copy(d[:n], uz[:n])
+	case p.cz == 0:
+		for i := 0; i < n; i++ {
+			d[i] = p.cx*ux[i] + p.cy*uy[i]
+		}
+	case p.cx == 0:
+		for i := 0; i < n; i++ {
+			d[i] = p.cy*uy[i] + p.cz*uz[i]
+		}
+	default:
+		for i := 0; i < n; i++ {
+			d[i] = p.cx*ux[i] + p.cz*uz[i]
+		}
+	}
+}
+
+// SplitSRT is the SIMD-style SRT kernel: SoA layout with the cell update
+// split into per-direction loops (the paper's "SRT SIMD"). Not safe for
+// concurrent use; construct one kernel per block.
+type SplitSRT struct {
+	p  srtParams
+	sc splitScratch
+	d  []float64
+}
+
+// NewSplitSRT constructs the split SRT kernel.
+func NewSplitSRT(op collide.SRT) *SplitSRT {
+	return &SplitSRT{p: srtParams{omega: op.Omega()}}
+}
+
+// Name implements Kernel.
+func (k *SplitSRT) Name() string { return "SRT SIMD" }
+
+// Layout implements Kernel.
+func (k *SplitSRT) Layout() field.Layout { return field.SoA }
+
+// Sweep implements Kernel.
+func (k *SplitSRT) Sweep(src, dst *field.PDFField, flags *field.FlagField) {
+	checkShapes(src, dst, field.SoA)
+	if src.Stencil.Q != lattice.Q19 {
+		panic("kernels: split kernel requires the D3Q19 stencil")
+	}
+	rows := newDirRows(src, dst)
+	k.sc.ensure(src.Nx)
+	if len(k.d) < src.Nx {
+		k.d = make([]float64, src.Nx)
+	}
+	for z := 0; z < src.Nz; z++ {
+		for y := 0; y < src.Ny; y++ {
+			if flags == nil {
+				k.row(&rows, src.CellIndex(0, y, z), src.Nx)
+				continue
+			}
+			// With a flag field, update maximal runs of fluid cells; the
+			// dense split kernel is only used on dense blocks, but this
+			// keeps Sweep semantics uniform.
+			x := 0
+			for x < src.Nx {
+				for x < src.Nx && flags.Get(x, y, z) != field.Fluid {
+					x++
+				}
+				x0 := x
+				for x < src.Nx && flags.Get(x, y, z) == field.Fluid {
+					x++
+				}
+				if x > x0 {
+					k.row(&rows, src.CellIndex(x0, y, z), x-x0)
+				}
+			}
+		}
+	}
+}
+
+// row updates n consecutive cells starting at linear index base.
+func (k *SplitSRT) row(rows *dirRows, base, n int) {
+	sc := &k.sc
+	sc.pullAndMoments(rows, base, n)
+	omega := k.p.omega
+	om1 := 1.0 - omega
+	rho, usq := sc.rho, sc.usq
+	// Center direction.
+	{
+		f := sc.f[lattice.C]
+		o := rows.out[lattice.C][base:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = om1*f[i] + omega*(1.0/3.0)*rho[i]*(1.0-usq[i])
+		}
+	}
+	d := k.d
+	for pi := range d3q19Pairs {
+		p := &d3q19Pairs[pi]
+		p.dot(d, sc.ux, sc.uy, sc.uz, n)
+		fa := sc.f[p.a]
+		fb := sc.f[p.b]
+		oa := rows.out[p.a][base:][:n]
+		ob := rows.out[p.b][base:][:n]
+		w := p.w
+		for i := 0; i < n; i++ {
+			cu := 3.0 * d[i]
+			wr := w * rho[i]
+			sym := wr * (1.0 + 0.5*cu*cu - usq[i])
+			asym := wr * cu
+			oa[i] = om1*fa[i] + omega*(sym+asym)
+			ob[i] = om1*fb[i] + omega*(sym-asym)
+		}
+	}
+}
+
+// SplitTRT is the SIMD-style TRT kernel (the paper's "TRT SIMD"): identical
+// loop structure to SplitSRT with the two-relaxation-time collision in the
+// per-pair loops. Not safe for concurrent use.
+type SplitTRT struct {
+	p  trtParams
+	sc splitScratch
+	d  []float64
+}
+
+// NewSplitTRT constructs the split TRT kernel.
+func NewSplitTRT(op collide.TRT) *SplitTRT {
+	return &SplitTRT{p: trtParams{lambdaE: op.LambdaE, lambdaO: op.LambdaO}}
+}
+
+// Name implements Kernel.
+func (k *SplitTRT) Name() string { return "TRT SIMD" }
+
+// Layout implements Kernel.
+func (k *SplitTRT) Layout() field.Layout { return field.SoA }
+
+// Sweep implements Kernel.
+func (k *SplitTRT) Sweep(src, dst *field.PDFField, flags *field.FlagField) {
+	checkShapes(src, dst, field.SoA)
+	if src.Stencil.Q != lattice.Q19 {
+		panic("kernels: split kernel requires the D3Q19 stencil")
+	}
+	rows := newDirRows(src, dst)
+	k.sc.ensure(src.Nx)
+	if len(k.d) < src.Nx {
+		k.d = make([]float64, src.Nx)
+	}
+	for z := 0; z < src.Nz; z++ {
+		for y := 0; y < src.Ny; y++ {
+			if flags == nil {
+				k.row(&rows, src.CellIndex(0, y, z), src.Nx)
+				continue
+			}
+			x := 0
+			for x < src.Nx {
+				for x < src.Nx && flags.Get(x, y, z) != field.Fluid {
+					x++
+				}
+				x0 := x
+				for x < src.Nx && flags.Get(x, y, z) == field.Fluid {
+					x++
+				}
+				if x > x0 {
+					k.row(&rows, src.CellIndex(x0, y, z), x-x0)
+				}
+			}
+		}
+	}
+}
+
+// row updates n consecutive cells starting at linear index base.
+func (k *SplitTRT) row(rows *dirRows, base, n int) {
+	sc := &k.sc
+	sc.pullAndMoments(rows, base, n)
+	le, lo := k.p.lambdaE, k.p.lambdaO
+	rho, usq := sc.rho, sc.usq
+	{
+		f := sc.f[lattice.C]
+		o := rows.out[lattice.C][base:][:n]
+		for i := 0; i < n; i++ {
+			feq := (1.0 / 3.0) * rho[i] * (1.0 - usq[i])
+			o[i] = f[i] + le*(f[i]-feq)
+		}
+	}
+	d := k.d
+	for pi := range d3q19Pairs {
+		p := &d3q19Pairs[pi]
+		p.dot(d, sc.ux, sc.uy, sc.uz, n)
+		fa := sc.f[p.a]
+		fb := sc.f[p.b]
+		oa := rows.out[p.a][base:][:n]
+		ob := rows.out[p.b][base:][:n]
+		w := p.w
+		for i := 0; i < n; i++ {
+			cu := 3.0 * d[i]
+			wr := w * rho[i]
+			feqP := wr * (1.0 + 0.5*cu*cu - usq[i])
+			feqM := wr * cu
+			fp := 0.5 * (fa[i] + fb[i])
+			fm := 0.5 * (fa[i] - fb[i])
+			even := le * (fp - feqP)
+			odd := lo * (fm - feqM)
+			oa[i] = fa[i] + even + odd
+			ob[i] = fb[i] + even - odd
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package lattice defines the discrete velocity sets (stencils) used by
+// the lattice Boltzmann method together with the equilibrium distribution
+// and macroscopic moment computations.
+//
+// The package follows the paper's D3Q19 model (Qian, d'Humières, Lallemand)
+// as the primary stencil and additionally ships D3Q27 and D2Q9, mirroring
+// waLBerla's auto-generated stencil headers. A Stencil is pure data:
+// velocity vectors, lattice weights, inverse-direction table, and derived
+// index sets (per-face communication directions), so that compute kernels
+// can either iterate generically over any stencil or be specialized against
+// the fixed D3Q19 ordering at compile time.
+package lattice

@@ -1,0 +1,66 @@
+package lattice
+
+// Equilibrium computes the discrete Maxwell-Boltzmann equilibrium
+// distribution f_alpha^eq for density rho and velocity (ux, uy, uz) into
+// feq, which must have length s.Q. It implements the standard second-order
+// expansion
+//
+//	f_alpha^eq = w_alpha * rho * (1 + 3(e.u) + 9/2 (e.u)^2 - 3/2 u^2)
+//
+// in lattice units (c_s^2 = 1/3, dt = dx = 1).
+func (s *Stencil) Equilibrium(feq []float64, rho, ux, uy, uz float64) {
+	if len(feq) != s.Q {
+		panic("lattice: Equilibrium output slice has wrong length")
+	}
+	usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+	for a := 0; a < s.Q; a++ {
+		cu := 3.0 * (float64(s.Cx[a])*ux + float64(s.Cy[a])*uy + float64(s.Cz[a])*uz)
+		feq[a] = s.W[a] * rho * (1.0 + cu + 0.5*cu*cu - usq)
+	}
+}
+
+// EquilibriumDir computes a single equilibrium component; it is used by
+// boundary conditions that need f^eq for one direction only.
+func (s *Stencil) EquilibriumDir(a Direction, rho, ux, uy, uz float64) float64 {
+	usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+	cu := 3.0 * (float64(s.Cx[a])*ux + float64(s.Cy[a])*uy + float64(s.Cz[a])*uz)
+	return s.W[a] * rho * (1.0 + cu + 0.5*cu*cu - usq)
+}
+
+// Moments computes the macroscopic density and momentum-density from a set
+// of PDFs f (length s.Q): rho = sum f_a, rho*u = sum e_a f_a. The returned
+// velocity is momentum divided by density.
+func (s *Stencil) Moments(f []float64) (rho, ux, uy, uz float64) {
+	if len(f) != s.Q {
+		panic("lattice: Moments input slice has wrong length")
+	}
+	var mx, my, mz float64
+	for a := 0; a < s.Q; a++ {
+		fa := f[a]
+		rho += fa
+		mx += float64(s.Cx[a]) * fa
+		my += float64(s.Cy[a]) * fa
+		mz += float64(s.Cz[a]) * fa
+	}
+	inv := 1.0 / rho
+	return rho, mx * inv, my * inv, mz * inv
+}
+
+// Density returns the zeroth moment of f.
+func (s *Stencil) Density(f []float64) float64 {
+	var rho float64
+	for a := 0; a < s.Q; a++ {
+		rho += f[a]
+	}
+	return rho
+}
+
+// BytesPerCellUpdate returns the number of bytes streamed over the memory
+// interface per lattice cell update for this stencil, assuming IEEE-754
+// double precision PDFs, a stream-pull update reading and writing every
+// PDF, and a write-allocate cache strategy (each store first loads the
+// target line). For D3Q19 this is the paper's 19 * 3 * 8 = 456 B figure.
+func (s *Stencil) BytesPerCellUpdate() int {
+	// read + write + write-allocate read, 8 bytes each.
+	return s.Q * 3 * 8
+}

@@ -1,0 +1,111 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFaceStrings(t *testing.T) {
+	names := map[Face]string{
+		FaceW: "W", FaceE: "E", FaceS: "S", FaceN: "N", FaceB: "B", FaceT: "T",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("Face(%d).String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+	if Face(99).String() != "Face(99)" {
+		t.Errorf("invalid face string = %q", Face(99).String())
+	}
+}
+
+func TestFacePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Normal", func() { Face(42).Normal() })
+	mustPanic("Opposite", func() { Face(42).Opposite() })
+}
+
+func TestStencilString(t *testing.T) {
+	if D3Q19().String() != "D3Q19" || D3Q27().String() != "D3Q27" || D2Q9().String() != "D2Q9" {
+		t.Error("stencil names wrong")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := D3Q19()
+	x, y, z := s.Velocity(NE)
+	if x != 1 || y != 1 || z != 0 {
+		t.Errorf("Velocity(NE) = (%d,%d,%d)", x, y, z)
+	}
+	if s.Weight(C) != 1.0/3.0 || s.Weight(E) != 1.0/18.0 || s.Weight(NE) != 1.0/36.0 {
+		t.Error("weights wrong")
+	}
+	if s.Inverse(NE) != SW || s.Inverse(T) != B {
+		t.Error("Inverse wrong")
+	}
+}
+
+// Shared stencil instances: repeated constructor calls return the same
+// tables (they are package singletons and must not be copied per call).
+func TestStencilSingletons(t *testing.T) {
+	if D3Q19() != D3Q19() || D3Q27() != D3Q27() || D2Q9() != D2Q9() {
+		t.Error("stencil constructors do not return singletons")
+	}
+}
+
+// Property: the equilibrium is Galilean-consistent to first order — the
+// first moment shifts linearly with the velocity for fixed density.
+func TestEquilibriumLinearity(t *testing.T) {
+	s := D3Q19()
+	f := func(a uint8) bool {
+		u := (float64(a)/255.0 - 0.5) * 0.1
+		feq1 := make([]float64, s.Q)
+		feq2 := make([]float64, s.Q)
+		s.Equilibrium(feq1, 1, u, 0, 0)
+		s.Equilibrium(feq2, 1, 2*u, 0, 0)
+		_, ux1, _, _ := s.Moments(feq1)
+		_, ux2, _, _ := s.Moments(feq2)
+		return abs(ux2-2*ux1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// D2Q9 face directions: the z faces carry no PDFs, the x/y faces three
+// each.
+func TestD2Q9FaceDirections(t *testing.T) {
+	s := D2Q9()
+	if len(s.FaceDirections(FaceT)) != 0 || len(s.FaceDirections(FaceB)) != 0 {
+		t.Error("2-D stencil has z-face directions")
+	}
+	for _, f := range []Face{FaceW, FaceE, FaceS, FaceN} {
+		if got := len(s.FaceDirections(f)); got != 3 {
+			t.Errorf("face %s: %d directions, want 3", f, got)
+		}
+	}
+}
+
+// D3Q27 face directions: nine per face (full 3x3 slab).
+func TestD3Q27FaceDirections(t *testing.T) {
+	s := D3Q27()
+	for f := FaceW; f < NumFaces; f++ {
+		if got := len(s.FaceDirections(f)); got != 9 {
+			t.Errorf("face %s: %d directions, want 9", f, got)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package lattice
+
+import "fmt"
+
+// Direction indexes a discrete velocity within a Stencil.
+type Direction int
+
+// Canonical D3Q19 direction indices. The ordering matches the generated
+// stencil tables used throughout the kernels package: center first, then
+// the six axis-aligned directions, then the twelve edge diagonals.
+const (
+	C  Direction = 0  // ( 0, 0, 0)
+	N  Direction = 1  // ( 0,+1, 0)
+	S  Direction = 2  // ( 0,-1, 0)
+	W  Direction = 3  // (-1, 0, 0)
+	E  Direction = 4  // (+1, 0, 0)
+	T  Direction = 5  // ( 0, 0,+1)
+	B  Direction = 6  // ( 0, 0,-1)
+	NE Direction = 7  // (+1,+1, 0)
+	NW Direction = 8  // (-1,+1, 0)
+	SE Direction = 9  // (+1,-1, 0)
+	SW Direction = 10 // (-1,-1, 0)
+	TN Direction = 11 // ( 0,+1,+1)
+	TS Direction = 12 // ( 0,-1,+1)
+	TE Direction = 13 // (+1, 0,+1)
+	TW Direction = 14 // (-1, 0,+1)
+	BN Direction = 15 // ( 0,+1,-1)
+	BS Direction = 16 // ( 0,-1,-1)
+	BE Direction = 17 // (+1, 0,-1)
+	BW Direction = 18 // (-1, 0,-1)
+)
+
+// Q19 is the number of discrete velocities in the D3Q19 model.
+const Q19 = 19
+
+// Stencil is a discrete velocity set: the "DdQq" lattice model of the LBM.
+// All slices have length Q. A Stencil is immutable after construction; the
+// package-level constructors return shared instances that must not be
+// modified.
+type Stencil struct {
+	Name string // e.g. "D3Q19"
+	D    int    // spatial dimension
+	Q    int    // number of discrete velocities
+
+	// Cx, Cy, Cz are the integer components of the discrete velocity set
+	// e_alpha. For 2-D stencils Cz is all zero.
+	Cx, Cy, Cz []int
+
+	// W holds the lattice weights w_alpha; they sum to one.
+	W []float64
+
+	// Inv maps a direction to its inverse: C[Inv[a]] == -C[a].
+	Inv []Direction
+
+	// faceDirs[f] lists the directions whose velocity has a positive
+	// component along face f (see Face); these are exactly the PDFs that
+	// must be communicated across that face of a block.
+	faceDirs [6][]Direction
+}
+
+// Face identifies one of the six axis-aligned faces of a block.
+type Face int
+
+// Axis-aligned faces in the order used by faceDirs and the communication
+// layer.
+const (
+	FaceW Face = iota // -x
+	FaceE             // +x
+	FaceS             // -y
+	FaceN             // +y
+	FaceB             // -z
+	FaceT             // +z
+	NumFaces
+)
+
+// Normal returns the outward unit normal of the face as integer components.
+func (f Face) Normal() (int, int, int) {
+	switch f {
+	case FaceW:
+		return -1, 0, 0
+	case FaceE:
+		return 1, 0, 0
+	case FaceS:
+		return 0, -1, 0
+	case FaceN:
+		return 0, 1, 0
+	case FaceB:
+		return 0, 0, -1
+	case FaceT:
+		return 0, 0, 1
+	}
+	panic(fmt.Sprintf("lattice: invalid face %d", int(f)))
+}
+
+// Opposite returns the face on the other side of the block.
+func (f Face) Opposite() Face {
+	switch f {
+	case FaceW:
+		return FaceE
+	case FaceE:
+		return FaceW
+	case FaceS:
+		return FaceN
+	case FaceN:
+		return FaceS
+	case FaceB:
+		return FaceT
+	case FaceT:
+		return FaceB
+	}
+	panic(fmt.Sprintf("lattice: invalid face %d", int(f)))
+}
+
+func (f Face) String() string {
+	switch f {
+	case FaceW:
+		return "W"
+	case FaceE:
+		return "E"
+	case FaceS:
+		return "S"
+	case FaceN:
+		return "N"
+	case FaceB:
+		return "B"
+	case FaceT:
+		return "T"
+	}
+	return fmt.Sprintf("Face(%d)", int(f))
+}
+
+var d3q19 = newStencil("D3Q19", 3,
+	[]int{0, 0, 0, -1, 1, 0, 0, 1, -1, 1, -1, 0, 0, 1, -1, 0, 0, 1, -1},
+	[]int{0, 1, -1, 0, 0, 0, 0, 1, 1, -1, -1, 1, -1, 0, 0, 1, -1, 0, 0},
+	[]int{0, 0, 0, 0, 0, 1, -1, 0, 0, 0, 0, 1, 1, 1, 1, -1, -1, -1, -1},
+	[]float64{
+		1.0 / 3.0,
+		1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0,
+		1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+		1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+	})
+
+var d3q27 = buildD3Q27()
+
+var d2q9 = buildD2Q9()
+
+// D3Q19 returns the shared three-dimensional 19-velocity stencil used by
+// all simulations in the paper.
+func D3Q19() *Stencil { return d3q19 }
+
+// D3Q27 returns the shared three-dimensional 27-velocity stencil.
+func D3Q27() *Stencil { return d3q27 }
+
+// D2Q9 returns the shared two-dimensional 9-velocity stencil.
+func D2Q9() *Stencil { return d2q9 }
+
+func buildD3Q27() *Stencil {
+	cx := make([]int, 0, 27)
+	cy := make([]int, 0, 27)
+	cz := make([]int, 0, 27)
+	w := make([]float64, 0, 27)
+	// Center first, then axis, then face diagonals, then corners — grouped
+	// by speed so the weights are easy to audit.
+	type vel struct{ x, y, z int }
+	var groups [4][]vel
+	for z := -1; z <= 1; z++ {
+		for y := -1; y <= 1; y++ {
+			for x := -1; x <= 1; x++ {
+				n := x*x + y*y + z*z
+				groups[n] = append(groups[n], vel{x, y, z})
+			}
+		}
+	}
+	weights := []float64{8.0 / 27.0, 2.0 / 27.0, 1.0 / 54.0, 1.0 / 216.0}
+	for g, vs := range groups {
+		for _, v := range vs {
+			cx = append(cx, v.x)
+			cy = append(cy, v.y)
+			cz = append(cz, v.z)
+			w = append(w, weights[g])
+		}
+	}
+	return newStencil("D3Q27", 3, cx, cy, cz, w)
+}
+
+func buildD2Q9() *Stencil {
+	cx := []int{0, 1, 0, -1, 0, 1, -1, -1, 1}
+	cy := []int{0, 0, 1, 0, -1, 1, 1, -1, -1}
+	cz := make([]int, 9)
+	w := []float64{
+		4.0 / 9.0,
+		1.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0,
+		1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+	}
+	return newStencil("D2Q9", 2, cx, cy, cz, w)
+}
+
+func newStencil(name string, d int, cx, cy, cz []int, w []float64) *Stencil {
+	q := len(cx)
+	if len(cy) != q || len(cz) != q || len(w) != q {
+		panic("lattice: inconsistent stencil table lengths")
+	}
+	s := &Stencil{Name: name, D: d, Q: q, Cx: cx, Cy: cy, Cz: cz, W: w}
+	s.Inv = make([]Direction, q)
+	for a := 0; a < q; a++ {
+		inv := -1
+		for b := 0; b < q; b++ {
+			if cx[b] == -cx[a] && cy[b] == -cy[a] && cz[b] == -cz[a] {
+				inv = b
+				break
+			}
+		}
+		if inv < 0 {
+			panic(fmt.Sprintf("lattice: %s direction %d has no inverse", name, a))
+		}
+		s.Inv[a] = Direction(inv)
+	}
+	for f := FaceW; f < NumFaces; f++ {
+		nx, ny, nz := f.Normal()
+		for a := 0; a < q; a++ {
+			if cx[a]*nx+cy[a]*ny+cz[a]*nz > 0 {
+				s.faceDirs[f] = append(s.faceDirs[f], Direction(a))
+			}
+		}
+	}
+	return s
+}
+
+// FaceDirections returns the directions whose velocity points out of the
+// given face. For D3Q19 each face has exactly five such directions; these
+// are the PDFs exchanged with the neighbor across that face during ghost
+// layer communication.
+func (s *Stencil) FaceDirections(f Face) []Direction { return s.faceDirs[f] }
+
+// Velocity returns the integer velocity components of direction a.
+func (s *Stencil) Velocity(a Direction) (int, int, int) {
+	return s.Cx[a], s.Cy[a], s.Cz[a]
+}
+
+// Weight returns the lattice weight of direction a.
+func (s *Stencil) Weight(a Direction) float64 { return s.W[a] }
+
+// Inverse returns the direction opposite to a.
+func (s *Stencil) Inverse(a Direction) Direction { return s.Inv[a] }
+
+func (s *Stencil) String() string { return s.Name }

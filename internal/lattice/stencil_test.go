@@ -1,0 +1,308 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allStencils() []*Stencil {
+	return []*Stencil{D3Q19(), D3Q27(), D2Q9()}
+}
+
+func TestStencilSizes(t *testing.T) {
+	tests := []struct {
+		s    *Stencil
+		d, q int
+	}{
+		{D3Q19(), 3, 19},
+		{D3Q27(), 3, 27},
+		{D2Q9(), 2, 9},
+	}
+	for _, tc := range tests {
+		if tc.s.D != tc.d || tc.s.Q != tc.q {
+			t.Errorf("%s: got D=%d Q=%d, want D=%d Q=%d", tc.s, tc.s.D, tc.s.Q, tc.d, tc.q)
+		}
+		if len(tc.s.Cx) != tc.q || len(tc.s.Cy) != tc.q || len(tc.s.Cz) != tc.q ||
+			len(tc.s.W) != tc.q || len(tc.s.Inv) != tc.q {
+			t.Errorf("%s: table lengths inconsistent with Q=%d", tc.s, tc.q)
+		}
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	for _, s := range allStencils() {
+		var sum float64
+		for _, w := range s.W {
+			sum += w
+		}
+		if math.Abs(sum-1.0) > 1e-15 {
+			t.Errorf("%s: weights sum to %v, want 1", s, sum)
+		}
+	}
+}
+
+func TestWeightsPositive(t *testing.T) {
+	for _, s := range allStencils() {
+		for a, w := range s.W {
+			if w <= 0 {
+				t.Errorf("%s: weight[%d] = %v, want > 0", s, a, w)
+			}
+		}
+	}
+}
+
+func TestVelocitiesSumToZero(t *testing.T) {
+	for _, s := range allStencils() {
+		var sx, sy, sz int
+		for a := 0; a < s.Q; a++ {
+			sx += s.Cx[a]
+			sy += s.Cy[a]
+			sz += s.Cz[a]
+		}
+		if sx != 0 || sy != 0 || sz != 0 {
+			t.Errorf("%s: velocity sum (%d,%d,%d), want zero", s, sx, sy, sz)
+		}
+	}
+}
+
+func TestVelocitiesDistinct(t *testing.T) {
+	for _, s := range allStencils() {
+		seen := map[[3]int]int{}
+		for a := 0; a < s.Q; a++ {
+			v := [3]int{s.Cx[a], s.Cy[a], s.Cz[a]}
+			if prev, dup := seen[v]; dup {
+				t.Errorf("%s: directions %d and %d share velocity %v", s, prev, a, v)
+			}
+			seen[v] = a
+		}
+	}
+}
+
+func TestInverseDirections(t *testing.T) {
+	for _, s := range allStencils() {
+		for a := 0; a < s.Q; a++ {
+			inv := s.Inv[a]
+			if s.Cx[inv] != -s.Cx[a] || s.Cy[inv] != -s.Cy[a] || s.Cz[inv] != -s.Cz[a] {
+				t.Errorf("%s: Inv[%d]=%d is not the opposite velocity", s, a, inv)
+			}
+			if s.Inv[inv] != Direction(a) {
+				t.Errorf("%s: Inv is not an involution at %d", s, a)
+			}
+			if s.W[inv] != s.W[a] {
+				t.Errorf("%s: inverse directions have different weights at %d", s, a)
+			}
+		}
+	}
+}
+
+// Lattice isotropy conditions required for recovering Navier-Stokes:
+// sum w_a e_ai e_aj = c_s^2 delta_ij with c_s^2 = 1/3.
+func TestSecondMomentIsotropy(t *testing.T) {
+	for _, s := range allStencils() {
+		var m [3][3]float64
+		for a := 0; a < s.Q; a++ {
+			e := [3]float64{float64(s.Cx[a]), float64(s.Cy[a]), float64(s.Cz[a])}
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					m[i][j] += s.W[a] * e[i] * e[j]
+				}
+			}
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				want := 0.0
+				if i == j && i < s.D {
+					want = 1.0 / 3.0
+				}
+				if s.D == 2 && i == 2 && j == 2 {
+					want = 0.0
+				}
+				if math.Abs(m[i][j]-want) > 1e-15 {
+					t.Errorf("%s: second moment [%d][%d] = %v, want %v", s, i, j, m[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+// Fourth-order isotropy: sum w_a e_ai e_aj e_ak e_al must equal
+// c_s^4 (d_ij d_kl + d_ik d_jl + d_il d_jk) for the stress tensor to be
+// isotropic. This distinguishes a valid LBM stencil from an arbitrary one.
+func TestFourthMomentIsotropy(t *testing.T) {
+	for _, s := range allStencils() {
+		cs4 := 1.0 / 9.0
+		delta := func(i, j int) float64 {
+			if i == j {
+				return 1
+			}
+			return 0
+		}
+		for i := 0; i < s.D; i++ {
+			for j := 0; j < s.D; j++ {
+				for k := 0; k < s.D; k++ {
+					for l := 0; l < s.D; l++ {
+						var m float64
+						for a := 0; a < s.Q; a++ {
+							e := [3]float64{float64(s.Cx[a]), float64(s.Cy[a]), float64(s.Cz[a])}
+							m += s.W[a] * e[i] * e[j] * e[k] * e[l]
+						}
+						want := cs4 * (delta(i, j)*delta(k, l) + delta(i, k)*delta(j, l) + delta(i, l)*delta(j, k))
+						if math.Abs(m-want) > 1e-14 {
+							t.Errorf("%s: 4th moment [%d%d%d%d] = %v, want %v", s, i, j, k, l, m, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFaceDirectionsD3Q19(t *testing.T) {
+	s := D3Q19()
+	for f := FaceW; f < NumFaces; f++ {
+		dirs := s.FaceDirections(f)
+		if len(dirs) != 5 {
+			t.Errorf("face %s: got %d directions, want 5", f, len(dirs))
+		}
+		nx, ny, nz := f.Normal()
+		for _, a := range dirs {
+			if s.Cx[a]*nx+s.Cy[a]*ny+s.Cz[a]*nz <= 0 {
+				t.Errorf("face %s: direction %d does not point out of the face", f, a)
+			}
+		}
+	}
+}
+
+func TestFaceOppositeAndNormal(t *testing.T) {
+	for f := FaceW; f < NumFaces; f++ {
+		if f.Opposite().Opposite() != f {
+			t.Errorf("face %s: Opposite not an involution", f)
+		}
+		nx, ny, nz := f.Normal()
+		ox, oy, oz := f.Opposite().Normal()
+		if nx != -ox || ny != -oy || nz != -oz {
+			t.Errorf("face %s: opposite normal mismatch", f)
+		}
+		if nx*nx+ny*ny+nz*nz != 1 {
+			t.Errorf("face %s: normal %v not unit axis vector", f, [3]int{nx, ny, nz})
+		}
+	}
+}
+
+func TestD3Q19NamedDirections(t *testing.T) {
+	s := D3Q19()
+	checks := []struct {
+		d       Direction
+		x, y, z int
+	}{
+		{C, 0, 0, 0}, {N, 0, 1, 0}, {S, 0, -1, 0}, {W, -1, 0, 0}, {E, 1, 0, 0},
+		{T, 0, 0, 1}, {B, 0, 0, -1}, {NE, 1, 1, 0}, {NW, -1, 1, 0},
+		{SE, 1, -1, 0}, {SW, -1, -1, 0}, {TN, 0, 1, 1}, {TS, 0, -1, 1},
+		{TE, 1, 0, 1}, {TW, -1, 0, 1}, {BN, 0, 1, -1}, {BS, 0, -1, -1},
+		{BE, 1, 0, -1}, {BW, -1, 0, -1},
+	}
+	if len(checks) != Q19 {
+		t.Fatalf("test table has %d entries, want %d", len(checks), Q19)
+	}
+	for _, c := range checks {
+		x, y, z := s.Velocity(c.d)
+		if x != c.x || y != c.y || z != c.z {
+			t.Errorf("direction %d: velocity (%d,%d,%d), want (%d,%d,%d)", c.d, x, y, z, c.x, c.y, c.z)
+		}
+	}
+}
+
+func TestEquilibriumZeroVelocity(t *testing.T) {
+	for _, s := range allStencils() {
+		feq := make([]float64, s.Q)
+		s.Equilibrium(feq, 1.0, 0, 0, 0)
+		for a := 0; a < s.Q; a++ {
+			if math.Abs(feq[a]-s.W[a]) > 1e-15 {
+				t.Errorf("%s: feq[%d] = %v at rest, want weight %v", s, a, feq[a], s.W[a])
+			}
+		}
+	}
+}
+
+func TestEquilibriumConservesMoments(t *testing.T) {
+	s := D3Q19()
+	feq := make([]float64, s.Q)
+	cases := []struct{ rho, ux, uy, uz float64 }{
+		{1.0, 0, 0, 0},
+		{1.0, 0.05, 0, 0},
+		{0.9, -0.02, 0.03, 0.01},
+		{1.1, 0.08, -0.08, 0.05},
+	}
+	for _, c := range cases {
+		s.Equilibrium(feq, c.rho, c.ux, c.uy, c.uz)
+		rho, ux, uy, uz := s.Moments(feq)
+		if math.Abs(rho-c.rho) > 1e-13 {
+			t.Errorf("rho = %v, want %v", rho, c.rho)
+		}
+		if math.Abs(ux-c.ux) > 1e-13 || math.Abs(uy-c.uy) > 1e-13 || math.Abs(uz-c.uz) > 1e-13 {
+			t.Errorf("u = (%v,%v,%v), want (%v,%v,%v)", ux, uy, uz, c.ux, c.uy, c.uz)
+		}
+	}
+}
+
+// Property: for any small velocity and positive density, the equilibrium
+// reproduces its defining moments. Exercised via testing/quick.
+func TestEquilibriumMomentsProperty(t *testing.T) {
+	s := D3Q19()
+	f := func(r, a, b, c uint8) bool {
+		rho := 0.5 + float64(r)/255.0 // in [0.5, 1.5]
+		ux := (float64(a)/255.0 - 0.5) * 0.2
+		uy := (float64(b)/255.0 - 0.5) * 0.2
+		uz := (float64(c)/255.0 - 0.5) * 0.2
+		feq := make([]float64, s.Q)
+		s.Equilibrium(feq, rho, ux, uy, uz)
+		gr, gx, gy, gz := s.Moments(feq)
+		return math.Abs(gr-rho) < 1e-12 &&
+			math.Abs(gx-ux) < 1e-12 && math.Abs(gy-uy) < 1e-12 && math.Abs(gz-uz) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquilibriumDirMatchesBulk(t *testing.T) {
+	s := D3Q19()
+	feq := make([]float64, s.Q)
+	s.Equilibrium(feq, 1.05, 0.03, -0.04, 0.02)
+	for a := 0; a < s.Q; a++ {
+		got := s.EquilibriumDir(Direction(a), 1.05, 0.03, -0.04, 0.02)
+		if math.Abs(got-feq[a]) > 1e-15 {
+			t.Errorf("EquilibriumDir(%d) = %v, bulk %v", a, got, feq[a])
+		}
+	}
+}
+
+func TestBytesPerCellUpdate(t *testing.T) {
+	// The paper's roofline arithmetic: 19 doubles streamed in and out plus
+	// write-allocate -> 456 bytes per lattice cell update.
+	if got := D3Q19().BytesPerCellUpdate(); got != 456 {
+		t.Errorf("D3Q19 bytes per update = %d, want 456", got)
+	}
+	if got := D2Q9().BytesPerCellUpdate(); got != 9*3*8 {
+		t.Errorf("D2Q9 bytes per update = %d, want %d", got, 9*3*8)
+	}
+}
+
+func TestMomentsPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Moments did not panic on short slice")
+		}
+	}()
+	D3Q19().Moments(make([]float64, 5))
+}
+
+func TestEquilibriumPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Equilibrium did not panic on short slice")
+		}
+	}()
+	D3Q19().Equilibrium(make([]float64, 5), 1, 0, 0, 0)
+}

@@ -1,0 +1,67 @@
+package mesh
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Corrupted mesh files must error, never panic or over-allocate.
+func TestReadCorruptedInputs(t *testing.T) {
+	m := NewTube([3]float64{0, 0, 0}, [3]float64{0, 0, 1}, 0.3, 12, ColorInflow, ColorOutflow)
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		defer func() {
+			if p := recover(); p != nil {
+				t.Errorf("%s: Read panicked: %v", name, p)
+			}
+		}()
+		_, _ = Read(bytes.NewReader(data))
+	}
+	check("empty", nil)
+	check("short magic", good[:2])
+	for _, cut := range []int{4, 12, 20, len(good) / 3, len(good) - 2} {
+		check("truncated", good[:cut])
+	}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		c := append([]byte(nil), good...)
+		for i := 0; i < 4; i++ {
+			c[r.Intn(len(c))] ^= byte(1 << r.Intn(8))
+		}
+		check("bitflip", c)
+	}
+	// A forged header with absurd counts must be rejected cheaply.
+	forged := append([]byte(nil), good[:4]...)
+	forged = append(forged, bytes.Repeat([]byte{0xFF}, 16)...)
+	if _, err := Read(bytes.NewReader(forged)); err == nil {
+		t.Error("absurd counts accepted")
+	}
+}
+
+func TestReadSTLCorrupted(t *testing.T) {
+	m := NewSphere([3]float64{0, 0, 0}, 1, 1)
+	var buf bytes.Buffer
+	if err := m.WriteSTL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for _, cut := range []int{0, 10, 83, 84, 100, len(good) - 7} {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("cut %d: panicked: %v", cut, p)
+				}
+			}()
+			if _, err := ReadSTL(bytes.NewReader(good[:cut])); err == nil && cut < 84 {
+				t.Errorf("cut %d: truncated STL accepted", cut)
+			}
+		}()
+	}
+}

@@ -1,0 +1,186 @@
+package mesh
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary STL and a colored indexed binary format ("WBM1"). STL is the
+// interchange format CTA segmentations commonly export; the colored format
+// preserves the vertex colors the pipeline uses to assign boundary
+// conditions (STL cannot carry them).
+
+// WriteSTL writes the mesh as binary STL (colors are lost, vertices are
+// expanded per triangle as the format requires).
+func (m *Mesh) WriteSTL(w io.Writer) error {
+	var buf bytes.Buffer
+	header := make([]byte, 80)
+	copy(header, "walberla-go surface mesh")
+	buf.Write(header)
+	binary.Write(&buf, binary.LittleEndian, uint32(len(m.Triangles)))
+	for t := range m.Triangles {
+		n := m.UnitNormal(t)
+		a, b, c := m.TriangleVertices(t)
+		for _, v := range [][3]float64{n, a, b, c} {
+			for d := 0; d < 3; d++ {
+				binary.Write(&buf, binary.LittleEndian, float32(v[d]))
+			}
+		}
+		binary.Write(&buf, binary.LittleEndian, uint16(0)) // attribute bytes
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadSTL reads a binary STL stream, deduplicating exactly coincident
+// vertices to recover an indexed (and, for well-formed input, watertight)
+// mesh. The result is uncolored.
+func ReadSTL(r io.Reader) (*Mesh, error) {
+	header := make([]byte, 80)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("mesh: reading STL header: %w", err)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("mesh: reading STL triangle count: %w", err)
+	}
+	m := &Mesh{}
+	index := make(map[[3]float64]int32)
+	lookup := func(v [3]float64) int32 {
+		if i, ok := index[v]; ok {
+			return i
+		}
+		m.Vertices = append(m.Vertices, v)
+		index[v] = int32(len(m.Vertices) - 1)
+		return index[v]
+	}
+	var rec struct {
+		Normal [3]float32
+		V      [3][3]float32
+		Attr   uint16
+	}
+	for t := uint32(0); t < count; t++ {
+		if err := binary.Read(r, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("mesh: reading STL triangle %d: %w", t, err)
+		}
+		var tri [3]int32
+		for i := 0; i < 3; i++ {
+			tri[i] = lookup([3]float64{
+				float64(rec.V[i][0]), float64(rec.V[i][1]), float64(rec.V[i][2]),
+			})
+		}
+		m.Triangles = append(m.Triangles, tri)
+	}
+	return m, nil
+}
+
+const meshMagic = "WBM1"
+
+// Write stores the mesh in the indexed colored binary format: magic,
+// vertex count, triangle count, vertices as float64 triples, one RGB byte
+// triple per vertex, triangles as uint32 index triples. Little-endian by
+// definition.
+func (m *Mesh) Write(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.WriteString(meshMagic)
+	binary.Write(&buf, binary.LittleEndian, uint64(len(m.Vertices)))
+	binary.Write(&buf, binary.LittleEndian, uint64(len(m.Triangles)))
+	for _, v := range m.Vertices {
+		for d := 0; d < 3; d++ {
+			binary.Write(&buf, binary.LittleEndian, math.Float64bits(v[d]))
+		}
+	}
+	for i := range m.Vertices {
+		c := ColorWall
+		if m.Colors != nil {
+			c = m.Colors[i]
+		}
+		buf.Write([]byte{c.R, c.G, c.B})
+	}
+	for _, t := range m.Triangles {
+		for i := 0; i < 3; i++ {
+			binary.Write(&buf, binary.LittleEndian, uint32(t[i]))
+		}
+	}
+	if m.TriColors != nil {
+		buf.WriteByte(1)
+		for _, c := range m.TriColors {
+			buf.Write([]byte{c.R, c.G, c.B})
+		}
+	} else {
+		buf.WriteByte(0)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Read loads a mesh written by Write.
+func Read(r io.Reader) (*Mesh, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("mesh: reading magic: %w", err)
+	}
+	if string(magic) != meshMagic {
+		return nil, fmt.Errorf("mesh: bad magic %q", magic)
+	}
+	var nv, nt uint64
+	if err := binary.Read(r, binary.LittleEndian, &nv); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nt); err != nil {
+		return nil, err
+	}
+	// Guard allocations against corrupted counts; meshes beyond this are
+	// outside anything the pipeline produces.
+	const maxElements = 1 << 28
+	if nv > maxElements || nt > maxElements {
+		return nil, fmt.Errorf("mesh: implausible counts: %d vertices, %d triangles", nv, nt)
+	}
+	m := &Mesh{
+		Vertices:  make([][3]float64, nv),
+		Colors:    make([]Color, nv),
+		Triangles: make([][3]int32, nt),
+	}
+	for i := range m.Vertices {
+		for d := 0; d < 3; d++ {
+			var bits uint64
+			if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+				return nil, err
+			}
+			m.Vertices[i][d] = math.Float64frombits(bits)
+		}
+	}
+	rgb := make([]byte, 3)
+	for i := range m.Colors {
+		if _, err := io.ReadFull(r, rgb); err != nil {
+			return nil, err
+		}
+		m.Colors[i] = Color{rgb[0], rgb[1], rgb[2]}
+	}
+	for i := range m.Triangles {
+		for d := 0; d < 3; d++ {
+			var v uint32
+			if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+				return nil, err
+			}
+			m.Triangles[i][d] = int32(v)
+		}
+	}
+	var hasTriColors [1]byte
+	if _, err := io.ReadFull(r, hasTriColors[:]); err != nil {
+		return nil, err
+	}
+	if hasTriColors[0] == 1 {
+		m.TriColors = make([]Color, nt)
+		for i := range m.TriColors {
+			if _, err := io.ReadFull(r, rgb); err != nil {
+				return nil, err
+			}
+			m.TriColors[i] = Color{rgb[0], rgb[1], rgb[2]}
+		}
+	}
+	return m, m.Validate()
+}

@@ -1,0 +1,227 @@
+// Package mesh provides triangle surface meshes with per-vertex colors,
+// the geometry input format of the paper's complex-geometry pipeline: the
+// domain boundary Gamma is given as a triangle surface mesh S whose vertex
+// colors encode boundary conditions (unambiguously colored inflow and
+// outflow surfaces).
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"walberla/internal/blockforest"
+)
+
+// Color is an RGB vertex color used to tag boundary surfaces.
+type Color struct {
+	R, G, B uint8
+}
+
+// Predefined surface colors used by the setup pipeline.
+var (
+	// ColorWall marks no-slip wall surfaces.
+	ColorWall = Color{128, 128, 128}
+	// ColorInflow marks velocity inflow surfaces.
+	ColorInflow = Color{255, 0, 0}
+	// ColorOutflow marks pressure outflow surfaces.
+	ColorOutflow = Color{0, 0, 255}
+)
+
+// Mesh is an indexed triangle surface mesh. Vertices may carry colors; a
+// nil Colors slice means the mesh is uncolored (all-wall). TriColors, if
+// present, assigns colors per triangle and takes precedence over the
+// vertex-majority vote — primitives use it to color surfaces whose
+// boundary vertices are shared with differently colored neighbors (e.g.
+// the inflow cap of a tube sharing its rim with the wall).
+type Mesh struct {
+	Vertices  [][3]float64
+	Colors    []Color // len == len(Vertices) or nil
+	Triangles [][3]int32
+	TriColors []Color // len == len(Triangles) or nil
+}
+
+// VertexCount returns the number of vertices.
+func (m *Mesh) VertexCount() int { return len(m.Vertices) }
+
+// TriangleCount returns the number of triangles.
+func (m *Mesh) TriangleCount() int { return len(m.Triangles) }
+
+// Bounds returns the axis-aligned bounding box of the mesh.
+func (m *Mesh) Bounds() blockforest.AABB {
+	if len(m.Vertices) == 0 {
+		return blockforest.AABB{}
+	}
+	b := blockforest.AABB{Min: m.Vertices[0], Max: m.Vertices[0]}
+	for _, v := range m.Vertices[1:] {
+		for i := 0; i < 3; i++ {
+			if v[i] < b.Min[i] {
+				b.Min[i] = v[i]
+			}
+			if v[i] > b.Max[i] {
+				b.Max[i] = v[i]
+			}
+		}
+	}
+	return b
+}
+
+// TriangleVertices returns the three corner points of triangle t.
+func (m *Mesh) TriangleVertices(t int) (a, b, c [3]float64) {
+	tri := m.Triangles[t]
+	return m.Vertices[tri[0]], m.Vertices[tri[1]], m.Vertices[tri[2]]
+}
+
+// Normal returns the (unnormalized) face normal of triangle t; its length
+// is twice the triangle area.
+func (m *Mesh) Normal(t int) [3]float64 {
+	a, b, c := m.TriangleVertices(t)
+	return Cross(Sub(b, a), Sub(c, a))
+}
+
+// UnitNormal returns the normalized face normal of triangle t. Degenerate
+// triangles yield a zero vector.
+func (m *Mesh) UnitNormal(t int) [3]float64 {
+	n := m.Normal(t)
+	l := Norm(n)
+	if l == 0 {
+		return n
+	}
+	return Scale(n, 1/l)
+}
+
+// Area returns the area of triangle t.
+func (m *Mesh) Area(t int) float64 { return 0.5 * Norm(m.Normal(t)) }
+
+// TotalArea returns the surface area of the mesh.
+func (m *Mesh) TotalArea() float64 {
+	var a float64
+	for t := range m.Triangles {
+		a += m.Area(t)
+	}
+	return a
+}
+
+// TriangleColor returns the color of triangle t: the explicit per-triangle
+// color if present, else the dominant vertex color (the color shared by at
+// least two of its vertices, else the first vertex's color). An uncolored
+// mesh returns ColorWall.
+func (m *Mesh) TriangleColor(t int) Color {
+	if m.TriColors != nil {
+		return m.TriColors[t]
+	}
+	if m.Colors == nil {
+		return ColorWall
+	}
+	tri := m.Triangles[t]
+	c0, c1, c2 := m.Colors[tri[0]], m.Colors[tri[1]], m.Colors[tri[2]]
+	if c1 == c2 {
+		return c1
+	}
+	return c0
+}
+
+// edgeKey is a canonical (sorted) vertex index pair.
+type edgeKey struct{ a, b int32 }
+
+func makeEdge(a, b int32) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// EdgeTriangles maps every edge to the indices of its adjacent triangles.
+func (m *Mesh) EdgeTriangles() map[[2]int32][]int {
+	out := make(map[[2]int32][]int, 3*len(m.Triangles)/2)
+	for t, tri := range m.Triangles {
+		for e := 0; e < 3; e++ {
+			k := makeEdge(tri[e], tri[(e+1)%3])
+			out[[2]int32{k.a, k.b}] = append(out[[2]int32{k.a, k.b}], t)
+		}
+	}
+	return out
+}
+
+// CheckWatertight verifies that every edge is shared by exactly two
+// triangles — the condition for the signed distance function to be
+// well-defined everywhere.
+func (m *Mesh) CheckWatertight() error {
+	for e, ts := range m.EdgeTriangles() {
+		if len(ts) != 2 {
+			return fmt.Errorf("mesh: edge (%d,%d) shared by %d triangles, want 2", e[0], e[1], len(ts))
+		}
+	}
+	return nil
+}
+
+// Validate checks index ranges and color table length.
+func (m *Mesh) Validate() error {
+	n := int32(len(m.Vertices))
+	for t, tri := range m.Triangles {
+		for _, v := range tri {
+			if v < 0 || v >= n {
+				return fmt.Errorf("mesh: triangle %d references vertex %d of %d", t, v, n)
+			}
+		}
+		if tri[0] == tri[1] || tri[1] == tri[2] || tri[0] == tri[2] {
+			return fmt.Errorf("mesh: triangle %d is degenerate (%v)", t, tri)
+		}
+	}
+	if m.Colors != nil && len(m.Colors) != len(m.Vertices) {
+		return fmt.Errorf("mesh: %d colors for %d vertices", len(m.Colors), len(m.Vertices))
+	}
+	if m.TriColors != nil && len(m.TriColors) != len(m.Triangles) {
+		return fmt.Errorf("mesh: %d triangle colors for %d triangles", len(m.TriColors), len(m.Triangles))
+	}
+	return nil
+}
+
+// Transform applies an affine map p -> scale*p + offset in place.
+func (m *Mesh) Transform(scale float64, offset [3]float64) {
+	for i := range m.Vertices {
+		for d := 0; d < 3; d++ {
+			m.Vertices[i][d] = scale*m.Vertices[i][d] + offset[d]
+		}
+	}
+}
+
+// Vector helpers shared by the geometry packages.
+
+// Sub returns a - b.
+func Sub(a, b [3]float64) [3]float64 {
+	return [3]float64{a[0] - b[0], a[1] - b[1], a[2] - b[2]}
+}
+
+// Add returns a + b.
+func Add(a, b [3]float64) [3]float64 {
+	return [3]float64{a[0] + b[0], a[1] + b[1], a[2] + b[2]}
+}
+
+// Scale returns s*a.
+func Scale(a [3]float64, s float64) [3]float64 {
+	return [3]float64{s * a[0], s * a[1], s * a[2]}
+}
+
+// Dot returns the inner product.
+func Dot(a, b [3]float64) float64 { return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] }
+
+// Cross returns the cross product a x b.
+func Cross(a, b [3]float64) [3]float64 {
+	return [3]float64{
+		a[1]*b[2] - a[2]*b[1],
+		a[2]*b[0] - a[0]*b[2],
+		a[0]*b[1] - a[1]*b[0],
+	}
+}
+
+// Norm returns the Euclidean length.
+func Norm(a [3]float64) float64 { return math.Sqrt(Dot(a, a)) }
+
+// Normalize returns a/|a|; the zero vector is returned unchanged.
+func Normalize(a [3]float64) [3]float64 {
+	l := Norm(a)
+	if l == 0 {
+		return a
+	}
+	return Scale(a, 1/l)
+}

@@ -1,0 +1,296 @@
+package mesh
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"walberla/internal/blockforest"
+)
+
+func unitBox() blockforest.AABB {
+	return blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1})
+}
+
+func TestBoxMesh(t *testing.T) {
+	m := NewBox(unitBox())
+	if m.TriangleCount() != 12 || m.VertexCount() != 8 {
+		t.Fatalf("box: %d triangles, %d vertices", m.TriangleCount(), m.VertexCount())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckWatertight(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TotalArea(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("box area = %v, want 6", got)
+	}
+	b := m.Bounds()
+	if b.Min != [3]float64{0, 0, 0} || b.Max != [3]float64{1, 1, 1} {
+		t.Errorf("Bounds = %+v", b)
+	}
+}
+
+// All box face normals must point away from the center — the winding
+// convention every signed-distance computation relies on.
+func TestBoxNormalsOutward(t *testing.T) {
+	m := NewBox(unitBox())
+	center := [3]float64{0.5, 0.5, 0.5}
+	for tr := range m.Triangles {
+		n := m.UnitNormal(tr)
+		a, b, c := m.TriangleVertices(tr)
+		centroid := Scale(Add(Add(a, b), c), 1.0/3.0)
+		if Dot(n, Sub(centroid, center)) <= 0 {
+			t.Errorf("triangle %d normal points inward", tr)
+		}
+	}
+}
+
+func TestSphereMesh(t *testing.T) {
+	m := NewSphere([3]float64{1, 2, 3}, 0.5, 2)
+	if err := m.CheckWatertight(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TriangleCount() != 20*16 {
+		t.Errorf("triangles = %d, want 320", m.TriangleCount())
+	}
+	// All vertices on the sphere.
+	for _, v := range m.Vertices {
+		r := Norm(Sub(v, [3]float64{1, 2, 3}))
+		if math.Abs(r-0.5) > 1e-12 {
+			t.Fatalf("vertex radius %v, want 0.5", r)
+		}
+	}
+	// Area approaches 4 pi r^2 from below.
+	want := 4 * math.Pi * 0.25
+	if a := m.TotalArea(); a > want || a < 0.95*want {
+		t.Errorf("sphere area %v, want slightly below %v", a, want)
+	}
+	// Outward normals.
+	for tr := range m.Triangles {
+		a, b, c := m.TriangleVertices(tr)
+		centroid := Scale(Add(Add(a, b), c), 1.0/3.0)
+		if Dot(m.UnitNormal(tr), Sub(centroid, [3]float64{1, 2, 3})) <= 0 {
+			t.Fatalf("triangle %d normal points inward", tr)
+		}
+	}
+}
+
+func TestTubeMesh(t *testing.T) {
+	m := NewTube([3]float64{0, 0, 0}, [3]float64{0, 0, 2}, 0.3, 16, ColorInflow, ColorOutflow)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckWatertight(); err != nil {
+		t.Fatal(err)
+	}
+	// Expected area: side 2*pi*r*h plus two caps pi*r^2 (polygonal, less).
+	side := 2 * math.Pi * 0.3 * 2
+	caps := 2 * math.Pi * 0.3 * 0.3
+	if a := m.TotalArea(); a > side+caps || a < 0.95*(side+caps) {
+		t.Errorf("tube area %v, want slightly below %v", a, side+caps)
+	}
+	// Cap centers carry the inflow/outflow colors.
+	foundIn, foundOut := false, false
+	for _, c := range m.Colors {
+		if c == ColorInflow {
+			foundIn = true
+		}
+		if c == ColorOutflow {
+			foundOut = true
+		}
+	}
+	if !foundIn || !foundOut {
+		t.Error("tube lost cap colors")
+	}
+	// Outward normals w.r.t. the axis midpoint.
+	mid := [3]float64{0, 0, 1}
+	for tr := range m.Triangles {
+		a, b, c := m.TriangleVertices(tr)
+		centroid := Scale(Add(Add(a, b), c), 1.0/3.0)
+		if Dot(m.UnitNormal(tr), Sub(centroid, mid)) <= 0 {
+			t.Fatalf("triangle %d normal points inward", tr)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewBox(unitBox())
+	b := NewSphere([3]float64{3, 0, 0}, 0.5, 0)
+	m := Merge(a, b)
+	if m.VertexCount() != a.VertexCount()+b.VertexCount() {
+		t.Errorf("merged vertices = %d", m.VertexCount())
+	}
+	if m.TriangleCount() != a.TriangleCount()+b.TriangleCount() {
+		t.Errorf("merged triangles = %d", m.TriangleCount())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckWatertight(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleColor(t *testing.T) {
+	const segments = 8
+	m := NewTube([3]float64{0, 0, 0}, [3]float64{0, 0, 1}, 0.2, segments, ColorInflow, ColorOutflow)
+	in, out, wall := 0, 0, 0
+	for tr := range m.Triangles {
+		switch m.TriangleColor(tr) {
+		case ColorInflow:
+			in++
+		case ColorOutflow:
+			out++
+		case ColorWall:
+			wall++
+		}
+	}
+	if in != segments || out != segments || wall != 2*segments {
+		t.Errorf("colors: %d inflow, %d outflow, %d wall; want %d/%d/%d",
+			in, out, wall, segments, segments, 2*segments)
+	}
+	uncolored := &Mesh{Vertices: m.Vertices, Triangles: m.Triangles}
+	if uncolored.TriangleColor(0) != ColorWall {
+		t.Error("uncolored mesh must default to wall")
+	}
+	// Vertex-majority fallback: two same-colored vertices win.
+	vm := &Mesh{
+		Vertices:  [][3]float64{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}},
+		Colors:    []Color{ColorInflow, ColorOutflow, ColorOutflow},
+		Triangles: [][3]int32{{0, 1, 2}},
+	}
+	if vm.TriangleColor(0) != ColorOutflow {
+		t.Error("vertex majority vote failed")
+	}
+}
+
+func TestValidateCatchesBadMesh(t *testing.T) {
+	m := &Mesh{
+		Vertices:  [][3]float64{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}},
+		Triangles: [][3]int32{{0, 1, 5}},
+	}
+	if m.Validate() == nil {
+		t.Error("out-of-range index not caught")
+	}
+	m.Triangles = [][3]int32{{0, 1, 1}}
+	if m.Validate() == nil {
+		t.Error("degenerate triangle not caught")
+	}
+	m.Triangles = [][3]int32{{0, 1, 2}}
+	m.Colors = []Color{{}, {}}
+	if m.Validate() == nil {
+		t.Error("color length mismatch not caught")
+	}
+}
+
+func TestCheckWatertightCatchesHole(t *testing.T) {
+	m := NewBox(unitBox())
+	m.Triangles = m.Triangles[:len(m.Triangles)-1]
+	if m.CheckWatertight() == nil {
+		t.Error("hole not detected")
+	}
+}
+
+func TestSTLRoundTrip(t *testing.T) {
+	m := NewSphere([3]float64{0, 0, 0}, 1, 1)
+	var buf bytes.Buffer
+	if err := m.WriteSTL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// 80-byte header + 4 + 50 per triangle.
+	if want := 84 + 50*m.TriangleCount(); buf.Len() != want {
+		t.Errorf("STL size = %d, want %d", buf.Len(), want)
+	}
+	g, err := ReadSTL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TriangleCount() != m.TriangleCount() {
+		t.Errorf("triangles: %d, want %d", g.TriangleCount(), m.TriangleCount())
+	}
+	// Vertex dedup must recover the indexed structure (float32 rounding
+	// may merge none here because coordinates are exact duplicates).
+	if g.VertexCount() != m.VertexCount() {
+		t.Errorf("vertices: %d, want %d", g.VertexCount(), m.VertexCount())
+	}
+	if err := g.CheckWatertight(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColoredFormatRoundTrip(t *testing.T) {
+	m := NewTube([3]float64{0, 1, 0}, [3]float64{2, 1, 0}, 0.4, 12, ColorInflow, ColorOutflow)
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.VertexCount() != m.VertexCount() || g.TriangleCount() != m.TriangleCount() {
+		t.Fatal("counts differ after round trip")
+	}
+	for i := range m.Vertices {
+		if m.Vertices[i] != g.Vertices[i] {
+			t.Fatalf("vertex %d differs", i)
+		}
+		if m.Colors[i] != g.Colors[i] {
+			t.Fatalf("color %d differs", i)
+		}
+	}
+	for i := range m.Triangles {
+		if m.Triangles[i] != g.Triangles[i] {
+			t.Fatalf("triangle %d differs", i)
+		}
+	}
+	if g.TriColors == nil {
+		t.Fatal("triangle colors lost in round trip")
+	}
+	for i := range m.TriColors {
+		if m.TriColors[i] != g.TriColors[i] {
+			t.Fatalf("triangle color %d differs", i)
+		}
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("XXXX0000"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTransform(t *testing.T) {
+	m := NewBox(unitBox())
+	m.Transform(2, [3]float64{1, 0, -1})
+	b := m.Bounds()
+	if b.Min != [3]float64{1, 0, -1} || b.Max != [3]float64{3, 2, 1} {
+		t.Errorf("transformed bounds %+v", b)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := [3]float64{1, 2, 3}
+	b := [3]float64{4, 5, 6}
+	if Sub(b, a) != [3]float64{3, 3, 3} || Add(a, b) != [3]float64{5, 7, 9} {
+		t.Error("Sub/Add wrong")
+	}
+	if Dot(a, b) != 32 {
+		t.Error("Dot wrong")
+	}
+	if Cross([3]float64{1, 0, 0}, [3]float64{0, 1, 0}) != [3]float64{0, 0, 1} {
+		t.Error("Cross wrong")
+	}
+	if Norm([3]float64{3, 4, 0}) != 5 {
+		t.Error("Norm wrong")
+	}
+	n := Normalize([3]float64{0, 0, 9})
+	if n != [3]float64{0, 0, 1} {
+		t.Error("Normalize wrong")
+	}
+	if Normalize([3]float64{0, 0, 0}) != [3]float64{0, 0, 0} {
+		t.Error("Normalize of zero must stay zero")
+	}
+}

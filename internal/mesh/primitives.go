@@ -1,0 +1,180 @@
+package mesh
+
+import (
+	"math"
+
+	"walberla/internal/blockforest"
+)
+
+// NewBox returns a watertight triangle mesh of the box (12 triangles) with
+// outward-facing normals. All vertices are colored ColorWall.
+func NewBox(b blockforest.AABB) *Mesh {
+	v := make([][3]float64, 8)
+	for i := 0; i < 8; i++ {
+		for d := 0; d < 3; d++ {
+			if i>>d&1 == 1 {
+				v[i][d] = b.Max[d]
+			} else {
+				v[i][d] = b.Min[d]
+			}
+		}
+	}
+	// Each face as two triangles, wound counterclockwise seen from outside.
+	tris := [][3]int32{
+		{0, 2, 1}, {1, 2, 3}, // -z
+		{4, 5, 6}, {5, 7, 6}, // +z
+		{0, 1, 4}, {1, 5, 4}, // -y
+		{2, 6, 3}, {3, 6, 7}, // +y
+		{0, 4, 2}, {2, 4, 6}, // -x
+		{1, 3, 5}, {3, 7, 5}, // +x
+	}
+	colors := make([]Color, 8)
+	for i := range colors {
+		colors[i] = ColorWall
+	}
+	return &Mesh{Vertices: v, Colors: colors, Triangles: tris}
+}
+
+// NewSphere returns a watertight icosphere approximation of the sphere
+// with the given center and radius after the given number of subdivision
+// steps (0 yields the icosahedron, each step quadruples the triangles).
+func NewSphere(center [3]float64, radius float64, subdivisions int) *Mesh {
+	t := (1.0 + math.Sqrt(5.0)) / 2.0
+	verts := [][3]float64{
+		{-1, t, 0}, {1, t, 0}, {-1, -t, 0}, {1, -t, 0},
+		{0, -1, t}, {0, 1, t}, {0, -1, -t}, {0, 1, -t},
+		{t, 0, -1}, {t, 0, 1}, {-t, 0, -1}, {-t, 0, 1},
+	}
+	tris := [][3]int32{
+		{0, 11, 5}, {0, 5, 1}, {0, 1, 7}, {0, 7, 10}, {0, 10, 11},
+		{1, 5, 9}, {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+		{3, 9, 4}, {3, 4, 2}, {3, 2, 6}, {3, 6, 8}, {3, 8, 9},
+		{4, 9, 5}, {2, 4, 11}, {6, 2, 10}, {8, 6, 7}, {9, 8, 1},
+	}
+	type ek struct{ a, b int32 }
+	for s := 0; s < subdivisions; s++ {
+		mid := make(map[ek]int32)
+		midpoint := func(a, b int32) int32 {
+			k := ek{a, b}
+			if a > b {
+				k = ek{b, a}
+			}
+			if i, ok := mid[k]; ok {
+				return i
+			}
+			m := Scale(Add(verts[a], verts[b]), 0.5)
+			verts = append(verts, m)
+			mid[k] = int32(len(verts) - 1)
+			return mid[k]
+		}
+		next := make([][3]int32, 0, 4*len(tris))
+		for _, tri := range tris {
+			ab := midpoint(tri[0], tri[1])
+			bc := midpoint(tri[1], tri[2])
+			ca := midpoint(tri[2], tri[0])
+			next = append(next,
+				[3]int32{tri[0], ab, ca},
+				[3]int32{tri[1], bc, ab},
+				[3]int32{tri[2], ca, bc},
+				[3]int32{ab, bc, ca})
+		}
+		tris = next
+	}
+	colors := make([]Color, len(verts))
+	for i := range verts {
+		verts[i] = Add(center, Scale(Normalize(verts[i]), radius))
+		colors[i] = ColorWall
+	}
+	return &Mesh{Vertices: verts, Colors: colors, Triangles: tris}
+}
+
+// NewTube returns a watertight capped cylinder from p0 to p1 with the given
+// radius and number of circumferential segments. The caps are fans around
+// center vertices; capColor0 and capColor1 color the cap at p0 and p1
+// respectively (the tube side is ColorWall), so tubes double as colored
+// inflow/outflow channels.
+func NewTube(p0, p1 [3]float64, radius float64, segments int, capColor0, capColor1 Color) *Mesh {
+	if segments < 3 {
+		segments = 3
+	}
+	axis := Normalize(Sub(p1, p0))
+	// Build an orthonormal frame around the axis.
+	ref := [3]float64{1, 0, 0}
+	if math.Abs(axis[0]) > 0.9 {
+		ref = [3]float64{0, 1, 0}
+	}
+	u := Normalize(Cross(axis, ref))
+	w := Cross(axis, u)
+
+	var verts [][3]float64
+	var colors []Color
+	ring := func(center [3]float64, col Color) int32 {
+		start := int32(len(verts))
+		for s := 0; s < segments; s++ {
+			phi := 2 * math.Pi * float64(s) / float64(segments)
+			dir := Add(Scale(u, math.Cos(phi)), Scale(w, math.Sin(phi)))
+			verts = append(verts, Add(center, Scale(dir, radius)))
+			colors = append(colors, col)
+		}
+		return start
+	}
+	r0 := ring(p0, ColorWall)
+	r1 := ring(p1, ColorWall)
+	c0 := int32(len(verts))
+	verts = append(verts, p0)
+	colors = append(colors, capColor0)
+	c1 := int32(len(verts))
+	verts = append(verts, p1)
+	colors = append(colors, capColor1)
+
+	var tris [][3]int32
+	var triColors []Color
+	for s := 0; s < segments; s++ {
+		sn := (s + 1) % segments
+		a0, a1 := r0+int32(s), r0+int32(sn)
+		b0, b1 := r1+int32(s), r1+int32(sn)
+		// Side quad (outward normals).
+		tris = append(tris, [3]int32{a0, a1, b0}, [3]int32{a1, b1, b0})
+		triColors = append(triColors, ColorWall, ColorWall)
+		// Caps.
+		tris = append(tris, [3]int32{c0, a1, a0}, [3]int32{c1, b0, b1})
+		triColors = append(triColors, capColor0, capColor1)
+	}
+	return &Mesh{Vertices: verts, Colors: colors, Triangles: tris, TriColors: triColors}
+}
+
+// Merge concatenates meshes into one (vertices are not deduplicated; the
+// result is watertight only if each part is).
+func Merge(meshes ...*Mesh) *Mesh {
+	out := &Mesh{}
+	colored, triColored := false, false
+	for _, m := range meshes {
+		if m.Colors != nil {
+			colored = true
+		}
+		if m.TriColors != nil {
+			triColored = true
+		}
+	}
+	for _, m := range meshes {
+		base := int32(len(out.Vertices))
+		out.Vertices = append(out.Vertices, m.Vertices...)
+		if colored {
+			if m.Colors != nil {
+				out.Colors = append(out.Colors, m.Colors...)
+			} else {
+				for range m.Vertices {
+					out.Colors = append(out.Colors, ColorWall)
+				}
+			}
+		}
+		for t := range m.Triangles {
+			tri := m.Triangles[t]
+			out.Triangles = append(out.Triangles, [3]int32{tri[0] + base, tri[1] + base, tri[2] + base})
+			if triColored {
+				out.TriColors = append(out.TriColors, m.TriangleColor(t))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Package netmodel provides analytic models of the two interconnects of
+// section 3: JUQUEEN's 5-dimensional torus (nearest-neighbor bandwidth
+// independent of machine size, sub-microsecond to 2.6 us latency) and
+// SuperMUC's island topology (non-blocking fat tree within an island of
+// 8192 cores, islands connected 4:1 pruned). The scaling projections use
+// these models to estimate the per-step ghost layer communication time;
+// the paper's expectation — torus communication scales to the full
+// machine, the pruned tree costs parallel efficiency beyond one island —
+// emerges from the topology parameters.
+package netmodel
+
+import "math"
+
+// Network estimates per-step ghost exchange time for one node.
+type Network interface {
+	Name() string
+	// CommTime returns the seconds one node spends exchanging ghost
+	// layers in one time step, given the total core count of the run, the
+	// bytes leaving the node, the bytes exchanged between processes within
+	// the node (through MPI shared memory in a pure-MPI configuration),
+	// and the number of off-node messages.
+	CommTime(totalCores int, offNodeBytes, intraNodeBytes float64, offNodeMessages int) float64
+}
+
+// Torus models a BG/Q-style n-dimensional torus: every node has dedicated
+// links to its neighbors, so nearest-neighbor ghost exchange bandwidth is
+// independent of the machine size.
+type Torus struct {
+	// NetName names the network.
+	NetName string
+	// LinkBandwidth is the aggregate nearest-neighbor bandwidth of one
+	// node in bytes/s usable by the ghost exchange.
+	LinkBandwidth float64
+	// BaseLatency is the per-message software+hardware latency in
+	// seconds.
+	BaseLatency float64
+	// HopLatency is the added latency per torus hop; nearest-neighbor
+	// partitions see one hop.
+	HopLatency float64
+	// IntraNodeBandwidth is the effective bandwidth of MPI messages
+	// between ranks on the same node (memory copies).
+	IntraNodeBandwidth float64
+	// CoresPerNode converts the run's core count into the torus node
+	// count.
+	CoresPerNode int
+	// HopBandwidthPenalty models link sharing with pass-through traffic
+	// as the partition grows: the effective neighbor bandwidth shrinks by
+	// 1 + penalty*(meanHops-1), with meanHops = nodes^(1/dims).
+	HopBandwidthPenalty float64
+	// Dims is the torus dimensionality (5 on BG/Q).
+	Dims int
+}
+
+// JUQUEENTorus returns the 5-D torus model of JUQUEEN: 40 GB/s of torus
+// links per node of which a nearest-neighbor exchange drives a fraction,
+// latencies of a few hundred nanoseconds up to 2.6 us.
+func JUQUEENTorus() *Torus {
+	return &Torus{
+		NetName:             "JUQUEEN 5-D torus",
+		LinkBandwidth:       4.0e9, // sustained neighbor-exchange share of 40 GB/s
+		BaseLatency:         2.0e-6,
+		HopLatency:          0.6e-6,
+		IntraNodeBandwidth:  6.0e9,
+		CoresPerNode:        16,
+		HopBandwidthPenalty: 0.9,
+		Dims:                5,
+	}
+}
+
+// meanHops estimates the average distance between communicating partners
+// mapped onto the torus: near one for small partitions, growing with the
+// partition's extent per torus dimension.
+func (t *Torus) meanHops(totalCores int) float64 {
+	nodes := 1.0
+	if t.CoresPerNode > 0 {
+		nodes = float64(totalCores) / float64(t.CoresPerNode)
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	dims := t.Dims
+	if dims <= 0 {
+		dims = 5
+	}
+	return math.Pow(nodes, 1.0/float64(dims))
+}
+
+// Name implements Network.
+func (t *Torus) Name() string { return t.NetName }
+
+// CommTime implements Network: torus neighbor exchange degrades only
+// mildly with machine size — links are shared with pass-through traffic of
+// the growing partition, but there is no island knee.
+func (t *Torus) CommTime(totalCores int, offNodeBytes, intraNodeBytes float64, offNodeMessages int) float64 {
+	hops := t.meanHops(totalCores)
+	latency := float64(offNodeMessages) * (t.BaseLatency + t.HopLatency*hops)
+	penalty := 1.0 + t.HopBandwidthPenalty*(hops-1)
+	return latency + offNodeBytes*penalty/t.LinkBandwidth + intraNodeBytes/t.IntraNodeBandwidth
+}
+
+// IslandTree models SuperMUC's network: islands of IslandCores cores with
+// a non-blocking tree inside, joined by a PruneFactor:1 pruned tree. Once
+// a run spans several islands, the fraction of ghost traffic crossing
+// island boundaries contends for the pruned links.
+type IslandTree struct {
+	NetName string
+	// IslandCores is the island size (SuperMUC: 512 nodes x 16 = 8192).
+	IslandCores int
+	// PruneFactor is the oversubscription of inter-island links (4).
+	PruneFactor float64
+	// NodeBandwidth is the per-node injection bandwidth into the tree.
+	NodeBandwidth float64
+	// BaseLatency per message within an island; crossing islands adds
+	// ExtraHopLatency.
+	BaseLatency     float64
+	ExtraHopLatency float64
+	// IntraNodeBandwidth for same-node MPI messages.
+	IntraNodeBandwidth float64
+	// CrossFractionCap bounds the asymptotic fraction of traffic that
+	// crosses islands for a compact 3-D domain decomposition.
+	CrossFractionCap float64
+}
+
+// SuperMUCNetwork returns the island/pruned-tree model of SuperMUC.
+func SuperMUCNetwork() *IslandTree {
+	return &IslandTree{
+		NetName:            "SuperMUC islands (4:1 pruned tree)",
+		IslandCores:        8192,
+		PruneFactor:        5,     // 4:1 pruning plus sharing contention
+		NodeBandwidth:      1.2e9, // FDR10 injection share for the exchange
+		BaseLatency:        2.5e-6,
+		ExtraHopLatency:    2.5e-6,
+		IntraNodeBandwidth: 8.0e9,
+		CrossFractionCap:   0.55,
+	}
+}
+
+// Name implements Network.
+func (n *IslandTree) Name() string { return n.NetName }
+
+// crossFraction estimates the share of off-node traffic that crosses
+// island boundaries: zero within one island, approaching the cap as the
+// island subdomains' surface-to-volume ratio saturates.
+func (n *IslandTree) crossFraction(totalCores int) float64 {
+	if totalCores <= n.IslandCores {
+		return 0
+	}
+	ratio := float64(n.IslandCores) / float64(totalCores)
+	return n.CrossFractionCap * (1 - math.Cbrt(ratio))
+}
+
+// CommTime implements Network.
+func (n *IslandTree) CommTime(totalCores int, offNodeBytes, intraNodeBytes float64, offNodeMessages int) float64 {
+	f := n.crossFraction(totalCores)
+	latency := float64(offNodeMessages) * (n.BaseLatency + f*n.ExtraHopLatency)
+	// Traffic crossing islands is slowed by the pruning factor (the
+	// pruned links are shared by the whole island's crossing traffic).
+	transfer := offNodeBytes * ((1-f)/n.NodeBandwidth + f*n.PruneFactor/n.NodeBandwidth)
+	return latency + transfer + intraNodeBytes/n.IntraNodeBandwidth
+}

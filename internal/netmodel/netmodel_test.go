@@ -1,0 +1,104 @@
+package netmodel
+
+import "testing"
+
+// Torus exchange time must grow only mildly with machine size — no knee,
+// bounded degradation (the paper's expectation that LBM communication
+// scales to the full machine).
+func TestTorusNearScaleInvariance(t *testing.T) {
+	n := JUQUEENTorus()
+	small := n.CommTime(1024, 20e6, 60e6, 26)
+	large := n.CommTime(458752, 20e6, 60e6, 26)
+	if small <= 0 {
+		t.Fatalf("degenerate comm time %v", small)
+	}
+	if large <= small {
+		t.Errorf("no growth at all: %v vs %v", small, large)
+	}
+	if large > 6*small {
+		t.Errorf("torus comm grows too much: %v vs %v", small, large)
+	}
+	// Monotone, smooth (no knee: the growth between successive doublings
+	// never jumps).
+	prev := small
+	prevGrowth := 0.0
+	for cores := 2048; cores <= 458752; cores *= 2 {
+		cur := n.CommTime(cores, 20e6, 60e6, 26)
+		growth := cur - prev
+		if growth < 0 {
+			t.Errorf("comm time decreased at %d cores", cores)
+		}
+		if prevGrowth > 0 && growth > 3*prevGrowth {
+			t.Errorf("knee-like jump at %d cores: %v after %v", cores, growth, prevGrowth)
+		}
+		prev, prevGrowth = cur, growth
+	}
+}
+
+func TestTorusComponents(t *testing.T) {
+	n := JUQUEENTorus()
+	latencyOnly := n.CommTime(16, 0, 0, 10)
+	if latencyOnly != 10*(n.BaseLatency+n.HopLatency) {
+		t.Errorf("latency component = %v", latencyOnly)
+	}
+	withBytes := n.CommTime(16, n.LinkBandwidth, 0, 0)
+	if withBytes != 1.0 {
+		t.Errorf("bandwidth component = %v, want 1s", withBytes)
+	}
+}
+
+// Within one island the tree is non-blocking: time constant. Beyond the
+// island boundary communication gets strictly slower and keeps degrading,
+// approaching an asymptote.
+func TestIslandKnee(t *testing.T) {
+	n := SuperMUCNetwork()
+	within1 := n.CommTime(2048, 5e6, 10e6, 26)
+	within2 := n.CommTime(8192, 5e6, 10e6, 26)
+	if within1 != within2 {
+		t.Errorf("comm time varies within an island: %v vs %v", within1, within2)
+	}
+	prev := within2
+	for _, cores := range []int{16384, 32768, 65536, 131072} {
+		cur := n.CommTime(cores, 5e6, 10e6, 26)
+		if cur <= prev {
+			t.Errorf("comm time at %d cores (%v) not above previous (%v)", cores, cur, prev)
+		}
+		prev = cur
+	}
+	// The degradation is bounded: even the full machine stays below the
+	// fully pruned worst case.
+	worst := n.CommTime(1<<30, 5e6, 10e6, 26)
+	fullPruned := float64(26)*(n.BaseLatency+n.ExtraHopLatency) + 5e6*n.PruneFactor/n.NodeBandwidth + 10e6/n.IntraNodeBandwidth
+	if worst >= fullPruned {
+		t.Errorf("asymptotic comm time %v exceeds fully pruned bound %v", worst, fullPruned)
+	}
+}
+
+func TestCrossFraction(t *testing.T) {
+	n := SuperMUCNetwork()
+	if f := n.crossFraction(8192); f != 0 {
+		t.Errorf("cross fraction within island = %v", f)
+	}
+	f16k := n.crossFraction(16384)
+	f128k := n.crossFraction(131072)
+	if !(f16k > 0 && f128k > f16k && f128k < n.CrossFractionCap) {
+		t.Errorf("cross fractions implausible: %v, %v (cap %v)", f16k, f128k, n.CrossFractionCap)
+	}
+}
+
+// Fewer, larger processes per node (hybrid MPI/OpenMP) exchange fewer
+// intra-node bytes; the model must reward that.
+func TestHybridIntraNodeSavings(t *testing.T) {
+	n := SuperMUCNetwork()
+	pure := n.CommTime(4096, 5e6, 16e6, 26*16)
+	hybrid := n.CommTime(4096, 5e6, 4e6, 26*2)
+	if hybrid >= pure {
+		t.Errorf("hybrid comm %v not below pure MPI %v", hybrid, pure)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if JUQUEENTorus().Name() == "" || SuperMUCNetwork().Name() == "" {
+		t.Error("empty network names")
+	}
+}

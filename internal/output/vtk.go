@@ -1,0 +1,107 @@
+// Package output writes simulation fields to standard visualization and
+// checkpoint formats: legacy VTK structured-points files (one per block,
+// loadable by ParaView/VisIt) for the macroscopic fields, and a binary
+// checkpoint format that restores the exact PDF state of a block.
+package output
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"walberla/internal/field"
+)
+
+// WriteVTK writes the macroscopic fields (density, velocity, cell type)
+// of one block as a legacy-format VTK structured-points dataset. origin
+// is the position of the first cell center, spacing the lattice constant.
+// Non-fluid cells carry zero velocity and density.
+func WriteVTK(w io.Writer, title string, pdfs *field.PDFField, flags *field.FlagField, origin [3]float64, spacing float64) error {
+	if flags != nil && (flags.Nx != pdfs.Nx || flags.Ny != pdfs.Ny || flags.Nz != pdfs.Nz) {
+		return fmt.Errorf("output: flag field shape %dx%dx%d does not match PDF field %dx%dx%d",
+			flags.Nx, flags.Ny, flags.Nz, pdfs.Nx, pdfs.Ny, pdfs.Nz)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintln(bw, title)
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET STRUCTURED_POINTS")
+	fmt.Fprintf(bw, "DIMENSIONS %d %d %d\n", pdfs.Nx, pdfs.Ny, pdfs.Nz)
+	fmt.Fprintf(bw, "ORIGIN %g %g %g\n", origin[0], origin[1], origin[2])
+	fmt.Fprintf(bw, "SPACING %g %g %g\n", spacing, spacing, spacing)
+	n := pdfs.Nx * pdfs.Ny * pdfs.Nz
+	fmt.Fprintf(bw, "POINT_DATA %d\n", n)
+
+	isFluid := func(x, y, z int) bool {
+		return flags == nil || flags.Get(x, y, z) == field.Fluid
+	}
+
+	fmt.Fprintln(bw, "SCALARS density double 1")
+	fmt.Fprintln(bw, "LOOKUP_TABLE default")
+	for z := 0; z < pdfs.Nz; z++ {
+		for y := 0; y < pdfs.Ny; y++ {
+			for x := 0; x < pdfs.Nx; x++ {
+				if !isFluid(x, y, z) {
+					fmt.Fprintln(bw, "0")
+					continue
+				}
+				rho, _, _, _ := pdfs.Moments(x, y, z)
+				fmt.Fprintf(bw, "%g\n", rho)
+			}
+		}
+	}
+
+	fmt.Fprintln(bw, "VECTORS velocity double")
+	for z := 0; z < pdfs.Nz; z++ {
+		for y := 0; y < pdfs.Ny; y++ {
+			for x := 0; x < pdfs.Nx; x++ {
+				if !isFluid(x, y, z) {
+					fmt.Fprintln(bw, "0 0 0")
+					continue
+				}
+				_, ux, uy, uz := pdfs.Moments(x, y, z)
+				fmt.Fprintf(bw, "%g %g %g\n", ux, uy, uz)
+			}
+		}
+	}
+
+	if flags != nil {
+		fmt.Fprintln(bw, "SCALARS celltype int 1")
+		fmt.Fprintln(bw, "LOOKUP_TABLE default")
+		for z := 0; z < pdfs.Nz; z++ {
+			for y := 0; y < pdfs.Ny; y++ {
+				for x := 0; x < pdfs.Nx; x++ {
+					fmt.Fprintf(bw, "%d\n", flags.Get(x, y, z))
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteVTKMesh writes a triangle surface mesh as a legacy VTK polydata
+// dataset with per-triangle boundary colors, for inspecting geometries.
+func WriteVTKMesh(w io.Writer, title string, vertices [][3]float64, triangles [][3]int32, triColor func(t int) int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintln(bw, title)
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET POLYDATA")
+	fmt.Fprintf(bw, "POINTS %d double\n", len(vertices))
+	for _, v := range vertices {
+		fmt.Fprintf(bw, "%g %g %g\n", v[0], v[1], v[2])
+	}
+	fmt.Fprintf(bw, "POLYGONS %d %d\n", len(triangles), 4*len(triangles))
+	for _, t := range triangles {
+		fmt.Fprintf(bw, "3 %d %d %d\n", t[0], t[1], t[2])
+	}
+	if triColor != nil {
+		fmt.Fprintf(bw, "CELL_DATA %d\n", len(triangles))
+		fmt.Fprintln(bw, "SCALARS boundary int 1")
+		fmt.Fprintln(bw, "LOOKUP_TABLE default")
+		for t := range triangles {
+			fmt.Fprintf(bw, "%d\n", triColor(t))
+		}
+	}
+	return bw.Flush()
+}

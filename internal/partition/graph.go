@@ -1,0 +1,199 @@
+// Package partition provides the static load balancer of the setup phase:
+// a multilevel k-way graph partitioner in the spirit of METIS (the paper
+// uses METIS for this step) — heavy-edge-matching coarsening, greedy graph
+// growing for the initial partition, and Fiduccia-Mattheyses-style
+// boundary refinement — plus the translation from a block forest with
+// per-block workloads and communication volumes into the weighted graph
+// the partitioner consumes.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Edge is one weighted adjacency entry.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Graph is an undirected graph with weighted vertices (workload), an
+// optional secondary vertex weight (memory), and weighted edges
+// (communication volume).
+type Graph struct {
+	VertexWeight []float64
+	VertexMemory []float64
+	adj          [][]Edge
+}
+
+// NewGraph creates a graph with n vertices of unit weight and no edges.
+func NewGraph(n int) *Graph {
+	g := &Graph{
+		VertexWeight: make([]float64, n),
+		VertexMemory: make([]float64, n),
+		adj:          make([][]Edge, n),
+	}
+	for i := range g.VertexWeight {
+		g.VertexWeight[i] = 1
+		g.VertexMemory[i] = 1
+	}
+	return g
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// AddEdge inserts the undirected edge (u, v) with the given weight,
+// accumulating onto an existing edge.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u == v {
+		return
+	}
+	g.addHalf(u, v, w)
+	g.addHalf(v, u, w)
+}
+
+func (g *Graph) addHalf(u, v int, w float64) {
+	for i := range g.adj[u] {
+		if g.adj[u][i].To == v {
+			g.adj[u][i].Weight += w
+			return
+		}
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
+}
+
+// Neighbors returns the adjacency list of u (not to be modified).
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// TotalVertexWeight sums the vertex workloads.
+func (g *Graph) TotalVertexWeight() float64 {
+	var t float64
+	for _, w := range g.VertexWeight {
+		t += w
+	}
+	return t
+}
+
+// EdgeCut returns the summed weight of edges crossing parts.
+func EdgeCut(g *Graph, parts []int) float64 {
+	var cut float64
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if u < e.To && parts[u] != parts[e.To] {
+				cut += e.Weight
+			}
+		}
+	}
+	return cut
+}
+
+// PartWeights sums vertex weights per part over k parts.
+func PartWeights(g *Graph, parts []int, k int) []float64 {
+	w := make([]float64, k)
+	for v, p := range parts {
+		w[p] += g.VertexWeight[v]
+	}
+	return w
+}
+
+// Imbalance returns max part weight over average part weight.
+func Imbalance(g *Graph, parts []int, k int) float64 {
+	w := PartWeights(g, parts, k)
+	var total, maxW float64
+	for _, v := range w {
+		total += v
+		if v > maxW {
+			maxW = v
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return maxW / (total / float64(k))
+}
+
+// Options configures Partition.
+type Options struct {
+	// Parts is the number of parts k (processes).
+	Parts int
+	// ImbalanceTolerance is the allowed max-part/average ratio during
+	// refinement; 0 means the default 1.05.
+	ImbalanceTolerance float64
+	// MemoryCapacity, if positive, is the maximum summed VertexMemory per
+	// part — the paper's per-process memory limit constraint.
+	MemoryCapacity float64
+	// Seed makes the randomized stages deterministic.
+	Seed int64
+	// coarsenThreshold stops coarsening below this many vertices
+	// (default 8 * Parts).
+	CoarsenThreshold int
+}
+
+// Partition computes a k-way partition of g minimizing the edge cut under
+// the balance (and optional memory) constraints. It returns the part index
+// per vertex.
+func Partition(g *Graph, opt Options) ([]int, error) {
+	k := opt.Parts
+	if k <= 0 {
+		return nil, fmt.Errorf("partition: invalid part count %d", k)
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, nil
+	}
+	if opt.ImbalanceTolerance <= 0 {
+		opt.ImbalanceTolerance = 1.05
+	}
+	if opt.CoarsenThreshold <= 0 {
+		opt.CoarsenThreshold = 8 * k
+	}
+	if k == 1 {
+		return make([]int, n), nil
+	}
+	if k >= n {
+		// One vertex per part (heaviest first so big blocks spread out).
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return g.VertexWeight[order[a]] > g.VertexWeight[order[b]]
+		})
+		parts := make([]int, n)
+		for i, v := range order {
+			parts[v] = i % k
+		}
+		return parts, nil
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Multilevel V-cycle.
+	levels := []*Graph{g}
+	maps := [][]int{} // fine vertex -> coarse vertex
+	for levels[len(levels)-1].NumVertices() > opt.CoarsenThreshold {
+		coarse, vmap, shrunk := coarsen(levels[len(levels)-1], rng)
+		if !shrunk {
+			break
+		}
+		levels = append(levels, coarse)
+		maps = append(maps, vmap)
+	}
+	coarsest := levels[len(levels)-1]
+	parts := growInitial(coarsest, k, rng)
+	refine(coarsest, parts, k, opt, rng)
+	// Project back through the levels, refining at each.
+	for li := len(maps) - 1; li >= 0; li-- {
+		fine := levels[li]
+		vmap := maps[li]
+		fineParts := make([]int, fine.NumVertices())
+		for v := range fineParts {
+			fineParts[v] = parts[vmap[v]]
+		}
+		parts = fineParts
+		refine(fine, parts, k, opt, rng)
+	}
+	return parts, nil
+}

@@ -1,0 +1,300 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// coarsen contracts a heavy-edge matching: each vertex is matched with its
+// heaviest unmatched neighbor, matched pairs merge into one coarse vertex
+// with summed weights and combined adjacency. Returns the coarse graph,
+// the fine-to-coarse map, and whether the graph actually shrank.
+func coarsen(g *Graph, rng *rand.Rand) (*Graph, []int, bool) {
+	n := g.NumVertices()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, u := range order {
+		if match[u] >= 0 {
+			continue
+		}
+		best := -1
+		bestW := 0.0
+		for _, e := range g.adj[u] {
+			if match[e.To] < 0 && e.To != u && e.Weight > bestW {
+				best, bestW = e.To, e.Weight
+			}
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = u
+		} else {
+			match[u] = u // self-matched
+		}
+	}
+	// Assign coarse indices.
+	vmap := make([]int, n)
+	for i := range vmap {
+		vmap[i] = -1
+	}
+	nc := 0
+	for u := 0; u < n; u++ {
+		if vmap[u] >= 0 {
+			continue
+		}
+		vmap[u] = nc
+		if match[u] != u {
+			vmap[match[u]] = nc
+		}
+		nc++
+	}
+	if nc >= n {
+		return nil, nil, false
+	}
+	coarse := NewGraph(nc)
+	for i := range coarse.VertexWeight {
+		coarse.VertexWeight[i] = 0
+		coarse.VertexMemory[i] = 0
+	}
+	for u := 0; u < n; u++ {
+		cu := vmap[u]
+		coarse.VertexWeight[cu] += g.VertexWeight[u]
+		coarse.VertexMemory[cu] += g.VertexMemory[u]
+		for _, e := range g.adj[u] {
+			if cv := vmap[e.To]; cv != cu && u < e.To {
+				coarse.AddEdge(cu, cv, e.Weight)
+			}
+		}
+	}
+	return coarse, vmap, true
+}
+
+// growInitial computes an initial k-way partition by greedy graph growing:
+// each part is grown from a seed vertex, always absorbing the frontier
+// vertex with the highest connectivity to the part, until the part reaches
+// its weight target.
+func growInitial(g *Graph, k int, rng *rand.Rand) []int {
+	n := g.NumVertices()
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	remainingWeight := g.TotalVertexWeight()
+	unassigned := n
+	for p := 0; p < k && unassigned > 0; p++ {
+		target := remainingWeight / float64(k-p)
+		// Seed: unassigned vertex with maximum weight (deterministic given
+		// the rng-free tie-break by index).
+		seed := -1
+		for v := 0; v < n; v++ {
+			if parts[v] < 0 && (seed < 0 || g.VertexWeight[v] > g.VertexWeight[seed]) {
+				seed = v
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		var weight float64
+		gain := make(map[int]float64)
+		take := func(v int) {
+			parts[v] = p
+			weight += g.VertexWeight[v]
+			remainingWeight -= g.VertexWeight[v]
+			unassigned--
+			delete(gain, v)
+			for _, e := range g.adj[v] {
+				if parts[e.To] < 0 {
+					gain[e.To] += e.Weight
+				}
+			}
+		}
+		take(seed)
+		for weight < target && unassigned > 0 && p < k-1 {
+			// Highest-gain frontier vertex; fall back to any unassigned
+			// vertex when the frontier is empty (disconnected graph).
+			best := -1
+			bestGain := -1.0
+			for v, gn := range gain {
+				if gn > bestGain || (gn == bestGain && v < best) {
+					best, bestGain = v, gn
+				}
+			}
+			if best < 0 {
+				for v := 0; v < n; v++ {
+					if parts[v] < 0 {
+						best = v
+						break
+					}
+				}
+			}
+			if best < 0 {
+				break
+			}
+			if weight+g.VertexWeight[best] > target*1.3 && weight > 0 {
+				break // overshooting badly; close this part
+			}
+			take(best)
+		}
+	}
+	// Sweep up leftovers into the last part (or the lightest part).
+	for v := 0; v < n; v++ {
+		if parts[v] < 0 {
+			w := PartWeights(g, fillNegative(parts, k-1), k)
+			lightest := 0
+			for p := 1; p < k; p++ {
+				if w[p] < w[lightest] {
+					lightest = p
+				}
+			}
+			parts[v] = lightest
+		}
+	}
+	_ = rng
+	return parts
+}
+
+// fillNegative returns a copy of parts with negatives replaced, so helper
+// metrics can run on partially assigned slices.
+func fillNegative(parts []int, def int) []int {
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		if p < 0 {
+			out[i] = def
+		} else {
+			out[i] = p
+		}
+	}
+	return out
+}
+
+// refine runs Fiduccia-Mattheyses-style boundary refinement passes: each
+// pass visits boundary vertices in order of decreasing move gain and
+// relocates them to their best neighboring part when the balance (and
+// memory) constraints allow. Passes repeat until no improving move is
+// found (bounded by a fixed pass count).
+func refine(g *Graph, parts []int, k int, opt Options, rng *rand.Rand) {
+	n := g.NumVertices()
+	weights := PartWeights(g, parts, k)
+	memory := make([]float64, k)
+	for v, p := range parts {
+		memory[p] += g.VertexMemory[v]
+	}
+	avg := g.TotalVertexWeight() / float64(k)
+	maxW := avg * opt.ImbalanceTolerance
+
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		type move struct {
+			v    int
+			to   int
+			gain float64
+		}
+		var moves []move
+		for v := 0; v < n; v++ {
+			// Connectivity to each adjacent part.
+			conn := map[int]float64{}
+			for _, e := range g.adj[v] {
+				conn[parts[e.To]] += e.Weight
+			}
+			internal := conn[parts[v]]
+			for p, w := range conn {
+				if p == parts[v] {
+					continue
+				}
+				if gain := w - internal; gain > 0 {
+					moves = append(moves, move{v, p, gain})
+				}
+			}
+		}
+		sort.Slice(moves, func(a, b int) bool {
+			if moves[a].gain != moves[b].gain {
+				return moves[a].gain > moves[b].gain
+			}
+			return moves[a].v < moves[b].v
+		})
+		improved := false
+		for _, mv := range moves {
+			from := parts[mv.v]
+			if from == mv.to {
+				continue
+			}
+			// Re-check the gain (earlier moves may have changed it).
+			var toW, fromW float64
+			for _, e := range g.adj[mv.v] {
+				switch parts[e.To] {
+				case mv.to:
+					toW += e.Weight
+				case from:
+					fromW += e.Weight
+				}
+			}
+			if toW-fromW <= 0 {
+				continue
+			}
+			// Balance constraint: don't overload the target, don't empty a
+			// part below half average unless it stays non-negative.
+			if weights[mv.to]+g.VertexWeight[mv.v] > maxW {
+				continue
+			}
+			if opt.MemoryCapacity > 0 && memory[mv.to]+g.VertexMemory[mv.v] > opt.MemoryCapacity {
+				continue
+			}
+			parts[mv.v] = mv.to
+			weights[from] -= g.VertexWeight[mv.v]
+			weights[mv.to] += g.VertexWeight[mv.v]
+			memory[from] -= g.VertexMemory[mv.v]
+			memory[mv.to] += g.VertexMemory[mv.v]
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	// Balance-only pass: if some part exceeds the tolerance, shed its
+	// lightest boundary vertices to the lightest neighboring part.
+	for iter := 0; iter < 4*k; iter++ {
+		heaviest := 0
+		for p := 1; p < k; p++ {
+			if weights[p] > weights[heaviest] {
+				heaviest = p
+			}
+		}
+		if weights[heaviest] <= maxW {
+			break
+		}
+		moved := false
+		for v := 0; v < n && !moved; v++ {
+			if parts[v] != heaviest {
+				continue
+			}
+			lightest := -1
+			for _, e := range g.adj[v] {
+				p := parts[e.To]
+				if p != heaviest && (lightest < 0 || weights[p] < weights[lightest]) {
+					lightest = p
+				}
+			}
+			if lightest < 0 {
+				continue
+			}
+			if weights[lightest]+g.VertexWeight[v] >= weights[heaviest] {
+				continue
+			}
+			if opt.MemoryCapacity > 0 && memory[lightest]+g.VertexMemory[v] > opt.MemoryCapacity {
+				continue
+			}
+			parts[v] = lightest
+			weights[heaviest] -= g.VertexWeight[v]
+			weights[lightest] += g.VertexWeight[v]
+			memory[heaviest] -= g.VertexMemory[v]
+			memory[lightest] += g.VertexMemory[v]
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+	_ = rng
+}

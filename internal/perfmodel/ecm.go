@@ -1,0 +1,137 @@
+package perfmodel
+
+import "math"
+
+// The Execution-Cache-Memory model (Treibig/Hager; section 4.1): the
+// runtime of one unit of work (eight lattice cell updates = one cache
+// line per stream) decomposes into
+//
+//	T_core  — execution with all data in L1 (IACA cycle count),
+//	T_cache — cache line transfers through the cache hierarchy,
+//	T_mem   — cache line transfers over the memory interface,
+//
+// under the no-overlap assumption (a cache can either evict or reload,
+// not both). A single core runs in T_core + T_cache + T_mem; n cores
+// scale linearly until the aggregate hits the memory bandwidth ceiling.
+
+// ECM evaluates the model for one machine at a given clock frequency.
+type ECM struct {
+	Machine *Machine
+	// FreqGHz is the evaluated clock frequency (may differ from nominal
+	// for the frequency study of Figure 4).
+	FreqGHz float64
+}
+
+// NewECM builds the model at the machine's nominal frequency.
+func NewECM(m *Machine) ECM { return ECM{Machine: m, FreqGHz: m.FreqGHz} }
+
+// AtFrequency returns the model evaluated at a different core frequency.
+func (e ECM) AtFrequency(freqGHz float64) ECM {
+	e.FreqGHz = freqGHz
+	return e
+}
+
+// bandwidth returns the LBM-pattern bandwidth at the evaluated frequency
+// in bytes/s.
+func (e ECM) bandwidth() float64 {
+	bw := e.Machine.LBMBW
+	if e.Machine.BWAtFreq != nil {
+		bw = e.Machine.BWAtFreq(e.FreqGHz)
+	}
+	return bw * GiB
+}
+
+// TCore returns the in-cache execution cycles for eight cell updates.
+func (e ECM) TCore() float64 { return e.Machine.CoreCyclesPer8LUP }
+
+// TCache returns the inter-cache transfer cycles for eight cell updates:
+// 57 cache lines (19 loads + 19 stores + 19 write-allocates) per hop.
+func (e ECM) TCache() float64 {
+	return float64(StreamsPerLUP) * e.Machine.CyclesPerLineTransfer * float64(e.Machine.CacheLevels)
+}
+
+// TMem returns the memory transfer cycles for eight cell updates at the
+// evaluated frequency.
+func (e ECM) TMem() float64 {
+	bytes := float64(StreamsPerLUP) * CacheLineBytes
+	seconds := bytes / e.bandwidth()
+	return seconds * e.FreqGHz * 1e9
+}
+
+// SingleCoreCycles returns the no-overlap single core prediction for
+// eight updates.
+func (e ECM) SingleCoreCycles() float64 { return e.TCore() + e.TCache() + e.TMem() }
+
+// SingleCoreMLUPS returns the single core performance prediction.
+func (e ECM) SingleCoreMLUPS() float64 {
+	cyclesPerLUP := e.SingleCoreCycles() / LUPsPerCacheLine
+	return e.FreqGHz * 1e9 / cyclesPerLUP / 1e6
+}
+
+// MLUPS returns the predicted performance with n cores: linear scaling of
+// the single-core prediction capped by the bandwidth roofline.
+func (e ECM) MLUPS(cores int) float64 {
+	linear := float64(cores) * e.SingleCoreMLUPS()
+	roof := RooflineMLUPS(e.bandwidth() / GiB)
+	return math.Min(linear, roof)
+}
+
+// SaturationCores returns the number of cores at which the memory
+// interface saturates (the paper: six of eight cores on SuperMUC at
+// 2.7 GHz; all eight are needed at the reduced frequency).
+func (e ECM) SaturationCores() int {
+	roof := RooflineMLUPS(e.bandwidth() / GiB)
+	single := e.SingleCoreMLUPS()
+	n := int(math.Ceil(roof/single - 1e-9))
+	if n < 1 {
+		n = 1
+	}
+	if n > e.Machine.Cores {
+		n = e.Machine.Cores
+	}
+	return n
+}
+
+// EnergyModel estimates socket energy per lattice cell update relative to
+// operation at the nominal frequency, using a simple static+dynamic power
+// split P(f) = P_static + c f^3 calibrated so that running SuperMUC at
+// 1.6 GHz consumes 25 % less energy at 93 % of the performance (the
+// paper's optimal operating point).
+type EnergyModel struct {
+	ecm ECM
+	// staticShare is the fraction of socket power that does not scale
+	// with frequency at the nominal operating point.
+	staticShare float64
+}
+
+// NewEnergyModel builds the calibrated energy model.
+func NewEnergyModel(m *Machine) EnergyModel {
+	return EnergyModel{ecm: NewECM(m), staticShare: 0.627}
+}
+
+// RelativePower returns P(f)/P(f_nominal).
+func (em EnergyModel) RelativePower(freqGHz float64) float64 {
+	f0 := em.ecm.Machine.FreqGHz
+	r := freqGHz / f0
+	return em.staticShare + (1-em.staticShare)*r*r*r
+}
+
+// RelativeEnergyPerLUP returns E(f)/E(f_nominal) for the full socket: the
+// power ratio divided by the performance ratio.
+func (em EnergyModel) RelativeEnergyPerLUP(freqGHz float64) float64 {
+	perf := em.ecm.AtFrequency(freqGHz).MLUPS(em.ecm.Machine.Cores)
+	perf0 := em.ecm.MLUPS(em.ecm.Machine.Cores)
+	return em.RelativePower(freqGHz) / (perf / perf0)
+}
+
+// OptimalFrequency scans candidate frequencies for the minimum energy per
+// update — reproducing the paper's 1.6 GHz sweet spot on SuperMUC.
+func (em EnergyModel) OptimalFrequency(candidates []float64) float64 {
+	best, bestE := em.ecm.Machine.FreqGHz, math.Inf(1)
+	for _, f := range candidates {
+		if e := em.RelativeEnergyPerLUP(f); e < bestE {
+			best, bestE = f, e
+		}
+	}
+	return best
+}

@@ -1,0 +1,145 @@
+package perfmodel
+
+import "math"
+
+// The paper uses the Intel Architecture Code Analyzer (IACA) to obtain
+// the ECM core-execution input: 448 cycles for eight lattice cell updates
+// of the TRT SIMD kernel on Sandy Bridge, all data in L1. IACA is
+// proprietary and discontinued; this file substitutes a transparent
+// static analyzer: the per-cell operation counts of the D3Q19 TRT kernel
+// (counted from internal/kernels, the same arithmetic the paper's kernel
+// performs) are scheduled onto a port throughput model of the target
+// microarchitecture. The port bound is a lower bound — dependency chains
+// and front-end effects push the real in-L1 time above it; the ratio of
+// the paper's IACA figure to our port bound is exposed as the calibrated
+// dependency-stall factor.
+
+// KernelOpCounts is the per-lattice-cell operation mix of a compute
+// kernel.
+type KernelOpCounts struct {
+	Adds   int // floating point additions/subtractions
+	Muls   int // floating point multiplications
+	Divs   int // floating point divisions
+	Loads  int // memory loads (PDF pulls)
+	Stores int // memory stores (PDF writes)
+}
+
+// D3Q19TRTOpCounts returns the operation mix of one cell update of the
+// fused D3Q19 TRT kernel, counted from the implementation in
+// internal/kernels/d3q19.go:
+//
+//	density:      18 adds
+//	velocities:   27 adds + 3 muls (momentum sums, scale by 1/rho)
+//	1/rho:        1 div
+//	u^2 term:     2 adds + 4 muls
+//	w*rho terms:  3 muls
+//	center:       3 adds + 2 muls
+//	9 pairs:      10 adds + 9 muls each, plus 6 adds for the two-component
+//	              velocity projections
+func D3Q19TRTOpCounts() KernelOpCounts {
+	return KernelOpCounts{
+		Adds:   18 + 27 + 2 + 3 + 9*10 + 6,
+		Muls:   3 + 4 + 3 + 2 + 9*9,
+		Divs:   1,
+		Loads:  19,
+		Stores: 19,
+	}
+}
+
+// D3Q19SRTOpCounts returns the mix of the SRT variant (fewer pair
+// operations: 8 adds + 7 muls per pair).
+func D3Q19SRTOpCounts() KernelOpCounts {
+	return KernelOpCounts{
+		Adds:   18 + 27 + 2 + 3 + 9*8 + 6,
+		Muls:   3 + 4 + 3 + 2 + 9*7,
+		Divs:   1,
+		Loads:  19,
+		Stores: 19,
+	}
+}
+
+// PortModel describes the issue capabilities of one core.
+type PortModel struct {
+	Name string
+	// VectorWidth is the SIMD width in doubles (AVX: 4, QPX: 4, scalar: 1).
+	VectorWidth int
+	// AddPerCycle / MulPerCycle are vector operations issued per cycle.
+	AddPerCycle float64
+	MulPerCycle float64
+	// DivCycles is the reciprocal throughput of one vector division.
+	DivCycles float64
+	// LoadPerCycle / StorePerCycle are vector memory ops per cycle (L1).
+	LoadPerCycle  float64
+	StorePerCycle float64
+	// FrontEndUopsPerCycle bounds total instruction issue.
+	FrontEndUopsPerCycle float64
+	// DependencyStallFactor multiplies the port bound to the realistic
+	// in-L1 time (calibrated against the paper's IACA figure).
+	DependencyStallFactor float64
+}
+
+// SandyBridgePorts returns the SNB-EP port model: one AVX add and one AVX
+// multiply per cycle, two load ports, one store port, 4-wide front end.
+// The dependency-stall factor is calibrated so that the D3Q19 TRT kernel
+// lands on the paper's IACA result of 448 cycles per eight updates.
+func SandyBridgePorts() PortModel {
+	return PortModel{
+		Name:                  "Sandy Bridge EP",
+		VectorWidth:           4,
+		AddPerCycle:           1,
+		MulPerCycle:           1,
+		DivCycles:             22,
+		LoadPerCycle:          2,
+		StorePerCycle:         1,
+		FrontEndUopsPerCycle:  4,
+		DependencyStallFactor: 448.0 / 336.0, // port bound 292 + div 44 -> IACA 448
+	}
+}
+
+// BlueGeneQPorts returns the BG/Q A2 port model: one QPX (4-wide) FMA
+// pipeline shared by adds and multiplies, one load/store pipeline,
+// in-order dual-issue across two threads.
+func BlueGeneQPorts() PortModel {
+	return PortModel{
+		Name:                  "Blue Gene/Q A2",
+		VectorWidth:           4,
+		AddPerCycle:           0.5, // one FP pipe shared with muls
+		MulPerCycle:           0.5,
+		DivCycles:             32,
+		LoadPerCycle:          1,
+		StorePerCycle:         1,
+		FrontEndUopsPerCycle:  2,
+		DependencyStallFactor: 1.2,
+	}
+}
+
+// PortBoundCycles returns the throughput lower bound in cycles for eight
+// cell updates of the given operation mix: each port processes its
+// vector-op share, the result is the maximum over ports and the front
+// end (no overlap between iterations is required — this is a pure
+// throughput argument, exactly IACA's "block throughput").
+func PortBoundCycles(ops KernelOpCounts, arch PortModel) float64 {
+	iters := 8.0 / float64(arch.VectorWidth) // vector iterations per 8 LUPs
+	addCycles := float64(ops.Adds) * iters / arch.AddPerCycle
+	mulCycles := float64(ops.Muls) * iters / arch.MulPerCycle
+	divCycles := float64(ops.Divs) * iters * arch.DivCycles
+	loadCycles := float64(ops.Loads) * iters / arch.LoadPerCycle
+	storeCycles := float64(ops.Stores) * iters / arch.StorePerCycle
+	uops := float64(ops.Adds+ops.Muls+ops.Divs+ops.Loads+ops.Stores) * iters
+	frontEnd := uops / arch.FrontEndUopsPerCycle
+	bound := math.Max(addCycles, math.Max(mulCycles, math.Max(loadCycles, storeCycles)))
+	bound = math.Max(bound, frontEnd)
+	// Division is rare enough to serialize with everything else.
+	return bound + divCycles
+}
+
+// EstimatedCycles returns the realistic in-L1 execution time per eight
+// updates: the port bound scaled by the dependency-stall factor. For the
+// D3Q19 TRT kernel on Sandy Bridge this reproduces the paper's 448
+// cycles.
+func EstimatedCycles(ops KernelOpCounts, arch PortModel) float64 {
+	return PortBoundCycles(ops, arch) * arch.DependencyStallFactor
+}
+
+// FLOPsPerCell returns the floating point operations of one cell update.
+func (o KernelOpCounts) FLOPsPerCell() int { return o.Adds + o.Muls + o.Divs }

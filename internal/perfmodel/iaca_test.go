@@ -1,0 +1,78 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOpCountsPlausible(t *testing.T) {
+	trt := D3Q19TRTOpCounts()
+	srt := D3Q19SRTOpCounts()
+	if trt.Loads != 19 || trt.Stores != 19 {
+		t.Errorf("TRT memory ops: %d loads, %d stores", trt.Loads, trt.Stores)
+	}
+	// TRT performs strictly more arithmetic than SRT (the paper:
+	// "computationally more expensive").
+	if trt.FLOPsPerCell() <= srt.FLOPsPerCell() {
+		t.Errorf("TRT FLOPs %d not above SRT %d", trt.FLOPsPerCell(), srt.FLOPsPerCell())
+	}
+	// Around 200-300 FLOPs per D3Q19 cell update is the documented range
+	// for optimized TRT kernels.
+	if trt.FLOPsPerCell() < 150 || trt.FLOPsPerCell() > 350 {
+		t.Errorf("TRT FLOPs/cell = %d out of plausible range", trt.FLOPsPerCell())
+	}
+}
+
+// The calibrated Sandy Bridge analysis must reproduce the paper's IACA
+// result of 448 cycles per eight TRT cell updates.
+func TestEstimatedCyclesMatchIACA(t *testing.T) {
+	got := EstimatedCycles(D3Q19TRTOpCounts(), SandyBridgePorts())
+	if math.Abs(got-448) > 1 {
+		t.Errorf("estimated cycles = %v, want 448 (paper's IACA figure)", got)
+	}
+}
+
+// The port bound is dominated by the FP add port for this kernel and lies
+// strictly below the stall-inclusive estimate.
+func TestPortBoundStructure(t *testing.T) {
+	ops := D3Q19TRTOpCounts()
+	arch := SandyBridgePorts()
+	bound := PortBoundCycles(ops, arch)
+	if bound >= EstimatedCycles(ops, arch) {
+		t.Error("port bound not below stall-inclusive estimate")
+	}
+	// Adds: 146 * 2 vector iterations / 1 per cycle = 292 plus division.
+	want := 146.0*2 + 2*arch.DivCycles
+	if math.Abs(bound-want) > 1e-9 {
+		t.Errorf("port bound = %v, want %v (add-port dominated)", bound, want)
+	}
+}
+
+// SRT needs fewer cycles than TRT in core execution; the BG/Q in-order
+// core needs more cycles than Sandy Bridge for the same kernel.
+func TestAnalyzerOrderings(t *testing.T) {
+	snb := SandyBridgePorts()
+	bgq := BlueGeneQPorts()
+	srt := PortBoundCycles(D3Q19SRTOpCounts(), snb)
+	trt := PortBoundCycles(D3Q19TRTOpCounts(), snb)
+	if srt >= trt {
+		t.Errorf("SRT port bound %v not below TRT %v", srt, trt)
+	}
+	if PortBoundCycles(D3Q19TRTOpCounts(), bgq) <= trt {
+		t.Error("BG/Q core should need more cycles than SNB for the same kernel")
+	}
+}
+
+// Scalar execution (vector width 1) must cost about four times the AVX
+// port bound.
+func TestVectorWidthScaling(t *testing.T) {
+	avx := SandyBridgePorts()
+	scalar := avx
+	scalar.VectorWidth = 1
+	rAVX := PortBoundCycles(D3Q19TRTOpCounts(), avx)
+	rScalar := PortBoundCycles(D3Q19TRTOpCounts(), scalar)
+	ratio := rScalar / rAVX
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("scalar/AVX ratio = %v, want ~4", ratio)
+	}
+}

@@ -1,0 +1,130 @@
+package perfmodel
+
+import "math"
+
+// Per-kernel performance models for the single-node study of Figure 3:
+// the three optimization stages differ in their in-core execution time,
+// and only the SIMD stage is fast enough to saturate the memory interface
+// (the paper: "SIMD vectorization is needed to saturate the memory
+// interface and come close to the predicted limit of the roofline model").
+
+// KernelClass is a kernel optimization stage.
+type KernelClass int
+
+// Kernel optimization stages.
+const (
+	KernelGeneric KernelClass = iota // textbook kernel for arbitrary models
+	KernelD3Q19                      // specialized, scalar
+	KernelSIMD                       // SoA split-loop, vectorized
+)
+
+func (k KernelClass) String() string {
+	switch k {
+	case KernelGeneric:
+		return "Generic"
+	case KernelD3Q19:
+		return "D3Q19"
+	case KernelSIMD:
+		return "SIMD"
+	}
+	return "?"
+}
+
+// CollisionClass selects the collision operator of a modeled kernel.
+type CollisionClass int
+
+// Collision operators.
+const (
+	CollisionSRT CollisionClass = iota
+	CollisionTRT
+)
+
+func (c CollisionClass) String() string {
+	if c == CollisionSRT {
+		return "SRT"
+	}
+	return "TRT"
+}
+
+// trtCorePenalty is the additional in-core execution time of the TRT
+// collision relative to SRT: visible below saturation, irrelevant once
+// memory bound (the paper's observation that TRT matches SRT on the full
+// node).
+const trtCorePenalty = 1.10
+
+// coreMultiplier returns the core-time factor of a kernel stage relative
+// to the SIMD SRT kernel.
+func coreMultiplier(m *Machine, k KernelClass, c CollisionClass) float64 {
+	mult := 1.0
+	switch k {
+	case KernelD3Q19:
+		mult = m.ScalarSlowdown
+	case KernelGeneric:
+		mult = m.GenericSlowdown
+	}
+	if c == CollisionTRT {
+		mult *= trtCorePenalty
+	}
+	return mult
+}
+
+// KernelMLUPS predicts the performance of a kernel stage on n cores with
+// the given SMT level (threads per core): the ECM single-core time scaled
+// by the kernel's core-time factor and the SMT issue efficiency, capped by
+// the memory bandwidth roofline.
+func KernelMLUPS(m *Machine, k KernelClass, c CollisionClass, cores, smtWays int) float64 {
+	if cores < 1 {
+		return 0
+	}
+	e := NewECM(m)
+	eta, ok := m.SMTEfficiency[smtWays]
+	if !ok {
+		eta = m.SMTEfficiency[1]
+	}
+	tCore := e.TCore() * coreMultiplier(m, k, c) / eta
+	cycles := tCore + e.TCache() + e.TMem()
+	single := m.FreqGHz * 1e9 / (cycles / LUPsPerCacheLine) / 1e6
+	// The SMT level limits the attainable bandwidth as well: an in-order
+	// core running one thread sustains too few outstanding memory requests
+	// to saturate its share of the memory interface (Figure 5's 1-way SMT
+	// plateau well below the roofline).
+	roof := eta * e.MLUPS(m.Cores)
+	return math.Min(float64(cores)*single, roof)
+}
+
+// KernelCurve returns the MLUPS prediction for 1..maxCores cores.
+func KernelCurve(m *Machine, k KernelClass, c CollisionClass, maxCores, smtWays int) []float64 {
+	out := make([]float64, maxCores)
+	for n := 1; n <= maxCores; n++ {
+		out[n-1] = KernelMLUPS(m, k, c, n, smtWays)
+	}
+	return out
+}
+
+// SaturatedMLUPSPerCore returns the per-core rate at full-socket
+// saturation for the SIMD TRT production kernel — the per-core baseline of
+// the scaling projections.
+func SaturatedMLUPSPerCore(m *Machine) float64 {
+	return KernelMLUPS(m, KernelSIMD, CollisionTRT, m.Cores, m.SMTWays) / float64(m.Cores)
+}
+
+// SparseKernelMFLUPSPerCore models the sparse interval kernel on a block
+// with the given fluid fraction: only fluid cells count as work (MFLUPS),
+// but skipped cells still cost a fraction of a full update (prefetcher
+// loads of skipped lines, interval bookkeeping) and the ghost layer
+// communication stays dense. skipCost is the relative cost of traversing
+// a non-fluid cell (calibrated 0.25).
+func SparseKernelMFLUPSPerCore(m *Machine, fluidFraction float64) float64 {
+	const skipCost = 0.25
+	if fluidFraction <= 0 {
+		return 0
+	}
+	if fluidFraction > 1 {
+		fluidFraction = 1
+	}
+	dense := SaturatedMLUPSPerCore(m)
+	// Time per allocated cell in units of a full update.
+	timePerCell := fluidFraction + skipCost*(1-fluidFraction)
+	// MFLUPS = fluid work / time: rate * ff / timePerCell.
+	return dense * fluidFraction / timePerCell
+}

@@ -1,0 +1,186 @@
+// Package perfmodel implements the analytic performance models of section
+// 4.1 — the roofline model and the Execution-Cache-Memory (ECM) model —
+// together with machine descriptions of the two evaluation platforms, a
+// simultaneous-multithreading model for the BG/Q in-order cores, and
+// per-kernel core-execution models for the three kernel optimization
+// stages. The scaling package builds the petascale projections of the
+// paper's figures on top of these models; the constants below are the
+// published values of the paper (STREAM bandwidths, IACA cycle counts,
+// speedup factors), not fits to our host machine.
+package perfmodel
+
+// GiB is 2^30 bytes; the paper's bandwidths are given in GiB/s.
+const GiB = 1024.0 * 1024.0 * 1024.0
+
+// BytesPerLUP is the memory traffic of one D3Q19 lattice cell update with
+// write-allocate stores: 19 PDFs streamed in and out plus the
+// write-allocate load, 8 bytes each (456 B).
+const BytesPerLUP = 19 * 3 * 8
+
+// CacheLineBytes on both evaluation platforms.
+const CacheLineBytes = 64
+
+// LUPsPerCacheLine: one cache line holds eight doubles, so the ECM unit of
+// work is eight lattice cell updates.
+const LUPsPerCacheLine = 8
+
+// StreamsPerLUP is the number of concurrent load/store streams of the
+// D3Q19 stream-pull update: 19 loads, 19 stores, 19 write-allocate loads.
+const StreamsPerLUP = 3 * 19
+
+// Machine describes one compute node (or socket) of an evaluation
+// platform.
+type Machine struct {
+	Name string
+	// Cores per socket/node used for the single-node studies.
+	Cores int
+	// SMTWays is the hardware thread count per core.
+	SMTWays int
+	// FreqGHz is the nominal clock frequency.
+	FreqGHz float64
+	// StreamBW is the STREAM triad bandwidth in GiB/s.
+	StreamBW float64
+	// LBMBW is the attainable bandwidth for the LBM access pattern with
+	// many concurrent store streams, in GiB/s (the paper's refined stream
+	// benchmark).
+	LBMBW float64
+	// BWAtFreq returns the LBM-pattern bandwidth at a reduced clock
+	// frequency (Sandy Bridge memory bandwidth decreases slightly at lower
+	// clock speeds). nil means frequency-independent.
+	BWAtFreq func(freqGHz float64) float64
+	// CoreCyclesPer8LUP is the in-L1 execution time of the optimized
+	// (SIMD) TRT kernel for eight cell updates, in cycles (IACA on
+	// SuperMUC: 448).
+	CoreCyclesPer8LUP float64
+	// CacheLevels is the number of inter-cache transfer hops between L1
+	// and memory (Sandy Bridge: L1-L2 and L2-L3 = 2).
+	CacheLevels int
+	// CyclesPerLineTransfer between adjacent cache levels (2 on SNB).
+	CyclesPerLineTransfer float64
+	// SMTEfficiency maps 1-, 2-, 4-way SMT to the fraction of the core's
+	// peak instruction throughput reachable (in-order BG/Q cores need two
+	// threads to dual-issue).
+	SMTEfficiency map[int]float64
+	// ScalarSlowdown is the core-time penalty of the non-vectorized
+	// D3Q19-specialized kernel relative to the SIMD kernel (the paper: AVX
+	// gains 20 % on SuperMUC, QPX gains 2.5x on JUQUEEN).
+	ScalarSlowdown float64
+	// GenericSlowdown is the core-time penalty of the generic textbook
+	// kernel relative to the SIMD kernel.
+	GenericSlowdown float64
+	// PeakGFLOPS of the socket/node, for percent-of-peak statements.
+	PeakGFLOPS float64
+	// NodesToCores: cores per node for machine-level aggregates.
+	CoresPerNode int
+	// TotalCores of the full machine.
+	TotalCores int
+}
+
+// SuperMUCSocket returns the model of one SuperMUC socket: 8 Sandy Bridge
+// cores at 2.7 GHz, STREAM 40 GiB/s, 37.3 GiB/s for the LBM pattern.
+func SuperMUCSocket() *Machine {
+	return &Machine{
+		Name:                  "SuperMUC socket (SNB-EP 2.7 GHz)",
+		Cores:                 8,
+		SMTWays:               2, // HyperThreading available but yields no LBM gain
+		FreqGHz:               2.7,
+		StreamBW:              40.0,
+		LBMBW:                 37.3,
+		CoreCyclesPer8LUP:     448, // IACA static analysis of the TRT SIMD loop
+		CacheLevels:           2,
+		CyclesPerLineTransfer: 2,
+		// Memory bandwidth shrinks mildly at lower clock frequency (Schöne
+		// et al.), with a knee below 1.5 GHz where the uncore can no longer
+		// sustain the request concurrency; calibrated so that 1.6 GHz
+		// delivers 93 % of the 2.7 GHz performance, as measured in the
+		// paper, and is the energy optimum.
+		BWAtFreq: func(f float64) float64 {
+			if f >= 2.7 {
+				return 37.3
+			}
+			knee := 37.3 * (1.0 - 0.06*(2.7-1.5)/1.1)
+			if f >= 1.5 {
+				return 37.3 * (1.0 - 0.06*(2.7-f)/1.1)
+			}
+			return knee * f / 1.5
+		},
+		SMTEfficiency:   map[int]float64{1: 1.0, 2: 1.0},
+		ScalarSlowdown:  1.2,
+		GenericSlowdown: 11.0,
+		PeakGFLOPS:      8 * 2.7 * 8, // 8 cores x 8 FLOP/cycle (AVX)
+		CoresPerNode:    16,
+		TotalCores:      147456,
+	}
+}
+
+// JUQUEENNode returns the model of one JUQUEEN node: 16 PowerPC A2 cores
+// at 1.6 GHz with 4-way SMT, STREAM 42.4 GiB/s but only 32.4 GiB/s with
+// concurrent store streams.
+func JUQUEENNode() *Machine {
+	return &Machine{
+		Name:     "JUQUEEN node (BG/Q A2 1.6 GHz)",
+		Cores:    16,
+		SMTWays:  4,
+		FreqGHz:  1.6,
+		StreamBW: 42.4,
+		LBMBW:    32.4,
+		// The A2 core is in-order and single-issue per thread: one thread
+		// cannot fill both pipelines, two threads nearly can, four
+		// saturate them (Figure 5).
+		SMTEfficiency: map[int]float64{1: 0.52, 2: 0.93, 4: 1.0},
+		// Effective core execution time calibrated to the QPX kernel:
+		// saturation around 12-16 cores at 4-way SMT.
+		CoreCyclesPer8LUP:     520,
+		CacheLevels:           1, // L1 -> L2 -> memory, one inter-cache hop
+		CyclesPerLineTransfer: 4,
+		ScalarSlowdown:        2.5,
+		GenericSlowdown:       16.0,
+		PeakGFLOPS:            16 * 1.6 * 8, // 204.8 GFLOPS per node
+		CoresPerNode:          16,
+		TotalCores:            458752,
+	}
+}
+
+// RooflineMLUPS returns the bandwidth-bound performance ceiling in MLUPS
+// for the given attainable bandwidth (GiB/s): the paper's
+// 37.3 GiB/s : 456 B/LUP = 87.8 MLUPS (SuperMUC) and
+// 32.4 GiB/s : 456 B/LUP = 76.2 MLUPS (JUQUEEN).
+func RooflineMLUPS(bandwidthGiBs float64) float64 {
+	return bandwidthGiBs * GiB / BytesPerLUP / 1e6
+}
+
+// Roofline returns the machine's LBM performance ceiling in MLUPS.
+func (m *Machine) Roofline() float64 { return RooflineMLUPS(m.LBMBW) }
+
+// AggregateBandwidthGiBs returns the theoretical machine-wide memory
+// bandwidth (STREAM based, per socket/node scaled to all cores), used for
+// the paper's percent-of-aggregate-bandwidth statements.
+func (m *Machine) AggregateBandwidthGiBs(cores int) float64 {
+	sockets := float64(cores) / float64(m.Cores)
+	return sockets * m.StreamBW
+}
+
+// BandwidthUtilization returns the fraction of the aggregate theoretical
+// memory bandwidth a sustained update rate drives — the paper's
+//
+//	837e9 * 19 * 3 * 8 : 1024^3 GiB/s over 2^14 * 40 GiB/s = 54.2 %
+//
+// arithmetic for SuperMUC and the corresponding 67.4 % for JUQUEEN.
+func (m *Machine) BandwidthUtilization(totalMLUPS float64, cores int) float64 {
+	gibPerS := totalMLUPS * 1e6 * BytesPerLUP / GiB
+	return gibPerS / m.AggregateBandwidthGiBs(cores)
+}
+
+// FLOPRate converts a sustained update rate into GFLOPS using the given
+// per-update operation count (the paper's in-text TFLOPS statements use
+// ~198 FLOPs per cell update).
+func FLOPRate(totalMLUPS, flopsPerLUP float64) float64 {
+	return totalMLUPS * flopsPerLUP / 1e3 // MLUPS * FLOP -> GFLOPS
+}
+
+// PercentOfPeak returns the fraction of the machine's floating point peak
+// that a sustained rate represents over the given core count.
+func (m *Machine) PercentOfPeak(totalMLUPS float64, cores int, flopsPerLUP float64) float64 {
+	peakGFLOPS := m.PeakGFLOPS * float64(cores) / float64(m.Cores)
+	return FLOPRate(totalMLUPS, flopsPerLUP) / peakGFLOPS
+}

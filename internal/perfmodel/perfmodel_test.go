@@ -1,0 +1,250 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// The roofline arithmetic of section 4.1: 37.3 GiB/s : 456 B/LUP = 87.8
+// MLUPS on SuperMUC, 32.4 GiB/s -> 76.2 MLUPS on JUQUEEN.
+func TestRooflineMatchesPaper(t *testing.T) {
+	if got := RooflineMLUPS(37.3); math.Abs(got-87.8) > 0.1 {
+		t.Errorf("SuperMUC roofline = %v, want 87.8", got)
+	}
+	if got := RooflineMLUPS(32.4); math.Abs(got-76.2) > 0.1 {
+		t.Errorf("JUQUEEN roofline = %v, want 76.2", got)
+	}
+	if got := SuperMUCSocket().Roofline(); math.Abs(got-87.8) > 0.1 {
+		t.Errorf("machine roofline = %v", got)
+	}
+	if got := JUQUEENNode().Roofline(); math.Abs(got-76.2) > 0.1 {
+		t.Errorf("machine roofline = %v", got)
+	}
+}
+
+func TestBytesPerLUP(t *testing.T) {
+	if BytesPerLUP != 456 {
+		t.Errorf("BytesPerLUP = %d, want 456", BytesPerLUP)
+	}
+	if StreamsPerLUP != 57 {
+		t.Errorf("StreamsPerLUP = %d, want 57", StreamsPerLUP)
+	}
+}
+
+// ECM components on SuperMUC: 448 core cycles, 114 cycles per cache hop
+// (57 lines x 2 cycles) for eight updates, as stated in the paper.
+func TestECMComponents(t *testing.T) {
+	e := NewECM(SuperMUCSocket())
+	if e.TCore() != 448 {
+		t.Errorf("TCore = %v, want 448", e.TCore())
+	}
+	if e.TCache() != 228 { // two hops x 114
+		t.Errorf("TCache = %v, want 228 (2 x 114)", e.TCache())
+	}
+	// TMem: 57 lines x 64 B over 37.3 GiB/s at 2.7 GHz.
+	want := 57.0 * 64.0 / (37.3 * GiB) * 2.7e9
+	if math.Abs(e.TMem()-want) > 1e-9 {
+		t.Errorf("TMem = %v, want %v", e.TMem(), want)
+	}
+}
+
+// The ECM multicore curve must saturate at the roofline before the full
+// socket (the paper: six of eight cores saturate at 2.7 GHz) and the
+// reduced frequency must need all eight.
+func TestECMSaturation(t *testing.T) {
+	m := SuperMUCSocket()
+	e := NewECM(m)
+	sat := e.SaturationCores()
+	if sat < 4 || sat > 7 {
+		t.Errorf("saturation at %d cores, want 4..7", sat)
+	}
+	full := e.MLUPS(8)
+	if math.Abs(full-87.8) > 0.5 {
+		t.Errorf("full socket = %v MLUPS, want ~87.8", full)
+	}
+	low := e.AtFrequency(1.6)
+	if got := low.SaturationCores(); got < sat {
+		t.Errorf("reduced frequency saturates at %d cores, was %d at nominal", got, sat)
+	}
+	// 1.6 GHz must reach about 93 % of the nominal performance.
+	ratio := low.MLUPS(8) / full
+	if math.Abs(ratio-0.93) > 0.03 {
+		t.Errorf("1.6 GHz performance ratio = %v, want ~0.93", ratio)
+	}
+}
+
+// The ECM curve is monotone in cores and the single-core value is far
+// below the roofline (memory interface cannot be saturated by one core).
+func TestECMShape(t *testing.T) {
+	for _, m := range []*Machine{SuperMUCSocket(), JUQUEENNode()} {
+		e := NewECM(m)
+		prev := 0.0
+		for n := 1; n <= m.Cores; n++ {
+			v := e.MLUPS(n)
+			if v < prev-1e-9 {
+				t.Errorf("%s: MLUPS decreases at %d cores", m.Name, n)
+			}
+			prev = v
+		}
+		if e.SingleCoreMLUPS() > 0.5*e.Machine.Roofline() {
+			t.Errorf("%s: single core implausibly close to roofline", m.Name)
+		}
+	}
+}
+
+// Energy study of Figure 4: 1.6 GHz is the optimum, saving ~25 % energy
+// at ~93 % performance.
+func TestEnergyOptimum(t *testing.T) {
+	em := NewEnergyModel(SuperMUCSocket())
+	freqs := []float64{1.2, 1.4, 1.6, 1.8, 2.0, 2.3, 2.7}
+	best := em.OptimalFrequency(freqs)
+	if best < 1.4 || best > 1.8 {
+		t.Errorf("optimal frequency %v GHz, want ~1.6", best)
+	}
+	saving := 1 - em.RelativeEnergyPerLUP(1.6)
+	if saving < 0.15 || saving > 0.35 {
+		t.Errorf("energy saving at 1.6 GHz = %v, want ~0.25", saving)
+	}
+	if em.RelativePower(2.7) != 1 {
+		t.Error("relative power at nominal frequency must be 1")
+	}
+}
+
+// Figure 3 ranking: Generic < D3Q19 < SIMD everywhere; only SIMD reaches
+// the roofline; TRT equals SRT at the full socket but trails at one core.
+func TestKernelModelRanking(t *testing.T) {
+	for _, m := range []*Machine{SuperMUCSocket(), JUQUEENNode()} {
+		smt := m.SMTWays
+		for n := 1; n <= m.Cores; n++ {
+			gen := KernelMLUPS(m, KernelGeneric, CollisionTRT, n, smt)
+			d3q := KernelMLUPS(m, KernelD3Q19, CollisionTRT, n, smt)
+			simd := KernelMLUPS(m, KernelSIMD, CollisionTRT, n, smt)
+			if !(gen <= d3q+1e-9 && d3q <= simd+1e-9) {
+				t.Errorf("%s n=%d: ranking violated gen=%v d3q=%v simd=%v", m.Name, n, gen, d3q, simd)
+			}
+		}
+		simdFull := KernelMLUPS(m, KernelSIMD, CollisionTRT, m.Cores, smt)
+		if simdFull < 0.95*m.Roofline() {
+			t.Errorf("%s: SIMD full socket %v below 95%% of roofline %v", m.Name, simdFull, m.Roofline())
+		}
+		genFull := KernelMLUPS(m, KernelGeneric, CollisionTRT, m.Cores, smt)
+		if genFull > 0.8*m.Roofline() {
+			t.Errorf("%s: generic kernel %v implausibly close to roofline", m.Name, genFull)
+		}
+		// TRT vs SRT: equal at saturation, SRT faster on one core.
+		srt1 := KernelMLUPS(m, KernelSIMD, CollisionSRT, 1, smt)
+		trt1 := KernelMLUPS(m, KernelSIMD, CollisionTRT, 1, smt)
+		if trt1 >= srt1 {
+			t.Errorf("%s: TRT single-core %v not below SRT %v", m.Name, trt1, srt1)
+		}
+		srtFull := KernelMLUPS(m, KernelSIMD, CollisionSRT, m.Cores, smt)
+		if math.Abs(srtFull-simdFull) > 1e-9 {
+			t.Errorf("%s: TRT %v != SRT %v at full socket", m.Name, simdFull, srtFull)
+		}
+	}
+}
+
+// Figure 5: JUQUEEN needs at least 2-way SMT to approach saturation;
+// 4-way reaches it, 1-way stays clearly below.
+func TestSMTModel(t *testing.T) {
+	m := JUQUEENNode()
+	full1 := KernelMLUPS(m, KernelSIMD, CollisionTRT, 16, 1)
+	full2 := KernelMLUPS(m, KernelSIMD, CollisionTRT, 16, 2)
+	full4 := KernelMLUPS(m, KernelSIMD, CollisionTRT, 16, 4)
+	if !(full1 < full2 && full2 <= full4+1e-9) {
+		t.Errorf("SMT ordering violated: %v %v %v", full1, full2, full4)
+	}
+	if full4 < 0.95*m.Roofline() {
+		t.Errorf("4-way SMT %v does not saturate roofline %v", full4, m.Roofline())
+	}
+	if full1 > 0.85*m.Roofline() {
+		t.Errorf("1-way SMT %v implausibly close to roofline", full1)
+	}
+}
+
+func TestKernelCurveLengthAndMonotone(t *testing.T) {
+	m := SuperMUCSocket()
+	curve := KernelCurve(m, KernelSIMD, CollisionTRT, 8, 1)
+	if len(curve) != 8 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-9 {
+			t.Errorf("curve decreases at %d", i)
+		}
+	}
+}
+
+// The sparse kernel model: MFLUPS grows with fluid fraction, reaching the
+// dense rate at 1 and collapsing at 0 — the mechanism behind the rising
+// efficiency in Figure 7.
+func TestSparseKernelModel(t *testing.T) {
+	m := JUQUEENNode()
+	dense := SaturatedMLUPSPerCore(m)
+	if got := SparseKernelMFLUPSPerCore(m, 1); math.Abs(got-dense) > 1e-9 {
+		t.Errorf("full block rate %v != dense %v", got, dense)
+	}
+	if got := SparseKernelMFLUPSPerCore(m, 0); got != 0 {
+		t.Errorf("empty block rate %v != 0", got)
+	}
+	prev := -1.0
+	for _, ff := range []float64{0.05, 0.1, 0.3, 0.5, 0.8, 1.0} {
+		v := SparseKernelMFLUPSPerCore(m, ff)
+		if v <= prev {
+			t.Errorf("sparse rate not increasing at ff=%v", ff)
+		}
+		prev = v
+	}
+	// At low fluid fraction the rate is dominated by skip cost: MFLUPS
+	// well below ff * dense-equivalents... it must at least stay under
+	// the dense rate.
+	if SparseKernelMFLUPSPerCore(m, 0.2) >= dense {
+		t.Error("sparse rate exceeds dense rate")
+	}
+}
+
+func TestAggregateBandwidth(t *testing.T) {
+	m := SuperMUCSocket()
+	// 2^17 cores = 16384 sockets x 40 GiB/s.
+	if got := m.AggregateBandwidthGiBs(1 << 17); math.Abs(got-16384*40) > 1e-6 {
+		t.Errorf("aggregate bandwidth = %v", got)
+	}
+}
+
+// The paper's in-text aggregate statements: 837 GLUPS on 2^17 SuperMUC
+// cores drive 54.2 % of the theoretical bandwidth (166 TFLOPS, ~5 % of
+// peak); 1.93 TLUPS on the full JUQUEEN drive 67.4 % (383 TFLOPS, ~6.5 %
+// of peak).
+func TestPaperAggregateStatements(t *testing.T) {
+	smuc := SuperMUCSocket()
+	if got := smuc.BandwidthUtilization(837e3, 1<<17); math.Abs(got-0.542) > 0.005 {
+		t.Errorf("SuperMUC bandwidth utilization = %v, want 0.542", got)
+	}
+	jq := JUQUEENNode()
+	if got := jq.BandwidthUtilization(1.93e6, 458752); math.Abs(got-0.674) > 0.005 {
+		t.Errorf("JUQUEEN bandwidth utilization = %v, want 0.674", got)
+	}
+	// FLOP statements with the paper's implied ~198 FLOPs per update.
+	const flopsPerLUP = 198
+	if got := FLOPRate(837e3, flopsPerLUP); math.Abs(got-166e3) > 2e3 {
+		t.Errorf("SuperMUC rate = %v GFLOPS, want ~166000", got)
+	}
+	if got := FLOPRate(1.93e6, flopsPerLUP); math.Abs(got-382e3) > 3e3 {
+		t.Errorf("JUQUEEN rate = %v GFLOPS, want ~383000", got)
+	}
+	if got := smuc.PercentOfPeak(837e3, 1<<17, flopsPerLUP); got < 0.045 || got > 0.07 {
+		t.Errorf("SuperMUC percent of peak = %v, want ~0.05", got)
+	}
+	if got := jq.PercentOfPeak(1.93e6, 458752, flopsPerLUP); got < 0.055 || got > 0.075 {
+		t.Errorf("JUQUEEN percent of peak = %v, want ~0.065", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if KernelGeneric.String() != "Generic" || KernelD3Q19.String() != "D3Q19" || KernelSIMD.String() != "SIMD" {
+		t.Error("KernelClass strings wrong")
+	}
+	if CollisionSRT.String() != "SRT" || CollisionTRT.String() != "TRT" {
+		t.Error("CollisionClass strings wrong")
+	}
+}

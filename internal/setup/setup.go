@@ -1,0 +1,254 @@
+// Package setup implements the fully parallel initialization pipeline of
+// section 2.3: building the block grid over a complex geometry, deciding
+// in parallel which blocks the simulation requires, counting fluid cells
+// per block as balancing workload, static load balancing, and the
+// per-block voxelization and boundary-condition assignment hooks for the
+// simulation. It also provides the binary searches in resolution (weak
+// scaling) and block edge length (strong scaling) that produce domain
+// partitionings matching a target block count.
+package setup
+
+import (
+	"fmt"
+	"math"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/distance"
+	"walberla/internal/field"
+	"walberla/internal/geometry"
+	"walberla/internal/lattice"
+	"walberla/internal/partition"
+	"walberla/internal/sim"
+)
+
+// GridForDx computes the root block grid covering the bounding box of the
+// geometry at isotropic resolution dx with the given cells per block, and
+// the padded domain box the grid spans (the mesh is centered within it).
+func GridForDx(bounds blockforest.AABB, cells [3]int, dx float64) (grid [3]int, domain blockforest.AABB) {
+	size := bounds.Size()
+	for d := 0; d < 3; d++ {
+		blockLen := float64(cells[d]) * dx
+		g := int(math.Ceil(size[d]/blockLen - 1e-12))
+		if g < 1 {
+			g = 1
+		}
+		grid[d] = g
+		pad := (float64(g)*blockLen - size[d]) / 2
+		domain.Min[d] = bounds.Min[d] - pad
+		domain.Max[d] = bounds.Max[d] + pad
+	}
+	return grid, domain
+}
+
+// CountInsideCells counts the lattice cell centers of a block that lie
+// inside the domain, using the same recursive region pruning as the
+// voxelization (far cheaper than testing every cell).
+func CountInsideCells(sdf distance.SDF, block blockforest.AABB, cells [3]int) int {
+	dx := [3]float64{
+		(block.Max[0] - block.Min[0]) / float64(cells[0]),
+		(block.Max[1] - block.Min[1]) / float64(cells[1]),
+		(block.Max[2] - block.Min[2]) / float64(cells[2]),
+	}
+	return countRegion(sdf, block, dx, [3]int{0, 0, 0}, cells)
+}
+
+func countRegion(sdf distance.SDF, block blockforest.AABB, dx [3]float64, lo, hi [3]int) int {
+	nx, ny, nz := hi[0]-lo[0], hi[1]-lo[1], hi[2]-lo[2]
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return 0
+	}
+	region := centerRegion(block, dx, lo, hi)
+	switch geometry.ClassifyAABB(sdf, region) {
+	case geometry.RegionOutside:
+		return 0
+	case geometry.RegionInside:
+		return nx * ny * nz
+	}
+	if nx*ny*nz <= 8 {
+		n := 0
+		for z := lo[2]; z < hi[2]; z++ {
+			for y := lo[1]; y < hi[1]; y++ {
+				for x := lo[0]; x < hi[0]; x++ {
+					p := [3]float64{
+						block.Min[0] + (float64(x)+0.5)*dx[0],
+						block.Min[1] + (float64(y)+0.5)*dx[1],
+						block.Min[2] + (float64(z)+0.5)*dx[2],
+					}
+					if sdf.Inside(p) {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	axis := 0
+	if ny > nx {
+		axis = 1
+	}
+	if nz > max(nx, ny) {
+		axis = 2
+	}
+	mid := (lo[axis] + hi[axis]) / 2
+	hiA, loB := hi, lo
+	hiA[axis] = mid
+	loB[axis] = mid
+	return countRegion(sdf, block, dx, lo, hiA) + countRegion(sdf, block, dx, loB, hi)
+}
+
+func centerRegion(block blockforest.AABB, dx [3]float64, lo, hi [3]int) blockforest.AABB {
+	var b blockforest.AABB
+	for d := 0; d < 3; d++ {
+		b.Min[d] = block.Min[d] + (float64(lo[d])+0.5)*dx[d]
+		b.Max[d] = block.Min[d] + (float64(hi[d]-1)+0.5)*dx[d]
+	}
+	return b
+}
+
+// Options configures the initialization pipeline.
+type Options struct {
+	// CellsPerBlock is the lattice cell grid per block.
+	CellsPerBlock [3]int
+	// Dx is the isotropic lattice spacing.
+	Dx float64
+	// Ranks is the process count the forest is balanced for.
+	Ranks int
+	// MemoryLimitCells caps allocated cells per rank during balancing;
+	// zero disables the constraint.
+	MemoryLimitCells float64
+	// Seed drives the randomized stages (block scatter, partitioner).
+	Seed int64
+	// UseGraphPartitioner selects METIS-style balancing (the paper's
+	// choice for complex geometries); false selects Morton curve
+	// balancing (sufficient for dense regular domains).
+	UseGraphPartitioner bool
+}
+
+// Stats reports what the pipeline produced.
+type Stats struct {
+	Grid            [3]int
+	Blocks          int
+	DiscardedBlocks int
+	FluidCells      int64
+	TotalCells      int64
+	FluidFraction   float64
+	Dx              float64
+}
+
+// BuildForest runs the serial version of the pipeline (classification and
+// workload counting on the calling goroutine). For the SPMD version see
+// BuildForestParallel.
+func BuildForest(sdf distance.SDF, opt Options) (*blockforest.SetupForest, Stats, error) {
+	grid, domain := GridForDx(sdf.Bounds(), opt.CellsPerBlock, opt.Dx)
+	f := blockforest.NewSetupForest(domain, grid, opt.CellsPerBlock, [3]bool{})
+	discarded := f.Keep(func(b *blockforest.SetupBlock) bool {
+		return geometry.BlockIntersectsDomain(sdf, b.AABB, opt.CellsPerBlock)
+	})
+	var fluid int64
+	for _, b := range f.Blocks() {
+		n := CountInsideCells(sdf, b.AABB, opt.CellsPerBlock)
+		b.Workload = float64(n)
+		fluid += int64(n)
+	}
+	if err := balance(f, opt); err != nil {
+		return nil, Stats{}, err
+	}
+	return f, statsFor(f, grid, discarded, fluid, opt.Dx), nil
+}
+
+func balance(f *blockforest.SetupForest, opt Options) error {
+	if opt.Ranks <= 0 {
+		return fmt.Errorf("setup: invalid rank count %d", opt.Ranks)
+	}
+	if opt.UseGraphPartitioner {
+		return partition.BalanceGraph(f, opt.Ranks, opt.MemoryLimitCells, opt.Seed)
+	}
+	f.BalanceMorton(opt.Ranks)
+	return nil
+}
+
+func statsFor(f *blockforest.SetupForest, grid [3]int, discarded int, fluid int64, dx float64) Stats {
+	total := f.TotalCells()
+	s := Stats{
+		Grid:            grid,
+		Blocks:          f.NumBlocks(),
+		DiscardedBlocks: discarded,
+		FluidCells:      fluid,
+		TotalCells:      total,
+		Dx:              dx,
+	}
+	if total > 0 {
+		s.FluidFraction = float64(fluid) / float64(total)
+	}
+	return s
+}
+
+// BuildForestParallel runs the pipeline SPMD over a communicator: blocks
+// are randomly scattered for classification and workload counting, results
+// are gathered on all ranks, and the balancing runs redundantly but
+// deterministically. Every rank returns the identical forest.
+func BuildForestParallel(c *comm.Comm, sdf distance.SDF, opt Options) (*blockforest.SetupForest, Stats, error) {
+	grid, domain := GridForDx(sdf.Bounds(), opt.CellsPerBlock, opt.Dx)
+	f := blockforest.NewSetupForest(domain, grid, opt.CellsPerBlock, [3]bool{})
+	before := f.NumBlocks()
+	keep := geometry.ClassifyBlocksParallel(c, sdf, f, opt.Seed)
+	discarded := before - len(keep)
+	geometry.ApplyClassification(f, keep)
+
+	// Parallel workload counting with the same scatter pattern: each rank
+	// counts its share, then the (index, count) pairs are allgathered.
+	blocks := f.Blocks()
+	var mine []int64 // interleaved index, count
+	for i, b := range blocks {
+		if i%c.Size() != c.Rank() {
+			continue
+		}
+		n := CountInsideCells(sdf, b.AABB, opt.CellsPerBlock)
+		mine = append(mine, int64(i), int64(n))
+	}
+	gathered := c.Allgather(mine)
+	var fluid int64
+	for _, part := range gathered {
+		if part == nil {
+			continue
+		}
+		pairs := part.([]int64)
+		for i := 0; i < len(pairs); i += 2 {
+			blocks[pairs[i]].Workload = float64(pairs[i+1])
+			fluid += pairs[i+1]
+		}
+	}
+	if err := balance(f, opt); err != nil {
+		return nil, Stats{}, err
+	}
+	return f, statsFor(f, grid, discarded, fluid, opt.Dx), nil
+}
+
+// FlagsFromSDF returns a simulation setup hook that voxelizes each block
+// against the SDF and computes the boundary hull with condition assignment
+// from surface colors — the per-process initialization of the paper ("every
+// process voxelizes its blocks independently").
+func FlagsFromSDF(sdf distance.SDF) func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+	return func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+		geometry.Voxelize(sdf, b.AABB, flags)
+		geometry.DilateBoundary(sdf, b.AABB, flags, lattice.D3Q19())
+	}
+}
+
+// NewSimulation is the end-to-end convenience: distribute the forest built
+// by rank 0, voxelize locally, and construct the simulation.
+func NewSimulation(c *comm.Comm, f *blockforest.SetupForest, sdf distance.SDF, cfg sim.Config) (*sim.Simulation, error) {
+	var in *blockforest.SetupForest
+	if c.Rank() == 0 {
+		in = f
+	}
+	forest, err := blockforest.Distribute(c, in)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SetupFlags == nil {
+		cfg.SetupFlags = FlagsFromSDF(sdf)
+	}
+	return sim.New(c, forest, cfg)
+}

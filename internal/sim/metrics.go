@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"walberla/internal/comm"
+)
+
+// Metrics summarizes a measured run, globally reduced over all ranks.
+// MLUPS counts every traversed lattice cell, MFLUPS only fluid cells that
+// the kernels actually update (the paper's two performance measures).
+type Metrics struct {
+	Steps int
+	Ranks int
+
+	TotalCells      int64
+	TotalFluidCells int64
+
+	// WallTime is the maximum wall clock time over ranks.
+	WallTime time.Duration
+	// CommFraction is the fraction of total rank time spent in ghost
+	// layer communication (the dotted "%MPI" curves of Figure 6).
+	CommFraction float64
+
+	MLUPS  float64
+	MFLUPS float64
+}
+
+// MLUPSPerCore and MFLUPSPerCore report per-rank (per-core) values — the
+// parallel-efficiency measure used in the scaling figures.
+func (m Metrics) MLUPSPerCore() float64 { return m.MLUPS / float64(m.Ranks) }
+
+// MFLUPSPerCore reports fluid cell updates per second per rank.
+func (m Metrics) MFLUPSPerCore() float64 { return m.MFLUPS / float64(m.Ranks) }
+
+// FluidFraction is the global fluid cell fraction.
+func (m Metrics) FluidFraction() float64 {
+	if m.TotalCells == 0 {
+		return 0
+	}
+	return float64(m.TotalFluidCells) / float64(m.TotalCells)
+}
+
+// TimeStepsPerSecond is the sustained time stepping rate.
+func (m Metrics) TimeStepsPerSecond() float64 {
+	if m.WallTime <= 0 {
+		return 0
+	}
+	return float64(m.Steps) / m.WallTime.Seconds()
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("steps=%d ranks=%d cells=%d fluid=%d (%.1f%%) wall=%v MLUPS=%.2f MFLUPS=%.2f comm=%.1f%%",
+		m.Steps, m.Ranks, m.TotalCells, m.TotalFluidCells, 100*m.FluidFraction(),
+		m.WallTime, m.MLUPS, m.MFLUPS, 100*m.CommFraction)
+}
+
+// gatherMetrics reduces the per-rank timings into global metrics.
+func (s *Simulation) gatherMetrics(steps int, wall time.Duration) Metrics {
+	c := s.Comm
+	totalCells := c.AllreduceInt64(s.LocalCells(), comm.Sum[int64])
+	totalFluid := c.AllreduceInt64(s.LocalFluidCells(), comm.Sum[int64])
+	maxWall := time.Duration(c.AllreduceInt64(int64(wall), comm.Max[int64]))
+	sumWall := c.AllreduceFloat64(wall.Seconds(), comm.Sum[float64])
+	sumComm := c.AllreduceFloat64(s.commTime.Seconds(), comm.Sum[float64])
+
+	m := Metrics{
+		Steps:           steps,
+		Ranks:           c.Size(),
+		TotalCells:      totalCells,
+		TotalFluidCells: totalFluid,
+		WallTime:        maxWall,
+	}
+	if sumWall > 0 {
+		m.CommFraction = sumComm / sumWall
+	}
+	if maxWall > 0 {
+		m.MLUPS = float64(totalCells) * float64(steps) / maxWall.Seconds() / 1e6
+		m.MFLUPS = float64(totalFluid) * float64(steps) / maxWall.Seconds() / 1e6
+	}
+	return m
+}
+
+// PhaseTimes returns this rank's accumulated phase timers (compute,
+// communication, boundary) since the last reset.
+func (s *Simulation) PhaseTimes() (compute, communication, boundaryTime time.Duration) {
+	return s.computeTime, s.commTime, s.boundaryTime
+}

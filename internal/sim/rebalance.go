@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/field"
+)
+
+// Dynamic load balancing — the extension the paper names as future work
+// ("This will also require dynamic load balancing"). Blocks migrate
+// between ranks at runtime with their complete state (flag field and PDF
+// field including ghost layers), the neighborhood views are updated, and
+// the exchange plan is rebuilt. The new assignment is computed from
+// either the static workloads (fluid cells) or the measured per-block
+// compute times, cut along the Morton curve exactly like the initial
+// static balancing.
+
+// migration tags live in the user tag space above any ghost-exchange tag
+// (which is bounded by numTrees * 27).
+const (
+	tagMigrateCount = 1 << 30
+	tagMigrateBlock = 1<<30 + 1
+)
+
+// migratedBlock carries one block's complete state to its new owner. The
+// sender relinquishes the block, so sharing the underlying arrays through
+// the in-process message is safe.
+type migratedBlock struct {
+	Block    blockforest.Block
+	Workload float64
+	Layout   field.Layout
+	SrcData  []float64
+	DstData  []float64
+	Flags    []field.CellType
+}
+
+// Workloads returns this rank's per-block workloads: the measured kernel
+// compute time per block if available (after at least one timed step),
+// else the static fluid cell count.
+func (s *Simulation) Workloads(useMeasured bool) map[[3]int]float64 {
+	out := make(map[[3]int]float64, len(s.Blocks))
+	for _, bd := range s.Blocks {
+		if useMeasured && bd.ComputeTime > 0 {
+			out[bd.Block.Coord] = bd.ComputeTime.Seconds()
+		} else {
+			out[bd.Block.Coord] = float64(bd.Fluid)
+		}
+	}
+	return out
+}
+
+// RebalanceByWorkload computes a fresh Morton-curve assignment from the
+// current workloads (measured compute times when useMeasured is set) and
+// migrates blocks accordingly. Collective: every rank must call it at the
+// same point of the time loop.
+func (s *Simulation) RebalanceByWorkload(useMeasured bool) error {
+	type entry struct {
+		Coord    [3]int
+		Workload float64
+	}
+	var mine []entry
+	for c, w := range s.Workloads(useMeasured) {
+		mine = append(mine, entry{c, w})
+	}
+	gathered := s.Comm.Gather(0, mine)
+	var assignment map[[3]int]int
+	if s.Comm.Rank() == 0 {
+		var all []entry
+		for _, part := range gathered {
+			if part != nil {
+				all = append(all, part.([]entry)...)
+			}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			return blockforest.MortonKey(all[i].Coord) < blockforest.MortonKey(all[j].Coord)
+		})
+		var total float64
+		for _, e := range all {
+			total += e.Workload
+		}
+		ranks := s.Comm.Size()
+		target := total / float64(ranks)
+		assignment = make(map[[3]int]int, len(all))
+		rank := 0
+		var acc float64
+		for _, e := range all {
+			if acc >= target && rank < ranks-1 {
+				rank++
+				acc = 0
+			}
+			assignment[e.Coord] = rank
+			acc += e.Workload
+		}
+	}
+	assignment = s.Comm.Bcast(0, assignment).(map[[3]int]int)
+	return s.Rebalance(assignment)
+}
+
+// Rebalance migrates blocks to match the given complete assignment
+// (coordinate of every block in the simulation to its new rank) and
+// rebuilds the local data structures. Collective.
+func (s *Simulation) Rebalance(assignment map[[3]int]int) error {
+	me := s.Comm.Rank()
+	ranks := s.Comm.Size()
+
+	// Partition local blocks into kept and outgoing.
+	var kept []*BlockData
+	outgoing := map[int][]*BlockData{}
+	for _, bd := range s.Blocks {
+		newRank, ok := assignment[bd.Block.Coord]
+		if !ok {
+			return fmt.Errorf("sim: assignment misses local block %v", bd.Block.Coord)
+		}
+		if newRank < 0 || newRank >= ranks {
+			return fmt.Errorf("sim: block %v assigned to invalid rank %d", bd.Block.Coord, newRank)
+		}
+		if newRank == me {
+			kept = append(kept, bd)
+		} else {
+			outgoing[newRank] = append(outgoing[newRank], bd)
+		}
+	}
+
+	// Announce per-destination counts (alltoall), then ship the blocks.
+	counts := make([]any, ranks)
+	for r := 0; r < ranks; r++ {
+		counts[r] = len(outgoing[r])
+	}
+	incomingCounts := s.Comm.Alltoall(counts)
+	for dst, blocks := range outgoing {
+		for _, bd := range blocks {
+			b := *bd.Block // copy; ranks inside are updated by the receiver
+			s.Comm.Send(dst, tagMigrateBlock, &migratedBlock{
+				Block:    b,
+				Workload: bd.Block.Workload,
+				Layout:   bd.Src.Layout,
+				SrcData:  bd.Src.Data(),
+				DstData:  bd.Dst.Data(),
+				Flags:    bd.Flags.Data(),
+			})
+		}
+	}
+	expect := 0
+	for r := 0; r < ranks; r++ {
+		if r != me {
+			expect += incomingCounts[r].(int)
+		}
+	}
+	for i := 0; i < expect; i++ {
+		payload, _ := s.Comm.Recv(comm.AnySource, tagMigrateBlock)
+		mb := payload.(*migratedBlock)
+		bd, err := s.adoptBlock(mb)
+		if err != nil {
+			return err
+		}
+		kept = append(kept, bd)
+	}
+
+	// Update neighborhood ranks everywhere and rebuild the local indexes.
+	sort.Slice(kept, func(i, j int) bool {
+		return blockforest.MortonKey(kept[i].Block.Coord) < blockforest.MortonKey(kept[j].Block.Coord)
+	})
+	s.Blocks = kept
+	s.byCoord = make(map[[3]int]*BlockData, len(kept))
+	var forestBlocks []*blockforest.Block
+	for _, bd := range kept {
+		for i := range bd.Block.Neighbors {
+			n := &bd.Block.Neighbors[i]
+			newRank, ok := assignment[n.Coord]
+			if !ok {
+				return fmt.Errorf("sim: assignment misses neighbor block %v", n.Coord)
+			}
+			n.Rank = newRank
+		}
+		s.byCoord[bd.Block.Coord] = bd
+		forestBlocks = append(forestBlocks, bd.Block)
+	}
+	s.Forest.Blocks = forestBlocks
+	s.plan = buildExchangePlan(s)
+	// Migration invalidates ghost layers; synchronize before stepping on.
+	s.exchangeGhostLayers()
+	return nil
+}
+
+// adoptBlock reconstructs the runtime state of a migrated block on the
+// receiving rank.
+func (s *Simulation) adoptBlock(mb *migratedBlock) (*BlockData, error) {
+	b := mb.Block
+	cells := b.Cells
+	flags := field.NewFlagField(cells[0], cells[1], cells[2], 1)
+	copy(flags.Data(), mb.Flags)
+	k, err := MakeKernelFor(s.Config.Kernel, s.Stencil, s.Config.Tau, s.Config.Magic, flags)
+	if err != nil {
+		return nil, err
+	}
+	if k.Layout() != mb.Layout {
+		return nil, fmt.Errorf("sim: migrated block layout %v does not match kernel layout %v", mb.Layout, k.Layout())
+	}
+	src := field.NewPDFField(s.Stencil, cells[0], cells[1], cells[2], 1, mb.Layout)
+	copy(src.Data(), mb.SrcData)
+	dst := src.CopyShape()
+	copy(dst.Data(), mb.DstData)
+	bd := &BlockData{
+		Block:    &b,
+		Src:      src,
+		Dst:      dst,
+		Flags:    flags,
+		Kernel:   k,
+		Boundary: newBoundarySweep(s, flags),
+		Fluid:    flags.Count(field.Fluid),
+	}
+	return bd, nil
+}
+
+// RankLoad reports this rank's current share of the global workload (sum
+// of fluid cells) — a convenience for rebalancing studies.
+func (s *Simulation) RankLoad() (local, max, total int64) {
+	local = s.LocalFluidCells()
+	max = s.Comm.AllreduceInt64(local, comm.Max[int64])
+	total = s.Comm.AllreduceInt64(local, comm.Sum[int64])
+	return local, max, total
+}
+
+// per-block compute timing support for measured rebalancing.
+
+// timeBlockSweep runs the kernel sweep of one block and accumulates its
+// compute time.
+func timeBlockSweep(bd *BlockData) {
+	start := time.Now()
+	bd.Kernel.Sweep(bd.Src, bd.Dst, bd.Flags)
+	bd.ComputeTime += time.Since(start)
+}

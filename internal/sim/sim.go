@@ -1,0 +1,370 @@
+// Package sim drives distributed LBM simulations over a block forest: it
+// allocates per-block PDF, flag and boundary data, exchanges ghost layers
+// between blocks through the communicator (packing only the PDFs that
+// actually cross each block boundary, as waLBerla does), applies boundary
+// conditions, runs the fused stream-collide kernels, and accounts the
+// MLUPS / MFLUPS and communication-time metrics the paper reports.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/boundary"
+	"walberla/internal/collide"
+	"walberla/internal/comm"
+	"walberla/internal/field"
+	"walberla/internal/kernels"
+	"walberla/internal/lattice"
+)
+
+// KernelChoice selects a compute kernel family for a simulation.
+type KernelChoice string
+
+// Kernel choices; the names match the paper's Figure 3 series.
+const (
+	KernelGenericSRT KernelChoice = "SRT Generic"
+	KernelGenericTRT KernelChoice = "TRT Generic"
+	KernelD3Q19SRT   KernelChoice = "SRT D3Q19"
+	KernelD3Q19TRT   KernelChoice = "TRT D3Q19"
+	KernelSplitSRT   KernelChoice = "SRT SIMD"
+	KernelSplitTRT   KernelChoice = "TRT SIMD"
+	KernelSparse     KernelChoice = "TRT Interval" // sparse compressed-row kernel
+)
+
+// Config describes a simulation.
+type Config struct {
+	// Stencil selects the lattice model; nil means D3Q19, the model of
+	// all simulations in the paper. Other stencils (D3Q27, D2Q9) run
+	// through the generic kernels.
+	Stencil *lattice.Stencil
+	// Kernel picks the compute kernel; the zero value is KernelSplitTRT,
+	// the kernel used for all production runs in the paper (or the
+	// generic TRT kernel for non-D3Q19 stencils).
+	Kernel KernelChoice
+	// Tau is the relaxation time (stability requires > 0.5); the zero
+	// value means 0.9.
+	Tau float64
+	// Magic is the TRT magic parameter; zero means 3/16.
+	Magic float64
+	// InitialRho and InitialVelocity initialize all fluid cells to the
+	// corresponding equilibrium. Zero rho means 1.
+	InitialRho      float64
+	InitialVelocity [3]float64
+	// InitialState, if non-nil, overrides the uniform initialization with
+	// a per-cell equilibrium state; x, y, z are global cell coordinates.
+	InitialState func(x, y, z int) (rho, ux, uy, uz float64)
+	// Boundary configures wall velocities and outflow densities.
+	Boundary boundary.Config
+	// Force is a constant body force density applied to every fluid cell
+	// after collision (simple first-order forcing), used e.g. to drive
+	// Poiseuille flow.
+	Force [3]float64
+	// SetupFlags populates the flag field of each block (voxelization,
+	// domain walls). nil means: all interior cells fluid, ghost cells at
+	// the domain boundary NoSlip walls, remaining ghosts fluid.
+	SetupFlags func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField)
+}
+
+// MakeKernel constructs the compute kernel for a kernel choice and the
+// D3Q19 stencil; see MakeKernelFor for other lattice models. The flag
+// field is required by the sparse kernels (which precompute their fluid
+// cell structure from it) and ignored by the dense ones.
+func MakeKernel(choice KernelChoice, tau, magic float64, flags *field.FlagField) (kernels.Kernel, error) {
+	return MakeKernelFor(choice, lattice.D3Q19(), tau, magic, flags)
+}
+
+// MakeKernelFor constructs the compute kernel for an arbitrary stencil;
+// only the generic kernel choices support stencils other than D3Q19.
+func MakeKernelFor(choice KernelChoice, stencil *lattice.Stencil, tau, magic float64, flags *field.FlagField) (kernels.Kernel, error) {
+	if stencil == nil {
+		stencil = lattice.D3Q19()
+	}
+	if tau == 0 {
+		tau = 0.9
+	}
+	if magic == 0 {
+		magic = collide.MagicParameter
+	}
+	srt := collide.NewSRT(tau)
+	trt := collide.NewTRT(tau, magic)
+	if stencil != lattice.D3Q19() &&
+		choice != KernelGenericSRT && choice != KernelGenericTRT {
+		return nil, fmt.Errorf("sim: kernel %q supports D3Q19 only", choice)
+	}
+	switch choice {
+	case KernelGenericSRT:
+		return kernels.NewGeneric(stencil, srt), nil
+	case KernelGenericTRT:
+		return kernels.NewGeneric(stencil, trt), nil
+	case KernelD3Q19SRT:
+		return kernels.NewD3Q19SRT(srt), nil
+	case KernelD3Q19TRT:
+		return kernels.NewD3Q19TRT(trt), nil
+	case KernelSplitSRT:
+		return kernels.NewSplitSRT(srt), nil
+	case KernelSplitTRT:
+		return kernels.NewSplitTRT(trt), nil
+	case KernelSparse:
+		if flags == nil {
+			return nil, fmt.Errorf("sim: sparse kernel requires a flag field")
+		}
+		return kernels.NewSparseInterval(trt, flags), nil
+	}
+	return nil, fmt.Errorf("sim: unknown kernel %q", choice)
+}
+
+// BlockData is the runtime state of one block on this rank.
+type BlockData struct {
+	Block    *blockforest.Block
+	Src, Dst *field.PDFField
+	Flags    *field.FlagField
+	Kernel   kernels.Kernel
+	Boundary *boundary.Sweep
+	Fluid    int // fluid cell count
+	// ComputeTime accumulates this block's kernel time, the measured
+	// workload used by dynamic rebalancing.
+	ComputeTime time.Duration
+}
+
+// Simulation is the per-rank simulation state.
+type Simulation struct {
+	Comm    *comm.Comm
+	Forest  *blockforest.BlockForest
+	Stencil *lattice.Stencil
+	Config  Config
+	Blocks  []*BlockData
+
+	byCoord map[[3]int]*BlockData
+	plan    []exchangeOp
+
+	computeTime  time.Duration
+	commTime     time.Duration
+	boundaryTime time.Duration
+	steps        int
+}
+
+// New builds the simulation state for this rank's part of the forest.
+func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation, error) {
+	if cfg.Stencil == nil {
+		cfg.Stencil = lattice.D3Q19()
+	}
+	if cfg.Kernel == "" {
+		if cfg.Stencil == lattice.D3Q19() {
+			cfg.Kernel = KernelSplitTRT
+		} else {
+			cfg.Kernel = KernelGenericTRT
+		}
+	}
+	if cfg.Stencil != lattice.D3Q19() &&
+		cfg.Kernel != KernelGenericSRT && cfg.Kernel != KernelGenericTRT {
+		return nil, fmt.Errorf("sim: stencil %s requires a generic kernel", cfg.Stencil)
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = 0.9
+	}
+	if cfg.Tau <= 0.5 {
+		return nil, fmt.Errorf("sim: tau %v must exceed 1/2", cfg.Tau)
+	}
+	if cfg.Magic == 0 {
+		cfg.Magic = collide.MagicParameter
+	}
+	if cfg.InitialRho == 0 {
+		cfg.InitialRho = 1
+	}
+	s := &Simulation{
+		Comm:    c,
+		Forest:  forest,
+		Stencil: cfg.Stencil,
+		Config:  cfg,
+		byCoord: make(map[[3]int]*BlockData),
+	}
+	for _, b := range forest.Blocks {
+		bd, err := s.newBlockData(b)
+		if err != nil {
+			return nil, err
+		}
+		s.Blocks = append(s.Blocks, bd)
+		s.byCoord[b.Coord] = bd
+	}
+	s.plan = buildExchangePlan(s)
+	return s, nil
+}
+
+func (s *Simulation) newBlockData(b *blockforest.Block) (*BlockData, error) {
+	cells := b.Cells
+	flags := field.NewFlagField(cells[0], cells[1], cells[2], 1)
+	if s.Config.SetupFlags != nil {
+		s.Config.SetupFlags(b, s.Forest, flags)
+	} else {
+		defaultFlags(b, s.Forest, flags)
+	}
+	k, err := MakeKernelFor(s.Config.Kernel, s.Stencil, s.Config.Tau, s.Config.Magic, flags)
+	if err != nil {
+		return nil, err
+	}
+	layout := k.Layout()
+	src := field.NewPDFField(s.Stencil, cells[0], cells[1], cells[2], 1, layout)
+	dst := src.CopyShape()
+	v := s.Config.InitialVelocity
+	src.FillEquilibrium(s.Config.InitialRho, v[0], v[1], v[2])
+	dst.FillEquilibrium(s.Config.InitialRho, v[0], v[1], v[2])
+	if s.Config.InitialState != nil {
+		feq := make([]float64, s.Stencil.Q)
+		base := [3]int{b.Coord[0] * cells[0], b.Coord[1] * cells[1], b.Coord[2] * cells[2]}
+		for z := 0; z < cells[2]; z++ {
+			for y := 0; y < cells[1]; y++ {
+				for x := 0; x < cells[0]; x++ {
+					rho, ux, uy, uz := s.Config.InitialState(base[0]+x, base[1]+y, base[2]+z)
+					s.Stencil.Equilibrium(feq, rho, ux, uy, uz)
+					for a := 0; a < s.Stencil.Q; a++ {
+						src.Set(x, y, z, lattice.Direction(a), feq[a])
+					}
+				}
+			}
+		}
+	}
+	return &BlockData{
+		Block:    b,
+		Src:      src,
+		Dst:      dst,
+		Flags:    flags,
+		Kernel:   k,
+		Boundary: newBoundarySweep(s, flags),
+		Fluid:    flags.Count(field.Fluid),
+	}, nil
+}
+
+// newBoundarySweep builds the boundary handling of one block.
+func newBoundarySweep(s *Simulation, flags *field.FlagField) *boundary.Sweep {
+	return boundary.NewSweep(s.Stencil, flags, s.Config.Boundary)
+}
+
+// defaultFlags marks all interior cells fluid and ghost layers at the
+// domain boundary (no neighbor, non-periodic) as no-slip walls; ghost
+// layers toward existing neighbors stay fluid (they receive data).
+func defaultFlags(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+	flags.Fill(field.Fluid)
+	for f := lattice.FaceW; f < lattice.NumFaces; f++ {
+		nx, ny, nz := f.Normal()
+		if b.Neighbor([3]int{nx, ny, nz}) != nil {
+			continue
+		}
+		markGhostFace(flags, f, field.NoSlip)
+	}
+}
+
+// markGhostFace sets the ghost slab beyond the given face (including its
+// edges and corners on that side) to the cell type.
+func markGhostFace(flags *field.FlagField, f lattice.Face, t field.CellType) {
+	g := flags.Ghost
+	nx, ny, nz := f.Normal()
+	for z := -g; z < flags.Nz+g; z++ {
+		for y := -g; y < flags.Ny+g; y++ {
+			for x := -g; x < flags.Nx+g; x++ {
+				if (nx < 0 && x >= 0) || (nx > 0 && x < flags.Nx) ||
+					(ny < 0 && y >= 0) || (ny > 0 && y < flags.Ny) ||
+					(nz < 0 && z >= 0) || (nz > 0 && z < flags.Nz) {
+					continue
+				}
+				flags.Set(x, y, z, t)
+			}
+		}
+	}
+}
+
+// MarkGhostFace is exported for scenario setup hooks.
+func MarkGhostFace(flags *field.FlagField, f lattice.Face, t field.CellType) {
+	markGhostFace(flags, f, t)
+}
+
+// Step advances the simulation by one time step: ghost exchange, boundary
+// handling, fused stream-collide, field swap.
+func (s *Simulation) Step() {
+	t0 := time.Now()
+	s.exchangeGhostLayers()
+	t1 := time.Now()
+	s.commTime += t1.Sub(t0)
+
+	for _, bd := range s.Blocks {
+		bd.Boundary.Apply(bd.Src)
+	}
+	t2 := time.Now()
+	s.boundaryTime += t2.Sub(t1)
+
+	for _, bd := range s.Blocks {
+		timeBlockSweep(bd)
+		if s.Config.Force != [3]float64{} {
+			applyForce(bd, s.Stencil, s.Config.Force)
+		}
+	}
+	s.computeTime += time.Since(t2)
+
+	for _, bd := range s.Blocks {
+		field.Swap(bd.Src, bd.Dst)
+	}
+	s.steps++
+}
+
+// applyForce adds the first-order body force term 3 w_a (e_a . F) to every
+// fluid cell of dst, injecting momentum density F per step.
+func applyForce(bd *BlockData, st *lattice.Stencil, force [3]float64) {
+	for z := 0; z < bd.Dst.Nz; z++ {
+		for y := 0; y < bd.Dst.Ny; y++ {
+			for x := 0; x < bd.Dst.Nx; x++ {
+				if bd.Flags.Get(x, y, z) != field.Fluid {
+					continue
+				}
+				for a := 0; a < st.Q; a++ {
+					ef := float64(st.Cx[a])*force[0] + float64(st.Cy[a])*force[1] + float64(st.Cz[a])*force[2]
+					if ef == 0 {
+						continue
+					}
+					d := lattice.Direction(a)
+					bd.Dst.Set(x, y, z, d, bd.Dst.Get(x, y, z, d)+3*st.W[a]*ef)
+				}
+			}
+		}
+	}
+}
+
+// Run advances the given number of steps and returns the metrics of the
+// run (globally reduced over all ranks).
+func (s *Simulation) Run(steps int) Metrics {
+	s.ResetTimers()
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		s.Step()
+	}
+	wall := time.Since(start)
+	return s.gatherMetrics(steps, wall)
+}
+
+// ResetTimers zeroes the accumulated phase timers.
+func (s *Simulation) ResetTimers() {
+	s.computeTime, s.commTime, s.boundaryTime = 0, 0, 0
+	s.steps = 0
+}
+
+// LocalCells returns the number of allocated interior cells on this rank.
+func (s *Simulation) LocalCells() int64 {
+	var n int64
+	for _, bd := range s.Blocks {
+		n += int64(bd.Src.InteriorCells())
+	}
+	return n
+}
+
+// LocalFluidCells returns the number of fluid cells on this rank.
+func (s *Simulation) LocalFluidCells() int64 {
+	var n int64
+	for _, bd := range s.Blocks {
+		n += int64(bd.Fluid)
+	}
+	return n
+}
+
+// BlockByCoord returns this rank's block data at the given grid coordinate
+// or nil.
+func (s *Simulation) BlockByCoord(c [3]int) *BlockData { return s.byCoord[c] }

@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/boundary"
+	"walberla/internal/comm"
+	"walberla/internal/field"
+	"walberla/internal/lattice"
+)
+
+// runRanks is a thin alias keeping the SPMD test bodies compact.
+func runRanks(t *testing.T, ranks int, f func(c *comm.Comm)) {
+	t.Helper()
+	comm.Run(ranks, f)
+}
+
+// forestFor hands the setup forest to rank 0 only, matching the
+// single-reader broadcast protocol of blockforest.Distribute.
+func forestFor(rank int, f *blockforest.SetupForest) *blockforest.SetupForest {
+	if rank == 0 {
+		return f
+	}
+	return nil
+}
+
+// cavityFlags marks a lid-driven cavity: all walls no-slip, the +z lid a
+// moving (velocity) wall.
+func cavityFlags(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+	flags.Fill(field.Fluid)
+	for f := lattice.FaceW; f < lattice.NumFaces; f++ {
+		nx, ny, nz := f.Normal()
+		if b.Neighbor([3]int{nx, ny, nz}) != nil {
+			continue
+		}
+		MarkGhostFace(flags, f, field.NoSlip)
+	}
+	if b.Neighbor([3]int{0, 0, 1}) == nil {
+		MarkGhostFace(flags, lattice.FaceT, field.VelocityBounce)
+	}
+}
+
+// runCavity runs the lid-driven cavity on the given decomposition and
+// returns the global x-velocity field keyed by global cell coordinate.
+func runCavity(t *testing.T, ranks int, grid, cellsPerBlock [3]int, steps int, kernel KernelChoice) map[[3]int]float64 {
+	t.Helper()
+	domain := blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1})
+	f := blockforest.NewSetupForest(domain, grid, cellsPerBlock, [3]bool{})
+	f.BalanceMorton(ranks)
+
+	var mu sync.Mutex
+	result := make(map[[3]int]float64)
+
+	runRanks(t, ranks, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), f))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s, err := New(c, forest, Config{
+			Kernel:     kernel,
+			Tau:        0.8,
+			Boundary:   boundary.Config{WallVelocity: [3]float64{0.05, 0, 0}},
+			SetupFlags: cavityFlags,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s.Run(steps)
+		mu.Lock()
+		defer mu.Unlock()
+		for _, bd := range s.Blocks {
+			base := [3]int{
+				bd.Block.Coord[0] * cellsPerBlock[0],
+				bd.Block.Coord[1] * cellsPerBlock[1],
+				bd.Block.Coord[2] * cellsPerBlock[2],
+			}
+			for z := 0; z < cellsPerBlock[2]; z++ {
+				for y := 0; y < cellsPerBlock[1]; y++ {
+					for x := 0; x < cellsPerBlock[0]; x++ {
+						_, ux, _, _ := bd.Src.Moments(x, y, z)
+						result[[3]int{base[0] + x, base[1] + y, base[2] + z}] = ux
+					}
+				}
+			}
+		}
+	})
+	return result
+}
+
+// The physics must be independent of the domain decomposition: the same
+// global grid split over different block counts and rank counts yields the
+// same solution (the fundamental correctness property of the distributed
+// ghost layer exchange).
+func TestDecompositionInvariance(t *testing.T) {
+	const steps = 40
+	ref := runCavity(t, 1, [3]int{1, 1, 1}, [3]int{8, 8, 8}, steps, KernelSplitTRT)
+	cases := []struct {
+		ranks int
+		grid  [3]int
+		cells [3]int
+	}{
+		{2, [3]int{2, 1, 1}, [3]int{4, 8, 8}},
+		{4, [3]int{2, 2, 1}, [3]int{4, 4, 8}},
+		{8, [3]int{2, 2, 2}, [3]int{4, 4, 4}},
+		{3, [3]int{2, 2, 2}, [3]int{4, 4, 4}}, // multiple blocks per rank
+	}
+	for _, tc := range cases {
+		got := runCavity(t, tc.ranks, tc.grid, tc.cells, steps, KernelSplitTRT)
+		if len(got) != len(ref) {
+			t.Fatalf("ranks=%d: %d cells, want %d", tc.ranks, len(got), len(ref))
+		}
+		var maxDiff float64
+		for k, v := range ref {
+			if d := math.Abs(got[k] - v); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 1e-13 {
+			t.Errorf("ranks=%d grid=%v: max deviation %g from single-block run", tc.ranks, tc.grid, maxDiff)
+		}
+	}
+}
+
+// Different kernels must produce the same distributed physics.
+func TestKernelChoiceInvariance(t *testing.T) {
+	const steps = 20
+	ref := runCavity(t, 4, [3]int{2, 2, 1}, [3]int{4, 4, 8}, steps, KernelGenericTRT)
+	for _, k := range []KernelChoice{KernelD3Q19TRT, KernelSplitTRT} {
+		got := runCavity(t, 4, [3]int{2, 2, 1}, [3]int{4, 4, 8}, steps, k)
+		var maxDiff float64
+		for key, v := range ref {
+			if d := math.Abs(got[key] - v); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 1e-12 {
+			t.Errorf("%s deviates %g from generic kernel", k, maxDiff)
+		}
+	}
+}
+
+// A fully periodic domain with uniform equilibrium flow must stay exactly
+// uniform while being advected — the exchange must preserve it.
+func TestPeriodicUniformFlowInvariant(t *testing.T) {
+	domain := blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1})
+	f := blockforest.NewSetupForest(domain, [3]int{2, 2, 1}, [3]int{4, 4, 4}, [3]bool{true, true, true})
+	const ranks = 4
+	f.BalanceMorton(ranks)
+	runRanks(t, ranks, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), f))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s, err := New(c, forest, Config{
+			Kernel:          KernelSplitTRT,
+			InitialVelocity: [3]float64{0.03, -0.02, 0.01},
+			SetupFlags: func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+				flags.Fill(field.Fluid)
+			},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s.Run(25)
+		for _, bd := range s.Blocks {
+			for z := 0; z < 4; z++ {
+				for y := 0; y < 4; y++ {
+					for x := 0; x < 4; x++ {
+						rho, ux, uy, uz := bd.Src.Moments(x, y, z)
+						if math.Abs(rho-1) > 1e-12 || math.Abs(ux-0.03) > 1e-12 ||
+							math.Abs(uy+0.02) > 1e-12 || math.Abs(uz-0.01) > 1e-12 {
+							t.Errorf("rank %d block %v cell (%d,%d,%d) drifted: rho=%v u=(%v,%v,%v)",
+								c.Rank(), bd.Block.Coord, x, y, z, rho, ux, uy, uz)
+							return
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// Mass is conserved in a closed cavity.
+func TestMassConservation(t *testing.T) {
+	domain := blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1})
+	f := blockforest.NewSetupForest(domain, [3]int{2, 1, 1}, [3]int{4, 8, 8}, [3]bool{})
+	const ranks = 2
+	f.BalanceMorton(ranks)
+	runRanks(t, ranks, func(c *comm.Comm) {
+		forest, _ := blockforest.Distribute(c, forestFor(c.Rank(), f))
+		s, err := New(c, forest, Config{SetupFlags: func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+			flags.Fill(field.Fluid)
+			for face := lattice.FaceW; face < lattice.NumFaces; face++ {
+				nx, ny, nz := face.Normal()
+				if b.Neighbor([3]int{nx, ny, nz}) == nil {
+					MarkGhostFace(flags, face, field.NoSlip)
+				}
+			}
+		}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var localMass float64
+		for _, bd := range s.Blocks {
+			localMass += bd.Src.TotalMass()
+		}
+		before := s.Comm.AllreduceFloat64(localMass, func(a, b float64) float64 { return a + b })
+		s.Run(50)
+		localMass = 0
+		for _, bd := range s.Blocks {
+			localMass += bd.Src.TotalMass()
+		}
+		after := s.Comm.AllreduceFloat64(localMass, func(a, b float64) float64 { return a + b })
+		if math.Abs(after-before) > 1e-8 {
+			t.Errorf("mass %v -> %v", before, after)
+		}
+	})
+}
+
+// Force-driven plane Poiseuille flow between no-slip plates: with the TRT
+// magic parameter 3/16, bounce-back walls sit exactly halfway between
+// cells and the steady parabolic profile is recovered to high accuracy.
+func TestPoiseuilleFlowParabolicProfile(t *testing.T) {
+	const nz = 10
+	const force = 1e-6
+	const tau = 0.9
+	nu := (tau - 0.5) / 3.0
+	domain := blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1})
+	f := blockforest.NewSetupForest(domain, [3]int{1, 1, 2}, [3]int{4, 4, nz / 2}, [3]bool{true, true, false})
+	const ranks = 2
+	f.BalanceMorton(ranks)
+	var mu sync.Mutex
+	profile := make(map[int]float64)
+	runRanks(t, ranks, func(c *comm.Comm) {
+		forest, _ := blockforest.Distribute(c, forestFor(c.Rank(), f))
+		s, err := New(c, forest, Config{
+			Tau:   tau,
+			Force: [3]float64{force, 0, 0},
+			SetupFlags: func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+				flags.Fill(field.Fluid)
+				if b.Neighbor([3]int{0, 0, -1}) == nil {
+					MarkGhostFace(flags, lattice.FaceB, field.NoSlip)
+				}
+				if b.Neighbor([3]int{0, 0, 1}) == nil {
+					MarkGhostFace(flags, lattice.FaceT, field.NoSlip)
+				}
+			},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s.Run(6000)
+		mu.Lock()
+		defer mu.Unlock()
+		for _, bd := range s.Blocks {
+			zBase := bd.Block.Coord[2] * nz / 2
+			for z := 0; z < nz/2; z++ {
+				_, ux, _, _ := bd.Src.Moments(2, 2, z)
+				profile[zBase+z] = ux
+			}
+		}
+	})
+	// The simple first-order forcing leaves a small uniform slip offset;
+	// judge each cell against the analytic parabola relative to the peak
+	// velocity (1 % of u_max).
+	uMax := force / (2 * nu) * float64(nz*nz) / 4
+	for z := 0; z < nz; z++ {
+		zt := float64(z) + 0.5 - float64(nz)/2
+		want := force / (2 * nu) * (float64(nz*nz)/4 - zt*zt)
+		got := profile[z]
+		if math.Abs(got-want) > 0.01*uMax {
+			t.Errorf("z=%d: ux=%v, want %v (off by %.2f%% of peak)", z, got, want, 100*math.Abs(got-want)/uMax)
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	domain := blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1})
+	f := blockforest.NewSetupForest(domain, [3]int{2, 1, 1}, [3]int{4, 4, 4}, [3]bool{})
+	const ranks = 2
+	f.BalanceMorton(ranks)
+	runRanks(t, ranks, func(c *comm.Comm) {
+		forest, _ := blockforest.Distribute(c, forestFor(c.Rank(), f))
+		s, err := New(c, forest, Config{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m := s.Run(10)
+		if m.TotalCells != 128 {
+			t.Errorf("TotalCells = %d, want 128", m.TotalCells)
+		}
+		if m.TotalFluidCells != 128 {
+			t.Errorf("TotalFluidCells = %d, want 128", m.TotalFluidCells)
+		}
+		if m.MLUPS <= 0 || m.WallTime <= 0 {
+			t.Errorf("degenerate metrics: %+v", m)
+		}
+		if m.CommFraction < 0 || m.CommFraction > 1 {
+			t.Errorf("CommFraction = %v", m.CommFraction)
+		}
+		if m.FluidFraction() != 1 {
+			t.Errorf("FluidFraction = %v", m.FluidFraction())
+		}
+		if m.MLUPSPerCore() <= 0 || m.TimeStepsPerSecond() <= 0 {
+			t.Error("per-core metrics degenerate")
+		}
+		if m.String() == "" {
+			t.Error("empty String()")
+		}
+	})
+}
+
+func TestCommDirections(t *testing.T) {
+	st := lattice.D3Q19()
+	if got := len(commDirections(st, [3]int{1, 0, 0})); got != 5 {
+		t.Errorf("face +x: %d directions, want 5", got)
+	}
+	if got := len(commDirections(st, [3]int{1, 1, 0})); got != 1 {
+		t.Errorf("edge +x+y: %d directions, want 1", got)
+	}
+	if got := len(commDirections(st, [3]int{1, 1, 1})); got != 0 {
+		t.Errorf("corner: %d directions, want 0", got)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	cells := [3]int{8, 8, 8}
+	r := sendRegion(cells, [3]int{1, 0, 0})
+	if r.lo != [3]int{7, 0, 0} || r.hi != [3]int{8, 8, 8} || r.cells() != 64 {
+		t.Errorf("sendRegion +x = %+v", r)
+	}
+	r = recvRegion(cells, [3]int{-1, 0, -1})
+	if r.lo != [3]int{-1, 0, -1} || r.hi != [3]int{0, 8, 0} || r.cells() != 8 {
+		t.Errorf("recvRegion -x-z = %+v", r)
+	}
+}

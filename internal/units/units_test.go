@@ -1,0 +1,119 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// The paper's section 4.3 arithmetic: 1.276 um resolution, 0.2 m/s peak
+// blood velocity, stability up to lattice velocity 0.1 -> 0.64 us time
+// step ("half the spatial resolution"), and 1.25 simulated steps per
+// second on the full machine means 0.8 us of blood flow per wall second.
+func TestPaperTimeStepArithmetic(t *testing.T) {
+	c, err := FromVelocity(1.276e-6, 0.2, 0.1, 1060)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Dt-0.638e-6) > 1e-12 {
+		t.Errorf("dt = %v, want 0.638e-6 (the paper's 0.64 us)", c.Dt)
+	}
+	// "the time step length computes to half the spatial resolution":
+	// dt [s] = dx [m] / 2 numerically in these units.
+	if math.Abs(c.Dt-c.Dx/2) > 1e-15 {
+		t.Errorf("dt %v != dx/2 %v", c.Dt, c.Dx/2)
+	}
+	simPerWall := c.SimulatedSecondsPerWallSecond(1.25)
+	if math.Abs(simPerWall-0.798e-6) > 1e-9 {
+		t.Errorf("simulated time per wall second = %v, want ~0.8 us", simPerWall)
+	}
+	// The strong scaling regime: 6638 steps/s at 0.1 mm and the same
+	// velocity mapping covers ~0.33 s of flow per wall second — the
+	// "practical real-time" statement of the conclusion.
+	c2, _ := FromVelocity(0.1e-3, 0.2, 0.1, 1060)
+	rt := c2.SimulatedSecondsPerWallSecond(6638)
+	if rt < 0.2 || rt > 0.5 {
+		t.Errorf("0.1mm real-time factor %v, want ~0.33", rt)
+	}
+}
+
+func TestVelocityRoundTrip(t *testing.T) {
+	c, _ := NewConverter(1e-4, 5e-5, 1000)
+	u := 0.05
+	if got := c.LatticeVelocity(c.Velocity(u)); math.Abs(got-u) > 1e-15 {
+		t.Errorf("velocity round trip %v -> %v", u, got)
+	}
+	if c.Velocity(0.1) != 0.1*1e-4/5e-5 {
+		t.Errorf("Velocity wrong: %v", c.Velocity(0.1))
+	}
+}
+
+func TestViscosityAndTau(t *testing.T) {
+	// Blood plasma-like kinematic viscosity ~3.3e-6 m^2/s at a coarse
+	// hemodynamic discretization.
+	c, _ := NewConverter(1e-4, 1e-5, 1060)
+	nuPhys := 3.3e-6
+	nuLat := c.LatticeViscosity(nuPhys)
+	if math.Abs(c.Viscosity(nuLat)-nuPhys) > 1e-18 {
+		t.Error("viscosity round trip failed")
+	}
+	tau := c.TauForViscosity(nuPhys)
+	if tau <= 0.5 {
+		t.Errorf("tau = %v unstable", tau)
+	}
+	if math.Abs((tau-0.5)/3.0-nuLat) > 1e-15 {
+		t.Errorf("tau-viscosity relation broken: tau=%v nuLat=%v", tau, nuLat)
+	}
+}
+
+func TestPressureAndDensity(t *testing.T) {
+	c, _ := NewConverter(1e-3, 1e-4, 1000)
+	if c.Density(1.05) != 1050 {
+		t.Errorf("Density = %v", c.Density(1.05))
+	}
+	// Pressure from a 1% density excess: rho * cs2 * 0.01.
+	cs2 := 1e-3 * 1e-3 / (1e-4 * 1e-4) / 3.0
+	want := 0.01 * 1000 * cs2
+	if math.Abs(c.Pressure(0.01)-want) > 1e-9 {
+		t.Errorf("Pressure = %v, want %v", c.Pressure(0.01), want)
+	}
+}
+
+func TestReynolds(t *testing.T) {
+	// Re = L u / nu with nu = (tau-1/2)/3.
+	re := Reynolds(100, 0.05, 0.8)
+	want := 100 * 0.05 / 0.1
+	if math.Abs(re-want) > 1e-12 {
+		t.Errorf("Re = %v, want %v", re, want)
+	}
+}
+
+func TestStabilityCheck(t *testing.T) {
+	if err := StabilityCheck(0.05); err != nil {
+		t.Errorf("0.05 flagged unstable: %v", err)
+	}
+	if err := StabilityCheck(0.15); err == nil {
+		t.Error("0.15 accepted")
+	}
+	if err := StabilityCheck(-0.2); err == nil {
+		t.Error("-0.2 accepted")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewConverter(0, 1, 1); err == nil {
+		t.Error("dx=0 accepted")
+	}
+	if _, err := FromVelocity(1e-6, 0, 0.1, 1000); err == nil {
+		t.Error("zero velocity accepted")
+	}
+	if _, err := FromVelocity(1e-6, 0.2, -0.1, 1000); err == nil {
+		t.Error("negative lattice velocity accepted")
+	}
+}
+
+func TestTime(t *testing.T) {
+	c, _ := NewConverter(1e-6, 2e-7, 1000)
+	if math.Abs(c.Time(500)-1e-4) > 1e-18 {
+		t.Errorf("Time(500) = %v", c.Time(500))
+	}
+}

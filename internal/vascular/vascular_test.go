@@ -1,0 +1,222 @@
+package vascular
+
+import (
+	"math"
+	"testing"
+
+	"walberla/internal/mesh"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultParams()
+	a := Generate(p)
+	b := Generate(p)
+	if len(a.Segments) != len(b.Segments) {
+		t.Fatal("same seed produced different segment counts")
+	}
+	for i := range a.Segments {
+		if a.Segments[i] != b.Segments[i] {
+			t.Fatalf("segment %d differs between identical seeds", i)
+		}
+	}
+	p.Seed = 2
+	c := Generate(p)
+	same := true
+	for i := range a.Segments {
+		if a.Segments[i] != c.Segments[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical trees")
+	}
+}
+
+func TestTreeTopology(t *testing.T) {
+	p := DefaultParams()
+	p.Depth = 3
+	tr := Generate(p)
+	want := 1<<(p.Depth+1) - 1 // full binary tree
+	if len(tr.Segments) != want {
+		t.Errorf("segments = %d, want %d", len(tr.Segments), want)
+	}
+	if tr.Leaves() != 1<<p.Depth {
+		t.Errorf("leaves = %d, want %d", tr.Leaves(), 1<<p.Depth)
+	}
+	roots := 0
+	for _, s := range tr.Segments {
+		if s.IsRoot {
+			roots++
+		}
+		if s.Level < 0 || s.Level > p.Depth {
+			t.Errorf("segment level %d out of range", s.Level)
+		}
+		if s.IsLeaf != (s.Level == p.Depth) {
+			t.Error("leaf flag inconsistent with level")
+		}
+	}
+	if roots != 1 {
+		t.Errorf("roots = %d, want 1", roots)
+	}
+}
+
+// Murray's law: the sum of child radii cubed equals the parent radius
+// cubed (exactly, by construction, up to the q1+q2=1 split).
+func TestMurraysLaw(t *testing.T) {
+	p := DefaultParams()
+	p.Depth = 2
+	p.Jitter = 0 // exact check without angle jitter on the split
+	tr := Generate(p)
+	// Segments are appended root-first depth-first: children of segment i
+	// follow it; reconstruct parent-child radii via levels.
+	type stackEntry struct{ idx int }
+	// Verify: for every internal segment, find its two children as the
+	// next segments at level+1 in DFS order.
+	var verify func(i int) int // returns next unvisited index
+	verify = func(i int) int {
+		s := tr.Segments[i]
+		next := i + 1
+		if s.IsLeaf {
+			return next
+		}
+		c1 := next
+		next = verify(c1)
+		c2 := next
+		next = verify(c2)
+		sum := math.Pow(tr.Segments[c1].Radius, 3) + math.Pow(tr.Segments[c2].Radius, 3)
+		if math.Abs(sum-math.Pow(s.Radius, 3)) > 1e-12 {
+			t.Errorf("Murray violation at %d: %v vs %v", i, sum, math.Pow(s.Radius, 3))
+		}
+		return next
+	}
+	if end := verify(0); end != len(tr.Segments) {
+		t.Fatalf("DFS covered %d of %d segments", end, len(tr.Segments))
+	}
+}
+
+func TestRadiiShrinkWithLevel(t *testing.T) {
+	tr := Generate(DefaultParams())
+	maxByLevel := map[int]float64{}
+	for _, s := range tr.Segments {
+		if s.Radius > maxByLevel[s.Level] {
+			maxByLevel[s.Level] = s.Radius
+		}
+	}
+	for l := 1; l <= tr.Params.Depth; l++ {
+		if maxByLevel[l] >= maxByLevel[l-1] {
+			t.Errorf("level %d max radius %v not below level %d (%v)",
+				l, maxByLevel[l], l-1, maxByLevel[l-1])
+		}
+	}
+}
+
+// The tree must be sparse in its bounding box, like the paper's coronary
+// dataset (~0.3 % fill).
+func TestSparsity(t *testing.T) {
+	p := DefaultParams()
+	p.Depth = 5
+	tr := Generate(p)
+	fill := tr.FillFraction()
+	if fill > 0.05 {
+		t.Errorf("fill fraction %v, want < 0.05", fill)
+	}
+	if fill <= 0 {
+		t.Errorf("fill fraction %v, want > 0", fill)
+	}
+}
+
+func TestMeshColoring(t *testing.T) {
+	p := DefaultParams()
+	p.Depth = 2
+	m := Generate(p).Mesh()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in, out := 0, 0
+	for tri := range m.Triangles {
+		switch m.TriangleColor(tri) {
+		case mesh.ColorInflow:
+			in++
+		case mesh.ColorOutflow:
+			out++
+		}
+	}
+	if in != p.TubeSegments {
+		t.Errorf("inflow triangles = %d, want %d (one root cap)", in, p.TubeSegments)
+	}
+	if out != 4*p.TubeSegments {
+		t.Errorf("outflow triangles = %d, want %d (four leaf caps)", out, 4*p.TubeSegments)
+	}
+}
+
+func TestSDFClassification(t *testing.T) {
+	p := DefaultParams()
+	p.Depth = 1
+	tr := Generate(p)
+	sdf, err := tr.SDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center of the root segment is inside.
+	root := tr.Segments[0]
+	mid := mesh.Scale(mesh.Add(root.P0, root.P1), 0.5)
+	if !sdf.Inside(mid) {
+		t.Error("root axis midpoint not inside")
+	}
+	if sdf.Signed(mid) >= 0 {
+		t.Error("phi at axis not negative")
+	}
+	// The junction region (parent end) must be inside despite the caps:
+	// children overlap into the parent.
+	if !sdf.Inside(root.P1) {
+		t.Error("junction point not inside the union")
+	}
+	// A point far outside.
+	b := tr.Bounds()
+	far := [3]float64{b.Max[0] + 1, b.Max[1] + 1, b.Max[2] + 1}
+	if sdf.Inside(far) || sdf.Signed(far) <= 0 {
+		t.Error("far point classified inside")
+	}
+	// Bounds must contain all segments including radius.
+	for _, s := range tr.Segments {
+		for d := 0; d < 3; d++ {
+			if s.P0[d]-s.Radius < b.Min[d]-1e-12 || s.P1[d]+s.Radius > b.Max[d]+1e-12 {
+				// Component-wise check is conservative; only flag clear violations.
+				if s.P0[d] < b.Min[d] || s.P1[d] > b.Max[d] {
+					t.Errorf("segment escapes bounds on axis %d", d)
+				}
+			}
+		}
+	}
+}
+
+func TestSDFColors(t *testing.T) {
+	p := DefaultParams()
+	p.Depth = 1
+	p.Jitter = 0
+	tr := Generate(p)
+	sdf, err := tr.SDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Segments[0]
+	// Slightly below the root inlet: nearest surface is the inflow cap.
+	probe := mesh.Sub(root.P0, [3]float64{0, 0, 0.1 * root.Radius})
+	if got := sdf.ClosestTriangleColor(probe); got != mesh.ColorInflow {
+		t.Errorf("inlet color = %v, want inflow", got)
+	}
+	// Beyond a leaf tip: outflow.
+	var leaf Segment
+	for _, s := range tr.Segments {
+		if s.IsLeaf {
+			leaf = s
+			break
+		}
+	}
+	dir := mesh.Normalize(mesh.Sub(leaf.P1, leaf.P0))
+	probe = mesh.Add(leaf.P1, mesh.Scale(dir, 0.1*leaf.Radius))
+	if got := sdf.ClosestTriangleColor(probe); got != mesh.ColorOutflow {
+		t.Errorf("leaf tip color = %v, want outflow", got)
+	}
+}
