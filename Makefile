@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet race verify bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the pre-commit gate: static checks, a full build, and the
+# test suite under the race detector.
+verify: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=0.2s -run='^$$' ./internal/...
+
+clean:
+	$(GO) clean ./...

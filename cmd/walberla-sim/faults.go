@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"walberla/internal/comm"
+)
+
+// parseFaultSpec parses the -inject-fault flag into a deterministic fault
+// plan. The spec is a comma-separated list of clauses:
+//
+//	crash=RANK@STEP   kill RANK when the time loop reaches STEP (repeatable)
+//	drop=P            drop each message with probability P
+//	delay=P:DUR       delay each message with probability P by up to DUR
+//	seed=N            seed of the deterministic fault decisions
+//
+// Example: "crash=1@40,drop=0.001,delay=0.01:2ms,seed=7".
+func parseFaultSpec(spec string) (*comm.FaultPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	p := &comm.FaultPlan{Seed: 1}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("fault clause %q is not key=value", part)
+		}
+		switch key {
+		case "crash":
+			rankStr, stepStr, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("crash clause %q is not RANK@STEP", val)
+			}
+			rank, err := strconv.Atoi(rankStr)
+			if err != nil {
+				return nil, fmt.Errorf("crash rank %q: %v", rankStr, err)
+			}
+			step, err := strconv.Atoi(stepStr)
+			if err != nil {
+				return nil, fmt.Errorf("crash step %q: %v", stepStr, err)
+			}
+			p.Crashes = append(p.Crashes, comm.CrashSpec{Rank: rank, Step: step})
+		case "drop":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("drop probability %q: %v", val, err)
+			}
+			p.Drop = f
+		case "delay":
+			probStr, durStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("delay clause %q is not PROB:DURATION", val)
+			}
+			f, err := strconv.ParseFloat(probStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("delay probability %q: %v", probStr, err)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil {
+				return nil, fmt.Errorf("delay duration %q: %v", durStr, err)
+			}
+			p.DelayProb, p.MaxDelay = f, d
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed %q: %v", val, err)
+			}
+			p.Seed = n
+		default:
+			return nil, fmt.Errorf("unknown fault clause %q", key)
+		}
+	}
+	return p, nil
+}

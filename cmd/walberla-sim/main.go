@@ -48,8 +48,26 @@ func main() {
 		ckptDir    = flag.String("checkpoint", "", "write per-block PDF checkpoints into this directory")
 		rebalance  = flag.Int("rebalance", 0, "dynamically rebalance by measured compute time every N steps (0 = off)")
 		resumeDir  = flag.String("resume", "", "restore per-block PDF checkpoints from this directory before stepping")
+
+		checkpointEvery = flag.Int("checkpoint-every", 0, "run the fault-tolerant driver, taking a coordinated checkpoint set every N steps (0 = off)")
+		checkpointSets  = flag.String("checkpoint-sets", "checkpoint-sets", "directory for coordinated checkpoint sets (with -checkpoint-every)")
+		injectFault     = flag.String("inject-fault", "", `deterministic fault plan, e.g. "crash=1@40,drop=0.001,delay=0.01:2ms,seed=7"`)
 	)
 	flag.Parse()
+
+	faults, err := parseFaultSpec(*injectFault)
+	if err != nil {
+		fatal(fmt.Errorf("-inject-fault: %w", err))
+	}
+	if faults != nil {
+		if err := faults.Validate(*ranks); err != nil {
+			fatal(fmt.Errorf("-inject-fault: %w", err))
+		}
+	}
+	resilient := *checkpointEvery > 0 || faults != nil
+	if resilient && *rebalance > 0 {
+		fatal(fmt.Errorf("-rebalance cannot be combined with the fault-tolerant driver (-checkpoint-every / -inject-fault)"))
+	}
 
 	sdf, err := loadGeometry(*meshPath, *useTree, *treeDepth, *seed)
 	if err != nil {
@@ -109,7 +127,7 @@ func main() {
 	var mu sync.Mutex
 	var metrics sim.Metrics
 	var files int
-	comm.Run(*ranks, func(c *comm.Comm) {
+	comm.RunWithOptions(*ranks, comm.Options{Faults: faults}, func(c *comm.Comm) {
 		var in *blockforest.SetupForest
 		if c.Rank() == 0 {
 			in = forest
@@ -143,7 +161,15 @@ func main() {
 			}
 		}
 		var m sim.Metrics
-		if *rebalance > 0 {
+		if resilient {
+			m, err = s.RunResilient(*steps, sim.ResilienceConfig{
+				CheckpointEvery: *checkpointEvery,
+				Dir:             *checkpointSets,
+			})
+			if err != nil {
+				fatal(err)
+			}
+		} else if *rebalance > 0 {
 			remaining := *steps
 			for remaining > 0 {
 				chunk := *rebalance
@@ -199,6 +225,11 @@ func main() {
 		}
 	})
 	fmt.Println("simulation:", metrics)
+	if r := metrics.Recovery; r != (sim.RecoveryStats{}) {
+		fmt.Printf("resilience: failures=%d restores=%d replayed=%d steps checkpoints=%d (%d bytes on rank 0) lost=%v\n",
+			r.FailuresDetected, r.Restores, r.StepsReplayed,
+			r.CheckpointsWritten, r.CheckpointBytes, r.TimeLost)
+	}
 	if files > 0 {
 		fmt.Printf("wrote %d output files\n", files)
 	}

@@ -334,7 +334,9 @@ func TestFileMinimalByteEncoding(t *testing.T) {
 	}
 }
 
-func headerSize() int64 { return 4 + 6*8 + 3*4 + 3*4 + 1 + 8 + 4 + 3 }
+// headerSize is the fixed per-file overhead: header plus the 4-byte
+// CRC32C trailer.
+func headerSize() int64 { return 4 + 6*8 + 3*4 + 3*4 + 1 + 8 + 4 + 3 + 4 }
 
 // The file size must scale linearly in blocks with a small constant — the
 // paper stores half a million blocks in ~40 MiB; our format is tighter.

@@ -48,6 +48,50 @@ func TestLoadCorruptedInputs(t *testing.T) {
 	}
 }
 
+// With the WBF3 CRC32C trailer, every single-bit flip anywhere in the
+// file — header, block records, or the trailer itself — must be detected
+// as an error, not merely avoid a panic.
+func TestLoadDetectsEveryBitFlip(t *testing.T) {
+	f := NewSetupForest(
+		NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+		[3]int{2, 2, 2}, [3]int{8, 8, 8}, [3]bool{})
+	f.BalanceMorton(4)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := Load(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+	for off := 0; off < len(good); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), good...)
+			mut[off] ^= byte(1 << bit)
+			if _, err := Load(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("bit %d at offset %d went undetected", bit, off)
+			}
+		}
+	}
+}
+
+// Legacy WBF1 files (no integrity trailer) must be rejected with a clear
+// error instead of being trusted.
+func TestLoadRejectsLegacyVersion(t *testing.T) {
+	f := NewSetupForest(
+		NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+		[3]int{2, 2, 2}, [3]int{8, 8, 8}, [3]bool{})
+	f.BalanceMorton(2)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	legacy := append([]byte("WBF1"), buf.Bytes()[4:]...)
+	if _, err := Load(bytes.NewReader(legacy)); err == nil {
+		t.Fatal("legacy WBF1 magic accepted")
+	}
+}
+
 // Truncations that cut whole block records still decode the header and
 // must report an error rather than returning a short forest silently.
 func TestLoadTruncatedBlocksErrors(t *testing.T) {

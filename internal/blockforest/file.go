@@ -3,6 +3,8 @@ package blockforest
 import (
 	"bytes"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -14,8 +16,36 @@ import (
 // bytes that actually carry information — e.g. two bytes suffice for the
 // ranks of a simulation with up to 65,536 processes even though four
 // bytes are used in memory.
+//
+// Version 3 ("WBF3"; "WBF2" is the refined-forest format) appends a
+// CRC32C trailer over the entire file so silent corruption is detected at
+// load time. Version-1 files, which carry no integrity information, are
+// rejected loudly.
 
-const fileMagic = "WBF1"
+const (
+	fileMagic       = "WBF3"
+	fileMagicLegacy = "WBF1"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcReader tees everything read through it into a CRC32C accumulator.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func newCRCReader(r io.Reader) *crcReader {
+	return &crcReader{r: r, crc: crc32.New(castagnoli)}
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.crc.Write(p[:n])
+	}
+	return n, err
+}
 
 // minBytes returns the number of bytes needed to represent maxVal.
 func minBytes(maxVal uint64) int {
@@ -120,17 +150,25 @@ func (f *SetupForest) Save(w io.Writer) error {
 		putUint(&buf, uint64(rank), bytesRank)
 		putUint(&buf, uint64(b.Workload+0.5), bytesWork)
 	}
+	// Trailer: CRC32C over everything above (not itself).
+	putUint(&buf, uint64(crc32.Checksum(buf.Bytes(), castagnoli)), 4)
 	_, err := w.Write(buf.Bytes())
 	return err
 }
 
-// Load reads a forest previously written by Save.
-func Load(r io.Reader) (*SetupForest, error) {
+// Load reads a forest previously written by Save, verifying the CRC32C
+// trailer.
+func Load(rd io.Reader) (*SetupForest, error) {
+	r := newCRCReader(rd)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, fmt.Errorf("blockforest: reading magic: %w", err)
 	}
-	if string(magic) != fileMagic {
+	switch string(magic) {
+	case fileMagic:
+	case fileMagicLegacy:
+		return nil, fmt.Errorf("blockforest: legacy %s file has no integrity trailer; re-save with this version", fileMagicLegacy)
+	default:
 		return nil, fmt.Errorf("blockforest: bad magic %q", magic)
 	}
 	var domain AABB
@@ -229,6 +267,15 @@ func Load(r io.Reader) (*SetupForest, error) {
 			Rank:     int(rank),
 		}
 	}
+	// The trailer itself is read outside the CRC accumulation.
+	want := r.crc.Sum32()
+	stored, err := getUint(rd, 4)
+	if err != nil {
+		return nil, fmt.Errorf("blockforest: missing CRC trailer: %w", err)
+	}
+	if uint32(stored) != want {
+		return nil, fmt.Errorf("blockforest: CRC mismatch: stored %08x, computed %08x", stored, want)
+	}
 	return f, nil
 }
 
@@ -253,6 +300,7 @@ func (f *SetupForest) FileSize() int64 {
 		}
 	}
 	header := int64(4 + 6*8 + 3*4 + 3*4 + 1 + 8 + 4 + 3)
+	const trailer = 4 // CRC32C
 	perBlock := int64(3*minBytes(uint64(maxCoord)) + minBytes(uint64(maxRank)) + minBytes(maxWork))
-	return header + perBlock*int64(len(blocks))
+	return header + perBlock*int64(len(blocks)) + trailer
 }

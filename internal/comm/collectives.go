@@ -14,22 +14,48 @@ const (
 	tagScan
 )
 
+// Every collective is implemented as an error-returning core (the *Err
+// methods), which detect a declared rank failure mid-collective and
+// return a typed *RankFailedError instead of deadlocking. The classic
+// infallible API wraps the cores and panics on failure, preserving the
+// perfect-network programming model for code that does not opt into
+// resilience.
+
 // Barrier blocks until every rank has entered it. Implemented as a
 // zero-byte reduce-to-zero followed by a broadcast (the classic two-phase
 // tree barrier).
 func (c *Comm) Barrier() {
-	c.reduceTree(tagBarrier, nil, func(a, b any) any { return nil })
-	c.bcastTree(tagBarrier, nil)
+	if err := c.BarrierErr(); err != nil {
+		panic(err)
+	}
+}
+
+// BarrierErr is Barrier returning an error on rank failure.
+func (c *Comm) BarrierErr() error {
+	if _, err := c.reduceTreeErr(tagBarrier, nil, func(a, b any) any { return nil }); err != nil {
+		return err
+	}
+	_, err := c.bcastTreeErr(tagBarrier, nil)
+	return err
 }
 
 // Bcast distributes root's payload to every rank and returns it; non-root
 // ranks pass nil (or any placeholder, which is ignored).
 func (c *Comm) Bcast(root int, data any) any {
+	out, err := c.BcastErr(root, data)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// BcastErr is Bcast returning an error on rank failure.
+func (c *Comm) BcastErr(root int, data any) (any, error) {
 	if c.rank != root {
 		data = nil
 	}
 	// Rotate ranks so the tree is rooted at rank 0.
-	return c.bcastTreeRooted(tagBcast, root, data)
+	return c.bcastTreeRootedErr(tagBcast, root, data)
 }
 
 // rel translates an absolute rank into the tree coordinate system rooted
@@ -39,8 +65,8 @@ func (c *Comm) rel(root int) int { return (c.rank - root + c.Size()) % c.Size() 
 // abs translates a tree coordinate back to an absolute rank.
 func (c *Comm) abs(root, r int) int { return (r + root) % c.Size() }
 
-// bcastTreeRooted runs a binomial broadcast tree rooted at root.
-func (c *Comm) bcastTreeRooted(tag int, root int, data any) any {
+// bcastTreeRootedErr runs a binomial broadcast tree rooted at root.
+func (c *Comm) bcastTreeRootedErr(tag int, root int, data any) (any, error) {
 	n := c.Size()
 	me := c.rel(root)
 	// Receive from parent (if not root).
@@ -51,7 +77,11 @@ func (c *Comm) bcastTreeRooted(tag int, root int, data any) any {
 		}
 		mask >>= 1
 		parent := me &^ mask
-		data, _ = c.recv(c.abs(root, parent), tag)
+		var err error
+		data, _, err = c.recvErr(c.abs(root, parent), tag)
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Forward to children.
 	mask := 1
@@ -61,33 +91,37 @@ func (c *Comm) bcastTreeRooted(tag int, root int, data any) any {
 	for ; mask < n; mask <<= 1 {
 		child := me | mask
 		if child < n {
-			c.send(c.abs(root, child), tag, data)
+			if err := c.sendErr(c.abs(root, child), tag, data); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return data
+	return data, nil
 }
 
-// bcastTree broadcasts from rank 0.
-func (c *Comm) bcastTree(tag int, data any) any {
-	return c.bcastTreeRooted(tag, 0, data)
+// bcastTreeErr broadcasts from rank 0.
+func (c *Comm) bcastTreeErr(tag int, data any) (any, error) {
+	return c.bcastTreeRootedErr(tag, 0, data)
 }
 
-// reduceTree combines every rank's contribution at rank 0 using op; only
-// rank 0 receives the final value (other ranks get nil).
-func (c *Comm) reduceTree(tag int, data any, op func(a, b any) any) any {
+// reduceTreeErr combines every rank's contribution at rank 0 using op;
+// only rank 0 receives the final value (other ranks get nil).
+func (c *Comm) reduceTreeErr(tag int, data any, op func(a, b any) any) (any, error) {
 	n := c.Size()
 	me := c.rank
 	for mask := 1; mask < n; mask <<= 1 {
 		if me&mask != 0 {
-			c.send(me&^mask, tag, data)
-			return nil
+			return nil, c.sendErr(me&^mask, tag, data)
 		}
 		if partner := me | mask; partner < n {
-			other, _ := c.recv(partner, tag)
+			other, _, err := c.recvErr(partner, tag)
+			if err != nil {
+				return nil, err
+			}
 			data = op(data, other)
 		}
 	}
-	return data
+	return data, nil
 }
 
 // ReduceFloat64 combines the per-rank values with op at root; other ranks
@@ -95,9 +129,12 @@ func (c *Comm) reduceTree(tag int, data any, op func(a, b any) any) any {
 func (c *Comm) ReduceFloat64(root int, v float64, op func(a, b float64) float64) float64 {
 	// Reduce to rank 0, then move to root if different (a minor shortcut
 	// MPI implementations also take).
-	res := c.reduceTree(tagReduce, v, func(a, b any) any {
+	res, err := c.reduceTreeErr(tagReduce, v, func(a, b any) any {
 		return op(a.(float64), b.(float64))
 	})
+	if err != nil {
+		panic(err)
+	}
 	if root == 0 {
 		if c.rank == 0 {
 			return res.(float64)
@@ -105,11 +142,16 @@ func (c *Comm) ReduceFloat64(root int, v float64, op func(a, b float64) float64)
 		return 0
 	}
 	if c.rank == 0 {
-		c.send(root, tagReduce, res)
+		if err := c.sendErr(root, tagReduce, res); err != nil {
+			panic(err)
+		}
 		return 0
 	}
 	if c.rank == root {
-		got, _ := c.recv(0, tagReduce)
+		got, _, err := c.recvErr(0, tagReduce)
+		if err != nil {
+			panic(err)
+		}
 		return got.(float64)
 	}
 	return 0
@@ -118,18 +160,51 @@ func (c *Comm) ReduceFloat64(root int, v float64, op func(a, b float64) float64)
 // AllreduceFloat64 combines the per-rank values with op and returns the
 // result on every rank (reduce + broadcast).
 func (c *Comm) AllreduceFloat64(v float64, op func(a, b float64) float64) float64 {
-	res := c.reduceTree(tagReduce, v, func(a, b any) any {
+	out, err := c.AllreduceFloat64Err(v, op)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// AllreduceFloat64Err is AllreduceFloat64 returning an error on rank
+// failure.
+func (c *Comm) AllreduceFloat64Err(v float64, op func(a, b float64) float64) (float64, error) {
+	res, err := c.reduceTreeErr(tagReduce, v, func(a, b any) any {
 		return op(a.(float64), b.(float64))
 	})
-	return c.bcastTree(tagReduce, res).(float64)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.bcastTreeErr(tagReduce, res)
+	if err != nil {
+		return 0, err
+	}
+	return out.(float64), nil
 }
 
 // AllreduceInt64 combines the per-rank values with op on every rank.
 func (c *Comm) AllreduceInt64(v int64, op func(a, b int64) int64) int64 {
-	res := c.reduceTree(tagReduce, v, func(a, b any) any {
+	out, err := c.AllreduceInt64Err(v, op)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// AllreduceInt64Err is AllreduceInt64 returning an error on rank failure.
+func (c *Comm) AllreduceInt64Err(v int64, op func(a, b int64) int64) (int64, error) {
+	res, err := c.reduceTreeErr(tagReduce, v, func(a, b any) any {
 		return op(a.(int64), b.(int64))
 	})
-	return c.bcastTree(tagReduce, res).(int64)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.bcastTreeErr(tagReduce, res)
+	if err != nil {
+		return 0, err
+	}
+	return out.(int64), nil
 }
 
 // Sum, Max and Min are the common reduction operators.
@@ -154,29 +229,64 @@ func Min[T int64 | float64](a, b T) T {
 // Gather collects every rank's payload at root in rank order; non-root
 // ranks receive nil.
 func (c *Comm) Gather(root int, data any) []any {
-	if c.rank != root {
-		c.send(root, tagGather, data)
-		return nil
-	}
-	out := make([]any, c.Size())
-	out[c.rank] = data
-	for i := 0; i < c.Size()-1; i++ {
-		data, source := c.recv(AnySource, tagGather)
-		out[source] = data
+	out, err := c.GatherErr(root, data)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
 
+// GatherErr is Gather returning an error on rank failure.
+func (c *Comm) GatherErr(root int, data any) ([]any, error) {
+	if c.rank != root {
+		return nil, c.sendErr(root, tagGather, data)
+	}
+	out := make([]any, c.Size())
+	out[c.rank] = data
+	for i := 0; i < c.Size()-1; i++ {
+		data, source, err := c.recvErr(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[source] = data
+	}
+	return out, nil
+}
+
 // Allgather collects every rank's payload on every rank in rank order.
 func (c *Comm) Allgather(data any) []any {
-	gathered := c.Gather(0, data)
-	res := c.bcastTree(tagGather, gathered)
-	return res.([]any)
+	out, err := c.AllgatherErr(data)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// AllgatherErr is Allgather returning an error on rank failure.
+func (c *Comm) AllgatherErr(data any) ([]any, error) {
+	gathered, err := c.GatherErr(0, data)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.bcastTreeErr(tagGather, gathered)
+	if err != nil {
+		return nil, err
+	}
+	return res.([]any), nil
 }
 
 // Alltoall sends bufs[i] to rank i and returns the payloads received from
 // every rank, indexed by source. bufs must have length Size.
 func (c *Comm) Alltoall(bufs []any) []any {
+	out, err := c.AlltoallErr(bufs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// AlltoallErr is Alltoall returning an error on rank failure.
+func (c *Comm) AlltoallErr(bufs []any) ([]any, error) {
 	if len(bufs) != c.Size() {
 		panic(fmt.Sprintf("comm: Alltoall with %d buffers on %d ranks", len(bufs), c.Size()))
 	}
@@ -184,15 +294,20 @@ func (c *Comm) Alltoall(bufs []any) []any {
 		if dst == c.rank {
 			continue
 		}
-		c.send(dst, tagAlltoall, bufs[dst])
+		if err := c.sendErr(dst, tagAlltoall, bufs[dst]); err != nil {
+			return nil, err
+		}
 	}
 	out := make([]any, c.Size())
 	out[c.rank] = bufs[c.rank]
 	for i := 0; i < c.Size()-1; i++ {
-		data, source := c.recv(AnySource, tagAlltoall)
+		data, source, err := c.recvErr(AnySource, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
 		out[source] = data
 	}
-	return out
+	return out, nil
 }
 
 // ExscanInt64 returns the exclusive prefix sum of v over ranks: rank r

@@ -11,18 +11,30 @@
 // data except through messages, keeping the paper's fully distributed
 // data structure invariants testable in process.
 //
-// Message passing is "eager": sends never block (each rank owns an
-// unbounded mailbox), receives block until a matching message arrives.
-// Messages match on (communicator context, source, tag), so traffic in a
-// subcommunicator cannot interfere with the parent's. Per-rank statistics
-// (message and byte counts, time blocked in receives) support the %MPI
-// accounting of the scaling experiments.
+// Message passing is "eager": sends do not rendezvous with the receiver
+// (each rank owns a mailbox), receives block until a matching message
+// arrives. Messages match on (communicator context, source, tag), so
+// traffic in a subcommunicator cannot interfere with the parent's.
+// Mailboxes may be depth-bounded (Options.MailboxDepth), in which case a
+// full mailbox applies backpressure to senders; per-rank statistics
+// (message and byte counts, time blocked in receives and in backpressure)
+// support the %MPI accounting of the scaling experiments.
+//
+// For resilience testing the runtime supports deterministic fault
+// injection (FaultPlan): dropped and delayed messages and rank crashes at
+// chosen time steps. Every operation has an error-returning variant
+// (SendErr, RecvErr, BarrierErr, ...) that surfaces a typed
+// *RankFailedError instead of deadlocking when a rank has failed; see
+// fault.go and docs/RESILIENCE.md for the fault model and the recovery
+// protocol built on top in package sim.
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,50 +53,234 @@ type message struct {
 	source int // world rank of the sender
 	tag    int
 	data   any
+	seq    uint64 // mailbox arrival stamp, orders wildcard matches
 }
 
-// mailbox is the unbounded receive queue of one world rank.
+// mkey is the exact-match index key of a mailbox queue.
+type mkey struct{ ctx, source, tag int }
+
+// errTimeout is the internal sentinel of an expired receive deadline; the
+// public error surfaced to callers is a *RankFailedError with a timeout
+// cause (see recvErr).
+var errTimeout = errors.New("comm: receive deadline exceeded")
+
+// mailbox is the receive queue of one world rank. Messages are kept in
+// per-(context, source, tag) FIFO queues so the common exact-match receive
+// is a map lookup instead of a linear scan over all pending traffic;
+// wildcard receives (AnySource / AnyTag) pick the earliest arrival among
+// the matching queue heads, preserving the arrival-order semantics of the
+// previous single-queue implementation. An optional depth bound turns the
+// eager channel into a backpressured one: full mailboxes block senders.
 type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []message
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queues    map[mkey][]message
+	count     int    // total pending messages
+	seq       uint64 // arrival counter
+	maxDepth  int    // 0 = unbounded
+	highWater int    // maximum of count over the run
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(maxDepth int) *mailbox {
+	m := &mailbox{queues: make(map[mkey][]message), maxDepth: maxDepth}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
-func (m *mailbox) put(msg message) {
+// put enqueues a message, blocking while the mailbox is at its depth bound.
+// bail is polled while blocked; a non-nil bail error aborts the send (used
+// to break backpressure deadlocks when a rank has failed). It returns the
+// time spent blocked on backpressure.
+func (m *mailbox) put(msg message, bail func() error) (time.Duration, error) {
 	m.mu.Lock()
-	m.pending = append(m.pending, msg)
-	m.mu.Unlock()
+	defer m.mu.Unlock()
+	var waited time.Duration
+	for m.maxDepth > 0 && m.count >= m.maxDepth {
+		if err := bail(); err != nil {
+			return waited, err
+		}
+		t0 := time.Now()
+		m.cond.Wait()
+		waited += time.Since(t0)
+	}
+	m.seq++
+	msg.seq = m.seq
+	k := mkey{msg.ctx, msg.source, msg.tag}
+	m.queues[k] = append(m.queues[k], msg)
+	m.count++
+	if m.count > m.highWater {
+		m.highWater = m.count
+	}
 	m.cond.Broadcast()
+	return waited, nil
+}
+
+// match finds and removes the first message matching context, source and
+// tag. Caller holds m.mu.
+func (m *mailbox) match(ctx, source, tag int) (message, bool) {
+	if source != AnySource && tag != AnyTag {
+		// Fast path: exact (source, tag) lookup, the shape of every ghost
+		// layer exchange and tree collective message.
+		k := mkey{ctx, source, tag}
+		q := m.queues[k]
+		if len(q) == 0 {
+			return message{}, false
+		}
+		msg := q[0]
+		if len(q) == 1 {
+			delete(m.queues, k)
+		} else {
+			m.queues[k] = q[1:]
+		}
+		m.count--
+		return msg, true
+	}
+	// Wildcard: earliest arrival among matching queue heads. O(#distinct
+	// keys), not O(#pending messages).
+	var bestKey mkey
+	var best message
+	found := false
+	for k, q := range m.queues {
+		if k.ctx != ctx || len(q) == 0 {
+			continue
+		}
+		if source != AnySource && k.source != source {
+			continue
+		}
+		if tag != AnyTag && k.tag != tag {
+			continue
+		}
+		if !found || q[0].seq < best.seq {
+			found, best, bestKey = true, q[0], k
+		}
+	}
+	if !found {
+		return message{}, false
+	}
+	q := m.queues[bestKey]
+	if len(q) == 1 {
+		delete(m.queues, bestKey)
+	} else {
+		m.queues[bestKey] = q[1:]
+	}
+	m.count--
+	return best, true
 }
 
 // take removes and returns the first message matching context, source
-// (world rank or AnySource) and tag, blocking until one arrives.
-func (m *mailbox) take(ctx, source, tag int) message {
+// (world rank or AnySource) and tag, blocking until one arrives. A
+// non-zero timeout bounds the wait (errTimeout); bail is polled on every
+// wakeup so a declared rank failure unblocks the receive.
+func (m *mailbox) take(ctx, source, tag int, timeout time.Duration, bail func() error) (message, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		t := time.AfterFunc(timeout, m.cond.Broadcast)
+		defer t.Stop()
+	}
 	for {
-		for i, msg := range m.pending {
-			if msg.ctx == ctx &&
-				(source == AnySource || msg.source == source) &&
-				(tag == AnyTag || msg.tag == tag) {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
-				return msg
+		if msg, ok := m.match(ctx, source, tag); ok {
+			if m.maxDepth > 0 {
+				m.cond.Broadcast() // free a sender blocked on the bound
 			}
+			return msg, nil
+		}
+		if err := bail(); err != nil {
+			return message{}, err
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return message{}, errTimeout
 		}
 		m.cond.Wait()
 	}
+}
+
+// purge discards all pending messages (recovery: stale traffic of the
+// failed epoch must not match post-recovery receives).
+func (m *mailbox) purge() {
+	m.mu.Lock()
+	m.queues = make(map[mkey][]message)
+	m.count = 0
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// wake pokes all goroutines blocked on this mailbox so they re-check the
+// failure flag. Taking the lock is required to avoid a lost wakeup against
+// a receiver between its predicate check and cond.Wait.
+func (m *mailbox) wake() {
+	m.mu.Lock()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) depth() (pending, highWater int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count, m.highWater
+}
+
+// Options configures a Run: fault injection, mailbox bounding and receive
+// timeouts. The zero value reproduces the classic perfect-network runtime:
+// no faults, unbounded mailboxes, receives that wait forever.
+type Options struct {
+	// Faults injects deterministic communication faults; nil disables
+	// injection entirely.
+	Faults *FaultPlan
+	// MailboxDepth bounds the number of queued messages per rank; senders
+	// to a full mailbox block until the receiver drains it (backpressure,
+	// accounted in Stats.BackpressureWait). 0 means unbounded.
+	MailboxDepth int
+	// RecvTimeout bounds every error-returning receive; when it expires the
+	// runtime declares the awaited rank failed and returns a typed
+	// *RankFailedError. 0 means wait forever (except under a FaultPlan
+	// with drops, where it defaults to 10s so lost messages surface).
+	RecvTimeout time.Duration
 }
 
 // world is the shared state of one Run invocation.
 type world struct {
 	size      int
 	mailboxes []*mailbox
+	opts      Options
+
+	// epoch counts completed recoveries; delayed (fault-injected) messages
+	// from an older epoch are discarded at delivery time.
+	epoch atomic.Int64
+	// failure is the first declared rank failure of the current epoch; all
+	// error-returning operations fail fast once it is set.
+	failure atomic.Pointer[RankFailedError]
+	// crashFired marks FaultPlan.Crashes entries that have triggered, so a
+	// crash fires exactly once even across recovery replays.
+	crashFired []atomic.Bool
+	// sendSeq is the per-world-rank send counter driving the deterministic
+	// drop/delay decisions.
+	sendSeq []atomic.Uint64
+
+	// Recovery rendezvous (see (*Comm).Recover).
+	recMu            sync.Mutex
+	recCond          *sync.Cond
+	recCount, recGen int
+}
+
+// failErr returns the declared failure of the current epoch, if any.
+func (w *world) failErr() error {
+	if f := w.failure.Load(); f != nil {
+		return f
+	}
+	return nil
+}
+
+// declareFailure records the first failure of the epoch and wakes every
+// blocked sender and receiver so they observe it.
+func (w *world) declareFailure(f *RankFailedError) {
+	if w.failure.CompareAndSwap(nil, f) {
+		for _, m := range w.mailboxes {
+			m.wake()
+		}
+	}
 }
 
 // Stats accumulates per-rank communication statistics. All communicators
@@ -98,6 +294,25 @@ type Stats struct {
 	// RecvWait is the total wall time this rank spent blocked in receives,
 	// the numerator of the %MPI metric.
 	RecvWait time.Duration
+	// BackpressureWait is the total time this rank's sends spent blocked
+	// on full (depth-bounded) destination mailboxes.
+	BackpressureWait time.Duration
+	// Dropped counts this rank's sends discarded by fault injection.
+	Dropped int64
+	// Delayed counts this rank's sends deferred by fault injection.
+	Delayed int64
+	// Timeouts counts receives that expired and declared a failure.
+	Timeouts int64
+}
+
+// MailboxStats reports the receive-queue occupancy of one rank.
+type MailboxStats struct {
+	// Pending is the current number of queued messages.
+	Pending int
+	// HighWater is the maximum queue depth observed so far.
+	HighWater int
+	// Depth is the configured bound (0 = unbounded).
+	Depth int
 }
 
 // Comm is one rank's handle to a communicator: the world communicator
@@ -117,13 +332,36 @@ type Comm struct {
 // ranks have finished. A panic on any rank is re-raised on the caller with
 // the rank attached.
 func Run(n int, f func(c *Comm)) {
+	RunWithOptions(n, Options{}, f)
+}
+
+// RunWithOptions is Run with fault injection, mailbox bounding and
+// receive-timeout configuration.
+func RunWithOptions(n int, opts Options, f func(c *Comm)) {
 	if n <= 0 {
 		panic("comm: Run requires at least one rank")
 	}
-	w := &world{size: n, mailboxes: make([]*mailbox, n)}
-	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox()
+	if p := opts.Faults; p != nil {
+		if err := p.Validate(n); err != nil {
+			panic("comm: " + err.Error())
+		}
+		if opts.RecvTimeout == 0 && p.Drop > 0 {
+			// Dropped messages would otherwise hang receivers forever.
+			opts.RecvTimeout = 10 * time.Second
+		}
 	}
+	if opts.MailboxDepth < 0 {
+		panic("comm: negative mailbox depth")
+	}
+	w := &world{size: n, mailboxes: make([]*mailbox, n), opts: opts}
+	w.recCond = sync.NewCond(&w.recMu)
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox(opts.MailboxDepth)
+	}
+	if opts.Faults != nil {
+		w.crashFired = make([]atomic.Bool, len(opts.Faults.Crashes))
+	}
+	w.sendSeq = make([]atomic.Uint64, n)
 	group := make([]int, n)
 	toIndex := make(map[int]int, n)
 	for i := range group {
@@ -170,6 +408,13 @@ func (c *Comm) Stats() Stats { return *c.stats }
 
 // ResetStats zeroes the statistics counters.
 func (c *Comm) ResetStats() { *c.stats = Stats{} }
+
+// MailboxStats reports this rank's receive-queue occupancy.
+func (c *Comm) MailboxStats() MailboxStats {
+	m := c.w.mailboxes[c.WorldRank()]
+	pending, high := m.depth()
+	return MailboxStats{Pending: pending, HighWater: high, Depth: m.maxDepth}
+}
 
 // Split partitions the communicator into subgroups: ranks passing the
 // same color form a new communicator, ordered by (key, parent rank). A
@@ -245,38 +490,81 @@ func payloadBytes(data any) int64 {
 }
 
 // Send delivers data to rank dst with the given non-negative tag. Send is
-// asynchronous (eager): it never blocks. The payload is shared, not
-// copied; the sender must not modify it afterwards (pack fresh buffers per
-// message, as the ghost-layer exchange does).
+// asynchronous (eager): it blocks only while the destination mailbox is at
+// its depth bound. The payload is shared, not copied; the sender must not
+// modify it afterwards (pack fresh buffers per message, as the ghost-layer
+// exchange does). Send panics if a rank failure has been declared; use
+// SendErr where failures must be handled.
 func (c *Comm) Send(dst, tag int, data any) {
+	if err := c.SendErr(dst, tag, data); err != nil {
+		panic(err)
+	}
+}
+
+// SendErr is Send returning a typed *RankFailedError instead of panicking
+// once a rank failure has been declared.
+func (c *Comm) SendErr(dst, tag int, data any) error {
 	if tag < 0 {
 		panic("comm: user tags must be non-negative")
 	}
-	c.send(dst, tag, data)
+	return c.sendErr(dst, tag, data)
 }
 
-func (c *Comm) send(dst, tag int, data any) {
+func (c *Comm) sendErr(dst, tag int, data any) error {
 	if dst < 0 || dst >= len(c.group) {
 		panic(fmt.Sprintf("comm: rank %d sends to invalid rank %d (size %d)", c.rank, dst, len(c.group)))
 	}
+	w := c.w
+	if err := w.failErr(); err != nil {
+		return err
+	}
 	c.stats.Sends++
 	c.stats.BytesSent += payloadBytes(data)
-	c.w.mailboxes[c.group[dst]].put(message{
-		ctx: c.ctx, source: c.WorldRank(), tag: tag, data: data,
-	})
+	worldDst := c.group[dst]
+	msg := message{ctx: c.ctx, source: c.WorldRank(), tag: tag, data: data}
+	if p := w.opts.Faults; p != nil {
+		if done, err := c.injectSendFaults(p, worldDst, msg); done {
+			return err
+		}
+	}
+	waited, err := w.mailboxes[worldDst].put(msg, w.failErr)
+	c.stats.BackpressureWait += waited
+	return err
 }
 
 // Recv blocks until a message from src (or AnySource) with the given tag
 // (or AnyTag) arrives on this communicator and returns its payload and
-// origin (communicator-relative).
+// origin (communicator-relative). Recv panics if a rank failure has been
+// declared; use RecvErr where failures must be handled.
 func (c *Comm) Recv(src, tag int) (data any, source int) {
+	data, source, err := c.RecvErr(src, tag)
+	if err != nil {
+		panic(err)
+	}
+	return data, source
+}
+
+// RecvErr is Recv returning a typed *RankFailedError instead of
+// panicking when a rank failure has been declared or the configured
+// receive timeout expires (the timeout declares the awaited rank failed).
+func (c *Comm) RecvErr(src, tag int) (any, int, error) {
+	return c.RecvWithin(src, tag, c.w.opts.RecvTimeout)
+}
+
+// RecvWithin is RecvErr with an explicit per-call timeout overriding the
+// Options default; 0 waits forever.
+func (c *Comm) RecvWithin(src, tag int, timeout time.Duration) (any, int, error) {
 	if tag < 0 && tag != AnyTag {
 		panic("comm: user tags must be non-negative")
 	}
-	return c.recv(src, tag)
+	return c.recv(src, tag, timeout)
 }
 
-func (c *Comm) recv(src, tag int) (any, int) {
+func (c *Comm) recvErr(src, tag int) (any, int, error) {
+	return c.recv(src, tag, c.w.opts.RecvTimeout)
+}
+
+func (c *Comm) recv(src, tag int, timeout time.Duration) (any, int, error) {
 	worldSrc := AnySource
 	if src != AnySource {
 		if src < 0 || src >= len(c.group) {
@@ -285,19 +573,51 @@ func (c *Comm) recv(src, tag int) (any, int) {
 		worldSrc = c.group[src]
 	}
 	start := time.Now()
-	msg := c.w.mailboxes[c.WorldRank()].take(c.ctx, worldSrc, tag)
+	msg, err := c.w.mailboxes[c.WorldRank()].take(c.ctx, worldSrc, tag, timeout, c.w.failErr)
 	c.stats.RecvWait += time.Since(start)
-	return msg.data, c.toIndex[msg.source]
+	if err == errTimeout {
+		c.stats.Timeouts++
+		// Accuse the awaited rank (the likely victim of a drop or crash);
+		// a wildcard receive can only accuse the receiver itself.
+		accused := worldSrc
+		if accused == AnySource {
+			accused = c.WorldRank()
+		}
+		f := &RankFailedError{
+			Rank: accused,
+			Cause: fmt.Sprintf("rank %d received no message (tag %d) within %v",
+				c.WorldRank(), tag, timeout),
+		}
+		c.w.declareFailure(f)
+		return nil, 0, f
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return msg.data, c.toIndex[msg.source], nil
 }
 
 // RecvFloat64s is Recv with a typed payload, panicking on type mismatch.
 func (c *Comm) RecvFloat64s(src, tag int) ([]float64, int) {
-	data, source := c.Recv(src, tag)
+	f, source, err := c.RecvFloat64sErr(src, tag)
+	if err != nil {
+		panic(err)
+	}
+	return f, source
+}
+
+// RecvFloat64sErr is RecvErr with a typed payload; a payload type mismatch
+// is a programming error and still panics.
+func (c *Comm) RecvFloat64sErr(src, tag int) ([]float64, int, error) {
+	data, source, err := c.RecvErr(src, tag)
+	if err != nil {
+		return nil, 0, err
+	}
 	f, ok := data.([]float64)
 	if !ok {
 		panic(fmt.Sprintf("comm: rank %d expected []float64 from %d tag %d, got %T", c.rank, src, tag, data))
 	}
-	return f, source
+	return f, source, nil
 }
 
 // RecvBytes is Recv with a []byte payload, panicking on type mismatch.

@@ -1,0 +1,203 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Deterministic fault injection. A FaultPlan describes communication
+// faults as a pure function of (seed, sender rank, per-rank send counter)
+// plus explicit rank-crash trigger points, so a faulty run is exactly
+// reproducible: the same plan against the same SPMD program injects the
+// same faults, independent of goroutine scheduling.
+
+// FaultPlan describes the faults to inject into one Run.
+type FaultPlan struct {
+	// Seed drives the per-message drop/delay decisions.
+	Seed int64
+	// Drop is the probability in [0,1] that a point-to-point message
+	// (including collective-internal ones) is silently discarded.
+	Drop float64
+	// DelayProb is the probability in [0,1] that a message is delivered
+	// late, after a pseudo-random delay in (0, MaxDelay].
+	DelayProb float64
+	// MaxDelay bounds injected delivery delays.
+	MaxDelay time.Duration
+	// Crashes lists rank crashes: the victim rank panics with a Crash
+	// value at the first SetStep call whose step reaches the trigger.
+	// Each entry fires at most once, even across recovery replays.
+	Crashes []CrashSpec
+}
+
+// CrashSpec crashes world rank Rank at simulation step Step.
+type CrashSpec struct {
+	Rank int
+	Step int
+}
+
+// Validate checks the plan against a world of n ranks; RunWithOptions
+// panics on an invalid plan, so front ends should validate user-supplied
+// plans first.
+func (p *FaultPlan) Validate(n int) error {
+	if p.Drop < 0 || p.Drop > 1 {
+		return fmt.Errorf("fault plan: drop fraction %v outside [0,1]", p.Drop)
+	}
+	if p.DelayProb < 0 || p.DelayProb > 1 {
+		return fmt.Errorf("fault plan: delay probability %v outside [0,1]", p.DelayProb)
+	}
+	if p.DelayProb > 0 && p.MaxDelay <= 0 {
+		return fmt.Errorf("fault plan: delay probability %v requires a positive MaxDelay", p.DelayProb)
+	}
+	for _, cs := range p.Crashes {
+		if cs.Rank < 0 || cs.Rank >= n {
+			return fmt.Errorf("fault plan: crash rank %d outside world of size %d", cs.Rank, n)
+		}
+		if cs.Step < 0 {
+			return fmt.Errorf("fault plan: negative crash step %d", cs.Step)
+		}
+	}
+	return nil
+}
+
+// Fault decision sub-streams.
+const (
+	faultKindDrop = 1 + iota
+	faultKindDelay
+	faultKindDelayLen
+)
+
+// mix64 is the splitmix64 finalizer, a cheap high-quality bit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// chance returns a deterministic uniform value in [0,1) for the n-th send
+// of a rank under decision sub-stream kind.
+func (p *FaultPlan) chance(kind, rank int, n uint64) float64 {
+	h := mix64(uint64(p.Seed)<<16 ^ uint64(kind)<<56 ^ uint64(rank)<<40 ^ n)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// injectSendFaults applies drop/delay decisions to one outgoing message.
+// It returns done=true when the message was consumed by the injector
+// (dropped, or scheduled for delayed delivery).
+func (c *Comm) injectSendFaults(p *FaultPlan, worldDst int, msg message) (done bool, err error) {
+	w := c.w
+	n := w.sendSeq[c.WorldRank()].Add(1)
+	if p.Drop > 0 && p.chance(faultKindDrop, c.WorldRank(), n) < p.Drop {
+		c.stats.Dropped++
+		return true, nil
+	}
+	if p.DelayProb > 0 && p.chance(faultKindDelay, c.WorldRank(), n) < p.DelayProb {
+		c.stats.Delayed++
+		d := time.Duration(p.chance(faultKindDelayLen, c.WorldRank(), n) * float64(p.MaxDelay))
+		epoch := w.epoch.Load()
+		mb := w.mailboxes[worldDst]
+		time.AfterFunc(d, func() {
+			// A recovery between send and delivery invalidated this
+			// message: traffic never crosses epochs.
+			if w.epoch.Load() != epoch {
+				return
+			}
+			mb.put(msg, w.failErr) //nolint:errcheck // late traffic may be shed on failure
+		})
+		return true, nil
+	}
+	return false, nil
+}
+
+// Crash is the panic value of an injected rank crash. The resilient
+// driver (sim.RunResilient) recovers it; if it escapes to Run the whole
+// run fails loudly, like an unhandled fatal signal.
+type Crash struct{ Rank int }
+
+func (c Crash) String() string {
+	return fmt.Sprintf("injected crash of rank %d", c.Rank)
+}
+
+// RankFailedError reports that a rank has failed (injected crash) or has
+// been declared failed (receive timeout). Once declared, every
+// error-returning operation of every rank fails fast with this error
+// until Recover is called — the in-process analogue of MPI ULFM's
+// communicator revocation, which keeps collectives from deadlocking on a
+// dead rank.
+type RankFailedError struct {
+	// Rank is the world rank that failed or was accused.
+	Rank int
+	// Cause describes the detection: injected crash or timeout.
+	Cause string
+}
+
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("comm: rank %d failed (%s)", e.Rank, e.Cause)
+}
+
+// IsRankFailure reports whether err is (or wraps) a rank failure.
+func IsRankFailure(err error) bool {
+	var rf *RankFailedError
+	return errors.As(err, &rf)
+}
+
+// SetStep announces the current simulation step of this rank to the fault
+// injector; crash triggers whose step has been reached fire here, making
+// the crash point deterministic regardless of the step's communication
+// pattern. A no-op without a fault plan.
+func (c *Comm) SetStep(step int) {
+	p := c.w.opts.Faults
+	if p == nil {
+		return
+	}
+	me := c.WorldRank()
+	for i := range p.Crashes {
+		cs := p.Crashes[i]
+		if cs.Rank == me && step >= cs.Step && c.w.crashFired[i].CompareAndSwap(false, true) {
+			c.w.declareFailure(&RankFailedError{
+				Rank:  me,
+				Cause: fmt.Sprintf("injected crash at step %d", step),
+			})
+			panic(Crash{Rank: me})
+		}
+	}
+}
+
+// Failed returns the currently declared rank failure, or nil.
+func (c *Comm) Failed() *RankFailedError { return c.w.failure.Load() }
+
+// Recover is the world-wide recovery rendezvous: every rank of the Run
+// (the full world, regardless of subcommunicators) must call it after a
+// failure. The last rank to arrive purges all mailboxes, clears the
+// failure flag and advances the message epoch, so stale traffic from
+// before the failure can never match a post-recovery receive. It returns
+// the new epoch number.
+//
+// Recover is intentionally built on shared synchronization rather than
+// messages — it models the out-of-band runtime service (mpirun, a
+// resource manager) that real fault-tolerant MPI relies on to reach ranks
+// whose communicators are broken.
+func (c *Comm) Recover() int64 {
+	w := c.w
+	w.recMu.Lock()
+	w.recCount++
+	gen := w.recGen
+	if w.recCount == w.size {
+		w.recCount = 0
+		w.recGen++
+		w.epoch.Add(1)
+		for _, m := range w.mailboxes {
+			m.purge()
+		}
+		w.failure.Store(nil)
+		w.recCond.Broadcast()
+	} else {
+		for gen == w.recGen {
+			w.recCond.Wait()
+		}
+	}
+	epoch := w.epoch.Load()
+	w.recMu.Unlock()
+	return epoch
+}

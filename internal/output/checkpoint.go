@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -14,14 +16,45 @@ import (
 // Checkpoint format: an exact binary snapshot of one block's PDF state
 // (including ghost layers, so a restored simulation continues
 // bit-identically without a communication step). Little-endian by
-// definition, like the block-structure file format.
+// definition, like the block-structure file format. Version 2 ("WBC2")
+// appends a CRC32C (Castagnoli) trailer over header and payload so silent
+// corruption is detected at load time; version-1 files are rejected
+// loudly rather than trusted without an integrity check.
 
-const checkpointMagic = "WBC1"
+const (
+	checkpointMagic       = "WBC2"
+	checkpointMagicLegacy = "WBC1"
+)
 
-// SaveCheckpoint writes the complete PDF state of a block.
+// castagnoli is the CRC32C polynomial table shared by all framework file
+// formats (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError is the typed error for structurally invalid or
+// integrity-failing external data: bad magic, implausible headers that
+// would otherwise drive huge allocations, truncations and CRC mismatches.
+type CorruptError struct {
+	// Format is the file format ("WBC2", "WBS1", ...).
+	Format string
+	// Reason describes the failed validation.
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("output: corrupt %s data: %s", e.Format, e.Reason)
+}
+
+func corruptf(format, reason string, args ...any) *CorruptError {
+	return &CorruptError{Format: format, Reason: fmt.Sprintf(reason, args...)}
+}
+
+// SaveCheckpoint writes the complete PDF state of a block, protected by a
+// CRC32C trailer.
 func SaveCheckpoint(w io.Writer, f *field.PDFField) error {
 	bw := bufio.NewWriter(w)
-	bw.WriteString(checkpointMagic)
+	crc := crc32.New(castagnoli)
+	out := io.MultiWriter(bw, crc)
+	io.WriteString(out, checkpointMagic)
 	hdr := []uint32{
 		uint32(f.Stencil.Q),
 		uint32(f.Nx), uint32(f.Ny), uint32(f.Nz),
@@ -29,66 +62,118 @@ func SaveCheckpoint(w io.Writer, f *field.PDFField) error {
 		uint32(f.Layout),
 	}
 	for _, v := range hdr {
-		binary.Write(bw, binary.LittleEndian, v)
+		binary.Write(out, binary.LittleEndian, v)
 	}
 	// Write in canonical (layout-independent) order so checkpoints are
 	// portable between layouts.
 	g := f.Ghost
+	var scratch [8]byte
 	for z := -g; z < f.Nz+g; z++ {
 		for y := -g; y < f.Ny+g; y++ {
 			for x := -g; x < f.Nx+g; x++ {
 				for a := 0; a < f.Stencil.Q; a++ {
-					binary.Write(bw, binary.LittleEndian,
+					binary.LittleEndian.PutUint64(scratch[:],
 						math.Float64bits(f.Get(x, y, z, lattice.Direction(a))))
+					out.Write(scratch[:])
 				}
 			}
 		}
 	}
+	// Trailer: CRC32C over magic, header and payload (not itself).
+	binary.Write(bw, binary.LittleEndian, crc.Sum32())
 	return bw.Flush()
 }
 
-// LoadCheckpoint restores a PDF field saved by SaveCheckpoint. The
-// stencil must match the saved Q; the restored field uses the requested
-// layout regardless of the layout at save time.
+// CheckpointSize returns the exact number of bytes SaveCheckpoint
+// produces for a block of the given shape.
+func CheckpointSize(q, nx, ny, nz, ghost int) int64 {
+	cells := int64(nx+2*ghost) * int64(ny+2*ghost) * int64(nz+2*ghost)
+	return 4 + 6*4 + cells*int64(q)*8 + 4
+}
+
+// crcReader tees everything read through it into a CRC32C accumulator.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func newCRCReader(r io.Reader) *crcReader {
+	return &crcReader{r: r, crc: crc32.New(castagnoli)}
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+// LoadCheckpoint restores a PDF field saved by SaveCheckpoint, verifying
+// the CRC32C trailer. The stencil must match the saved Q; the restored
+// field uses the requested layout regardless of the layout at save time.
+// Structural problems (bad magic, implausible header, truncation, CRC
+// mismatch) return a typed *CorruptError before any large allocation.
 func LoadCheckpoint(r io.Reader, s *lattice.Stencil, layout field.Layout) (*field.PDFField, error) {
 	br := bufio.NewReader(r)
+	cr := newCRCReader(br)
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("output: reading checkpoint magic: %w", err)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, corruptf(checkpointMagic, "reading magic: %v", err)
 	}
-	if string(magic) != checkpointMagic {
-		return nil, fmt.Errorf("output: bad checkpoint magic %q", magic)
+	switch string(magic) {
+	case checkpointMagic:
+	case checkpointMagicLegacy:
+		return nil, corruptf(checkpointMagic,
+			"legacy %s checkpoint has no integrity trailer; re-save with this version", checkpointMagicLegacy)
+	default:
+		return nil, corruptf(checkpointMagic, "bad magic %q", magic)
 	}
 	var hdr [6]uint32
 	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, err
+		if err := binary.Read(cr, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, corruptf(checkpointMagic, "truncated header: %v", err)
 		}
 	}
 	if int(hdr[0]) != s.Q {
 		return nil, fmt.Errorf("output: checkpoint has Q=%d, stencil %s has Q=%d", hdr[0], s, s.Q)
 	}
 	// Reject corrupted headers before allocating (extents beyond any
-	// block the framework produces, or absurd ghost widths).
+	// block the framework produces, or absurd ghost widths): garbage
+	// header fields must produce a typed error, never a multi-GiB
+	// allocation attempt.
 	const maxExtent = 1 << 16
 	if hdr[1] == 0 || hdr[2] == 0 || hdr[3] == 0 ||
 		hdr[1] > maxExtent || hdr[2] > maxExtent || hdr[3] > maxExtent || hdr[4] > 8 {
-		return nil, fmt.Errorf("output: implausible checkpoint header %v", hdr)
+		return nil, corruptf(checkpointMagic, "implausible header %v", hdr)
+	}
+	if hdr[5] != uint32(field.AoS) && hdr[5] != uint32(field.SoA) {
+		return nil, corruptf(checkpointMagic, "unknown layout %d", hdr[5])
 	}
 	f := field.NewPDFField(s, int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4]), layout)
 	g := f.Ghost
+	var scratch [8]byte
 	for z := -g; z < f.Nz+g; z++ {
 		for y := -g; y < f.Ny+g; y++ {
 			for x := -g; x < f.Nx+g; x++ {
 				for a := 0; a < s.Q; a++ {
-					var bits uint64
-					if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-						return nil, fmt.Errorf("output: truncated checkpoint at (%d,%d,%d,%d): %w", x, y, z, a, err)
+					if _, err := io.ReadFull(cr, scratch[:]); err != nil {
+						return nil, corruptf(checkpointMagic,
+							"truncated payload at (%d,%d,%d,%d): %v", x, y, z, a, err)
 					}
+					bits := binary.LittleEndian.Uint64(scratch[:])
 					f.Set(x, y, z, lattice.Direction(a), math.Float64frombits(bits))
 				}
 			}
 		}
+	}
+	want := cr.crc.Sum32()
+	var got uint32
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return nil, corruptf(checkpointMagic, "missing CRC trailer: %v", err)
+	}
+	if got != want {
+		return nil, corruptf(checkpointMagic, "CRC mismatch: stored %08x, computed %08x", got, want)
 	}
 	return f, nil
 }

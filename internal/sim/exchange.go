@@ -175,14 +175,26 @@ func unpack(f *field.PDFField, r region, dirs []lattice.Direction, buf []float64
 // exchangeGhostLayers performs one full ghost layer synchronization of the
 // Src fields: local copies first, then all remote sends, then all remote
 // receives (the eager runtime makes sends non-blocking, so this cannot
-// deadlock).
+// deadlock). Panics on rank failure; resilient drivers use the error
+// variant.
 func (s *Simulation) exchangeGhostLayers() {
+	if err := s.exchangeGhostLayersErr(); err != nil {
+		panic(err)
+	}
+}
+
+// exchangeGhostLayersErr is exchangeGhostLayers returning a typed
+// *comm.RankFailedError when a peer has been declared dead mid-exchange
+// instead of deadlocking or panicking.
+func (s *Simulation) exchangeGhostLayersErr() error {
 	// Local and send phase.
 	for i := range s.plan {
 		op := &s.plan[i]
 		buf := pack(op.bd.Src, op.src, op.sendDirs)
 		if op.remote {
-			s.Comm.Send(op.rank, op.sendTag, buf)
+			if err := s.Comm.SendErr(op.rank, op.sendTag, buf); err != nil {
+				return err
+			}
 			continue
 		}
 		// Local copy: our slab lands in the peer's ghost region on the
@@ -196,7 +208,11 @@ func (s *Simulation) exchangeGhostLayers() {
 		if !op.remote {
 			continue
 		}
-		buf, _ := s.Comm.RecvFloat64s(op.rank, op.recvTag)
+		buf, _, err := s.Comm.RecvFloat64sErr(op.rank, op.recvTag)
+		if err != nil {
+			return err
+		}
 		unpack(op.bd.Src, op.dst, op.recvDirs, buf)
 	}
+	return nil
 }

@@ -25,6 +25,31 @@ type Metrics struct {
 
 	MLUPS  float64
 	MFLUPS float64
+
+	// Recovery accounts fault-tolerance activity during a resilient run
+	// (zero for plain Run).
+	Recovery RecoveryStats
+}
+
+// RecoveryStats summarizes the fault-tolerance side of a resilient run on
+// this rank: failures observed, checkpoint traffic, and the work redone
+// because of rewinds.
+type RecoveryStats struct {
+	// FailuresDetected counts rank-failure events this rank observed.
+	FailuresDetected int
+	// Restores counts successful rewinds to a checkpoint set (or to the
+	// initial state when no valid set existed).
+	Restores int
+	// StepsReplayed is the total number of time steps re-executed after
+	// rewinds.
+	StepsReplayed int
+	// CheckpointsWritten counts the checkpoint sets this rank contributed
+	// to; CheckpointBytes is this rank's bytes written into them.
+	CheckpointsWritten int
+	CheckpointBytes    int64
+	// TimeLost is the wall time this rank spent in recovery (backoff,
+	// rendezvous and state restore), excluding replayed steps.
+	TimeLost time.Duration
 }
 
 // MLUPSPerCore and MFLUPSPerCore report per-rank (per-core) values — the
@@ -58,12 +83,37 @@ func (m Metrics) String() string {
 
 // gatherMetrics reduces the per-rank timings into global metrics.
 func (s *Simulation) gatherMetrics(steps int, wall time.Duration) Metrics {
+	m, err := s.gatherMetricsErr(steps, wall)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// gatherMetricsErr is gatherMetrics returning an error on rank failure.
+func (s *Simulation) gatherMetricsErr(steps int, wall time.Duration) (Metrics, error) {
 	c := s.Comm
-	totalCells := c.AllreduceInt64(s.LocalCells(), comm.Sum[int64])
-	totalFluid := c.AllreduceInt64(s.LocalFluidCells(), comm.Sum[int64])
-	maxWall := time.Duration(c.AllreduceInt64(int64(wall), comm.Max[int64]))
-	sumWall := c.AllreduceFloat64(wall.Seconds(), comm.Sum[float64])
-	sumComm := c.AllreduceFloat64(s.commTime.Seconds(), comm.Sum[float64])
+	totalCells, err := c.AllreduceInt64Err(s.LocalCells(), comm.Sum[int64])
+	if err != nil {
+		return Metrics{}, err
+	}
+	totalFluid, err := c.AllreduceInt64Err(s.LocalFluidCells(), comm.Sum[int64])
+	if err != nil {
+		return Metrics{}, err
+	}
+	maxWallI, err := c.AllreduceInt64Err(int64(wall), comm.Max[int64])
+	if err != nil {
+		return Metrics{}, err
+	}
+	maxWall := time.Duration(maxWallI)
+	sumWall, err := c.AllreduceFloat64Err(wall.Seconds(), comm.Sum[float64])
+	if err != nil {
+		return Metrics{}, err
+	}
+	sumComm, err := c.AllreduceFloat64Err(s.commTime.Seconds(), comm.Sum[float64])
+	if err != nil {
+		return Metrics{}, err
+	}
 
 	m := Metrics{
 		Steps:           steps,
@@ -79,7 +129,7 @@ func (s *Simulation) gatherMetrics(steps int, wall time.Duration) Metrics {
 		m.MLUPS = float64(totalCells) * float64(steps) / maxWall.Seconds() / 1e6
 		m.MFLUPS = float64(totalFluid) * float64(steps) / maxWall.Seconds() / 1e6
 	}
-	return m
+	return m, nil
 }
 
 // PhaseTimes returns this rank's accumulated phase timers (compute,

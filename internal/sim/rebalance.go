@@ -87,13 +87,20 @@ func (s *Simulation) RebalanceByWorkload(useMeasured bool) error {
 		assignment = make(map[[3]int]int, len(all))
 		rank := 0
 		var acc float64
+		count := 0
 		for _, e := range all {
-			if acc >= target && rank < ranks-1 {
+			// Cut to the next rank when the block's midpoint crosses the
+			// per-rank target (never leaving a rank empty while blocks
+			// remain): robust against skewed measured workloads, where
+			// waiting for acc >= target piles everything on rank 0.
+			if rank < ranks-1 && count > 0 && acc+e.Workload/2 >= target {
 				rank++
 				acc = 0
+				count = 0
 			}
 			assignment[e.Coord] = rank
 			acc += e.Workload
+			count++
 		}
 	}
 	assignment = s.Comm.Bcast(0, assignment).(map[[3]int]int)

@@ -1,0 +1,426 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"walberla/internal/comm"
+	"walberla/internal/field"
+	"walberla/internal/output"
+)
+
+// Resilient execution: coordinated checkpoint sets plus automatic
+// rewind-and-replay on rank failure. Checkpoints are taken at a step
+// barrier (every rank snapshots the same step, before executing it), so a
+// restored run replays the exact deterministic step sequence and finishes
+// bit-identical to an uninterrupted run.
+
+// ResilienceConfig tunes RunResilient.
+type ResilienceConfig struct {
+	// CheckpointEvery takes a coordinated checkpoint set before every
+	// multiple of this step count (0 disables checkpointing: failures
+	// rewind to the initial state).
+	CheckpointEvery int
+	// Dir is the checkpoint root directory; one "set-<step>" subdirectory
+	// per checkpoint.
+	Dir string
+	// MaxFailures caps how many rank-failure events are tolerated before
+	// the run aborts; zero means 8.
+	MaxFailures int
+	// BackoffBase and BackoffMax shape the capped exponential delay
+	// between failure detection and the recovery rendezvous; zero means
+	// 10ms base, 2s cap.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (rc *ResilienceConfig) applyDefaults() {
+	if rc.MaxFailures == 0 {
+		rc.MaxFailures = 8
+	}
+	if rc.BackoffBase == 0 {
+		rc.BackoffBase = 10 * time.Millisecond
+	}
+	if rc.BackoffMax == 0 {
+		rc.BackoffMax = 2 * time.Second
+	}
+}
+
+// backoff returns the capped exponential delay for the nth failure
+// (1-based).
+func (rc *ResilienceConfig) backoff(n int) time.Duration {
+	d := rc.BackoffBase
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= rc.BackoffMax {
+			return rc.BackoffMax
+		}
+	}
+	if d > rc.BackoffMax {
+		return rc.BackoffMax
+	}
+	return d
+}
+
+// ckptStatus is the coordination payload broadcast by rank 0 when a
+// checkpoint set is opened and closed.
+type ckptStatus struct {
+	Err    string
+	Skip   bool
+	Total  int64
+	Commit bool
+}
+
+// WriteCheckpointSet writes a coordinated checkpoint set for the given
+// step: every rank snapshots all of its blocks (both PDF fields, so
+// replay is bit-identical) into a per-rank file, rank 0 gathers sizes and
+// CRC32Cs into the manifest, and the whole set directory is renamed into
+// place atomically — a crash mid-checkpoint never produces a half-valid
+// set. Returns the bytes this rank wrote (0 if the set already existed).
+func (s *Simulation) WriteCheckpointSet(dir string, step int) (int64, error) {
+	c := s.Comm
+	final := filepath.Join(dir, output.SetDirName(step))
+	tmp := filepath.Join(dir, output.TmpSetDirName(step))
+
+	// Rank 0 opens the set (or reports it as already committed) and
+	// broadcasts the verdict so every rank agrees before touching disk.
+	var open ckptStatus
+	if c.Rank() == 0 {
+		if _, err := os.Stat(final); err == nil {
+			open.Skip = true
+		} else {
+			os.RemoveAll(tmp)
+			if err := os.MkdirAll(tmp, 0o755); err != nil {
+				open.Err = err.Error()
+			}
+		}
+	}
+	v, err := c.BcastErr(0, open)
+	if err != nil {
+		return 0, err
+	}
+	open = v.(ckptStatus)
+	if open.Err != "" {
+		return 0, fmt.Errorf("sim: opening checkpoint set %d: %s", step, open.Err)
+	}
+	if open.Skip {
+		return 0, nil
+	}
+
+	// Every rank writes its own file; errors are gathered, not returned
+	// early, so rank 0 always receives one contribution per rank.
+	type contribution struct {
+		Entry output.ManifestEntry
+		Err   string
+	}
+	var contrib contribution
+	contrib.Entry.Name = output.RankFileName(c.Rank())
+	blocks := make([]output.BlockSnapshot, len(s.Blocks))
+	for i, bd := range s.Blocks {
+		blocks[i] = output.BlockSnapshot{Coord: bd.Block.Coord, Src: bd.Src, Dst: bd.Dst}
+	}
+	if f, err := os.Create(filepath.Join(tmp, contrib.Entry.Name)); err != nil {
+		contrib.Err = err.Error()
+	} else {
+		size, crc, werr := output.WriteRankFile(f, blocks)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			contrib.Err = werr.Error()
+		}
+		contrib.Entry.Size, contrib.Entry.CRC = size, crc
+	}
+
+	gathered, err := c.GatherErr(0, contrib)
+	if err != nil {
+		return 0, err
+	}
+
+	// Rank 0 commits: manifest write, then the atomic rename.
+	var closeSt ckptStatus
+	if c.Rank() == 0 {
+		m := &output.SetManifest{Step: int64(step), Ranks: int32(c.Size())}
+		for r, g := range gathered {
+			gc := g.(contribution)
+			if gc.Err != "" && closeSt.Err == "" {
+				closeSt.Err = fmt.Sprintf("rank %d: %s", r, gc.Err)
+			}
+			m.Entries = append(m.Entries, gc.Entry)
+			closeSt.Total += gc.Entry.Size
+		}
+		if closeSt.Err == "" {
+			if err := writeManifestFile(filepath.Join(tmp, output.ManifestName), m); err != nil {
+				closeSt.Err = err.Error()
+			} else if err := os.Rename(tmp, final); err != nil {
+				closeSt.Err = err.Error()
+			} else {
+				closeSt.Commit = true
+			}
+		}
+		if closeSt.Err != "" {
+			os.RemoveAll(tmp)
+		}
+	}
+	v, err = c.BcastErr(0, closeSt)
+	if err != nil {
+		return 0, err
+	}
+	closeSt = v.(ckptStatus)
+	if closeSt.Err != "" {
+		return 0, fmt.Errorf("sim: committing checkpoint set %d: %s", step, closeSt.Err)
+	}
+	return contrib.Entry.Size, nil
+}
+
+func writeManifestFile(path string, m *output.SetManifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := output.WriteManifest(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RestoreLatestCheckpointSet rewinds the simulation to the newest
+// checkpoint set that every rank can load and CRC-validate, voting sets
+// down collectively so all ranks restore the same one (a set corrupted on
+// any rank falls back to the next older set). With no usable set, the
+// fields are re-initialized to the configured step-zero state. Returns the
+// restored step.
+func (s *Simulation) RestoreLatestCheckpointSet(dir string) (int64, error) {
+	c := s.Comm
+
+	// Rank 0 enumerates the committed, manifest-valid sets.
+	var candidates []int64
+	if c.Rank() == 0 {
+		candidates = output.ListValidSets(dir)
+	}
+	v, err := c.BcastErr(0, candidates)
+	if err != nil {
+		return 0, err
+	}
+	if v != nil {
+		candidates = v.([]int64)
+	}
+
+	for _, step := range candidates {
+		blocks, loadErr := s.loadOwnRankFile(filepath.Join(dir, output.SetDirName(int(step))))
+		ok := int64(1)
+		if loadErr != nil {
+			ok = 0
+		}
+		agree, err := c.AllreduceInt64Err(ok, comm.Min[int64])
+		if err != nil {
+			return 0, err
+		}
+		if agree == 0 {
+			continue // some rank cannot use this set; try the next older one
+		}
+		for coord, pair := range blocks {
+			bd := s.byCoord[coord]
+			copy(bd.Src.Data(), pair[0].Data())
+			copy(bd.Dst.Data(), pair[1].Data())
+		}
+		return step, nil
+	}
+
+	// No usable checkpoint: rewind to the initial state.
+	for _, bd := range s.Blocks {
+		s.initBlockState(bd)
+	}
+	return 0, nil
+}
+
+// loadOwnRankFile reads and fully validates this rank's file of one set:
+// manifest CRC and size, per-record CRCs, and an exact match between the
+// snapshot coordinates and this rank's block assignment.
+func (s *Simulation) loadOwnRankFile(setDir string) (map[[3]int][2]*field.PDFField, error) {
+	c := s.Comm
+	m, err := output.ValidateSetDir(setDir)
+	if err != nil {
+		return nil, err
+	}
+	if int(m.Ranks) != c.Size() {
+		return nil, fmt.Errorf("sim: checkpoint set %s was written by %d ranks, running %d",
+			setDir, m.Ranks, c.Size())
+	}
+	name := output.RankFileName(c.Rank())
+	var entry *output.ManifestEntry
+	for i := range m.Entries {
+		if m.Entries[i].Name == name {
+			entry = &m.Entries[i]
+			break
+		}
+	}
+	if entry == nil {
+		return nil, fmt.Errorf("sim: checkpoint set %s has no file for rank %d", setDir, c.Rank())
+	}
+	layout := field.SoA
+	if len(s.Blocks) > 0 {
+		layout = s.Blocks[0].Src.Layout
+	}
+	f, err := os.Open(filepath.Join(setDir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snaps, crc, err := output.ReadRankFile(f, s.Stencil, layout)
+	if err != nil {
+		return nil, err
+	}
+	if crc != entry.CRC {
+		return nil, fmt.Errorf("sim: rank file %s CRC %08x does not match manifest %08x", name, crc, entry.CRC)
+	}
+	if len(snaps) != len(s.Blocks) {
+		return nil, fmt.Errorf("sim: rank file %s has %d blocks, rank owns %d", name, len(snaps), len(s.Blocks))
+	}
+	blocks := make(map[[3]int][2]*field.PDFField, len(snaps))
+	for _, snap := range snaps {
+		bd, ok := s.byCoord[snap.Coord]
+		if !ok {
+			return nil, fmt.Errorf("sim: rank file %s contains block %v not owned by rank %d",
+				name, snap.Coord, c.Rank())
+		}
+		for _, pf := range [2]*field.PDFField{snap.Src, snap.Dst} {
+			if pf.Nx != bd.Src.Nx || pf.Ny != bd.Src.Ny || pf.Nz != bd.Src.Nz || pf.Ghost != bd.Src.Ghost {
+				return nil, fmt.Errorf("sim: rank file %s block %v shape mismatch", name, snap.Coord)
+			}
+		}
+		blocks[snap.Coord] = [2]*field.PDFField{snap.Src, snap.Dst}
+	}
+	return blocks, nil
+}
+
+// RunResilient advances the simulation by the given number of steps under
+// the fault-tolerant driver: periodic coordinated checkpoints, and on any
+// detected rank failure a capped-exponential backoff, a world-wide
+// recovery rendezvous, and a rewind to the newest valid checkpoint set
+// before replaying. Because stepping is deterministic, the run finishes
+// bit-identical to an uninterrupted one.
+func (s *Simulation) RunResilient(steps int, rc ResilienceConfig) (Metrics, error) {
+	rc.applyDefaults()
+	s.ResetTimers()
+	var rec RecoveryStats
+	start := time.Now()
+	step := 0
+	failures := 0
+	needRestore := false
+
+	for {
+		if needRestore {
+			tRec := time.Now()
+			time.Sleep(rc.backoff(failures))
+			s.Comm.Recover()
+			restored, err := s.restoreAttempt(rc.Dir)
+			if err != nil {
+				if !comm.IsRankFailure(err) {
+					return Metrics{}, err
+				}
+				failures++
+				rec.FailuresDetected++
+				if failures > rc.MaxFailures {
+					return Metrics{}, fmt.Errorf("sim: giving up after %d rank failures: %w", failures, err)
+				}
+				continue
+			}
+			rec.Restores++
+			if step > int(restored) {
+				rec.StepsReplayed += step - int(restored)
+			}
+			step = int(restored)
+			rec.TimeLost += time.Since(tRec)
+			needRestore = false
+		}
+
+		err := s.runAttempt(steps, rc, &step, &rec)
+		if err == nil {
+			break
+		}
+		if !comm.IsRankFailure(err) {
+			return Metrics{}, err
+		}
+		failures++
+		rec.FailuresDetected++
+		if failures > rc.MaxFailures {
+			return Metrics{}, fmt.Errorf("sim: giving up after %d rank failures: %w", failures, err)
+		}
+		needRestore = true
+	}
+
+	wall := time.Since(start)
+	m, err := s.gatherMetricsErr(steps, wall)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.Recovery = rec
+	return m, nil
+}
+
+// runAttempt executes steps until completion or the first detected
+// failure, converting injected-crash panics into the same typed error the
+// communication layer returns, so the driver above treats "this rank
+// died" and "a peer died" uniformly.
+func (s *Simulation) runAttempt(total int, rc ResilienceConfig, step *int, rec *RecoveryStats) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cr, ok := r.(comm.Crash); ok {
+				err = &comm.RankFailedError{Rank: cr.Rank, Cause: "injected crash"}
+				return
+			}
+			var rfe *comm.RankFailedError
+			if e, isErr := r.(error); isErr && errors.As(e, &rfe) {
+				err = rfe
+				return
+			}
+			panic(r)
+		}
+	}()
+	for *step < total {
+		// Arm this step's injected crashes (fires at most once per spec
+		// across replays) before any collective work for the step.
+		s.Comm.SetStep(*step)
+		if rc.CheckpointEvery > 0 && *step > 0 && *step%rc.CheckpointEvery == 0 {
+			n, err := s.WriteCheckpointSet(rc.Dir, *step)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				rec.CheckpointsWritten++
+				rec.CheckpointBytes += n
+			}
+		}
+		if err := s.StepErr(); err != nil {
+			return err
+		}
+		*step++
+	}
+	return s.Comm.BarrierErr()
+}
+
+// restoreAttempt wraps RestoreLatestCheckpointSet with the same panic
+// conversion as runAttempt (a crash can be scheduled to fire during
+// recovery traffic too).
+func (s *Simulation) restoreAttempt(dir string) (step int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cr, ok := r.(comm.Crash); ok {
+				err = &comm.RankFailedError{Rank: cr.Rank, Cause: "injected crash"}
+				return
+			}
+			var rfe *comm.RankFailedError
+			if e, isErr := r.(error); isErr && errors.As(e, &rfe) {
+				err = rfe
+				return
+			}
+			panic(r)
+		}
+	}()
+	return s.RestoreLatestCheckpointSet(dir)
+}

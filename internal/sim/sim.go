@@ -206,34 +206,43 @@ func (s *Simulation) newBlockData(b *blockforest.Block) (*BlockData, error) {
 	}
 	layout := k.Layout()
 	src := field.NewPDFField(s.Stencil, cells[0], cells[1], cells[2], 1, layout)
-	dst := src.CopyShape()
+	bd := &BlockData{
+		Block:    b,
+		Src:      src,
+		Dst:      src.CopyShape(),
+		Flags:    flags,
+		Kernel:   k,
+		Boundary: newBoundarySweep(s, flags),
+		Fluid:    flags.Count(field.Fluid),
+	}
+	s.initBlockState(bd)
+	return bd, nil
+}
+
+// initBlockState (re)initializes a block's PDF fields to the configured
+// step-zero state. It is shared between construction and checkpoint-less
+// rewinds: a resilient restart that finds no valid checkpoint set rolls
+// the fields back to exactly this state.
+func (s *Simulation) initBlockState(bd *BlockData) {
 	v := s.Config.InitialVelocity
-	src.FillEquilibrium(s.Config.InitialRho, v[0], v[1], v[2])
-	dst.FillEquilibrium(s.Config.InitialRho, v[0], v[1], v[2])
+	bd.Src.FillEquilibrium(s.Config.InitialRho, v[0], v[1], v[2])
+	bd.Dst.FillEquilibrium(s.Config.InitialRho, v[0], v[1], v[2])
 	if s.Config.InitialState != nil {
+		cells := bd.Block.Cells
 		feq := make([]float64, s.Stencil.Q)
-		base := [3]int{b.Coord[0] * cells[0], b.Coord[1] * cells[1], b.Coord[2] * cells[2]}
+		base := [3]int{bd.Block.Coord[0] * cells[0], bd.Block.Coord[1] * cells[1], bd.Block.Coord[2] * cells[2]}
 		for z := 0; z < cells[2]; z++ {
 			for y := 0; y < cells[1]; y++ {
 				for x := 0; x < cells[0]; x++ {
 					rho, ux, uy, uz := s.Config.InitialState(base[0]+x, base[1]+y, base[2]+z)
 					s.Stencil.Equilibrium(feq, rho, ux, uy, uz)
 					for a := 0; a < s.Stencil.Q; a++ {
-						src.Set(x, y, z, lattice.Direction(a), feq[a])
+						bd.Src.Set(x, y, z, lattice.Direction(a), feq[a])
 					}
 				}
 			}
 		}
 	}
-	return &BlockData{
-		Block:    b,
-		Src:      src,
-		Dst:      dst,
-		Flags:    flags,
-		Kernel:   k,
-		Boundary: newBoundarySweep(s, flags),
-		Fluid:    flags.Count(field.Fluid),
-	}, nil
 }
 
 // newBoundarySweep builds the boundary handling of one block.
@@ -280,10 +289,22 @@ func MarkGhostFace(flags *field.FlagField, f lattice.Face, t field.CellType) {
 }
 
 // Step advances the simulation by one time step: ghost exchange, boundary
-// handling, fused stream-collide, field swap.
+// handling, fused stream-collide, field swap. It panics if a rank failure
+// is detected mid-step; resilient drivers use StepErr.
 func (s *Simulation) Step() {
+	if err := s.StepErr(); err != nil {
+		panic(err)
+	}
+}
+
+// StepErr is Step returning a typed *comm.RankFailedError when a peer
+// dies mid-step, leaving this rank's fields in an unspecified state that
+// only a checkpoint restore (or re-initialization) may repair.
+func (s *Simulation) StepErr() error {
 	t0 := time.Now()
-	s.exchangeGhostLayers()
+	if err := s.exchangeGhostLayersErr(); err != nil {
+		return err
+	}
 	t1 := time.Now()
 	s.commTime += t1.Sub(t0)
 
@@ -305,6 +326,7 @@ func (s *Simulation) Step() {
 		field.Swap(bd.Src, bd.Dst)
 	}
 	s.steps++
+	return nil
 }
 
 // applyForce adds the first-order body force term 3 w_a (e_a . F) to every
