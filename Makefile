@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench clean
+.PHONY: all build test vet race race-sim verify bench bench-hybrid clean
 
 all: build
 
@@ -16,12 +16,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-sim re-runs the simulation driver tests uncached under the race
+# detector: the hybrid bit-identity tests (multi-worker vs serial,
+# resilient replay with workers > 1) must pass fresh on every gate.
+race-sim:
+	$(GO) test -race -count=1 ./internal/sim/...
+
 # verify is the pre-commit gate: static checks, a full build, and the
 # test suite under the race detector.
-verify: vet build race
+verify: vet build race-sim race
 
 bench:
 	$(GO) test -bench=. -benchtime=0.2s -run='^$$' ./internal/...
+
+# bench-hybrid measures serial vs multi-worker MLUPS and writes
+# BENCH_hybrid.json.
+bench-hybrid: build
+	$(GO) run ./cmd/walberla-bench -fig hybrid
 
 clean:
 	$(GO) clean ./...

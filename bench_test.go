@@ -58,7 +58,7 @@ func BenchmarkFig3Kernels(b *testing.B) {
 		sim.KernelSplitSRT, sim.KernelSplitTRT,
 	} {
 		b.Run(string(choice), func(b *testing.B) {
-			k, err := sim.MakeKernel(choice, 0.9, 0, nil)
+			k, err := kernels.New(kernels.Spec{Choice: choice, Tau: 0.9})
 			if err != nil {
 				b.Fatal(err)
 			}

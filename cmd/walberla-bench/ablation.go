@@ -113,7 +113,9 @@ func balanceAblation() {
 			if err != nil {
 				panic(err)
 			}
-			s.Run(100)
+			if _, err := s.Run(100); err != nil {
+				panic(err)
+			}
 			compute, _, _ := s.PhaseTimes()
 			_, mc, tc := s.RankLoad()
 			mu.Lock()

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"walberla/internal/comm"
+	"walberla/internal/core"
+	"walberla/internal/sim"
+)
+
+// hybridBench measures the hybrid MPI+threads mode: the same lid-driven
+// cavity is run with an increasing intra-rank worker count and the
+// aggregate MLUPS is compared against the serial (1-worker) run. Two
+// decompositions are measured: a single rank owning all blocks (pure
+// intra-rank parallelism, no communication) and two ranks with eight
+// blocks each (worker parallelism plus comm/compute overlap across the
+// rank boundary). Results go to stdout as TSV and to BENCH_hybrid.json.
+func hybridBench() {
+	header("Hybrid intra-rank parallelism (workers vs MLUPS)")
+	steps := 150
+	edge := 16
+	if *quick {
+		steps = 40
+		edge = 8
+	}
+
+	type result struct {
+		Workers     int     `json:"workers"`
+		MLUPS       float64 `json:"mlups"`
+		WallSeconds float64 `json:"wall_seconds"`
+		Speedup     float64 `json:"speedup_vs_serial"`
+		Frontier    int     `json:"frontier_blocks"`
+		Interior    int     `json:"interior_blocks"`
+		Overlap     string  `json:"overlap_rank0"`
+	}
+	type scenario struct {
+		Name          string   `json:"name"`
+		Ranks         int      `json:"ranks"`
+		Grid          [3]int   `json:"grid"`
+		CellsPerBlock [3]int   `json:"cells_per_block"`
+		Steps         int      `json:"steps"`
+		Results       []result `json:"results"`
+	}
+
+	run := func(name string, ranks int, grid [3]int, workers []int) scenario {
+		sc := scenario{
+			Name: name, Ranks: ranks, Grid: grid,
+			CellsPerBlock: [3]int{edge, edge, edge}, Steps: steps,
+		}
+		fmt.Printf("# %s: ranks=%d grid=%v cells=%d^3 steps=%d\n", name, ranks, grid, edge, steps)
+		fmt.Println("workers\tMLUPS\twall_s\tspeedup\tfrontier/interior\toverlap(rank0)")
+		var serial float64
+		for _, w := range workers {
+			p := core.LidDrivenCavity(grid, [3]int{edge, edge, edge}, 0.05, ranks)
+			p.Workers = w
+			var r result
+			err := p.RunEach(steps, func(c *comm.Comm, s *sim.Simulation, m sim.Metrics) {
+				if c.Rank() != 0 {
+					return
+				}
+				r = result{
+					Workers:     w,
+					MLUPS:       m.MLUPS,
+					WallSeconds: m.WallTime.Seconds(),
+					Overlap:     s.Overlap().String(),
+				}
+				r.Frontier, r.Interior = s.BlockSplit()
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hybrid bench:", err)
+				os.Exit(1)
+			}
+			if w == 1 {
+				serial = r.WallSeconds
+			}
+			if serial > 0 && r.WallSeconds > 0 {
+				r.Speedup = serial / r.WallSeconds
+			}
+			fmt.Printf("%d\t%.2f\t%.4f\t%.2fx\t%d/%d\t%s\n",
+				r.Workers, r.MLUPS, r.WallSeconds, r.Speedup, r.Frontier, r.Interior, r.Overlap)
+			sc.Results = append(sc.Results, r)
+		}
+		return sc
+	}
+
+	workers := []int{1, 2, 4, 8}
+	out := struct {
+		Host      string     `json:"host_cpus"`
+		Scenarios []scenario `json:"scenarios"`
+	}{
+		Host: fmt.Sprintf("%d logical CPUs (GOMAXPROCS=%d)", runtime.NumCPU(), runtime.GOMAXPROCS(0)),
+		Scenarios: []scenario{
+			// 8 blocks on one rank: pure worker scaling, no communication.
+			run("single-rank-8-blocks", 1, [3]int{2, 2, 2}, workers),
+			// 16 blocks over 2 ranks: 8 blocks per rank with a frontier —
+			// worker scaling plus comm/compute overlap.
+			run("two-ranks-8-blocks-each", 2, [3]int{4, 2, 2}, workers),
+		},
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybrid bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_hybrid.json", append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hybrid bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_hybrid.json")
+}

@@ -21,7 +21,7 @@ import (
 var quick = flag.Bool("quick", false, "reduce problem sizes for fast runs")
 
 func main() {
-	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|all")
+	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|all")
 	flag.Parse()
 
 	figures := map[string]func(){
@@ -37,9 +37,10 @@ func main() {
 		"filesize": fileSizes,
 		"balance":  balanceAblation,
 		"iaca":     iacaReport,
+		"hybrid":   hybridBench,
 	}
 	if *figure == "all" {
-		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca"} {
+		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca", "hybrid"} {
 			figures[name]()
 		}
 		return

@@ -42,6 +42,7 @@ func main() {
 		ranks      = flag.Int("ranks", 4, "number of SPMD ranks")
 		steps      = flag.Int("steps", 200, "time steps")
 		kernel     = flag.String("kernel", string(sim.KernelSparse), "compute kernel")
+		workers    = flag.Int("workers", 1, "intra-rank worker threads for block sweeps (hybrid mode)")
 		tau        = flag.Float64("tau", 0.6, "relaxation time")
 		inflowU    = flag.Float64("inflow", 0.02, "inflow velocity magnitude (+z)")
 		vtkDir     = flag.String("vtk", "", "write per-block VTK files into this directory")
@@ -119,6 +120,7 @@ func main() {
 
 	cfg := sim.Config{
 		Kernel:     sim.KernelChoice(*kernel),
+		Workers:    *workers,
 		Tau:        *tau,
 		Boundary:   boundary.Config{WallVelocity: [3]float64{0, 0, *inflowU}, Density: 1},
 		SetupFlags: setup.FlagsFromSDF(sdf),
@@ -126,6 +128,8 @@ func main() {
 
 	var mu sync.Mutex
 	var metrics sim.Metrics
+	var overlap sim.OverlapTimes
+	var frontier, interior int
 	var files int
 	comm.RunWithOptions(*ranks, comm.Options{Faults: faults}, func(c *comm.Comm) {
 		var in *blockforest.SetupForest
@@ -176,7 +180,10 @@ func main() {
 				if chunk > remaining {
 					chunk = remaining
 				}
-				m = s.Run(chunk)
+				m, err = s.Run(chunk)
+				if err != nil {
+					fatal(err)
+				}
 				remaining -= chunk
 				if remaining > 0 {
 					if err := s.RebalanceByWorkload(true); err != nil {
@@ -190,12 +197,17 @@ func main() {
 				}
 			}
 		} else {
-			m = s.Run(*steps)
+			m, err = s.Run(*steps)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		mu.Lock()
 		defer mu.Unlock()
 		if c.Rank() == 0 {
 			metrics = m
+			overlap = s.Overlap()
+			frontier, interior = s.BlockSplit()
 		}
 		for _, bd := range s.Blocks {
 			spacing := (bd.Block.AABB.Max[0] - bd.Block.AABB.Min[0]) / float64(bd.Src.Nx)
@@ -225,6 +237,10 @@ func main() {
 		}
 	})
 	fmt.Println("simulation:", metrics)
+	if *workers > 1 {
+		fmt.Printf("hybrid: workers=%d blocks(frontier/interior)=%d/%d overlap: %v\n",
+			*workers, frontier, interior, overlap)
+	}
 	if r := metrics.Recovery; r != (sim.RecoveryStats{}) {
 		fmt.Printf("resilience: failures=%d restores=%d replayed=%d steps checkpoints=%d (%d bytes on rank 0) lost=%v\n",
 			r.FailuresDetected, r.Restores, r.StepsReplayed,

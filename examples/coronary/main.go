@@ -86,7 +86,9 @@ func main() {
 		// Convergence state of the run.
 		r := analysis.NewResidual()
 		r.Update(c, s)
-		s.Run(20)
+		if _, err := s.Run(20); err != nil {
+			log.Fatal(err)
+		}
 		res := r.Update(c, s)
 		if c.Rank() != 0 {
 			return

@@ -81,7 +81,9 @@ func main() {
 		e0 := energy()
 		const chunk = 50
 		for step := chunk; step <= 400; step += chunk {
-			s.Run(chunk)
+			if _, err := s.Run(chunk); err != nil {
+				log.Fatal(err)
+			}
 			e := energy()
 			if c.Rank() == 0 {
 				mu.Lock()

@@ -286,18 +286,20 @@ func (r *Residual) Update(c *comm.Comm, s *sim.Simulation) float64 {
 // RunToSteadyState advances the simulation in chunks until the residual
 // between chunks drops below tol or maxSteps is reached. Returns the
 // steps taken and the final residual. Collective.
-func RunToSteadyState(c *comm.Comm, s *sim.Simulation, chunk, maxSteps int, tol float64) (int, float64) {
+func RunToSteadyState(c *comm.Comm, s *sim.Simulation, chunk, maxSteps int, tol float64) (int, float64, error) {
 	r := NewResidual()
 	r.Update(c, s)
 	steps := 0
 	res := math.Inf(1)
 	for steps < maxSteps {
-		s.Run(chunk)
+		if _, err := s.Run(chunk); err != nil {
+			return steps, res, err
+		}
 		steps += chunk
 		res = r.Update(c, s)
 		if res < tol {
 			break
 		}
 	}
-	return steps, res
+	return steps, res, nil
 }

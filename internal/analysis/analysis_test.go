@@ -41,6 +41,14 @@ func poiseuilleSim(t *testing.T, c *comm.Comm, f *blockforest.SetupForest, force
 	return s
 }
 
+// mustRun advances the simulation, failing the test on any rank error.
+func mustRun(t *testing.T, s *sim.Simulation, steps int) {
+	t.Helper()
+	if _, err := s.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func channelForest() *blockforest.SetupForest {
 	f := blockforest.NewSetupForest(
 		blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
@@ -55,7 +63,7 @@ func TestPlaneFluxUniformAcrossChannel(t *testing.T) {
 	f := channelForest()
 	comm.Run(2, func(c *comm.Comm) {
 		s := poiseuilleSim(t, c, f, 1e-6)
-		s.Run(2000)
+		mustRun(t, s, 2000)
 		var fluxes []float64
 		for x := 0; x < 8; x++ {
 			fluxes = append(fluxes, PlaneFlux(c, s, AxisX, x))
@@ -82,7 +90,7 @@ func TestProbeSeries(t *testing.T) {
 		center := NewProbe([3]int{6, 2, 4}) // inside the second block
 		outside := NewProbe([3]int{99, 0, 0})
 		for i := 0; i < 5; i++ {
-			s.Run(100)
+			mustRun(t, s, 100)
 			center.Sample(c, s, (i+1)*100)
 			outside.Sample(c, s, (i+1)*100)
 		}
@@ -118,14 +126,18 @@ func TestResidualAndSteadyState(t *testing.T) {
 		if !math.IsInf(r.Update(c, s), 1) {
 			t.Error("first residual not +Inf")
 		}
-		s.Run(50)
+		mustRun(t, s, 50)
 		r1 := r.Update(c, s)
-		s.Run(400)
+		mustRun(t, s, 400)
 		r2 := r.Update(c, s)
 		if !(r2 < r1) {
 			t.Errorf("residual not decreasing: %v -> %v", r1, r2)
 		}
-		steps, res := RunToSteadyState(c, s, 200, 20000, 1e-6)
+		steps, res, err := RunToSteadyState(c, s, 200, 20000, 1e-6)
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		if res >= 1e-6 {
 			t.Errorf("did not converge: residual %v after %d steps", res, steps)
 		}
@@ -141,7 +153,7 @@ func TestLineProfilePoiseuille(t *testing.T) {
 	f := channelForest()
 	comm.Run(2, func(c *comm.Comm) {
 		s := poiseuilleSim(t, c, f, 1e-6)
-		s.Run(3000)
+		mustRun(t, s, 3000)
 		profile := LineProfile(c, s, AxisZ, [3]int{2, 2, 0}, AxisX)
 		if len(profile) != 8 {
 			t.Fatalf("profile length %d, want 8", len(profile))

@@ -55,6 +55,9 @@ type Problem struct {
 
 	// Ranks is the number of SPMD processes; zero means one.
 	Ranks int
+	// Workers is the intra-rank worker count for block sweeps and
+	// pack/unpack (the hybrid MPI+threads mode); zero means one.
+	Workers int
 	// Seed drives randomized setup stages.
 	Seed int64
 	// UseGraphPartitioner selects METIS-style balancing; Morton curve
@@ -111,6 +114,7 @@ func (p *Problem) simConfig() sim.Config {
 		InitialVelocity: p.InitialVelocity,
 		InitialState:    p.InitialState,
 		SetupFlags:      p.SetupFlags,
+		Workers:         p.Workers,
 	}
 	if p.Geometry != nil && cfg.SetupFlags == nil {
 		cfg.SetupFlags = setup.FlagsFromSDF(p.Geometry)
@@ -167,7 +171,15 @@ func (p *Problem) RunEach(steps int, fn func(c *comm.Comm, s *sim.Simulation, m 
 			mu.Unlock()
 			return
 		}
-		m := s.Run(steps)
+		m, err := s.Run(steps)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
 		if fn != nil {
 			fn(c, s, m)
 		}

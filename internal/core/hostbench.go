@@ -46,7 +46,7 @@ func MeasureKernelMLUPS(choice sim.KernelChoice, edge, threads, steps int) Kerne
 	}
 	workers := make([]worker, threads)
 	for i := range workers {
-		k, err := sim.MakeKernel(choice, 0.9, 0, nil)
+		k, err := kernels.New(kernels.Spec{Choice: choice, Tau: 0.9})
 		if err != nil {
 			panic(err)
 		}

@@ -220,7 +220,11 @@ func TestEndToEndVascularSimulation(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		m := s.Run(50)
+		m, err := s.Run(50)
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		if c.Rank() == 0 {
 			if m.TotalFluidCells != stats.FluidCells {
 				t.Errorf("simulation fluid cells %d != setup %d", m.TotalFluidCells, stats.FluidCells)

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"walberla/internal/comm"
 	"walberla/internal/field"
 	"walberla/internal/lattice"
 )
@@ -14,6 +15,12 @@ import (
 // optimization. Blocks on the same rank copy directly ("fast local
 // communication"); remote blocks exchange messages tagged by the receiving
 // block and the boundary direction.
+//
+// The exchange is split-phase so the time loop can overlap it with
+// computation: postExchange packs and sends all boundary slabs (pack and
+// local copies run on the worker pool) and posts the remote receives;
+// completeExchange waits for the remote slabs and unpacks them. Interior
+// sweeps run between the two halves while remote data is in flight.
 
 // offsetIndex maps an offset in {-1,0,1}^3 to 0..26.
 func offsetIndex(o [3]int) int {
@@ -93,6 +100,13 @@ type exchangeOp struct {
 	peer     *BlockData // neighbor block if local
 	sendTag  int        // tag on the neighbor's side for our data
 	recvTag  int        // tag identifying data arriving for this op
+	buf      []float64  // per-step pack/unpack scratch
+}
+
+// recvOp pairs a posted remote receive with its unpack destination.
+type recvOp struct {
+	op  *exchangeOp
+	req *comm.RecvRequest
 }
 
 // tagFor builds the message tag for (receiving block, boundary offset of
@@ -172,47 +186,80 @@ func unpack(f *field.PDFField, r region, dirs []lattice.Direction, buf []float64
 	}
 }
 
-// exchangeGhostLayers performs one full ghost layer synchronization of the
-// Src fields: local copies first, then all remote sends, then all remote
-// receives (the eager runtime makes sends non-blocking, so this cannot
-// deadlock). Panics on rank failure; resilient drivers use the error
-// variant.
-func (s *Simulation) exchangeGhostLayers() {
-	if err := s.exchangeGhostLayersErr(); err != nil {
-		panic(err)
-	}
-}
-
-// exchangeGhostLayersErr is exchangeGhostLayers returning a typed
-// *comm.RankFailedError when a peer has been declared dead mid-exchange
-// instead of deadlocking or panicking.
-func (s *Simulation) exchangeGhostLayersErr() error {
-	// Local and send phase.
-	for i := range s.plan {
+// postExchange starts one ghost layer synchronization of the Src fields:
+// all boundary slabs are packed on the worker pool (same-rank copies land
+// in the peer's ghost region immediately — "fast local communication"),
+// the remote slabs are sent (eager, so this cannot deadlock), and one
+// receive per remote op is posted. Interior blocks may be swept between
+// postExchange and completeExchange; the packed slabs were taken before
+// any sweep, so the overlap is bit-identical to a fully synchronous
+// exchange.
+//
+// The parallel pack/copy phase is race-free by region disjointness: packs
+// read interior slabs, copies write ghost slabs, and two copies into the
+// same block target different offsets, hence disjoint ghost slabs.
+func (s *Simulation) postExchange() error {
+	s.pool.run(len(s.plan), func(i int) {
 		op := &s.plan[i]
-		buf := pack(op.bd.Src, op.src, op.sendDirs)
-		if op.remote {
-			if err := s.Comm.SendErr(op.rank, op.sendTag, buf); err != nil {
-				return err
-			}
-			continue
+		op.buf = pack(op.bd.Src, op.src, op.sendDirs)
+		if op.peer != nil {
+			// Local copy: our slab lands in the peer's ghost region on the
+			// opposite side.
+			peerDst := recvRegion(op.peer.Block.Cells, [3]int{-op.offset[0], -op.offset[1], -op.offset[2]})
+			unpack(op.peer.Src, peerDst, op.sendDirs, op.buf)
+			op.buf = nil
 		}
-		// Local copy: our slab lands in the peer's ghost region on the
-		// opposite side.
-		peerDst := recvRegion(op.peer.Block.Cells, [3]int{-op.offset[0], -op.offset[1], -op.offset[2]})
-		unpack(op.peer.Src, peerDst, op.sendDirs, buf)
-	}
-	// Receive phase.
+	})
 	for i := range s.plan {
 		op := &s.plan[i]
 		if !op.remote {
 			continue
 		}
-		buf, _, err := s.Comm.RecvFloat64sErr(op.rank, op.recvTag)
+		buf := op.buf
+		op.buf = nil
+		if err := s.Comm.SendErr(op.rank, op.sendTag, buf); err != nil {
+			return err
+		}
+	}
+	s.pending = s.pending[:0]
+	for i := range s.plan {
+		op := &s.plan[i]
+		if op.remote {
+			s.pending = append(s.pending, recvOp{op: op, req: s.Comm.Irecv(op.rank, op.recvTag)})
+		}
+	}
+	return nil
+}
+
+// completeExchange finishes the synchronization started by postExchange:
+// it waits for every posted receive and unpacks the slabs into the
+// frontier blocks' ghost layers on the worker pool. A typed
+// *comm.RankFailedError is returned when a peer has been declared dead
+// mid-exchange instead of deadlocking or panicking.
+func (s *Simulation) completeExchange() error {
+	for i := range s.pending {
+		p := &s.pending[i]
+		buf, _, err := p.req.WaitFloat64s()
 		if err != nil {
 			return err
 		}
-		unpack(op.bd.Src, op.dst, op.recvDirs, buf)
+		p.op.buf = buf
 	}
+	s.pool.run(len(s.pending), func(i int) {
+		op := s.pending[i].op
+		unpack(op.bd.Src, op.dst, op.recvDirs, op.buf)
+		op.buf = nil
+	})
+	s.pending = s.pending[:0]
 	return nil
+}
+
+// exchangeGhostLayers performs one full, non-overlapped ghost layer
+// synchronization (post immediately followed by complete) — used outside
+// the time loop, e.g. after block migration.
+func (s *Simulation) exchangeGhostLayers() error {
+	if err := s.postExchange(); err != nil {
+		return err
+	}
+	return s.completeExchange()
 }

@@ -164,7 +164,10 @@ func TestExchangeGhostValues(t *testing.T) {
 				bd.Src.Data()[i] = tag
 			}
 		}
-		s.exchangeGhostLayers()
+		if err := s.exchangeGhostLayers(); err != nil {
+			t.Error(err)
+			return
+		}
 		for _, bd := range s.Blocks {
 			// The +x ghost slab must carry the other block's tag.
 			other := float64(1 + bd.Block.Coord[0]) // own tag

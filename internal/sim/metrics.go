@@ -52,6 +52,23 @@ type RecoveryStats struct {
 	TimeLost time.Duration
 }
 
+// OverlapTimes is this rank's accumulated split-phase step breakdown: the
+// exchange post (pack, send, local copies), the interior sweeps that run
+// while remote data is in flight, the residual wait for remote slabs plus
+// their unpack, and the frontier sweeps that needed the remote data. Wait
+// is the part of the communication the overlap could not hide.
+type OverlapTimes struct {
+	Post     time.Duration
+	Interior time.Duration
+	Wait     time.Duration
+	Frontier time.Duration
+}
+
+func (o OverlapTimes) String() string {
+	return fmt.Sprintf("post=%v interior=%v wait=%v frontier=%v",
+		o.Post, o.Interior, o.Wait, o.Frontier)
+}
+
 // MLUPSPerCore and MFLUPSPerCore report per-rank (per-core) values — the
 // parallel-efficiency measure used in the scaling figures.
 func (m Metrics) MLUPSPerCore() float64 { return m.MLUPS / float64(m.Ranks) }
@@ -81,17 +98,10 @@ func (m Metrics) String() string {
 		m.WallTime, m.MLUPS, m.MFLUPS, 100*m.CommFraction)
 }
 
-// gatherMetrics reduces the per-rank timings into global metrics.
-func (s *Simulation) gatherMetrics(steps int, wall time.Duration) Metrics {
-	m, err := s.gatherMetricsErr(steps, wall)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
-// gatherMetricsErr is gatherMetrics returning an error on rank failure.
-func (s *Simulation) gatherMetricsErr(steps int, wall time.Duration) (Metrics, error) {
+// gatherMetrics reduces the per-rank timings into global metrics; it
+// returns a typed *comm.RankFailedError when a peer dies during the
+// reduction.
+func (s *Simulation) gatherMetrics(steps int, wall time.Duration) (Metrics, error) {
 	c := s.Comm
 	totalCells, err := c.AllreduceInt64Err(s.LocalCells(), comm.Sum[int64])
 	if err != nil {
@@ -132,8 +142,15 @@ func (s *Simulation) gatherMetricsErr(steps int, wall time.Duration) (Metrics, e
 	return m, nil
 }
 
-// PhaseTimes returns this rank's accumulated phase timers (compute,
-// communication, boundary) since the last reset.
+// PhaseTimes returns this rank's accumulated phase timers since the last
+// reset. Communication time is wall clock on the rank's driving
+// goroutine (exchange post + residual wait); compute and boundary time
+// aggregate the per-block sweep times across all workers, reduced in
+// deterministic block order.
 func (s *Simulation) PhaseTimes() (compute, communication, boundaryTime time.Duration) {
 	return s.computeTime, s.commTime, s.boundaryTime
 }
+
+// Overlap returns this rank's accumulated split-phase breakdown of the
+// time loop since the last reset.
+func (s *Simulation) Overlap() OverlapTimes { return s.overlap }

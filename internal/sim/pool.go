@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Intra-rank worker pool: the "hybrid" half of the paper's hybrid
+// parallelization (MPI between ranks, OpenMP-style threading over a
+// rank's blocks inside it). Per-block tasks — boundary handling, the
+// fused stream-collide sweep, body forcing, ghost-layer pack/unpack —
+// write disjoint state, so they run concurrently in any order and the
+// results are bit-identical to a serial sweep; every order-sensitive
+// reduction (phase timers, metrics) happens afterwards on the caller in
+// deterministic block order.
+//
+// The pool is fork-join: run spawns its workers per parallel region and
+// joins them before returning. Blocks self-schedule over an atomic
+// cursor, so blocks of uneven cost (sparse vs dense fill) balance across
+// workers like an OpenMP dynamic schedule. Forking per region keeps the
+// pool free of lifecycle state — a Simulation needs no Close, and a
+// region costs one goroutine spawn per worker, negligible next to a
+// block sweep.
+type workerPool struct {
+	// workers is the number of concurrent workers a parallel region may
+	// use; 1 executes inline (the serial baseline).
+	workers int
+}
+
+// run executes task(i) for every i in [0, n), using up to p.workers
+// goroutines, and returns when all tasks have finished. A panic in any
+// task is re-raised on the caller after the join.
+func (p workerPool) run(n int, task func(i int)) {
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[any]
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
+}

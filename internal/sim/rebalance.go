@@ -3,11 +3,11 @@ package sim
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"walberla/internal/blockforest"
 	"walberla/internal/comm"
 	"walberla/internal/field"
+	"walberla/internal/kernels"
 )
 
 // Dynamic load balancing — the extension the paper names as future work
@@ -187,10 +187,9 @@ func (s *Simulation) Rebalance(assignment map[[3]int]int) error {
 		forestBlocks = append(forestBlocks, bd.Block)
 	}
 	s.Forest.Blocks = forestBlocks
-	s.plan = buildExchangePlan(s)
+	s.rebuildPlan()
 	// Migration invalidates ghost layers; synchronize before stepping on.
-	s.exchangeGhostLayers()
-	return nil
+	return s.exchangeGhostLayers()
 }
 
 // adoptBlock reconstructs the runtime state of a migrated block on the
@@ -200,7 +199,7 @@ func (s *Simulation) adoptBlock(mb *migratedBlock) (*BlockData, error) {
 	cells := b.Cells
 	flags := field.NewFlagField(cells[0], cells[1], cells[2], 1)
 	copy(flags.Data(), mb.Flags)
-	k, err := MakeKernelFor(s.Config.Kernel, s.Stencil, s.Config.Tau, s.Config.Magic, flags)
+	k, err := kernels.New(s.Config.kernelSpec(flags))
 	if err != nil {
 		return nil, err
 	}
@@ -230,14 +229,4 @@ func (s *Simulation) RankLoad() (local, max, total int64) {
 	max = s.Comm.AllreduceInt64(local, comm.Max[int64])
 	total = s.Comm.AllreduceInt64(local, comm.Sum[int64])
 	return local, max, total
-}
-
-// per-block compute timing support for measured rebalancing.
-
-// timeBlockSweep runs the kernel sweep of one block and accumulates its
-// compute time.
-func timeBlockSweep(bd *BlockData) {
-	start := time.Now()
-	bd.Kernel.Sweep(bd.Src, bd.Dst, bd.Flags)
-	bd.ComputeTime += time.Since(start)
 }

@@ -60,7 +60,7 @@ func TestRebalancePreservesPhysics(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			s.Run(20)
+			mustRun(t, s, 20)
 			if migrate {
 				if err := s.RebalanceByWorkload(false); err != nil {
 					t.Error(err)
@@ -73,7 +73,7 @@ func TestRebalancePreservesPhysics(t *testing.T) {
 					t.Error("rebalancing left all blocks on one rank")
 				}
 			}
-			s.Run(20)
+			mustRun(t, s, 20)
 			gatherCavityField(s, cells, &mu, out)
 		})
 		return out
@@ -116,7 +116,7 @@ func TestRebalanceByMeasuredTime(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		s.Run(5)
+		mustRun(t, s, 5)
 		if err := s.RebalanceByWorkload(true); err != nil {
 			t.Error(err)
 			return
@@ -131,7 +131,7 @@ func TestRebalanceByMeasuredTime(t *testing.T) {
 			local += bd.Src.TotalMass()
 		}
 		before := c.AllreduceFloat64(local, comm.Sum[float64])
-		s.Run(5)
+		mustRun(t, s, 5)
 		local = 0
 		for _, bd := range s.Blocks {
 			local += bd.Src.TotalMass()
@@ -180,7 +180,7 @@ func TestWorkloadsFallBackToFluidCount(t *testing.T) {
 		if w[[3]int{0, 0, 0}] != 64 {
 			t.Errorf("workload = %v, want 64 fluid cells", w[[3]int{0, 0, 0}])
 		}
-		s.Run(2)
+		mustRun(t, s, 2)
 		w = s.Workloads(true)
 		if w[[3]int{0, 0, 0}] <= 0 || w[[3]int{0, 0, 0}] == 64 {
 			t.Errorf("measured workload = %v, want positive seconds", w[[3]int{0, 0, 0}])

@@ -355,7 +355,7 @@ func (s *Simulation) RunResilient(steps int, rc ResilienceConfig) (Metrics, erro
 	}
 
 	wall := time.Since(start)
-	m, err := s.gatherMetricsErr(steps, wall)
+	m, err := s.gatherMetrics(steps, wall)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -396,7 +396,7 @@ func (s *Simulation) runAttempt(total int, rc ResilienceConfig, step *int, rec *
 				rec.CheckpointBytes += n
 			}
 		}
-		if err := s.StepErr(); err != nil {
+		if err := s.Step(); err != nil {
 			return err
 		}
 		*step++

@@ -67,7 +67,7 @@ func TestResilientBitIdenticalUnderCrashes(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		s.Run(steps)
+		mustRun(t, s, steps)
 		collectBits(s, &mu, want)
 	})
 	if t.Failed() {
@@ -236,7 +236,7 @@ func TestRestoreFallsBackPastCorruptedSet(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		s.Run(4)
+		mustRun(t, s, 4)
 		collectBits(s, &mu, want)
 	})
 	for coord, wb := range want {
@@ -271,7 +271,7 @@ func TestRestoreWithNoSetsRewindsToInitialState(t *testing.T) {
 			return
 		}
 		collectBits(s, &mu, want)
-		s.Run(3) // dirty the state
+		mustRun(t, s, 3) // dirty the state
 		step, err := s.RestoreLatestCheckpointSet(t.TempDir())
 		if err != nil {
 			t.Errorf("rank %d: %v", c.Rank(), err)

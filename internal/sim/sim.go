@@ -4,6 +4,12 @@
 // actually cross each block boundary, as waLBerla does), applies boundary
 // conditions, runs the fused stream-collide kernels, and accounts the
 // MLUPS / MFLUPS and communication-time metrics the paper reports.
+//
+// Inside each rank the time loop is hybrid-parallel (see docs/HYBRID.md):
+// per-block sweeps execute on a configurable worker pool, and the
+// ghost-layer exchange is split-phase so interior blocks compute while
+// remote boundary data is in flight. Results are bit-identical to serial
+// runs for every worker count.
 package sim
 
 import (
@@ -19,18 +25,19 @@ import (
 	"walberla/internal/lattice"
 )
 
-// KernelChoice selects a compute kernel family for a simulation.
-type KernelChoice string
+// KernelChoice selects a compute kernel family for a simulation; it is an
+// alias of kernels.Choice, the key of the kernels.Spec constructor.
+type KernelChoice = kernels.Choice
 
 // Kernel choices; the names match the paper's Figure 3 series.
 const (
-	KernelGenericSRT KernelChoice = "SRT Generic"
-	KernelGenericTRT KernelChoice = "TRT Generic"
-	KernelD3Q19SRT   KernelChoice = "SRT D3Q19"
-	KernelD3Q19TRT   KernelChoice = "TRT D3Q19"
-	KernelSplitSRT   KernelChoice = "SRT SIMD"
-	KernelSplitTRT   KernelChoice = "TRT SIMD"
-	KernelSparse     KernelChoice = "TRT Interval" // sparse compressed-row kernel
+	KernelGenericSRT = kernels.ChoiceGenericSRT
+	KernelGenericTRT = kernels.ChoiceGenericTRT
+	KernelD3Q19SRT   = kernels.ChoiceD3Q19SRT
+	KernelD3Q19TRT   = kernels.ChoiceD3Q19TRT
+	KernelSplitSRT   = kernels.ChoiceSplitSRT
+	KernelSplitTRT   = kernels.ChoiceSplitTRT
+	KernelSparse     = kernels.ChoiceSparse
 )
 
 // Config describes a simulation.
@@ -48,6 +55,11 @@ type Config struct {
 	Tau float64
 	// Magic is the TRT magic parameter; zero means 3/16.
 	Magic float64
+	// Workers is the number of intra-rank workers executing per-block
+	// sweeps and pack/unpack concurrently (the hybrid "threads per
+	// process" of the paper). 0 or 1 runs serially; any value yields
+	// bit-identical results.
+	Workers int
 	// InitialRho and InitialVelocity initialize all fluid cells to the
 	// corresponding equilibrium. Zero rho means 1.
 	InitialRho      float64
@@ -67,52 +79,16 @@ type Config struct {
 	SetupFlags func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField)
 }
 
-// MakeKernel constructs the compute kernel for a kernel choice and the
-// D3Q19 stencil; see MakeKernelFor for other lattice models. The flag
-// field is required by the sparse kernels (which precompute their fluid
-// cell structure from it) and ignored by the dense ones.
-func MakeKernel(choice KernelChoice, tau, magic float64, flags *field.FlagField) (kernels.Kernel, error) {
-	return MakeKernelFor(choice, lattice.D3Q19(), tau, magic, flags)
-}
-
-// MakeKernelFor constructs the compute kernel for an arbitrary stencil;
-// only the generic kernel choices support stencils other than D3Q19.
-func MakeKernelFor(choice KernelChoice, stencil *lattice.Stencil, tau, magic float64, flags *field.FlagField) (kernels.Kernel, error) {
-	if stencil == nil {
-		stencil = lattice.D3Q19()
+// kernelSpec builds the kernels.Spec of this configuration for the given
+// flag field.
+func (c *Config) kernelSpec(flags *field.FlagField) kernels.Spec {
+	return kernels.Spec{
+		Choice:  c.Kernel,
+		Stencil: c.Stencil,
+		Tau:     c.Tau,
+		Magic:   c.Magic,
+		Flags:   flags,
 	}
-	if tau == 0 {
-		tau = 0.9
-	}
-	if magic == 0 {
-		magic = collide.MagicParameter
-	}
-	srt := collide.NewSRT(tau)
-	trt := collide.NewTRT(tau, magic)
-	if stencil != lattice.D3Q19() &&
-		choice != KernelGenericSRT && choice != KernelGenericTRT {
-		return nil, fmt.Errorf("sim: kernel %q supports D3Q19 only", choice)
-	}
-	switch choice {
-	case KernelGenericSRT:
-		return kernels.NewGeneric(stencil, srt), nil
-	case KernelGenericTRT:
-		return kernels.NewGeneric(stencil, trt), nil
-	case KernelD3Q19SRT:
-		return kernels.NewD3Q19SRT(srt), nil
-	case KernelD3Q19TRT:
-		return kernels.NewD3Q19TRT(trt), nil
-	case KernelSplitSRT:
-		return kernels.NewSplitSRT(srt), nil
-	case KernelSplitTRT:
-		return kernels.NewSplitTRT(trt), nil
-	case KernelSparse:
-		if flags == nil {
-			return nil, fmt.Errorf("sim: sparse kernel requires a flag field")
-		}
-		return kernels.NewSparseInterval(trt, flags), nil
-	}
-	return nil, fmt.Errorf("sim: unknown kernel %q", choice)
 }
 
 // BlockData is the runtime state of one block on this rank.
@@ -126,6 +102,12 @@ type BlockData struct {
 	// ComputeTime accumulates this block's kernel time, the measured
 	// workload used by dynamic rebalancing.
 	ComputeTime time.Duration
+
+	// Per-step phase timing scratch, written by the worker executing this
+	// block's sweep and reduced into the rank timers in deterministic
+	// block order after the join.
+	stepBoundary time.Duration
+	stepCompute  time.Duration
 }
 
 // Simulation is the per-rank simulation state.
@@ -139,9 +121,20 @@ type Simulation struct {
 	byCoord map[[3]int]*BlockData
 	plan    []exchangeOp
 
+	// Hybrid execution state: the worker pool, the frontier/interior
+	// block split (frontier blocks have off-rank neighbors and must wait
+	// for remote ghost data; interior blocks sweep while communication is
+	// in flight), and the precomputed body-force increments.
+	pool     workerPool
+	interior []*BlockData
+	frontier []*BlockData
+	pending  []recvOp
+	force    *forcing
+
 	computeTime  time.Duration
 	commTime     time.Duration
 	boundaryTime time.Duration
+	overlap      OverlapTimes
 	steps        int
 }
 
@@ -173,12 +166,20 @@ func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation
 	if cfg.InitialRho == 0 {
 		cfg.InitialRho = 1
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("sim: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
 	s := &Simulation{
 		Comm:    c,
 		Forest:  forest,
 		Stencil: cfg.Stencil,
 		Config:  cfg,
 		byCoord: make(map[[3]int]*BlockData),
+		pool:    workerPool{workers: cfg.Workers},
+		force:   newForcing(cfg.Stencil, cfg.Force),
 	}
 	for _, b := range forest.Blocks {
 		bd, err := s.newBlockData(b)
@@ -188,7 +189,7 @@ func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation
 		s.Blocks = append(s.Blocks, bd)
 		s.byCoord[b.Coord] = bd
 	}
-	s.plan = buildExchangePlan(s)
+	s.rebuildPlan()
 	return s, nil
 }
 
@@ -200,7 +201,7 @@ func (s *Simulation) newBlockData(b *blockforest.Block) (*BlockData, error) {
 	} else {
 		defaultFlags(b, s.Forest, flags)
 	}
-	k, err := MakeKernelFor(s.Config.Kernel, s.Stencil, s.Config.Tau, s.Config.Magic, flags)
+	k, err := kernels.New(s.Config.kernelSpec(flags))
 	if err != nil {
 		return nil, err
 	}
@@ -288,40 +289,46 @@ func MarkGhostFace(flags *field.FlagField, f lattice.Face, t field.CellType) {
 	markGhostFace(flags, f, t)
 }
 
-// Step advances the simulation by one time step: ghost exchange, boundary
-// handling, fused stream-collide, field swap. It panics if a rank failure
-// is detected mid-step; resilient drivers use StepErr.
-func (s *Simulation) Step() {
-	if err := s.StepErr(); err != nil {
-		panic(err)
-	}
-}
-
-// StepErr is Step returning a typed *comm.RankFailedError when a peer
-// dies mid-step, leaving this rank's fields in an unspecified state that
-// only a checkpoint restore (or re-initialization) may repair.
-func (s *Simulation) StepErr() error {
+// Step advances the simulation by one time step, overlapping the
+// ghost-layer exchange with the interior sweeps:
+//
+//  1. post the exchange — pack boundary slabs (on the worker pool), send
+//     them, copy between same-rank blocks, post remote receives;
+//  2. sweep the interior blocks (no off-rank neighbors) on the worker
+//     pool while remote data is in flight;
+//  3. complete the exchange — wait for the remote slabs and unpack them
+//     into the frontier blocks' ghost layers;
+//  4. sweep the frontier blocks;
+//  5. swap the PDF fields.
+//
+// Each block's sweep fuses boundary handling, the stream-collide kernel
+// and body forcing; blocks touch disjoint state, so any execution order
+// produces bit-identical fields. Step returns a typed
+// *comm.RankFailedError when a peer dies mid-step, leaving this rank's
+// fields in an unspecified state that only a checkpoint restore (or
+// re-initialization) may repair.
+func (s *Simulation) Step() error {
 	t0 := time.Now()
-	if err := s.exchangeGhostLayersErr(); err != nil {
+	if err := s.postExchange(); err != nil {
 		return err
 	}
 	t1 := time.Now()
-	s.commTime += t1.Sub(t0)
+	s.overlap.Post += t1.Sub(t0)
 
-	for _, bd := range s.Blocks {
-		bd.Boundary.Apply(bd.Src)
-	}
+	s.sweepBlocks(s.interior)
 	t2 := time.Now()
-	s.boundaryTime += t2.Sub(t1)
+	s.overlap.Interior += t2.Sub(t1)
 
-	for _, bd := range s.Blocks {
-		timeBlockSweep(bd)
-		if s.Config.Force != [3]float64{} {
-			applyForce(bd, s.Stencil, s.Config.Force)
-		}
+	if err := s.completeExchange(); err != nil {
+		return err
 	}
-	s.computeTime += time.Since(t2)
+	t3 := time.Now()
+	s.overlap.Wait += t3.Sub(t2)
 
+	s.sweepBlocks(s.frontier)
+	s.overlap.Frontier += time.Since(t3)
+
+	s.commTime = s.overlap.Post + s.overlap.Wait
 	for _, bd := range s.Blocks {
 		field.Swap(bd.Src, bd.Dst)
 	}
@@ -329,35 +336,57 @@ func (s *Simulation) StepErr() error {
 	return nil
 }
 
-// applyForce adds the first-order body force term 3 w_a (e_a . F) to every
-// fluid cell of dst, injecting momentum density F per step.
-func applyForce(bd *BlockData, st *lattice.Stencil, force [3]float64) {
-	for z := 0; z < bd.Dst.Nz; z++ {
-		for y := 0; y < bd.Dst.Ny; y++ {
-			for x := 0; x < bd.Dst.Nx; x++ {
-				if bd.Flags.Get(x, y, z) != field.Fluid {
-					continue
-				}
-				for a := 0; a < st.Q; a++ {
-					ef := float64(st.Cx[a])*force[0] + float64(st.Cy[a])*force[1] + float64(st.Cz[a])*force[2]
-					if ef == 0 {
-						continue
-					}
-					d := lattice.Direction(a)
-					bd.Dst.Set(x, y, z, d, bd.Dst.Get(x, y, z, d)+3*st.W[a]*ef)
-				}
-			}
+// sweepBlocks runs the fused per-block update — boundary handling,
+// stream-collide, body force — for the given blocks on the worker pool,
+// then reduces the per-block phase timings in deterministic block order.
+func (s *Simulation) sweepBlocks(bds []*BlockData) {
+	s.pool.run(len(bds), func(i int) {
+		bd := bds[i]
+		tb := time.Now()
+		bd.Boundary.Apply(bd.Src)
+		tk := time.Now()
+		bd.Kernel.Sweep(bd.Src, bd.Dst, bd.Flags)
+		s.force.apply(bd)
+		bd.stepBoundary = tk.Sub(tb)
+		bd.stepCompute = time.Since(tk)
+	})
+	for _, bd := range bds {
+		s.boundaryTime += bd.stepBoundary
+		s.computeTime += bd.stepCompute
+		bd.ComputeTime += bd.stepCompute
+	}
+}
+
+// rebuildPlan recomputes the exchange plan and the frontier/interior
+// block split; it must run after any change to the block assignment or
+// the neighborhood views (construction, rebalancing).
+func (s *Simulation) rebuildPlan() {
+	s.plan = buildExchangePlan(s)
+	remote := make(map[*BlockData]bool)
+	for i := range s.plan {
+		if s.plan[i].remote {
+			remote[s.plan[i].bd] = true
+		}
+	}
+	s.interior, s.frontier = nil, nil
+	for _, bd := range s.Blocks {
+		if remote[bd] {
+			s.frontier = append(s.frontier, bd)
+		} else {
+			s.interior = append(s.interior, bd)
 		}
 	}
 }
 
 // Run advances the given number of steps and returns the metrics of the
 // run (globally reduced over all ranks).
-func (s *Simulation) Run(steps int) Metrics {
+func (s *Simulation) Run(steps int) (Metrics, error) {
 	s.ResetTimers()
 	start := time.Now()
 	for i := 0; i < steps; i++ {
-		s.Step()
+		if err := s.Step(); err != nil {
+			return Metrics{}, err
+		}
 	}
 	wall := time.Since(start)
 	return s.gatherMetrics(steps, wall)
@@ -366,7 +395,18 @@ func (s *Simulation) Run(steps int) Metrics {
 // ResetTimers zeroes the accumulated phase timers.
 func (s *Simulation) ResetTimers() {
 	s.computeTime, s.commTime, s.boundaryTime = 0, 0, 0
+	s.overlap = OverlapTimes{}
 	s.steps = 0
+}
+
+// Workers returns the configured intra-rank worker count.
+func (s *Simulation) Workers() int { return s.pool.workers }
+
+// BlockSplit returns the sizes of the frontier/interior block split:
+// frontier blocks have off-rank neighbors and wait for remote ghost data,
+// interior blocks sweep while communication is in flight.
+func (s *Simulation) BlockSplit() (frontier, interior int) {
+	return len(s.frontier), len(s.interior)
 }
 
 // LocalCells returns the number of allocated interior cells on this rank.

@@ -18,6 +18,16 @@ func runRanks(t *testing.T, ranks int, f func(c *comm.Comm)) {
 	comm.Run(ranks, f)
 }
 
+// mustRun advances the simulation, failing the test on any rank error.
+func mustRun(t *testing.T, s *Simulation, steps int) Metrics {
+	t.Helper()
+	m, err := s.Run(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 // forestFor hands the setup forest to rank 0 only, matching the
 // single-reader broadcast protocol of blockforest.Distribute.
 func forestFor(rank int, f *blockforest.SetupForest) *blockforest.SetupForest {
@@ -70,7 +80,7 @@ func runCavity(t *testing.T, ranks int, grid, cellsPerBlock [3]int, steps int, k
 			t.Error(err)
 			return
 		}
-		s.Run(steps)
+		mustRun(t, s, steps)
 		mu.Lock()
 		defer mu.Unlock()
 		for _, bd := range s.Blocks {
@@ -168,7 +178,7 @@ func TestPeriodicUniformFlowInvariant(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		s.Run(25)
+		mustRun(t, s, 25)
 		for _, bd := range s.Blocks {
 			for z := 0; z < 4; z++ {
 				for y := 0; y < 4; y++ {
@@ -213,7 +223,7 @@ func TestMassConservation(t *testing.T) {
 			localMass += bd.Src.TotalMass()
 		}
 		before := s.Comm.AllreduceFloat64(localMass, func(a, b float64) float64 { return a + b })
-		s.Run(50)
+		mustRun(t, s, 50)
 		localMass = 0
 		for _, bd := range s.Blocks {
 			localMass += bd.Src.TotalMass()
@@ -258,7 +268,7 @@ func TestPoiseuilleFlowParabolicProfile(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		s.Run(6000)
+		mustRun(t, s, 6000)
 		mu.Lock()
 		defer mu.Unlock()
 		for _, bd := range s.Blocks {
@@ -295,7 +305,7 @@ func TestMetrics(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		m := s.Run(10)
+		m := mustRun(t, s, 10)
 		if m.TotalCells != 128 {
 			t.Errorf("TotalCells = %d, want 128", m.TotalCells)
 		}

@@ -35,7 +35,7 @@ func TestD3Q27DecompositionInvariance(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			s.Run(25)
+			mustRun(t, s, 25)
 			mu.Lock()
 			defer mu.Unlock()
 			for _, bd := range s.Blocks {
@@ -120,7 +120,7 @@ func TestD2Q9DistributedUniformFlow(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		s.Run(30)
+		mustRun(t, s, 30)
 		for _, bd := range s.Blocks {
 			for y := 0; y < 8; y++ {
 				for x := 0; x < 4; x++ {

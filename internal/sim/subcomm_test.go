@@ -37,7 +37,7 @@ func TestConcurrentSimulationsOnSubcommunicators(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			s.Run(30)
+			mustRun(t, s, 30)
 			gatherCavityField(s, cells, &mu, out)
 		})
 		return out
@@ -78,7 +78,7 @@ func TestConcurrentSimulationsOnSubcommunicators(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		s.Run(30)
+		mustRun(t, s, 30)
 		gatherCavityField(s, cells, &mu, out)
 	})
 

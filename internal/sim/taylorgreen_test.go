@@ -75,7 +75,7 @@ func TestTaylorGreenViscousDecay(t *testing.T) {
 			return e
 		}
 		e0 := c.AllreduceFloat64(energy(), comm.Sum[float64])
-		s.Run(steps)
+		mustRun(t, s, steps)
 		e1 := c.AllreduceFloat64(energy(), comm.Sum[float64])
 
 		// Pointwise comparison against the analytic field at t = steps.
