@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-sim verify bench bench-hybrid clean
+.PHONY: all build test vet race race-sim alloc-test verify bench bench-hybrid bench-comm clean
 
 all: build
 
@@ -22,9 +22,15 @@ race:
 race-sim:
 	$(GO) test -race -count=1 ./internal/sim/...
 
-# verify is the pre-commit gate: static checks, a full build, and the
-# test suite under the race detector.
-verify: vet build race-sim race
+# alloc-test re-runs the steady-state allocation regression gate of the
+# ghost exchange uncached and WITHOUT the race detector (race
+# instrumentation allocates, so the test skips itself under -race).
+alloc-test:
+	$(GO) test -count=1 -run 'TestStepZeroAlloc' ./internal/sim/
+
+# verify is the pre-commit gate: static checks, a full build, the
+# allocation regression gate, and the test suite under the race detector.
+verify: vet build alloc-test race-sim race
 
 bench:
 	$(GO) test -bench=. -benchtime=0.2s -run='^$$' ./internal/...
@@ -33,6 +39,12 @@ bench:
 # BENCH_hybrid.json.
 bench-hybrid: build
 	$(GO) run ./cmd/walberla-bench -fig hybrid
+
+# bench-comm compares the per-block-pair and rank-aggregated ghost
+# exchange wire formats (messages/bytes per step, MLUPS) and writes
+# BENCH_comm.json.
+bench-comm: build
+	$(GO) run ./cmd/walberla-bench -fig comm
 
 clean:
 	$(GO) clean ./...

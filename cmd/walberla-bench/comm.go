@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/field"
+	"walberla/internal/sim"
+)
+
+// commBench measures the message aggregation of the ghost exchange: the
+// same periodic domain is run over two ranks with an increasing number of
+// blocks per rank, once with the legacy one-message-per-block-pair wire
+// format and once rank-aggregated. Messages and bytes per step come from
+// the communicator's send counters (sampled around a bare Step loop, so
+// no collectives pollute them); the aggregated format must stay at one
+// message per neighbor rank regardless of the block count. Results go to
+// stdout as TSV and to BENCH_comm.json.
+func commBench() {
+	header("Ghost exchange aggregation (messages/bytes per step vs block count)")
+	steps, warm, edge := 60, 3, 16
+	if *quick {
+		steps, edge = 20, 8
+	}
+
+	type modeResult struct {
+		Mode            string  `json:"mode"`
+		NeighborRanks   int     `json:"neighbor_ranks_rank0"`
+		RemoteSlabs     int     `json:"remote_slabs_rank0"`
+		MessagesPerStep float64 `json:"messages_per_step_global"`
+		BytesPerStep    float64 `json:"bytes_per_step_global"`
+		MLUPS           float64 `json:"mlups"`
+	}
+	type scenario struct {
+		Grid          [3]int       `json:"grid"`
+		BlocksPerRank int          `json:"blocks_per_rank"`
+		Results       []modeResult `json:"results"`
+		Reduction     float64      `json:"message_reduction_factor"`
+	}
+
+	const ranks = 2
+	run := func(grid [3]int, mode sim.ExchangeMode) modeResult {
+		domain := blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1})
+		f := blockforest.NewSetupForest(domain, grid, [3]int{edge, edge, edge}, [3]bool{true, true, true})
+		f.BalanceMorton(ranks)
+		var mu sync.Mutex
+		var r modeResult
+		comm.Run(ranks, func(c *comm.Comm) {
+			var in *blockforest.SetupForest
+			if c.Rank() == 0 {
+				in = f
+			}
+			bf, err := blockforest.Distribute(c, in)
+			if err != nil {
+				fatalComm(err)
+			}
+			s, err := sim.New(c, bf, sim.Config{
+				Exchange: mode,
+				SetupFlags: func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+					flags.Fill(field.Fluid)
+				},
+			})
+			if err != nil {
+				fatalComm(err)
+			}
+			// Warm up (persistent buffers, mailbox queues), then sample the
+			// send counters around a bare Step loop.
+			for i := 0; i < warm; i++ {
+				if err := s.Step(); err != nil {
+					fatalComm(err)
+				}
+			}
+			c.ResetStats()
+			t0 := time.Now()
+			for i := 0; i < steps; i++ {
+				if err := s.Step(); err != nil {
+					fatalComm(err)
+				}
+			}
+			wall := time.Since(t0)
+			st := c.Stats()
+
+			// Collectives only after the counters are read.
+			sends, err := c.AllreduceInt64Err(st.Sends, comm.Sum[int64])
+			if err != nil {
+				fatalComm(err)
+			}
+			bytes, err := c.AllreduceInt64Err(st.BytesSent, comm.Sum[int64])
+			if err != nil {
+				fatalComm(err)
+			}
+			maxWall, err := c.AllreduceInt64Err(int64(wall), comm.Max[int64])
+			if err != nil {
+				fatalComm(err)
+			}
+			if c.Rank() == 0 {
+				es := s.ExchangeStats()
+				cells := int64(grid[0]*grid[1]*grid[2]) * int64(edge*edge*edge)
+				mu.Lock()
+				r = modeResult{
+					Mode:            mode.String(),
+					NeighborRanks:   es.NeighborRanks,
+					RemoteSlabs:     es.RemoteSlabs,
+					MessagesPerStep: float64(sends) / float64(steps),
+					BytesPerStep:    float64(bytes) / float64(steps),
+					MLUPS:           float64(cells) * float64(steps) / time.Duration(maxWall).Seconds() / 1e6,
+				}
+				mu.Unlock()
+			}
+		})
+		return r
+	}
+
+	grids := [][3]int{{2, 1, 1}, {2, 2, 2}, {4, 2, 2}, {4, 4, 2}}
+	if *quick {
+		grids = grids[:3]
+	}
+	fmt.Printf("# ranks=%d cells=%d^3/block steps=%d (periodic, all fluid)\n", ranks, edge, steps)
+	fmt.Println("blocks/rank\tmode\tneighbors\tremote_slabs\tmsgs/step\tbytes/step\tMLUPS")
+	var scenarios []scenario
+	for _, grid := range grids {
+		sc := scenario{Grid: grid, BlocksPerRank: grid[0] * grid[1] * grid[2] / ranks}
+		for _, mode := range []sim.ExchangeMode{sim.ExchangePerPair, sim.ExchangeAggregated} {
+			r := run(grid, mode)
+			sc.Results = append(sc.Results, r)
+			fmt.Printf("%d\t%s\t%d\t%d\t%.1f\t%.0f\t%.2f\n",
+				sc.BlocksPerRank, r.Mode, r.NeighborRanks, r.RemoteSlabs,
+				r.MessagesPerStep, r.BytesPerStep, r.MLUPS)
+		}
+		if agg := sc.Results[1].MessagesPerStep; agg > 0 {
+			sc.Reduction = sc.Results[0].MessagesPerStep / agg
+		}
+		fmt.Printf("# message reduction: %.1fx\n", sc.Reduction)
+		scenarios = append(scenarios, sc)
+	}
+
+	out := struct {
+		Ranks         int        `json:"ranks"`
+		CellsPerBlock int        `json:"cells_per_block_edge"`
+		Steps         int        `json:"steps"`
+		Scenarios     []scenario `json:"scenarios"`
+	}{Ranks: ranks, CellsPerBlock: edge, Steps: steps, Scenarios: scenarios}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatalComm(err)
+	}
+	if err := os.WriteFile("BENCH_comm.json", append(data, '\n'), 0o644); err != nil {
+		fatalComm(err)
+	}
+	fmt.Println("wrote BENCH_comm.json")
+}
+
+func fatalComm(err error) {
+	fmt.Fprintln(os.Stderr, "comm bench:", err)
+	os.Exit(1)
+}

@@ -21,7 +21,7 @@ import (
 var quick = flag.Bool("quick", false, "reduce problem sizes for fast runs")
 
 func main() {
-	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|all")
+	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|comm|all")
 	flag.Parse()
 
 	figures := map[string]func(){
@@ -38,9 +38,10 @@ func main() {
 		"balance":  balanceAblation,
 		"iaca":     iacaReport,
 		"hybrid":   hybridBench,
+		"comm":     commBench,
 	}
 	if *figure == "all" {
-		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca", "hybrid"} {
+		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca", "hybrid", "comm"} {
 			figures[name]()
 		}
 		return

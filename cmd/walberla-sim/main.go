@@ -43,6 +43,7 @@ func main() {
 		steps      = flag.Int("steps", 200, "time steps")
 		kernel     = flag.String("kernel", string(sim.KernelSparse), "compute kernel")
 		workers    = flag.Int("workers", 1, "intra-rank worker threads for block sweeps (hybrid mode)")
+		exchange   = flag.String("exchange", "aggregated", "ghost exchange wire format: aggregated (one message per neighbor rank) or per-pair (one per block pair)")
 		tau        = flag.Float64("tau", 0.6, "relaxation time")
 		inflowU    = flag.Float64("inflow", 0.02, "inflow velocity magnitude (+z)")
 		vtkDir     = flag.String("vtk", "", "write per-block VTK files into this directory")
@@ -118,9 +119,14 @@ func main() {
 		}
 	}
 
+	exMode, err := parseExchangeMode(*exchange)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := sim.Config{
 		Kernel:     sim.KernelChoice(*kernel),
 		Workers:    *workers,
+		Exchange:   exMode,
 		Tau:        *tau,
 		Boundary:   boundary.Config{WallVelocity: [3]float64{0, 0, *inflowU}, Density: 1},
 		SetupFlags: setup.FlagsFromSDF(sdf),
@@ -280,6 +286,16 @@ func loadGeometry(meshPath string, useTree bool, depth int, seed int64) (distanc
 		return nil, err
 	}
 	return distance.NewField(m)
+}
+
+func parseExchangeMode(s string) (sim.ExchangeMode, error) {
+	switch s {
+	case "aggregated":
+		return sim.ExchangeAggregated, nil
+	case "per-pair":
+		return sim.ExchangePerPair, nil
+	}
+	return 0, fmt.Errorf("-exchange: unknown mode %q (want aggregated or per-pair)", s)
 }
 
 func fatal(err error) {

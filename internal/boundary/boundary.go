@@ -49,6 +49,12 @@ type Sweep struct {
 	noSlip   []link
 	velocity []link
 	pressure []link
+
+	// scratch holds the Q PDFs of one fluid cell for the pressure
+	// condition's moment computation, allocated once so Apply stays free
+	// of per-call heap allocations. Each block owns its Sweep and Apply
+	// runs on one worker at a time, so a single scratch buffer suffices.
+	scratch []float64
 }
 
 // NewSweep scans the flag field (including its ghost layer, where domain
@@ -140,7 +146,10 @@ func (bs *Sweep) Apply(src *field.PDFField) {
 	// fluid cell (first-order extrapolation to the wall),
 	//   src(b, d) = -src(b + e_d, dbar)
 	//               + 2 w_d rho_w (1 + 4.5 (e_d . u)^2 - 1.5 u^2).
-	tmp := make([]float64, s.Q)
+	if len(bs.pressure) > 0 && bs.scratch == nil {
+		bs.scratch = make([]float64, s.Q)
+	}
+	tmp := bs.scratch
 	for _, l := range bs.pressure {
 		d := l.d
 		inv := s.Inv[d]

@@ -53,7 +53,29 @@ type message struct {
 	source int // world rank of the sender
 	tag    int
 	data   any
-	seq    uint64 // mailbox arrival stamp, orders wildcard matches
+	// f64 is the typed payload path of SendFloat64s: storing the slice in
+	// its own field instead of data avoids the interface boxing allocation
+	// on every send, which the zero-allocation ghost exchange relies on.
+	// Exactly one of data and f64 is set.
+	f64 []float64
+	seq uint64 // mailbox arrival stamp, orders wildcard matches
+}
+
+// payload returns the message payload as an untyped value (boxing a typed
+// float64 payload on demand).
+func (m *message) payload() any {
+	if m.f64 != nil {
+		return m.f64
+	}
+	return m.data
+}
+
+// bytes estimates the wire size of the payload.
+func (m *message) bytes() int64 {
+	if m.f64 != nil {
+		return int64(8 * len(m.f64))
+	}
+	return payloadBytes(m.data)
 }
 
 // mkey is the exact-match index key of a mailbox queue.
@@ -64,17 +86,48 @@ type mkey struct{ ctx, source, tag int }
 // cause (see recvErr).
 var errTimeout = errors.New("comm: receive deadline exceeded")
 
+// queue is one per-(context, source, tag) FIFO of pending messages. Popped
+// slots are cleared (dropping payload references) and the backing array is
+// recycled once the queue drains, so steady-state traffic — e.g. the ghost
+// layer exchange depositing one aggregate per step — enqueues without heap
+// allocations after warm-up.
+type queue struct {
+	msgs []message
+	head int
+}
+
+func (q *queue) empty() bool { return q.head == len(q.msgs) }
+
+func (q *queue) push(m message) {
+	q.msgs = append(q.msgs, m)
+}
+
+func (q *queue) pop() message {
+	m := q.msgs[q.head]
+	q.msgs[q.head] = message{} // release the payload reference
+	q.head++
+	if q.head == len(q.msgs) {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	}
+	return m
+}
+
+func (q *queue) peek() *message { return &q.msgs[q.head] }
+
 // mailbox is the receive queue of one world rank. Messages are kept in
 // per-(context, source, tag) FIFO queues so the common exact-match receive
 // is a map lookup instead of a linear scan over all pending traffic;
 // wildcard receives (AnySource / AnyTag) pick the earliest arrival among
 // the matching queue heads, preserving the arrival-order semantics of the
-// previous single-queue implementation. An optional depth bound turns the
-// eager channel into a backpressured one: full mailboxes block senders.
+// previous single-queue implementation. Drained queues stay in the map
+// with their capacity so repeated traffic on a key does not reallocate.
+// An optional depth bound turns the eager channel into a backpressured
+// one: full mailboxes block senders.
 type mailbox struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
-	queues    map[mkey][]message
+	queues    map[mkey]*queue
 	count     int    // total pending messages
 	seq       uint64 // arrival counter
 	maxDepth  int    // 0 = unbounded
@@ -82,7 +135,7 @@ type mailbox struct {
 }
 
 func newMailbox(maxDepth int) *mailbox {
-	m := &mailbox{queues: make(map[mkey][]message), maxDepth: maxDepth}
+	m := &mailbox{queues: make(map[mkey]*queue), maxDepth: maxDepth}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -106,7 +159,12 @@ func (m *mailbox) put(msg message, bail func() error) (time.Duration, error) {
 	m.seq++
 	msg.seq = m.seq
 	k := mkey{msg.ctx, msg.source, msg.tag}
-	m.queues[k] = append(m.queues[k], msg)
+	q := m.queues[k]
+	if q == nil {
+		q = &queue{}
+		m.queues[k] = q
+	}
+	q.push(msg)
 	m.count++
 	if m.count > m.highWater {
 		m.highWater = m.count
@@ -121,27 +179,18 @@ func (m *mailbox) match(ctx, source, tag int) (message, bool) {
 	if source != AnySource && tag != AnyTag {
 		// Fast path: exact (source, tag) lookup, the shape of every ghost
 		// layer exchange and tree collective message.
-		k := mkey{ctx, source, tag}
-		q := m.queues[k]
-		if len(q) == 0 {
+		q := m.queues[mkey{ctx, source, tag}]
+		if q == nil || q.empty() {
 			return message{}, false
 		}
-		msg := q[0]
-		if len(q) == 1 {
-			delete(m.queues, k)
-		} else {
-			m.queues[k] = q[1:]
-		}
 		m.count--
-		return msg, true
+		return q.pop(), true
 	}
 	// Wildcard: earliest arrival among matching queue heads. O(#distinct
 	// keys), not O(#pending messages).
-	var bestKey mkey
-	var best message
-	found := false
+	var best *queue
 	for k, q := range m.queues {
-		if k.ctx != ctx || len(q) == 0 {
+		if k.ctx != ctx || q.empty() {
 			continue
 		}
 		if source != AnySource && k.source != source {
@@ -150,21 +199,15 @@ func (m *mailbox) match(ctx, source, tag int) (message, bool) {
 		if tag != AnyTag && k.tag != tag {
 			continue
 		}
-		if !found || q[0].seq < best.seq {
-			found, best, bestKey = true, q[0], k
+		if best == nil || q.peek().seq < best.peek().seq {
+			best = q
 		}
 	}
-	if !found {
+	if best == nil {
 		return message{}, false
 	}
-	q := m.queues[bestKey]
-	if len(q) == 1 {
-		delete(m.queues, bestKey)
-	} else {
-		m.queues[bestKey] = q[1:]
-	}
 	m.count--
-	return best, true
+	return best.pop(), true
 }
 
 // take removes and returns the first message matching context, source
@@ -201,7 +244,7 @@ func (m *mailbox) take(ctx, source, tag int, timeout time.Duration, bail func() 
 // failed epoch must not match post-recovery receives).
 func (m *mailbox) purge() {
 	m.mu.Lock()
-	m.queues = make(map[mkey][]message)
+	m.queues = make(map[mkey]*queue)
 	m.count = 0
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -283,6 +326,17 @@ func (w *world) declareFailure(f *RankFailedError) {
 	}
 }
 
+// PeerStats counts one rank's point-to-point traffic toward a single
+// destination world rank (messages issued on behalf of collectives
+// included) — the per-neighbor accounting the aggregated ghost exchange
+// is benchmarked with.
+type PeerStats struct {
+	// Sends is the number of messages sent to this destination.
+	Sends int64
+	// BytesSent is the estimated payload volume sent to this destination.
+	BytesSent int64
+}
+
 // Stats accumulates per-rank communication statistics. All communicators
 // derived from one rank share the same counters.
 type Stats struct {
@@ -291,6 +345,8 @@ type Stats struct {
 	Sends int64
 	// BytesSent is the estimated payload volume of all sends.
 	BytesSent int64
+	// Peers breaks Sends/BytesSent down by destination world rank.
+	Peers []PeerStats
 	// RecvWait is the total wall time this rank spent blocked in receives,
 	// the numerator of the %MPI metric.
 	RecvWait time.Duration
@@ -382,7 +438,8 @@ func RunWithOptions(n int, opts Options, f func(c *Comm)) {
 					}
 				}
 			}()
-			f(&Comm{w: w, group: group, toIndex: toIndex, rank: rank, stats: &Stats{}})
+			f(&Comm{w: w, group: group, toIndex: toIndex, rank: rank,
+				stats: &Stats{Peers: make([]PeerStats, n)}})
 		}(r)
 	}
 	wg.Wait()
@@ -403,11 +460,23 @@ func (c *Comm) Size() int { return len(c.group) }
 func (c *Comm) WorldRank() int { return c.group[c.rank] }
 
 // Stats returns the communication statistics accumulated so far (shared
-// across all communicators of this rank).
-func (c *Comm) Stats() Stats { return *c.stats }
+// across all communicators of this rank). The per-peer breakdown is
+// copied, so the snapshot stays stable while the rank keeps sending.
+func (c *Comm) Stats() Stats {
+	s := *c.stats
+	s.Peers = append([]PeerStats(nil), c.stats.Peers...)
+	return s
+}
 
-// ResetStats zeroes the statistics counters.
-func (c *Comm) ResetStats() { *c.stats = Stats{} }
+// ResetStats zeroes the statistics counters, including the per-peer
+// breakdown.
+func (c *Comm) ResetStats() {
+	peers := c.stats.Peers
+	for i := range peers {
+		peers[i] = PeerStats{}
+	}
+	*c.stats = Stats{Peers: peers}
+}
 
 // MailboxStats reports this rank's receive-queue occupancy.
 func (c *Comm) MailboxStats() MailboxStats {
@@ -510,7 +579,25 @@ func (c *Comm) SendErr(dst, tag int, data any) error {
 	return c.sendErr(dst, tag, data)
 }
 
+// SendFloat64s is SendErr specialized for []float64 payloads: the slice is
+// carried in a typed message field, so a send performs no interface boxing
+// and — beyond the mailbox bookkeeping — no heap allocation. Like Send the
+// payload is shared with the receiver, not copied; a sender reusing a
+// persistent buffer must guarantee the receiver is done with the previous
+// contents before overwriting it (see docs/EXCHANGE.md for the ghost
+// exchange's double-buffer ownership protocol).
+func (c *Comm) SendFloat64s(dst, tag int, buf []float64) error {
+	if tag < 0 {
+		panic("comm: user tags must be non-negative")
+	}
+	return c.sendMsg(dst, tag, message{f64: buf})
+}
+
 func (c *Comm) sendErr(dst, tag int, data any) error {
+	return c.sendMsg(dst, tag, message{data: data})
+}
+
+func (c *Comm) sendMsg(dst, tag int, msg message) error {
 	if dst < 0 || dst >= len(c.group) {
 		panic(fmt.Sprintf("comm: rank %d sends to invalid rank %d (size %d)", c.rank, dst, len(c.group)))
 	}
@@ -518,10 +605,16 @@ func (c *Comm) sendErr(dst, tag int, data any) error {
 	if err := w.failErr(); err != nil {
 		return err
 	}
-	c.stats.Sends++
-	c.stats.BytesSent += payloadBytes(data)
 	worldDst := c.group[dst]
-	msg := message{ctx: c.ctx, source: c.WorldRank(), tag: tag, data: data}
+	nb := msg.bytes()
+	c.stats.Sends++
+	c.stats.BytesSent += nb
+	if worldDst < len(c.stats.Peers) {
+		p := &c.stats.Peers[worldDst]
+		p.Sends++
+		p.BytesSent += nb
+	}
+	msg.ctx, msg.source, msg.tag = c.ctx, c.WorldRank(), tag
 	if p := w.opts.Faults; p != nil {
 		if done, err := c.injectSendFaults(p, worldDst, msg); done {
 			return err
@@ -565,6 +658,32 @@ func (c *Comm) recvErr(src, tag int) (any, int, error) {
 }
 
 func (c *Comm) recv(src, tag int, timeout time.Duration) (any, int, error) {
+	msg, source, err := c.recvMsg(src, tag, timeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	return msg.payload(), source, nil
+}
+
+// recvFloat64s is the typed receive path: a float64 payload is returned
+// without ever being boxed into an interface, keeping the steady-state
+// ghost exchange allocation-free end to end.
+func (c *Comm) recvFloat64s(src, tag int, timeout time.Duration) ([]float64, int, error) {
+	msg, source, err := c.recvMsg(src, tag, timeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	if msg.f64 != nil {
+		return msg.f64, source, nil
+	}
+	f, ok := msg.data.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("comm: rank %d expected []float64 from %d tag %d, got %T", c.rank, src, tag, msg.data))
+	}
+	return f, source, nil
+}
+
+func (c *Comm) recvMsg(src, tag int, timeout time.Duration) (message, int, error) {
 	worldSrc := AnySource
 	if src != AnySource {
 		if src < 0 || src >= len(c.group) {
@@ -589,12 +708,12 @@ func (c *Comm) recv(src, tag int, timeout time.Duration) (any, int, error) {
 				c.WorldRank(), tag, timeout),
 		}
 		c.w.declareFailure(f)
-		return nil, 0, f
+		return message{}, 0, f
 	}
 	if err != nil {
-		return nil, 0, err
+		return message{}, 0, err
 	}
-	return msg.data, c.toIndex[msg.source], nil
+	return msg, c.toIndex[msg.source], nil
 }
 
 // RecvFloat64s is Recv with a typed payload, panicking on type mismatch.
@@ -609,15 +728,10 @@ func (c *Comm) RecvFloat64s(src, tag int) ([]float64, int) {
 // RecvFloat64sErr is RecvErr with a typed payload; a payload type mismatch
 // is a programming error and still panics.
 func (c *Comm) RecvFloat64sErr(src, tag int) ([]float64, int, error) {
-	data, source, err := c.RecvErr(src, tag)
-	if err != nil {
-		return nil, 0, err
+	if tag < 0 && tag != AnyTag {
+		panic("comm: user tags must be non-negative")
 	}
-	f, ok := data.([]float64)
-	if !ok {
-		panic(fmt.Sprintf("comm: rank %d expected []float64 from %d tag %d, got %T", c.rank, src, tag, data))
-	}
-	return f, source, nil
+	return c.recvFloat64s(src, tag, c.w.opts.RecvTimeout)
 }
 
 // RecvBytes is Recv with a []byte payload, panicking on type mismatch.

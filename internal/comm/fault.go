@@ -94,6 +94,11 @@ func (c *Comm) injectSendFaults(p *FaultPlan, worldDst int, msg message) (done b
 	}
 	if p.DelayProb > 0 && p.chance(faultKindDelay, c.WorldRank(), n) < p.DelayProb {
 		c.stats.Delayed++
+		if msg.f64 != nil {
+			// Typed payloads may be persistent buffers the sender repacks
+			// next step; a delayed delivery must snapshot the contents.
+			msg.f64 = append([]float64(nil), msg.f64...)
+		}
 		d := time.Duration(p.chance(faultKindDelayLen, c.WorldRank(), n) * float64(p.MaxDelay))
 		epoch := w.epoch.Load()
 		mb := w.mailboxes[worldDst]

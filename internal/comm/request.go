@@ -25,13 +25,24 @@ type RecvRequest struct {
 // Irecv posts a nonblocking receive for a message from src (or AnySource)
 // with the given tag (or AnyTag) on this communicator.
 func (c *Comm) Irecv(src, tag int) *RecvRequest {
+	req := new(RecvRequest)
+	c.IrecvInit(req, src, tag)
+	return req
+}
+
+// IrecvInit (re)initializes req in place as a freshly posted nonblocking
+// receive — the allocation-free variant of Irecv for hot paths that keep
+// one request object per communication partner and re-post it every step,
+// like MPI persistent requests. req must not have an outstanding
+// (un-Waited) post.
+func (c *Comm) IrecvInit(req *RecvRequest, src, tag int) {
 	if tag < 0 && tag != AnyTag {
 		panic("comm: user tags must be non-negative")
 	}
 	if src != AnySource && (src < 0 || src >= len(c.group)) {
 		panic(fmt.Sprintf("comm: rank %d posts receive from invalid rank %d", c.rank, src))
 	}
-	return &RecvRequest{c: c, src: src, tag: tag}
+	*req = RecvRequest{c: c, src: src, tag: tag}
 }
 
 // Wait completes the receive, blocking until the matching message arrives
@@ -48,16 +59,12 @@ func (r *RecvRequest) Wait() (any, int, error) {
 }
 
 // WaitFloat64s is Wait with a typed payload; a payload type mismatch is a
-// programming error and panics.
+// programming error and panics. The typed path never boxes the payload,
+// so completing a float64 receive performs no heap allocation.
 func (r *RecvRequest) WaitFloat64s() ([]float64, int, error) {
-	data, source, err := r.Wait()
-	if err != nil {
-		return nil, 0, err
+	if r.done {
+		panic("comm: RecvRequest completed twice")
 	}
-	f, ok := data.([]float64)
-	if !ok {
-		panic(fmt.Sprintf("comm: rank %d expected []float64 from %d tag %d, got %T",
-			r.c.rank, r.src, r.tag, data))
-	}
-	return f, source, nil
+	r.done = true
+	return r.c.recvFloat64s(r.src, r.tag, r.c.w.opts.RecvTimeout)
 }

@@ -58,6 +58,9 @@ type Problem struct {
 	// Workers is the intra-rank worker count for block sweeps and
 	// pack/unpack (the hybrid MPI+threads mode); zero means one.
 	Workers int
+	// Exchange selects the ghost exchange wire format; the zero value is
+	// sim.ExchangeAggregated (one message per neighbor rank per step).
+	Exchange sim.ExchangeMode
 	// Seed drives randomized setup stages.
 	Seed int64
 	// UseGraphPartitioner selects METIS-style balancing; Morton curve
@@ -115,6 +118,7 @@ func (p *Problem) simConfig() sim.Config {
 		InitialState:    p.InitialState,
 		SetupFlags:      p.SetupFlags,
 		Workers:         p.Workers,
+		Exchange:        p.Exchange,
 	}
 	if p.Geometry != nil && cfg.SetupFlags == nil {
 		cfg.SetupFlags = setup.FlagsFromSDF(p.Geometry)

@@ -142,6 +142,106 @@ func (f *PDFField) FillEquilibrium(rho, ux, uy, uz float64) {
 	}
 }
 
+// PackRegion serializes the PDFs of the given directions over the
+// half-open cell box [lo, hi) into dst, in deterministic dir-major, then
+// z, y, x order, and returns the number of values written. dst must hold
+// at least len(dirs) * volume(box) values; the write is a pure sub-slice
+// fill, so concurrent PackRegion calls into disjoint sub-slices of one
+// aggregate buffer are race-free. For SoA fields each x-row is one
+// contiguous copy.
+func (f *PDFField) PackRegion(dst []float64, lo, hi [3]int, dirs []lattice.Direction) int {
+	nx := hi[0] - lo[0]
+	k := 0
+	if f.Layout == SoA {
+		for _, d := range dirs {
+			ds := f.DirSlice(d)
+			for z := lo[2]; z < hi[2]; z++ {
+				for y := lo[1]; y < hi[1]; y++ {
+					ci := f.CellIndex(lo[0], y, z)
+					k += copy(dst[k:k+nx], ds[ci:ci+nx])
+				}
+			}
+		}
+		return k
+	}
+	for _, d := range dirs {
+		for z := lo[2]; z < hi[2]; z++ {
+			for y := lo[1]; y < hi[1]; y++ {
+				for x := lo[0]; x < hi[0]; x++ {
+					dst[k] = f.Get(x, y, z, d)
+					k++
+				}
+			}
+		}
+	}
+	return k
+}
+
+// UnpackRegion reverses PackRegion: it reads len(dirs) * volume(box)
+// values from src into the box, in the same deterministic order, and
+// returns the number of values consumed.
+func (f *PDFField) UnpackRegion(src []float64, lo, hi [3]int, dirs []lattice.Direction) int {
+	nx := hi[0] - lo[0]
+	k := 0
+	if f.Layout == SoA {
+		for _, d := range dirs {
+			ds := f.DirSlice(d)
+			for z := lo[2]; z < hi[2]; z++ {
+				for y := lo[1]; y < hi[1]; y++ {
+					ci := f.CellIndex(lo[0], y, z)
+					k += copy(ds[ci:ci+nx], src[k:k+nx])
+				}
+			}
+		}
+		return k
+	}
+	for _, d := range dirs {
+		for z := lo[2]; z < hi[2]; z++ {
+			for y := lo[1]; y < hi[1]; y++ {
+				for x := lo[0]; x < hi[0]; x++ {
+					f.Set(x, y, z, d, src[k])
+					k++
+				}
+			}
+		}
+	}
+	return k
+}
+
+// CopyRegion copies the PDFs of the given directions over the half-open
+// box [srcLo, srcHi) of src into the identically shaped box starting at
+// dstLo of dst — the zero-staging path for ghost exchange between blocks
+// of the same rank. Both fields must share stencil and layout.
+func CopyRegion(dst *PDFField, dstLo [3]int, src *PDFField, srcLo, srcHi [3]int, dirs []lattice.Direction) {
+	if dst.Stencil != src.Stencil || dst.Layout != src.Layout {
+		panic("field: CopyRegion requires matching stencil and layout")
+	}
+	nx := srcHi[0] - srcLo[0]
+	if src.Layout == SoA {
+		for _, d := range dirs {
+			ss, ds := src.DirSlice(d), dst.DirSlice(d)
+			for z := srcLo[2]; z < srcHi[2]; z++ {
+				for y := srcLo[1]; y < srcHi[1]; y++ {
+					si := src.CellIndex(srcLo[0], y, z)
+					di := dst.CellIndex(dstLo[0], dstLo[1]+(y-srcLo[1]), dstLo[2]+(z-srcLo[2]))
+					copy(ds[di:di+nx], ss[si:si+nx])
+				}
+			}
+		}
+		return
+	}
+	for _, d := range dirs {
+		for z := srcLo[2]; z < srcHi[2]; z++ {
+			for y := srcLo[1]; y < srcHi[1]; y++ {
+				for x := srcLo[0]; x < srcHi[0]; x++ {
+					dst.Set(dstLo[0]+(x-srcLo[0]), dstLo[1]+(y-srcLo[1]), dstLo[2]+(z-srcLo[2]), d,
+						src.Get(x, y, z, d))
+				}
+			}
+		}
+	}
+}
+
 // CopyShape allocates a new zeroed field with identical shape, ghost width,
 // stencil and layout — the destination field of a stream-pull update.
 func (f *PDFField) CopyShape() *PDFField {

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/field"
+	"walberla/internal/lattice"
+)
+
+// Rank-aggregated ghost exchange (ExchangeAggregated, the default wire
+// format — see docs/EXCHANGE.md).
+//
+// At plan build time every remote boundary slab is entered into the
+// manifest of its neighbor-rank channel with a precomputed offset into
+// one contiguous aggregate buffer. Each step then packs all slabs bound
+// for a rank directly into that rank's aggregate (pack tasks fan out over
+// the worker pool, writing to disjoint sub-slices) and issues exactly ONE
+// message per neighbor rank — O(neighbor ranks) messages per step instead
+// of O(block pairs), the message aggregation of the SC13 framework.
+//
+// Both sides sort their manifest by the same canonical key — (Morton key
+// of the SENDING block, offset index of the SENDING direction) — so the
+// receiver's unpack windows line up with the sender's pack windows without
+// any per-slab headers on the wire. The fixed manifest order also makes
+// the pack byte-for-byte deterministic for every worker count, which the
+// resilient rewind-and-replay driver depends on.
+//
+// Buffer ownership: the transport is eager and zero-copy (the receiver
+// sees the sender's buffer), so a sender must not overwrite a buffer the
+// receiver may still be unpacking. Each channel therefore owns TWO
+// persistent aggregate send buffers used alternately (s.exParity). Rank A
+// repacks a buffer at step N+2 only after completing step N+1, which
+// required B's step-N+1 message, which B sent after finishing its step-N
+// unpack of that very buffer — a happens-before chain that makes two
+// buffers sufficient for any worker count. Receive delivery is zero-copy:
+// the channel's inbox is the sender's aggregate, valid until the next
+// exchange completes.
+
+// tagAggregate is the single tag of all aggregated exchange traffic: one
+// message per (sender, receiver, step), matched in step order by the
+// per-(source, tag) FIFO of the transport. It lives above every legacy
+// per-pair tag (tree*27+offset) and below the migration tags (1<<30).
+const tagAggregate = 1 << 29
+
+// slabOp is one manifest entry of a rank channel: a boundary slab of a
+// local block with its precomputed window [off, off+n) into the channel's
+// aggregate buffer.
+type slabOp struct {
+	bd     *BlockData
+	dirs   []lattice.Direction
+	reg    region
+	off, n int
+	// key is the canonical manifest order: (Morton key of the sending
+	// block, offset index of the sending direction), computable by both
+	// sides of the channel.
+	key aggKey
+}
+
+type aggKey struct {
+	block uint64
+	off   int
+}
+
+func (a aggKey) less(b aggKey) bool {
+	if a.block != b.block {
+		return a.block < b.block
+	}
+	return a.off < b.off
+}
+
+// localOp is a same-rank boundary exchange: a direct field-to-field copy
+// from the source block's interior slab into the peer's ghost slab, with
+// no staging buffer at all ("fast local communication").
+type localOp struct {
+	src, dst *BlockData
+	srcReg   region
+	dstReg   region
+	dirs     []lattice.Direction
+}
+
+// rankChannel aggregates all traffic between this rank and one neighbor
+// rank into a single message per step and direction.
+type rankChannel struct {
+	rank       int
+	send       []slabOp
+	recv       []slabOp
+	sendFloats int
+	recvFloats int
+	// bufs are the two persistent aggregate send buffers, used alternately
+	// (see the ownership comment above).
+	bufs [2][]float64
+	// req is the persistent receive request, re-posted every step.
+	req comm.RecvRequest
+	// inbox is the aggregate delivered for the current step (the sender's
+	// buffer, zero-copy); cleared after unpack.
+	inbox []float64
+}
+
+// packTask indexes one parallel pack-phase task: a local copy
+// (chIdx < 0, index into locals) or a remote slab pack (channel chIdx,
+// manifest entry slabIdx).
+type packTask struct {
+	chIdx   int
+	slabIdx int
+}
+
+// aggBufPool recycles aggregate buffers across plan rebuilds (rebalance,
+// recovery), bounding allocation churn when block assignments change at
+// runtime. Safe because a plan rebuild is collective and happens-after
+// every peer's unpack of the retired buffers.
+var aggBufPool sync.Pool
+
+func aggGetBuf(n int) []float64 {
+	if v := aggBufPool.Get(); v != nil {
+		if b := v.([]float64); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func aggPutBuf(b []float64) {
+	if cap(b) > 0 {
+		aggBufPool.Put(b[:0]) //nolint:staticcheck // slice header boxing only on rebuilds
+	}
+}
+
+// buildAggregatePlan enumerates the boundary exchanges of all local
+// blocks and groups the remote ones into per-neighbor-rank channels with
+// canonically ordered manifests and precomputed buffer windows.
+func buildAggregatePlan(s *Simulation) (locals []localOp, channels []rankChannel) {
+	me := s.Comm.Rank()
+	byRank := make(map[int]int) // neighbor rank -> index into channels
+	for _, bd := range s.Blocks {
+		cells := bd.Block.Cells
+		for _, n := range bd.Block.Neighbors {
+			o := n.Offset
+			sendDirs := commDirections(s.Stencil, o)
+			if len(sendDirs) == 0 {
+				continue // corner offsets carry no D3Q19 PDFs
+			}
+			ro := [3]int{-o[0], -o[1], -o[2]}
+			if n.Rank == me {
+				peer, ok := s.byCoord[n.Coord]
+				if !ok {
+					panic(fmt.Sprintf("sim: local neighbor %v missing", n.Coord))
+				}
+				locals = append(locals, localOp{
+					src:    bd,
+					dst:    peer,
+					srcReg: sendRegion(cells, o),
+					dstReg: recvRegion(peer.Block.Cells, ro),
+					dirs:   sendDirs,
+				})
+				continue
+			}
+			ci, ok := byRank[n.Rank]
+			if !ok {
+				ci = len(channels)
+				byRank[n.Rank] = ci
+				channels = append(channels, rankChannel{rank: n.Rank})
+			}
+			ch := &channels[ci]
+			// Send entry: we are the sender — key by our block and offset.
+			ch.send = append(ch.send, slabOp{
+				bd:   bd,
+				dirs: sendDirs,
+				reg:  sendRegion(cells, o),
+				key:  aggKey{blockforest.MortonKey(bd.Block.Coord), offsetIndex(o)},
+			})
+			// Receive entry: the NEIGHBOR is the sender — key by its block
+			// and its sending offset (the reverse of ours), so both sides
+			// order the manifest identically.
+			ch.recv = append(ch.recv, slabOp{
+				bd:   bd,
+				dirs: commDirections(s.Stencil, ro),
+				reg:  recvRegion(cells, o),
+				key:  aggKey{blockforest.MortonKey(n.Coord), offsetIndex(ro)},
+			})
+		}
+	}
+	// Deterministic channel order (ascending neighbor rank) and canonical
+	// manifest order within each channel.
+	sort.Slice(channels, func(i, j int) bool { return channels[i].rank < channels[j].rank })
+	for i := range channels {
+		ch := &channels[i]
+		sort.Slice(ch.send, func(a, b int) bool { return ch.send[a].key.less(ch.send[b].key) })
+		sort.Slice(ch.recv, func(a, b int) bool { return ch.recv[a].key.less(ch.recv[b].key) })
+		off := 0
+		for k := range ch.send {
+			sl := &ch.send[k]
+			sl.off, sl.n = off, len(sl.dirs)*sl.reg.cells()
+			off += sl.n
+		}
+		ch.sendFloats = off
+		off = 0
+		for k := range ch.recv {
+			sl := &ch.recv[k]
+			sl.off, sl.n = off, len(sl.dirs)*sl.reg.cells()
+			off += sl.n
+		}
+		ch.recvFloats = off
+		ch.bufs[0] = aggGetBuf(ch.sendFloats)
+		ch.bufs[1] = aggGetBuf(ch.sendFloats)
+	}
+	return locals, channels
+}
+
+// releaseAggregateBuffers returns the channels' persistent buffers to the
+// pool before a plan rebuild discards them.
+func releaseAggregateBuffers(channels []rankChannel) {
+	for i := range channels {
+		aggPutBuf(channels[i].bufs[0])
+		aggPutBuf(channels[i].bufs[1])
+	}
+}
+
+// postExchangeAggregated starts one aggregated ghost layer
+// synchronization: local copies and remote slab packs fan out over the
+// worker pool (each task writes a disjoint ghost slab or a disjoint
+// aggregate sub-slice), then exactly one message per neighbor rank is
+// sent from the step's aggregate buffer and one receive per neighbor
+// rank is posted. Steady-state, the whole phase performs zero heap
+// allocations.
+func (s *Simulation) postExchangeAggregated() error {
+	s.pool.run(len(s.packTasks), s.packFn)
+	p := s.exParity
+	for i := range s.channels {
+		ch := &s.channels[i]
+		if err := s.Comm.SendFloat64s(ch.rank, tagAggregate, ch.bufs[p]); err != nil {
+			return err
+		}
+	}
+	for i := range s.channels {
+		ch := &s.channels[i]
+		s.Comm.IrecvInit(&ch.req, ch.rank, tagAggregate)
+	}
+	s.exParity ^= 1
+	return nil
+}
+
+// completeExchangeAggregated waits for each neighbor rank's aggregate and
+// unpacks all slabs by manifest on the worker pool.
+func (s *Simulation) completeExchangeAggregated() error {
+	for i := range s.channels {
+		ch := &s.channels[i]
+		buf, _, err := ch.req.WaitFloat64s()
+		if err != nil {
+			return err
+		}
+		if len(buf) != ch.recvFloats {
+			panic(fmt.Sprintf("sim: rank %d received %d floats from rank %d, manifest expects %d",
+				s.Comm.Rank(), len(buf), ch.rank, ch.recvFloats))
+		}
+		ch.inbox = buf
+	}
+	s.pool.run(len(s.unpackTasks), s.unpackFn)
+	for i := range s.channels {
+		s.channels[i].inbox = nil // the sender reclaims it two steps on
+	}
+	return nil
+}
+
+// buildExchangeClosures precomputes the flattened task lists and the pool
+// closures of the aggregated exchange, so postExchange/completeExchange
+// allocate nothing per step (a fresh closure per pool.run call would
+// escape to the heap).
+func (s *Simulation) buildExchangeClosures() {
+	s.packTasks = s.packTasks[:0]
+	for li := range s.locals {
+		s.packTasks = append(s.packTasks, packTask{chIdx: -1, slabIdx: li})
+	}
+	s.unpackTasks = s.unpackTasks[:0]
+	for ci := range s.channels {
+		for si := range s.channels[ci].send {
+			s.packTasks = append(s.packTasks, packTask{chIdx: ci, slabIdx: si})
+		}
+		for si := range s.channels[ci].recv {
+			s.unpackTasks = append(s.unpackTasks, packTask{chIdx: ci, slabIdx: si})
+		}
+	}
+	s.packFn = func(i int) {
+		t := s.packTasks[i]
+		if t.chIdx < 0 {
+			l := &s.locals[t.slabIdx]
+			field.CopyRegion(l.dst.Src, l.dstReg.lo, l.src.Src, l.srcReg.lo, l.srcReg.hi, l.dirs)
+			return
+		}
+		ch := &s.channels[t.chIdx]
+		sl := &ch.send[t.slabIdx]
+		buf := ch.bufs[s.exParity][sl.off : sl.off+sl.n]
+		if n := sl.bd.Src.PackRegion(buf, sl.reg.lo, sl.reg.hi, sl.dirs); n != sl.n {
+			panic(fmt.Sprintf("sim: packed %d of %d values", n, sl.n))
+		}
+	}
+	s.unpackFn = func(i int) {
+		t := s.unpackTasks[i]
+		ch := &s.channels[t.chIdx]
+		sl := &ch.recv[t.slabIdx]
+		buf := ch.inbox[sl.off : sl.off+sl.n]
+		if n := sl.bd.Src.UnpackRegion(buf, sl.reg.lo, sl.reg.hi, sl.dirs); n != sl.n {
+			panic(fmt.Sprintf("sim: unpacked %d of %d values", n, sl.n))
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/field"
+)
+
+// allFluid is the SetupFlags of the fully periodic test scenarios.
+func allFluid(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+	flags.Fill(field.Fluid)
+}
+
+// TestAggregatedBitIdenticalToPerPair: the rank-aggregated wire format is
+// a pure transport change — for every worker count it must reproduce the
+// legacy per-block-pair exchange bit for bit.
+func TestAggregatedBitIdenticalToPerPair(t *testing.T) {
+	const steps = 30
+	ref := taylorGreenBitsMode(t, 1, steps, ExchangePerPair)
+	if t.Failed() {
+		t.Fatal("per-pair reference failed")
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		got := taylorGreenBitsMode(t, workers, steps, ExchangeAggregated)
+		compareBits(t, ref, got, "aggregated workers="+string(rune('0'+workers)))
+	}
+}
+
+// TestAggregatedPlanSingleRank: on one rank every exchange is a direct
+// local copy — no channels, no messages.
+func TestAggregatedPlanSingleRank(t *testing.T) {
+	f := blockforest.NewSetupForest(
+		blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+		[3]int{2, 2, 2}, [3]int{4, 4, 4}, [3]bool{true, true, true})
+	f.BalanceMorton(1)
+	comm.Run(1, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, f)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s, err := New(c, forest, Config{SetupFlags: allFluid})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(s.channels) != 0 {
+			t.Errorf("single-rank plan has %d channels, want 0", len(s.channels))
+		}
+		// 8 blocks x 18 non-corner offsets (6 faces + 12 edges for D3Q19).
+		if len(s.locals) != 8*18 {
+			t.Errorf("plan has %d local copies, want %d", len(s.locals), 8*18)
+		}
+		st := s.ExchangeStats()
+		if st.MessagesPerStep != 0 || st.NeighborRanks != 0 || st.LocalCopies != 8*18 {
+			t.Errorf("unexpected ExchangeStats %+v", st)
+		}
+	})
+}
+
+// TestAggregatedPlanManifest checks the channel invariants on a two-rank
+// split: canonical manifest order, contiguous buffer windows, and
+// symmetric send/receive volumes.
+func TestAggregatedPlanManifest(t *testing.T) {
+	f := blockforest.NewSetupForest(
+		blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+		[3]int{4, 2, 1}, [3]int{4, 4, 4}, [3]bool{true, true, true})
+	f.BalanceMorton(2)
+	comm.Run(2, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), f))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s, err := New(c, forest, Config{SetupFlags: allFluid})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(s.channels) != 1 {
+			t.Fatalf("rank %d: %d channels, want 1", c.Rank(), len(s.channels))
+		}
+		ch := &s.channels[0]
+		if ch.rank == c.Rank() {
+			t.Errorf("channel to self (rank %d)", ch.rank)
+		}
+		check := func(slabs []slabOp, total int, label string) {
+			off := 0
+			for i := range slabs {
+				sl := &slabs[i]
+				if sl.off != off || sl.n != len(sl.dirs)*sl.reg.cells() {
+					t.Errorf("rank %d: %s slab %d window [%d,%d) not contiguous at %d",
+						c.Rank(), label, i, sl.off, sl.off+sl.n, off)
+				}
+				off += sl.n
+				if i > 0 && !slabs[i-1].key.less(sl.key) {
+					t.Errorf("rank %d: %s manifest not strictly ordered at %d", c.Rank(), label, i)
+				}
+			}
+			if off != total {
+				t.Errorf("rank %d: %s windows cover %d floats, channel says %d", c.Rank(), label, off, total)
+			}
+		}
+		check(ch.send, ch.sendFloats, "send")
+		check(ch.recv, ch.recvFloats, "recv")
+		if len(ch.bufs[0]) != ch.sendFloats || len(ch.bufs[1]) != ch.sendFloats {
+			t.Errorf("rank %d: buffer lengths %d/%d, want %d",
+				c.Rank(), len(ch.bufs[0]), len(ch.bufs[1]), ch.sendFloats)
+		}
+		// The decomposition is symmetric, so volumes must match.
+		if ch.sendFloats != ch.recvFloats {
+			t.Errorf("rank %d: sendFloats %d != recvFloats %d", c.Rank(), ch.sendFloats, ch.recvFloats)
+		}
+	})
+}
+
+// TestAggregatedOneMessagePerNeighborRank is the tentpole acceptance
+// test: with many blocks per rank, the steady-state aggregated exchange
+// sends exactly one message per neighbor rank per step, while the
+// per-pair format sends one per remote boundary slab.
+func TestAggregatedOneMessagePerNeighborRank(t *testing.T) {
+	const warmup, measured = 2, 5
+	run := func(mode ExchangeMode) {
+		f := blockforest.NewSetupForest(
+			blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+			[3]int{4, 2, 1}, [3]int{4, 4, 4}, [3]bool{true, true, true})
+		f.BalanceMorton(2)
+		comm.Run(2, func(c *comm.Comm) {
+			forest, err := blockforest.Distribute(c, forestFor(c.Rank(), f))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s, err := New(c, forest, Config{Exchange: mode, SetupFlags: allFluid})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			es := s.ExchangeStats()
+			if es.RemoteSlabs <= es.NeighborRanks {
+				t.Errorf("rank %d: %d remote slabs over %d neighbor ranks — scenario does not aggregate",
+					c.Rank(), es.RemoteSlabs, es.NeighborRanks)
+			}
+			// Step (not Run) so no collectives pollute the send counters.
+			for i := 0; i < warmup; i++ {
+				if err := s.Step(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			c.ResetStats()
+			for i := 0; i < measured; i++ {
+				if err := s.Step(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			st := c.Stats()
+			if want := int64(measured * es.MessagesPerStep); st.Sends != want {
+				t.Errorf("rank %d mode %v: %d sends over %d steps, want %d",
+					c.Rank(), mode, st.Sends, measured, want)
+			}
+			if mode == ExchangeAggregated {
+				if es.MessagesPerStep != es.NeighborRanks {
+					t.Errorf("rank %d: %d messages/step, want %d (one per neighbor rank)",
+						c.Rank(), es.MessagesPerStep, es.NeighborRanks)
+				}
+				// Per-destination counters: every neighbor got exactly one
+				// message per step, everyone else none.
+				for dst, ps := range st.Peers {
+					want := int64(0)
+					for i := range s.channels {
+						if s.channels[i].rank == dst {
+							want = measured
+						}
+					}
+					if ps.Sends != want {
+						t.Errorf("rank %d: %d sends to rank %d, want %d", c.Rank(), ps.Sends, dst, want)
+					}
+				}
+			} else if es.MessagesPerStep != es.RemoteSlabs {
+				t.Errorf("rank %d: per-pair sends %d messages/step, want %d (one per slab)",
+					c.Rank(), es.MessagesPerStep, es.RemoteSlabs)
+			}
+		})
+	}
+	run(ExchangeAggregated)
+	run(ExchangePerPair)
+}
+
+// TestExchangeStatsVolumesMatch: aggregation batches messages but never
+// changes the communicated payload volume.
+func TestExchangeStatsVolumesMatch(t *testing.T) {
+	f := blockforest.NewSetupForest(
+		blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+		[3]int{4, 2, 1}, [3]int{4, 4, 4}, [3]bool{true, true, true})
+	f.BalanceMorton(2)
+	var mu sync.Mutex
+	stats := make(map[ExchangeMode]ExchangeStats)
+	for _, mode := range []ExchangeMode{ExchangeAggregated, ExchangePerPair} {
+		comm.Run(2, func(c *comm.Comm) {
+			forest, err := blockforest.Distribute(c, forestFor(c.Rank(), f))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s, err := New(c, forest, Config{Exchange: mode, SetupFlags: allFluid})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				stats[mode] = s.ExchangeStats()
+				mu.Unlock()
+			}
+		})
+	}
+	a, p := stats[ExchangeAggregated], stats[ExchangePerPair]
+	if a.SendFloats != p.SendFloats || a.RecvFloats != p.RecvFloats {
+		t.Errorf("payload volumes differ: aggregated %d/%d vs per-pair %d/%d floats",
+			a.SendFloats, a.RecvFloats, p.SendFloats, p.RecvFloats)
+	}
+	if a.RemoteSlabs != p.RemoteSlabs || a.LocalCopies != p.LocalCopies {
+		t.Errorf("slab counts differ: aggregated %+v vs per-pair %+v", a, p)
+	}
+	if a.MessagesPerStep >= p.MessagesPerStep {
+		t.Errorf("aggregation does not reduce messages: %d vs %d", a.MessagesPerStep, p.MessagesPerStep)
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+)
+
+// allocForest is the two-rank, multi-block scenario of the allocation
+// tests: remote channels in both directions plus local copies.
+func allocForest() *blockforest.SetupForest {
+	f := blockforest.NewSetupForest(
+		blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
+		[3]int{4, 2, 1}, [3]int{4, 4, 4}, [3]bool{true, true, true})
+	f.BalanceMorton(2)
+	return f
+}
+
+// TestStepZeroAlloc is the allocation-regression gate of the aggregated
+// exchange: after warm-up, a full time step — pack, one send and receive
+// per neighbor rank, unpack, boundary, kernel sweep, swap — performs zero
+// heap allocations. Workers is 1 because the fork-join pool's per-region
+// goroutine spawns are the one deliberate exception, and AllocsPerRun
+// serializes execution anyway.
+func TestStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	const runs = 20
+	comm.Run(2, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), allocForest()))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s, err := New(c, forest, Config{Workers: 1, SetupFlags: allFluid})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		step := func() {
+			if err := s.Step(); err != nil {
+				t.Error(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			step()
+		}
+		if c.Rank() != 0 {
+			// Keep feeding rank 0's receives: AllocsPerRun executes its
+			// function runs+1 times (one warm-up call plus the measured
+			// runs). Rank 0's global malloc counter still observes this
+			// rank's steps, so a regression on any rank fails the test.
+			for i := 0; i < runs+1; i++ {
+				step()
+			}
+			return
+		}
+		if avg := testing.AllocsPerRun(runs, step); avg != 0 {
+			t.Errorf("Step allocates %.1f objects per step in steady state, want 0", avg)
+		}
+	})
+}
+
+// benchStep measures steady-state step cost and allocations (run with
+// -benchmem) for one exchange wire format.
+func benchStep(b *testing.B, mode ExchangeMode) {
+	b.ReportAllocs()
+	comm.Run(2, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), allocForest()))
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		s, err := New(c, forest, Config{Workers: 1, Exchange: mode, SetupFlags: allFluid})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			if err := s.Step(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkStepAggregated(b *testing.B) { benchStep(b, ExchangeAggregated) }
+func BenchmarkStepPerPair(b *testing.B)    { benchStep(b, ExchangePerPair) }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"walberla/internal/comm"
 	"walberla/internal/field"
@@ -13,37 +14,98 @@ import (
 // directions per face and one per edge for D3Q19 (corner offsets carry no
 // D3Q19 PDFs and are skipped entirely) — waLBerla's reduced-message
 // optimization. Blocks on the same rank copy directly ("fast local
-// communication"); remote blocks exchange messages tagged by the receiving
-// block and the boundary direction.
+// communication"); remote blocks exchange messages.
 //
 // The exchange is split-phase so the time loop can overlap it with
 // computation: postExchange packs and sends all boundary slabs (pack and
 // local copies run on the worker pool) and posts the remote receives;
 // completeExchange waits for the remote slabs and unpacks them. Interior
 // sweeps run between the two halves while remote data is in flight.
+//
+// Two wire formats exist, selected by Config.Exchange and bit-identical
+// to each other (see docs/EXCHANGE.md):
+//
+//   - ExchangeAggregated (default, aggregate.go): all slabs bound for the
+//     same neighbor rank travel in ONE message per step, packed by a
+//     fixed manifest into persistent double-buffered aggregate buffers —
+//     O(neighbor ranks) messages per step and zero steady-state heap
+//     allocations.
+//   - ExchangePerPair (this file): the legacy one-message-per-block-pair
+//     path with per-step pack buffers, kept for comparison benchmarks and
+//     cross-validation tests.
+
+// ExchangeMode selects the ghost exchange wire format.
+type ExchangeMode int
+
+const (
+	// ExchangeAggregated sends one aggregated message per neighbor rank
+	// per step from persistent pooled buffers (the default).
+	ExchangeAggregated ExchangeMode = iota
+	// ExchangePerPair sends one message per neighboring block pair per
+	// step, allocating a fresh pack buffer per message — the
+	// pre-aggregation wire format.
+	ExchangePerPair
+)
+
+func (m ExchangeMode) String() string {
+	switch m {
+	case ExchangeAggregated:
+		return "aggregated"
+	case ExchangePerPair:
+		return "per-pair"
+	}
+	return fmt.Sprintf("ExchangeMode(%d)", int(m))
+}
 
 // offsetIndex maps an offset in {-1,0,1}^3 to 0..26.
 func offsetIndex(o [3]int) int {
 	return (o[0] + 1) + 3*(o[1]+1) + 9*(o[2]+1)
 }
 
+// commTables caches, per stencil, the offset→crossing-directions table:
+// entry offsetIndex(o) lists the stencil directions whose velocity crosses
+// a block boundary with offset o. Computed once per stencil and shared by
+// every plan build and test — callers must not mutate the slices.
+var commTables sync.Map // *lattice.Stencil -> *[27][]lattice.Direction
+
+func commTable(st *lattice.Stencil) *[27][]lattice.Direction {
+	if t, ok := commTables.Load(st); ok {
+		return t.(*[27][]lattice.Direction)
+	}
+	var t [27][]lattice.Direction
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				o := [3]int{dx, dy, dz}
+				if o == [3]int{} {
+					continue
+				}
+				var dirs []lattice.Direction
+				for a := 0; a < st.Q; a++ {
+					if st.Cx[a] == 0 && st.Cy[a] == 0 && st.Cz[a] == 0 {
+						continue
+					}
+					if (o[0] != 0 && st.Cx[a] != o[0]) ||
+						(o[1] != 0 && st.Cy[a] != o[1]) ||
+						(o[2] != 0 && st.Cz[a] != o[2]) {
+						continue
+					}
+					dirs = append(dirs, lattice.Direction(a))
+				}
+				t[offsetIndex(o)] = dirs
+			}
+		}
+	}
+	actual, _ := commTables.LoadOrStore(st, &t)
+	return actual.(*[27][]lattice.Direction)
+}
+
 // commDirections returns the stencil directions whose velocity crosses a
 // block boundary with the given offset: every non-zero offset axis must
-// match the velocity component.
+// match the velocity component. The result is a shared precomputed table
+// entry; callers must not modify it.
 func commDirections(st *lattice.Stencil, o [3]int) []lattice.Direction {
-	var dirs []lattice.Direction
-	for a := 0; a < st.Q; a++ {
-		if st.Cx[a] == 0 && st.Cy[a] == 0 && st.Cz[a] == 0 {
-			continue
-		}
-		if (o[0] != 0 && st.Cx[a] != o[0]) ||
-			(o[1] != 0 && st.Cy[a] != o[1]) ||
-			(o[2] != 0 && st.Cz[a] != o[2]) {
-			continue
-		}
-		dirs = append(dirs, lattice.Direction(a))
-	}
-	return dirs
+	return commTable(st)[offsetIndex(o)]
 }
 
 // region is a half-open box of cell coordinates.
@@ -86,6 +148,41 @@ func recvRegion(cells [3]int, o [3]int) region {
 	}
 	return r
 }
+
+// postExchange starts one ghost layer synchronization of the Src fields in
+// the configured wire format; completeExchange finishes it. Interior
+// blocks may be swept between the two halves; the packed slabs are taken
+// before any sweep, so the overlap is bit-identical to a fully synchronous
+// exchange.
+func (s *Simulation) postExchange() error {
+	if s.Config.Exchange == ExchangePerPair {
+		return s.postExchangePairs()
+	}
+	return s.postExchangeAggregated()
+}
+
+// completeExchange finishes the synchronization started by postExchange.
+// A typed *comm.RankFailedError is returned when a peer has been declared
+// dead mid-exchange instead of deadlocking or panicking.
+func (s *Simulation) completeExchange() error {
+	if s.Config.Exchange == ExchangePerPair {
+		return s.completeExchangePairs()
+	}
+	return s.completeExchangeAggregated()
+}
+
+// exchangeGhostLayers performs one full, non-overlapped ghost layer
+// synchronization (post immediately followed by complete) — used outside
+// the time loop, e.g. after block migration.
+func (s *Simulation) exchangeGhostLayers() error {
+	if err := s.postExchange(); err != nil {
+		return err
+	}
+	return s.completeExchange()
+}
+
+// ---------------------------------------------------------------------
+// Legacy per-block-pair wire format (ExchangePerPair).
 
 // exchangeOp is one precomputed boundary exchange of a local block.
 type exchangeOp struct {
@@ -155,50 +252,28 @@ func buildExchangePlan(s *Simulation) []exchangeOp {
 // pack serializes the PDFs of the given directions over the region in
 // deterministic (dir-major, then z, y, x) order.
 func pack(f *field.PDFField, r region, dirs []lattice.Direction) []float64 {
-	buf := make([]float64, 0, len(dirs)*r.cells())
-	for _, d := range dirs {
-		for z := r.lo[2]; z < r.hi[2]; z++ {
-			for y := r.lo[1]; y < r.hi[1]; y++ {
-				for x := r.lo[0]; x < r.hi[0]; x++ {
-					buf = append(buf, f.Get(x, y, z, d))
-				}
-			}
-		}
-	}
+	buf := make([]float64, len(dirs)*r.cells())
+	f.PackRegion(buf, r.lo, r.hi, dirs)
 	return buf
 }
 
 // unpack reverses pack into the region.
 func unpack(f *field.PDFField, r region, dirs []lattice.Direction, buf []float64) {
-	i := 0
-	for _, d := range dirs {
-		for z := r.lo[2]; z < r.hi[2]; z++ {
-			for y := r.lo[1]; y < r.hi[1]; y++ {
-				for x := r.lo[0]; x < r.hi[0]; x++ {
-					f.Set(x, y, z, d, buf[i])
-					i++
-				}
-			}
-		}
-	}
-	if i != len(buf) {
-		panic(fmt.Sprintf("sim: unpacked %d of %d values", i, len(buf)))
+	if n := f.UnpackRegion(buf, r.lo, r.hi, dirs); n != len(buf) {
+		panic(fmt.Sprintf("sim: unpacked %d of %d values", n, len(buf)))
 	}
 }
 
-// postExchange starts one ghost layer synchronization of the Src fields:
+// postExchangePairs starts one per-block-pair ghost layer synchronization:
 // all boundary slabs are packed on the worker pool (same-rank copies land
 // in the peer's ghost region immediately — "fast local communication"),
 // the remote slabs are sent (eager, so this cannot deadlock), and one
-// receive per remote op is posted. Interior blocks may be swept between
-// postExchange and completeExchange; the packed slabs were taken before
-// any sweep, so the overlap is bit-identical to a fully synchronous
-// exchange.
+// receive per remote op is posted.
 //
 // The parallel pack/copy phase is race-free by region disjointness: packs
 // read interior slabs, copies write ghost slabs, and two copies into the
 // same block target different offsets, hence disjoint ghost slabs.
-func (s *Simulation) postExchange() error {
+func (s *Simulation) postExchangePairs() error {
 	s.pool.run(len(s.plan), func(i int) {
 		op := &s.plan[i]
 		op.buf = pack(op.bd.Src, op.src, op.sendDirs)
@@ -217,7 +292,7 @@ func (s *Simulation) postExchange() error {
 		}
 		buf := op.buf
 		op.buf = nil
-		if err := s.Comm.SendErr(op.rank, op.sendTag, buf); err != nil {
+		if err := s.Comm.SendFloat64s(op.rank, op.sendTag, buf); err != nil {
 			return err
 		}
 	}
@@ -231,12 +306,10 @@ func (s *Simulation) postExchange() error {
 	return nil
 }
 
-// completeExchange finishes the synchronization started by postExchange:
-// it waits for every posted receive and unpacks the slabs into the
-// frontier blocks' ghost layers on the worker pool. A typed
-// *comm.RankFailedError is returned when a peer has been declared dead
-// mid-exchange instead of deadlocking or panicking.
-func (s *Simulation) completeExchange() error {
+// completeExchangePairs waits for every posted per-pair receive and
+// unpacks the slabs into the frontier blocks' ghost layers on the worker
+// pool.
+func (s *Simulation) completeExchangePairs() error {
 	for i := range s.pending {
 		p := &s.pending[i]
 		buf, _, err := p.req.WaitFloat64s()
@@ -252,14 +325,4 @@ func (s *Simulation) completeExchange() error {
 	})
 	s.pending = s.pending[:0]
 	return nil
-}
-
-// exchangeGhostLayers performs one full, non-overlapped ghost layer
-// synchronization (post immediately followed by complete) — used outside
-// the time loop, e.g. after block migration.
-func (s *Simulation) exchangeGhostLayers() error {
-	if err := s.postExchange(); err != nil {
-		return err
-	}
-	return s.completeExchange()
 }

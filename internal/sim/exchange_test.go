@@ -115,7 +115,7 @@ func TestExchangePlanStructure(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		s, err := New(c, forest, Config{SetupFlags: func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+		s, err := New(c, forest, Config{Exchange: ExchangePerPair, SetupFlags: func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
 			flags.Fill(field.Fluid)
 		}})
 		if err != nil {

@@ -22,6 +22,13 @@ import (
 // bit pattern.
 func taylorGreenBits(t *testing.T, workers, steps int) map[[3]int][]uint64 {
 	t.Helper()
+	return taylorGreenBitsMode(t, workers, steps, ExchangeAggregated)
+}
+
+// taylorGreenBitsMode is taylorGreenBits with an explicit exchange wire
+// format, the shared scenario of the aggregation bit-identity tests.
+func taylorGreenBitsMode(t *testing.T, workers, steps int, mode ExchangeMode) map[[3]int][]uint64 {
+	t.Helper()
 	const n = 12
 	k := 2 * math.Pi / float64(n)
 	f := blockforest.NewSetupForest(
@@ -38,8 +45,9 @@ func taylorGreenBits(t *testing.T, workers, steps int) map[[3]int][]uint64 {
 			return
 		}
 		s, err := New(c, forest, Config{
-			Tau:     0.8,
-			Workers: workers,
+			Tau:      0.8,
+			Workers:  workers,
+			Exchange: mode,
 			// A body force exercises the forcing sweep on the workers too.
 			Force: [3]float64{1e-7, 0, 0},
 			InitialState: func(x, y, z int) (float64, float64, float64, float64) {

@@ -27,6 +27,19 @@ type workerPool struct {
 	workers int
 }
 
+// poolRun is the shared state of one parallel region. The task cursor is
+// a read-modify-write hot spot hit by every worker on every task claim;
+// padding it out to a full 64-byte cache line keeps those RMWs from
+// false-sharing a line with the join state, which workers touch on the
+// completion path.
+type poolRun struct {
+	cursor atomic.Int64
+	_      [56]byte // cursor gets the cache line to itself
+
+	wg       sync.WaitGroup
+	panicked atomic.Pointer[any]
+}
+
 // run executes task(i) for every i in [0, n), using up to p.workers
 // goroutines, and returns when all tasks have finished. A panic in any
 // task is re-raised on the caller after the join.
@@ -41,22 +54,18 @@ func (p workerPool) run(n int, task func(i int)) {
 		}
 		return
 	}
-	var (
-		cursor   atomic.Int64
-		wg       sync.WaitGroup
-		panicked atomic.Pointer[any]
-	)
-	wg.Add(w)
+	var st poolRun
+	st.wg.Add(w)
 	for k := 0; k < w; k++ {
 		go func() {
-			defer wg.Done()
+			defer st.wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panicked.CompareAndSwap(nil, &r)
+					st.panicked.CompareAndSwap(nil, &r)
 				}
 			}()
 			for {
-				i := int(cursor.Add(1)) - 1
+				i := int(st.cursor.Add(1)) - 1
 				if i >= n {
 					return
 				}
@@ -64,8 +73,8 @@ func (p workerPool) run(n int, task func(i int)) {
 			}
 		}()
 	}
-	wg.Wait()
-	if r := panicked.Load(); r != nil {
+	st.wg.Wait()
+	if r := st.panicked.Load(); r != nil {
 		panic(*r)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the binary was built with the race
+// detector, whose instrumentation inserts heap allocations that make
+// testing.AllocsPerRun meaningless.
+const raceEnabled = true

@@ -60,6 +60,11 @@ type Config struct {
 	// process" of the paper). 0 or 1 runs serially; any value yields
 	// bit-identical results.
 	Workers int
+	// Exchange selects the ghost exchange wire format; the zero value is
+	// ExchangeAggregated (one message per neighbor rank per step from
+	// persistent buffers). Both modes are bit-identical; ExchangePerPair
+	// is kept for comparison benchmarks.
+	Exchange ExchangeMode
 	// InitialRho and InitialVelocity initialize all fluid cells to the
 	// corresponding equilibrium. Zero rho means 1.
 	InitialRho      float64
@@ -119,17 +124,35 @@ type Simulation struct {
 	Blocks  []*BlockData
 
 	byCoord map[[3]int]*BlockData
+
+	// Aggregated exchange state (ExchangeAggregated, aggregate.go): local
+	// block-to-block copies, one channel per neighbor rank, the alternating
+	// send-buffer parity, and the flattened pack/unpack task lists with
+	// their precomputed pool closures (stored once so the steady-state
+	// exchange allocates nothing).
+	locals      []localOp
+	channels    []rankChannel
+	exParity    int
+	packTasks   []packTask
+	unpackTasks []packTask
+	packFn      func(int)
+	unpackFn    func(int)
+
+	// Legacy per-pair exchange state (ExchangePerPair, exchange.go).
 	plan    []exchangeOp
+	pending []recvOp
 
 	// Hybrid execution state: the worker pool, the frontier/interior
 	// block split (frontier blocks have off-rank neighbors and must wait
 	// for remote ghost data; interior blocks sweep while communication is
-	// in flight), and the precomputed body-force increments.
-	pool     workerPool
-	interior []*BlockData
-	frontier []*BlockData
-	pending  []recvOp
-	force    *forcing
+	// in flight), and the precomputed body-force increments. sweepList and
+	// sweepFn are the persistent argument slot and closure of sweepBlocks.
+	pool      workerPool
+	interior  []*BlockData
+	frontier  []*BlockData
+	sweepList []*BlockData
+	sweepFn   func(int)
+	force     *forcing
 
 	computeTime  time.Duration
 	commTime     time.Duration
@@ -172,6 +195,9 @@ func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation
 	if cfg.Workers == 0 {
 		cfg.Workers = 1
 	}
+	if cfg.Exchange != ExchangeAggregated && cfg.Exchange != ExchangePerPair {
+		return nil, fmt.Errorf("sim: unknown exchange mode %v", cfg.Exchange)
+	}
 	s := &Simulation{
 		Comm:    c,
 		Forest:  forest,
@@ -188,6 +214,16 @@ func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation
 		}
 		s.Blocks = append(s.Blocks, bd)
 		s.byCoord[b.Coord] = bd
+	}
+	s.sweepFn = func(i int) {
+		bd := s.sweepList[i]
+		tb := time.Now()
+		bd.Boundary.Apply(bd.Src)
+		tk := time.Now()
+		bd.Kernel.Sweep(bd.Src, bd.Dst, bd.Flags)
+		s.force.apply(bd)
+		bd.stepBoundary = tk.Sub(tb)
+		bd.stepCompute = time.Since(tk)
 	}
 	s.rebuildPlan()
 	return s, nil
@@ -339,17 +375,12 @@ func (s *Simulation) Step() error {
 // sweepBlocks runs the fused per-block update — boundary handling,
 // stream-collide, body force — for the given blocks on the worker pool,
 // then reduces the per-block phase timings in deterministic block order.
+// The sweep body is the persistent s.sweepFn closure; a fresh closure per
+// call would escape to the heap on every invocation.
 func (s *Simulation) sweepBlocks(bds []*BlockData) {
-	s.pool.run(len(bds), func(i int) {
-		bd := bds[i]
-		tb := time.Now()
-		bd.Boundary.Apply(bd.Src)
-		tk := time.Now()
-		bd.Kernel.Sweep(bd.Src, bd.Dst, bd.Flags)
-		s.force.apply(bd)
-		bd.stepBoundary = tk.Sub(tb)
-		bd.stepCompute = time.Since(tk)
-	})
+	s.sweepList = bds
+	s.pool.run(len(bds), s.sweepFn)
+	s.sweepList = nil
 	for _, bd := range bds {
 		s.boundaryTime += bd.stepBoundary
 		s.computeTime += bd.stepCompute
@@ -357,15 +388,33 @@ func (s *Simulation) sweepBlocks(bds []*BlockData) {
 	}
 }
 
-// rebuildPlan recomputes the exchange plan and the frontier/interior
-// block split; it must run after any change to the block assignment or
-// the neighborhood views (construction, rebalancing).
+// rebuildPlan recomputes the exchange plan of the configured mode and the
+// frontier/interior block split; it must run after any change to the
+// block assignment or the neighborhood views (construction, rebalancing).
+// The retired aggregate buffers of a previous plan are recycled through
+// the buffer pool — safe because every rebuild trigger is collective and
+// happens-after all peers' unpacks of those buffers.
 func (s *Simulation) rebuildPlan() {
-	s.plan = buildExchangePlan(s)
+	releaseAggregateBuffers(s.channels)
+	s.locals, s.channels, s.plan = nil, nil, nil
 	remote := make(map[*BlockData]bool)
-	for i := range s.plan {
-		if s.plan[i].remote {
-			remote[s.plan[i].bd] = true
+	if s.Config.Exchange == ExchangePerPair {
+		s.plan = buildExchangePlan(s)
+		for i := range s.plan {
+			if s.plan[i].remote {
+				remote[s.plan[i].bd] = true
+			}
+		}
+	} else {
+		s.locals, s.channels = buildAggregatePlan(s)
+		s.buildExchangeClosures()
+		for ci := range s.channels {
+			for _, sl := range s.channels[ci].send {
+				remote[sl.bd] = true
+			}
+			for _, sl := range s.channels[ci].recv {
+				remote[sl.bd] = true
+			}
 		}
 	}
 	s.interior, s.frontier = nil, nil

@@ -82,8 +82,9 @@ func TestD3Q27ExchangePlanHasCorners(t *testing.T) {
 	comm.Run(1, func(c *comm.Comm) {
 		forest, _ := blockforest.Distribute(c, f)
 		s, err := New(c, forest, Config{
-			Stencil: lattice.D3Q27(),
-			Kernel:  KernelGenericTRT,
+			Stencil:  lattice.D3Q27(),
+			Kernel:   KernelGenericTRT,
+			Exchange: ExchangePerPair,
 			SetupFlags: func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
 				flags.Fill(field.Fluid)
 			},
