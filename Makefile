@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-sim alloc-test verify bench bench-hybrid bench-comm clean
+.PHONY: all build test vet race race-sim race-resilience alloc-test fuzz-smoke verify bench bench-hybrid bench-comm bench-resilience clean
 
 all: build
 
@@ -22,15 +22,29 @@ race:
 race-sim:
 	$(GO) test -race -count=1 ./internal/sim/...
 
+# race-resilience re-runs only the fault-tolerance tests (shrinking
+# recovery, buddy replication, checkpoint sets, rewind replay) uncached
+# under the race detector — the quick gate while working on recovery code.
+race-resilience:
+	$(GO) test -race -count=1 -run 'TestShrink|TestReplicate|TestResilient|TestRestore|TestWriteCheckpoint|TestBackoff|TestMaxFailures|TestFail' ./internal/sim/ ./internal/comm/
+
 # alloc-test re-runs the steady-state allocation regression gate of the
 # ghost exchange uncached and WITHOUT the race detector (race
 # instrumentation allocates, so the test skips itself under -race).
 alloc-test:
 	$(GO) test -count=1 -run 'TestStepZeroAlloc' ./internal/sim/
 
+# fuzz-smoke runs each fuzz target of the checkpoint readers briefly
+# against its seed corpus — a regression sweep, not an open-ended hunt.
+fuzz-smoke:
+	$(GO) test -run '^Fuzz' -fuzz FuzzReadManifest -fuzztime 5s ./internal/output/
+	$(GO) test -run '^Fuzz' -fuzz FuzzReadRankFile -fuzztime 5s ./internal/output/
+	$(GO) test -run '^Fuzz' -fuzz FuzzLoadCheckpoint -fuzztime 5s ./internal/output/
+
 # verify is the pre-commit gate: static checks, a full build, the
-# allocation regression gate, and the test suite under the race detector.
-verify: vet build alloc-test race-sim race
+# allocation regression gate, the fuzz seed sweep, and the test suite
+# under the race detector.
+verify: vet build alloc-test fuzz-smoke race-sim race
 
 bench:
 	$(GO) test -bench=. -benchtime=0.2s -run='^$$' ./internal/...
@@ -45,6 +59,12 @@ bench-hybrid: build
 # BENCH_comm.json.
 bench-comm: build
 	$(GO) run ./cmd/walberla-bench -fig comm
+
+# bench-resilience compares recovery latency of the in-memory buddy
+# shrink path against disk rewind-and-replay at equal checkpoint
+# intervals and writes BENCH_resilience.json.
+bench-resilience: build
+	$(GO) run ./cmd/walberla-bench -fig resilience
 
 clean:
 	$(GO) clean ./...

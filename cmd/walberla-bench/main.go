@@ -21,27 +21,28 @@ import (
 var quick = flag.Bool("quick", false, "reduce problem sizes for fast runs")
 
 func main() {
-	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|comm|all")
+	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|comm|resilience|all")
 	flag.Parse()
 
 	figures := map[string]func(){
-		"1":        figure1,
-		"2":        figure2,
-		"3":        figure3,
-		"4":        figure4,
-		"5":        figure5,
-		"6":        figure6,
-		"7":        figure7,
-		"8":        figure8,
-		"sparse":   sparseAblation,
-		"filesize": fileSizes,
-		"balance":  balanceAblation,
-		"iaca":     iacaReport,
-		"hybrid":   hybridBench,
-		"comm":     commBench,
+		"1":          figure1,
+		"2":          figure2,
+		"3":          figure3,
+		"4":          figure4,
+		"5":          figure5,
+		"6":          figure6,
+		"7":          figure7,
+		"8":          figure8,
+		"sparse":     sparseAblation,
+		"filesize":   fileSizes,
+		"balance":    balanceAblation,
+		"iaca":       iacaReport,
+		"hybrid":     hybridBench,
+		"comm":       commBench,
+		"resilience": resilienceBench,
 	}
 	if *figure == "all" {
-		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca", "hybrid", "comm"} {
+		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca", "hybrid", "comm", "resilience"} {
 			figures[name]()
 		}
 		return

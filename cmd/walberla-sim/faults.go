@@ -13,6 +13,8 @@ import (
 // plan. The spec is a comma-separated list of clauses:
 //
 //	crash=RANK@STEP   kill RANK when the time loop reaches STEP (repeatable)
+//	hang=RANK@STEP    silence RANK at STEP without any notification — the
+//	                  failure is only detectable by timeout (-fail-timeout)
 //	drop=P            drop each message with probability P
 //	delay=P:DUR       delay each message with probability P by up to DUR
 //	seed=N            seed of the deterministic fault decisions
@@ -29,20 +31,24 @@ func parseFaultSpec(spec string) (*comm.FaultPlan, error) {
 			return nil, fmt.Errorf("fault clause %q is not key=value", part)
 		}
 		switch key {
-		case "crash":
+		case "crash", "hang":
 			rankStr, stepStr, ok := strings.Cut(val, "@")
 			if !ok {
-				return nil, fmt.Errorf("crash clause %q is not RANK@STEP", val)
+				return nil, fmt.Errorf("%s clause %q is not RANK@STEP", key, val)
 			}
 			rank, err := strconv.Atoi(rankStr)
 			if err != nil {
-				return nil, fmt.Errorf("crash rank %q: %v", rankStr, err)
+				return nil, fmt.Errorf("%s rank %q: %v", key, rankStr, err)
 			}
 			step, err := strconv.Atoi(stepStr)
 			if err != nil {
-				return nil, fmt.Errorf("crash step %q: %v", stepStr, err)
+				return nil, fmt.Errorf("%s step %q: %v", key, stepStr, err)
 			}
-			p.Crashes = append(p.Crashes, comm.CrashSpec{Rank: rank, Step: step})
+			if key == "crash" {
+				p.Crashes = append(p.Crashes, comm.CrashSpec{Rank: rank, Step: step})
+			} else {
+				p.Hangs = append(p.Hangs, comm.CrashSpec{Rank: rank, Step: step})
+			}
 		case "drop":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil {

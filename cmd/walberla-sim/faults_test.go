@@ -18,10 +18,18 @@ func TestParseFaultSpec(t *testing.T) {
 		t.Fatalf("plan = %+v", p)
 	}
 
+	p, err = parseFaultSpec("hang=2@10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hangs) != 1 || p.Hangs[0].Rank != 2 || p.Hangs[0].Step != 10 {
+		t.Fatalf("hangs = %+v", p.Hangs)
+	}
+
 	if p, err := parseFaultSpec(""); p != nil || err != nil {
 		t.Fatalf("empty spec: %v, %v", p, err)
 	}
-	for _, bad := range []string{"crash=1", "crash=x@2", "drop=oops", "delay=0.5", "wat=1", "crash"} {
+	for _, bad := range []string{"crash=1", "crash=x@2", "hang=1", "hang=x@2", "drop=oops", "delay=0.5", "wat=1", "crash"} {
 		if _, err := parseFaultSpec(bad); err == nil {
 			t.Errorf("spec %q accepted", bad)
 		}

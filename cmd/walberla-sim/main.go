@@ -53,7 +53,10 @@ func main() {
 
 		checkpointEvery = flag.Int("checkpoint-every", 0, "run the fault-tolerant driver, taking a coordinated checkpoint set every N steps (0 = off)")
 		checkpointSets  = flag.String("checkpoint-sets", "checkpoint-sets", "directory for coordinated checkpoint sets (with -checkpoint-every)")
-		injectFault     = flag.String("inject-fault", "", `deterministic fault plan, e.g. "crash=1@40,drop=0.001,delay=0.01:2ms,seed=7"`)
+		injectFault     = flag.String("inject-fault", "", `deterministic fault plan, e.g. "crash=1@40,hang=2@80,drop=0.001,delay=0.01:2ms,seed=7"`)
+		recoverMode     = flag.String("recover-mode", "rewind", "recovery after a rank failure: rewind (disk checkpoint sets) or shrink (in-memory buddy replicas, survivors adopt the dead rank's blocks)")
+		failTimeout     = flag.Duration("fail-timeout", 0, "declare a rank failed when a receive from it exceeds this deadline (0 = no silent-failure detection)")
+		maxFailures     = flag.Int("max-failures", -1, "abort after this many rank failures (-1 = default of 8, 0 = abort on the first failure)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,15 @@ func main() {
 	resilient := *checkpointEvery > 0 || faults != nil
 	if resilient && *rebalance > 0 {
 		fatal(fmt.Errorf("-rebalance cannot be combined with the fault-tolerant driver (-checkpoint-every / -inject-fault)"))
+	}
+	var mode sim.RecoveryMode
+	switch *recoverMode {
+	case "rewind":
+		mode = sim.RecoverRewind
+	case "shrink":
+		mode = sim.RecoverShrink
+	default:
+		fatal(fmt.Errorf("-recover-mode: unknown mode %q (want rewind or shrink)", *recoverMode))
 	}
 
 	sdf, err := loadGeometry(*meshPath, *useTree, *treeDepth, *seed)
@@ -137,7 +149,7 @@ func main() {
 	var overlap sim.OverlapTimes
 	var frontier, interior int
 	var files int
-	comm.RunWithOptions(*ranks, comm.Options{Faults: faults}, func(c *comm.Comm) {
+	comm.RunWithOptions(*ranks, comm.Options{Faults: faults, FailTimeout: *failTimeout}, func(c *comm.Comm) {
 		var in *blockforest.SetupForest
 		if c.Rank() == 0 {
 			in = forest
@@ -175,7 +187,15 @@ func main() {
 			m, err = s.RunResilient(*steps, sim.ResilienceConfig{
 				CheckpointEvery: *checkpointEvery,
 				Dir:             *checkpointSets,
+				Mode:            mode,
+				MaxFailures:     *maxFailures,
 			})
+			if err == sim.ErrRetired {
+				// This rank failed permanently under shrinking recovery:
+				// the survivors carry its blocks (and its output) on.
+				fmt.Printf("rank %d retired; its blocks were adopted by the surviving ranks\n", c.Rank())
+				return
+			}
 			if err != nil {
 				fatal(err)
 			}
@@ -251,6 +271,11 @@ func main() {
 		fmt.Printf("resilience: failures=%d restores=%d replayed=%d steps checkpoints=%d (%d bytes on rank 0) lost=%v\n",
 			r.FailuresDetected, r.Restores, r.StepsReplayed,
 			r.CheckpointsWritten, r.CheckpointBytes, r.TimeLost)
+		if r.Replications > 0 || r.Shrinks > 0 {
+			fmt.Printf("buddy: replications=%d (%d bytes on rank 0) buddy-restores=%d disk-restores=%d shrinks=%d adopted=%d blocks recovery-disk-reads=%d\n",
+				r.Replications, r.ReplicaBytes, r.BuddyRestores, r.DiskRestores,
+				r.Shrinks, r.BlocksAdopted, r.DiskReadsDuringRecovery)
+		}
 	}
 	if files > 0 {
 		fmt.Printf("wrote %d output files\n", files)

@@ -281,6 +281,13 @@ type Options struct {
 	// *RankFailedError. 0 means wait forever (except under a FaultPlan
 	// with drops, where it defaults to 10s so lost messages surface).
 	RecvTimeout time.Duration
+	// FailTimeout is the failure-detection deadline: a rank whose message
+	// a receive has awaited longer than this is *declared* failed with a
+	// timeout-cause *RankFailedError (RankFailedError.TimedOut reports
+	// true) — the heartbeat that detects silent failures, not just
+	// injected crashes. It acts as the default for RecvTimeout when
+	// RecvTimeout is 0; an explicit RecvTimeout takes precedence.
+	FailTimeout time.Duration
 }
 
 // world is the shared state of one Run invocation.
@@ -298,14 +305,29 @@ type world struct {
 	// crashFired marks FaultPlan.Crashes entries that have triggered, so a
 	// crash fires exactly once even across recovery replays.
 	crashFired []atomic.Bool
+	// hangFired marks FaultPlan.Hangs entries that have triggered, so a
+	// silence fires exactly once even across recovery replays.
+	hangFired []atomic.Bool
 	// sendSeq is the per-world-rank send counter driving the deterministic
 	// drop/delay decisions.
 	sendSeq []atomic.Uint64
 
-	// Recovery rendezvous (see (*Comm).Recover).
+	// Pending delayed-delivery timers of the fault injector. Tracked so
+	// recovery and run teardown can stop them: an untracked timer firing
+	// after the world is gone would leak, and one firing after a recovery
+	// would race the epoch check (see injectSendFaults).
+	timerMu      sync.Mutex
+	timers       map[*time.Timer]struct{}
+	timersClosed bool
+
+	// Recovery rendezvous and permanent-death bookkeeping (see
+	// (*Comm).Recover, MarkDead, Shrink). dead/deadCount are guarded by
+	// recMu because the rendezvous completion condition reads them.
 	recMu            sync.Mutex
 	recCond          *sync.Cond
 	recCount, recGen int
+	dead             []bool
+	deadCount        int
 }
 
 // failErr returns the declared failure of the current epoch, if any.
@@ -397,6 +419,11 @@ func RunWithOptions(n int, opts Options, f func(c *Comm)) {
 	if n <= 0 {
 		panic("comm: Run requires at least one rank")
 	}
+	if opts.RecvTimeout == 0 {
+		// The failure-detection deadline doubles as the receive deadline:
+		// a silent rank is detected by the receives awaiting it.
+		opts.RecvTimeout = opts.FailTimeout
+	}
 	if p := opts.Faults; p != nil {
 		if err := p.Validate(n); err != nil {
 			panic("comm: " + err.Error())
@@ -411,11 +438,14 @@ func RunWithOptions(n int, opts Options, f func(c *Comm)) {
 	}
 	w := &world{size: n, mailboxes: make([]*mailbox, n), opts: opts}
 	w.recCond = sync.NewCond(&w.recMu)
+	w.dead = make([]bool, n)
+	w.timers = make(map[*time.Timer]struct{})
 	for i := range w.mailboxes {
 		w.mailboxes[i] = newMailbox(opts.MailboxDepth)
 	}
 	if opts.Faults != nil {
 		w.crashFired = make([]atomic.Bool, len(opts.Faults.Crashes))
+		w.hangFired = make([]atomic.Bool, len(opts.Faults.Hangs))
 	}
 	w.sendSeq = make([]atomic.Uint64, n)
 	group := make([]int, n)
@@ -443,12 +473,23 @@ func RunWithOptions(n int, opts Options, f func(c *Comm)) {
 		}(r)
 	}
 	wg.Wait()
+	// Stop delayed-delivery timers still pending at teardown; their
+	// callbacks must never touch the mailboxes of a finished world.
+	w.stopDelayedTimers(true)
+	if testHookWorld != nil {
+		testHookWorld(w)
+	}
 	select {
 	case p := <-panics:
 		panic("comm: " + p)
 	default:
 	}
 }
+
+// testHookWorld, when non-nil, observes the world of each Run after
+// teardown — tests assert invariants like "no pending delayed-delivery
+// timers survive the run".
+var testHookWorld func(w *world)
 
 // Rank returns this rank's id within the communicator, in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
@@ -704,10 +745,16 @@ func (c *Comm) recvMsg(src, tag int, timeout time.Duration) (message, int, error
 		}
 		f := &RankFailedError{
 			Rank: accused,
-			Cause: fmt.Sprintf("rank %d received no message (tag %d) within %v",
-				c.WorldRank(), tag, timeout),
+			Cause: fmt.Sprintf("%srank %d received no message (tag %d) within %v",
+				timeoutCausePrefix, c.WorldRank(), tag, timeout),
 		}
 		c.w.declareFailure(f)
+		// Concurrent timeouts race to declare; everyone returns the winning
+		// accusation so the whole world blames the same rank (a loser may
+		// have accused a merely-slow rank stuck behind the real victim).
+		if winner := c.w.failure.Load(); winner != nil {
+			f = winner
+		}
 		return message{}, 0, f
 	}
 	if err != nil {

@@ -3,6 +3,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -28,6 +29,15 @@ type FaultPlan struct {
 	// value at the first SetStep call whose step reaches the trigger.
 	// Each entry fires at most once, even across recovery replays.
 	Crashes []CrashSpec
+	// Hangs lists silent rank failures: the victim panics with a Hang
+	// value at the trigger step WITHOUT declaring a global failure — it
+	// simply stops communicating, modeling a hung or partitioned node.
+	// Survivors only notice through the failure-detection deadline
+	// (Options.FailTimeout), which accuses the silent rank by timeout.
+	// Each entry fires at most once, even across recovery replays. A
+	// driver must recover by shrinking (the victim never rejoins); the
+	// rewind driver would wait for the silent rank forever.
+	Hangs []CrashSpec
 }
 
 // CrashSpec crashes world rank Rank at simulation step Step.
@@ -55,6 +65,14 @@ func (p *FaultPlan) Validate(n int) error {
 		}
 		if cs.Step < 0 {
 			return fmt.Errorf("fault plan: negative crash step %d", cs.Step)
+		}
+	}
+	for _, hs := range p.Hangs {
+		if hs.Rank < 0 || hs.Rank >= n {
+			return fmt.Errorf("fault plan: hang rank %d outside world of size %d", hs.Rank, n)
+		}
+		if hs.Step < 0 {
+			return fmt.Errorf("fault plan: negative hang step %d", hs.Step)
 		}
 	}
 	return nil
@@ -102,17 +120,58 @@ func (c *Comm) injectSendFaults(p *FaultPlan, worldDst int, msg message) (done b
 		d := time.Duration(p.chance(faultKindDelayLen, c.WorldRank(), n) * float64(p.MaxDelay))
 		epoch := w.epoch.Load()
 		mb := w.mailboxes[worldDst]
-		time.AfterFunc(d, func() {
+		// The timer is registered before its callback can observe the
+		// registry, and the callback delivers only while still registered:
+		// stopDelayedTimers (recovery, run teardown) clears the registry,
+		// so a timer it could not Stop in time sheds its message instead of
+		// delivering into a recovered or torn-down world.
+		w.timerMu.Lock()
+		if w.timersClosed {
+			w.timerMu.Unlock()
+			return true, nil
+		}
+		var t *time.Timer
+		t = time.AfterFunc(d, func() {
+			w.timerMu.Lock()
+			_, live := w.timers[t]
+			delete(w.timers, t)
+			w.timerMu.Unlock()
 			// A recovery between send and delivery invalidated this
 			// message: traffic never crosses epochs.
-			if w.epoch.Load() != epoch {
+			if !live || w.epoch.Load() != epoch {
 				return
 			}
 			mb.put(msg, w.failErr) //nolint:errcheck // late traffic may be shed on failure
 		})
+		w.timers[t] = struct{}{}
+		w.timerMu.Unlock()
 		return true, nil
 	}
 	return false, nil
+}
+
+// stopDelayedTimers stops and deregisters all pending delayed-delivery
+// timers; final additionally refuses future registrations (run teardown).
+// A timer that already fired finds itself deregistered and sheds its
+// message.
+func (w *world) stopDelayedTimers(final bool) {
+	w.timerMu.Lock()
+	for t := range w.timers {
+		t.Stop()
+	}
+	clear(w.timers)
+	if final {
+		w.timersClosed = true
+	}
+	w.timerMu.Unlock()
+}
+
+// pendingDelayedTimers reports the number of registered delayed-delivery
+// timers (teardown invariant checked by tests).
+func (w *world) pendingDelayedTimers() int {
+	w.timerMu.Lock()
+	defer w.timerMu.Unlock()
+	return len(w.timers)
 }
 
 // Crash is the panic value of an injected rank crash. The resilient
@@ -122,6 +181,17 @@ type Crash struct{ Rank int }
 
 func (c Crash) String() string {
 	return fmt.Sprintf("injected crash of rank %d", c.Rank)
+}
+
+// Hang is the panic value of an injected silent failure (FaultPlan.Hangs).
+// Unlike Crash it declares nothing: the rank just stops participating, and
+// the rest of the world discovers the failure only through the
+// failure-detection deadline. The resilient driver catches it and retires
+// the rank without ever communicating again.
+type Hang struct{ Rank int }
+
+func (h Hang) String() string {
+	return fmt.Sprintf("injected silence of rank %d", h.Rank)
 }
 
 // RankFailedError reports that a rank has failed (injected crash) or has
@@ -139,6 +209,18 @@ type RankFailedError struct {
 
 func (e *RankFailedError) Error() string {
 	return fmt.Sprintf("comm: rank %d failed (%s)", e.Rank, e.Cause)
+}
+
+// timeoutCausePrefix marks failures declared by an expired receive
+// deadline, so drivers can distinguish detection by timeout from an
+// injected crash.
+const timeoutCausePrefix = "timeout: "
+
+// TimedOut reports whether this failure was declared by the
+// failure-detection deadline (Options.FailTimeout / RecvTimeout) rather
+// than an injected crash.
+func (e *RankFailedError) TimedOut() bool {
+	return strings.HasPrefix(e.Cause, "timeout")
 }
 
 // IsRankFailure reports whether err is (or wraps) a rank failure.
@@ -167,17 +249,26 @@ func (c *Comm) SetStep(step int) {
 			panic(Crash{Rank: me})
 		}
 	}
+	for i := range p.Hangs {
+		hs := p.Hangs[i]
+		if hs.Rank == me && step >= hs.Step && c.w.hangFired[i].CompareAndSwap(false, true) {
+			// Deliberately no declareFailure: the world must detect the
+			// silence on its own, via the failure-detection deadline.
+			panic(Hang{Rank: me})
+		}
+	}
 }
 
 // Failed returns the currently declared rank failure, or nil.
 func (c *Comm) Failed() *RankFailedError { return c.w.failure.Load() }
 
-// Recover is the world-wide recovery rendezvous: every rank of the Run
-// (the full world, regardless of subcommunicators) must call it after a
-// failure. The last rank to arrive purges all mailboxes, clears the
-// failure flag and advances the message epoch, so stale traffic from
-// before the failure can never match a post-recovery receive. It returns
-// the new epoch number.
+// Recover is the world-wide recovery rendezvous: every *live* rank of the
+// Run (the full world minus ranks marked dead with MarkDead/Retire,
+// regardless of subcommunicators) must call it after a failure. Once the
+// last live rank arrives, all mailboxes are purged, pending
+// delayed-delivery timers stopped, the failure flag cleared and the
+// message epoch advanced, so stale traffic from before the failure can
+// never match a post-recovery receive. It returns the new epoch number.
 //
 // Recover is intentionally built on shared synchronization rather than
 // messages — it models the out-of-band runtime service (mpirun, a
@@ -188,21 +279,31 @@ func (c *Comm) Recover() int64 {
 	w.recMu.Lock()
 	w.recCount++
 	gen := w.recGen
-	if w.recCount == w.size {
-		w.recCount = 0
-		w.recGen++
-		w.epoch.Add(1)
-		for _, m := range w.mailboxes {
-			m.purge()
-		}
-		w.failure.Store(nil)
-		w.recCond.Broadcast()
-	} else {
-		for gen == w.recGen {
-			w.recCond.Wait()
-		}
+	w.finishRecoveryLocked()
+	for gen == w.recGen {
+		w.recCond.Wait()
 	}
 	epoch := w.epoch.Load()
 	w.recMu.Unlock()
 	return epoch
+}
+
+// finishRecoveryLocked completes a pending recovery rendezvous once every
+// live rank has arrived. Caller holds recMu. It is re-evaluated both when
+// a rank arrives in Recover and when MarkDead lowers the quorum — the
+// orderings "survivors arrive first, then learn who died" and vice versa
+// both terminate.
+func (w *world) finishRecoveryLocked() {
+	if w.recCount == 0 || w.recCount < w.size-w.deadCount {
+		return
+	}
+	w.recCount = 0
+	w.recGen++
+	w.epoch.Add(1)
+	w.stopDelayedTimers(false)
+	for _, m := range w.mailboxes {
+		m.purge()
+	}
+	w.failure.Store(nil)
+	w.recCond.Broadcast()
 }

@@ -30,6 +30,12 @@ const (
 // formats (hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// CRC32C returns the Castagnoli CRC of p — the checksum every framework
+// format uses, exported so in-memory consumers of the encodings (the
+// buddy-replication envelopes of shrinking recovery) validate payloads
+// with the identical discipline.
+func CRC32C(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
 // CorruptError is the typed error for structurally invalid or
 // integrity-failing external data: bad magic, implausible headers that
 // would otherwise drive huge allocations, truncations and CRC mismatches.

@@ -151,7 +151,14 @@ func ReadRankFile(r io.Reader, s *lattice.Stencil, layout field.Layout) ([]Block
 	if count > maxRankFileBlocks {
 		return nil, 0, corruptf(rankFileMagic, "implausible block count %d", count)
 	}
-	blocks := make([]BlockSnapshot, 0, count)
+	// Grow toward the claimed count instead of trusting it for the initial
+	// allocation: the header is read before any payload is validated, so a
+	// corrupt count must not drive a large up-front allocation.
+	initialCap := count
+	if initialCap > 1024 {
+		initialCap = 1024
+	}
+	blocks := make([]BlockSnapshot, 0, initialCap)
 	for i := uint32(0); i < count; i++ {
 		recCRC := crc32.New(castagnoli)
 		rr := io.TeeReader(cr, recCRC)

@@ -1,0 +1,401 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+)
+
+// shrinkForest is the shared scenario of the shrinking-recovery tests: a
+// 2×2 block cavity spread over the given rank count (three in the main
+// tests, so killing the middle rank leaves two survivors and one
+// adoption).
+func shrinkForest(ranks int) *blockforest.SetupForest {
+	domain := blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1})
+	f := blockforest.NewSetupForest(domain, [3]int{2, 2, 1}, [3]int{4, 4, 4}, [3]bool{})
+	f.BalanceMorton(ranks)
+	return f
+}
+
+// shrinkReference runs the scenario fault-free on the original world and
+// returns the exact bit pattern of every block. Stepping is deterministic
+// and partition-independent, so this is the ground truth the post-shrink
+// world must match bit for bit.
+func shrinkReference(t *testing.T, ranks, steps, workers int) map[[3]int][]uint64 {
+	t.Helper()
+	var mu sync.Mutex
+	want := make(map[[3]int][]uint64)
+	comm.Run(ranks, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), shrinkForest(ranks)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := cavityConfig()
+		cfg.Workers = workers
+		s, err := New(c, forest, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mustRun(t, s, steps)
+		collectBits(s, &mu, want)
+	})
+	if t.Failed() {
+		t.Fatal("reference run failed")
+	}
+	return want
+}
+
+func assertBitsEqual(t *testing.T, got, want map[[3]int][]uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("shrunk world produced %d blocks, want %d", len(got), len(want))
+	}
+	for coord, wb := range want {
+		gb, ok := got[coord]
+		if !ok {
+			t.Fatalf("block %v missing from shrunk world", coord)
+		}
+		if len(gb) != len(wb) {
+			t.Fatalf("block %v: %d values, want %d", coord, len(gb), len(wb))
+		}
+		for i := range wb {
+			if gb[i] != wb[i] {
+				t.Fatalf("block %v value %d: bits %016x, want %016x — shrink recovery is not bit-identical",
+					coord, i, gb[i], wb[i])
+			}
+		}
+	}
+}
+
+// runShrinkScenario executes the faulty run under RecoverShrink and
+// returns the surviving ranks' block bits and recovery stats. The victim
+// must come back with ErrRetired and contributes nothing.
+func runShrinkScenario(t *testing.T, opts comm.Options, victim, steps, workers int, rc ResilienceConfig) (map[[3]int][]uint64, []RecoveryStats) {
+	t.Helper()
+	var mu sync.Mutex
+	got := make(map[[3]int][]uint64)
+	var recovered []RecoveryStats
+	comm.RunWithOptions(3, opts, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), shrinkForest(3)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := cavityConfig()
+		cfg.Workers = workers
+		s, err := New(c, forest, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m, err := s.RunResilient(steps, rc)
+		if c.Rank() == victim {
+			if !errors.Is(err, ErrRetired) {
+				t.Errorf("victim rank %d: err = %v, want ErrRetired", victim, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Errorf("rank %d: RunResilient: %v", c.Rank(), err)
+			return
+		}
+		if m.Ranks != 2 {
+			t.Errorf("rank %d: metrics report %d ranks, want 2 after the shrink", c.Rank(), m.Ranks)
+		}
+		collectBits(s, &mu, got)
+		mu.Lock()
+		recovered = append(recovered, m.Recovery)
+		mu.Unlock()
+	})
+	if t.Failed() {
+		t.Fatal("shrink scenario failed")
+	}
+	return got, recovered
+}
+
+// TestShrinkRecoveryBitIdenticalAfterCrash is the tentpole acceptance
+// test: a rank crashes mid-run, the survivors shrink the world, the buddy
+// re-owns the dead rank's blocks from the in-memory replica — with zero
+// disk I/O — and the run finishes bit-identical to an uninterrupted run,
+// across intra-rank worker counts.
+func TestShrinkRecoveryBitIdenticalAfterCrash(t *testing.T) {
+	const steps, victim = 8, 1
+	for _, workers := range []int{1, 2, 4, 7} {
+		t.Run(workerName(workers), func(t *testing.T) {
+			want := shrinkReference(t, 3, steps, workers)
+			opts := comm.Options{Faults: &comm.FaultPlan{Seed: 11, Crashes: []comm.CrashSpec{{Rank: victim, Step: 5}}}}
+			got, recovered := runShrinkScenario(t, opts, victim, steps, workers, ResilienceConfig{
+				Mode:            RecoverShrink,
+				CheckpointEvery: 2,
+				MaxFailures:     4,
+				BackoffBase:     time.Millisecond,
+				BackoffMax:      10 * time.Millisecond,
+			})
+			assertBitsEqual(t, got, want)
+
+			adopted := 0
+			for _, r := range recovered {
+				if r.Shrinks != 1 {
+					t.Errorf("survivor saw %d shrinks, want 1: %+v", r.Shrinks, r)
+				}
+				if r.BuddyRestores != 1 || r.DiskRestores != 0 {
+					t.Errorf("recovery was not served from the buddy replica: %+v", r)
+				}
+				if r.DiskReadsDuringRecovery != 0 {
+					t.Errorf("pure buddy recovery performed %d disk reads, want 0: %+v", r.DiskReadsDuringRecovery, r)
+				}
+				if r.Replications == 0 || r.ReplicaBytes == 0 {
+					t.Errorf("no replication activity recorded: %+v", r)
+				}
+				adopted += r.BlocksAdopted
+			}
+			if adopted == 0 {
+				t.Errorf("no survivor adopted the dead rank's blocks")
+			}
+		})
+	}
+}
+
+// TestShrinkRecoveryBitIdenticalAfterSilentFailure exercises the
+// failure-detection deadline: the victim goes silent (injected hang, no
+// crash notification), the survivors declare it dead by receive timeout,
+// and shrinking recovery proceeds exactly as for a crash — in memory,
+// bit-identical.
+func TestShrinkRecoveryBitIdenticalAfterSilentFailure(t *testing.T) {
+	const steps, victim = 8, 1
+	for _, workers := range []int{1, 2, 4, 7} {
+		t.Run(workerName(workers), func(t *testing.T) {
+			want := shrinkReference(t, 3, steps, workers)
+			opts := comm.Options{
+				Faults:      &comm.FaultPlan{Seed: 13, Hangs: []comm.CrashSpec{{Rank: victim, Step: 5}}},
+				FailTimeout: 500 * time.Millisecond,
+			}
+			got, recovered := runShrinkScenario(t, opts, victim, steps, workers, ResilienceConfig{
+				Mode:            RecoverShrink,
+				CheckpointEvery: 2,
+				MaxFailures:     4,
+				BackoffBase:     time.Millisecond,
+				BackoffMax:      10 * time.Millisecond,
+			})
+			assertBitsEqual(t, got, want)
+			for _, r := range recovered {
+				if r.Shrinks != 1 || r.BuddyRestores != 1 {
+					t.Errorf("silent failure was not recovered by a buddy shrink: %+v", r)
+				}
+				if r.DiskReadsDuringRecovery != 0 {
+					t.Errorf("recovery from a silent failure read disk %d times, want 0: %+v", r.DiskReadsDuringRecovery, r)
+				}
+			}
+		})
+	}
+}
+
+func workerName(w int) string {
+	return "workers=" + string(rune('0'+w))
+}
+
+// TestShrinkDiskFallback drives the fallback rung directly: when no
+// common in-memory generation survives (simulated by invalidating the
+// generations while keeping the retained metadata), shrink recovery must
+// restore the survivors and the adopted blocks from the newest disk
+// checkpoint set.
+func TestShrinkDiskFallback(t *testing.T) {
+	const steps = 6
+	dir := t.TempDir()
+	want := shrinkReference(t, 2, 4, 1) // state at the newest disk set (step 4)
+
+	var mu sync.Mutex
+	got := make(map[[3]int][]uint64)
+	// The "victim" here is a healthy rank told to retire, so the survivor
+	// must not start recovery (which purges in-flight messages) until the
+	// victim has fully left the communication — hence the host-side signal.
+	retired := make(chan struct{})
+	comm.Run(2, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), shrinkForest(2)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s, err := New(c, forest, cavityConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rc := ResilienceConfig{Mode: RecoverShrink, CheckpointEvery: 2, Dir: dir}
+		if _, err := s.RunResilient(steps, rc); err != nil {
+			t.Errorf("rank %d: fault-free run: %v", c.Rank(), err)
+			return
+		}
+
+		// Invalidate every in-memory generation, keeping only the
+		// retained block metadata — as if the replicas were too stale to
+		// agree on.
+		s.buddy.own[0].step, s.buddy.own[1].step = -1, -1
+		s.buddy.replica[0], s.buddy.replica[1] = nil, nil
+
+		if c.Rank() == 1 {
+			c.Retire()
+			close(retired)
+			return
+		}
+		<-retired
+		c.MarkDead(c.WorldRankOf(1))
+		c.Recover()
+		var rec RecoveryStats
+		rc.applyDefaults()
+		restored, err := s.shrinkRecover([]int{c.WorldRankOf(1)}, rc, &rec, time.Now())
+		if err != nil {
+			t.Errorf("shrinkRecover: %v", err)
+			return
+		}
+		if restored != 4 {
+			t.Errorf("restored step %d, want 4 (the newest disk set)", restored)
+		}
+		if rec.DiskRestores != 1 || rec.BuddyRestores != 0 {
+			t.Errorf("recovery did not take the disk rung: %+v", rec)
+		}
+		if rec.BlocksAdopted == 0 {
+			t.Errorf("sole survivor adopted no blocks: %+v", rec)
+		}
+		if s.Comm.Size() != 1 {
+			t.Errorf("post-shrink communicator size %d, want 1", s.Comm.Size())
+		}
+		collectBits(s, &mu, got)
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	assertBitsEqual(t, got, want)
+}
+
+// TestBackoffCapping: the exponential recovery delay must grow from the
+// base and saturate at the cap.
+func TestBackoffCapping(t *testing.T) {
+	rc := ResilienceConfig{BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond}
+	rc.applyDefaults()
+	for _, tc := range []struct {
+		n    int
+		want time.Duration
+	}{
+		{1, 10 * time.Millisecond},
+		{2, 20 * time.Millisecond},
+		{3, 40 * time.Millisecond},
+		{4, 80 * time.Millisecond},
+		{5, 80 * time.Millisecond},
+		{30, 80 * time.Millisecond}, // no overflow past the cap
+	} {
+		if got := rc.backoff(tc.n); got != tc.want {
+			t.Errorf("backoff(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+	var def ResilienceConfig
+	def.applyDefaults()
+	if def.BackoffBase != 10*time.Millisecond || def.BackoffMax != 2*time.Second {
+		t.Errorf("default backoff = %v/%v, want 10ms/2s", def.BackoffBase, def.BackoffMax)
+	}
+}
+
+// TestMaxFailuresSemantics: negative selects the documented default of 8,
+// positive values pass through, and 0 means zero tolerance — the first
+// failure aborts the run instead of recovering.
+func TestMaxFailuresSemantics(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{-1, 8}, {-7, 8}, {0, 0}, {5, 5}} {
+		rc := ResilienceConfig{MaxFailures: tc.in}
+		rc.applyDefaults()
+		if rc.MaxFailures != tc.want {
+			t.Errorf("applyDefaults(MaxFailures=%d) = %d, want %d", tc.in, rc.MaxFailures, tc.want)
+		}
+	}
+
+	// Zero tolerance: a single injected crash must abort every rank with
+	// the give-up error rather than rewinding.
+	dir := t.TempDir()
+	comm.RunWithOptions(2, comm.Options{Faults: &comm.FaultPlan{Seed: 3, Crashes: []comm.CrashSpec{{Rank: 1, Step: 2}}}}, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), cavityForest()))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s, err := New(c, forest, cavityConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, err = s.RunResilient(4, ResilienceConfig{
+			CheckpointEvery: 2,
+			Dir:             dir,
+			MaxFailures:     0,
+			BackoffBase:     time.Millisecond,
+		})
+		if err == nil || !strings.Contains(err.Error(), "giving up") {
+			t.Errorf("rank %d: err = %v, want the give-up abort", c.Rank(), err)
+		}
+	})
+}
+
+// TestReplicateRoundTrip: one replication generation decodes back into
+// blocks bit-identical to the producer's, via the same adoption path
+// recovery uses.
+func TestReplicateRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	want := make(map[[3]int][]uint64)
+	decoded := make(map[[3]int][]uint64)
+	comm.Run(2, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), cavityForest()))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s, err := New(c, forest, cavityConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mustRun(t, s, 3)
+		collectBits(s, &mu, want)
+		s.buddy = newBuddyState()
+		var rec RecoveryStats
+		if err := s.replicate(3, &rec); err != nil {
+			t.Errorf("rank %d: replicate: %v", c.Rank(), err)
+			return
+		}
+		ward := (c.Rank() + c.Size() - 1) % c.Size()
+		gen := s.buddy.replicaAt(c.WorldRankOf(ward), 3)
+		if gen == nil {
+			t.Errorf("rank %d: no committed replica for ward %d", c.Rank(), ward)
+			return
+		}
+		if len(gen.snaps) == 0 || len(gen.snaps) != len(gen.metas) {
+			t.Errorf("rank %d: replica decoded to %d snapshots, %d metas",
+				c.Rank(), len(gen.snaps), len(gen.metas))
+			return
+		}
+		blocks, err := s.adoptReplica(gen)
+		if err != nil {
+			t.Errorf("rank %d: adoptReplica: %v", c.Rank(), err)
+			return
+		}
+		mu.Lock()
+		for _, bd := range blocks {
+			d := bd.Src.Data()
+			bits := make([]uint64, len(d))
+			for i, v := range d {
+				bits[i] = math.Float64bits(v)
+			}
+			decoded[bd.Block.Coord] = bits
+		}
+		mu.Unlock()
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	assertBitsEqual(t, decoded, want)
+}

@@ -50,6 +50,32 @@ type RecoveryStats struct {
 	// TimeLost is the wall time this rank spent in recovery (backoff,
 	// rendezvous and state restore), excluding replayed steps.
 	TimeLost time.Duration
+	// RestoreLatency is the state-restore part of TimeLost alone — from
+	// the end of the recovery rendezvous to the simulation being ready to
+	// step again. This is the buddy-vs-disk comparison the resilience
+	// benchmark reports.
+	RestoreLatency time.Duration
+
+	// Buddy replication and shrinking recovery (RecoverShrink).
+
+	// Replications counts the buddy-replica generations this rank
+	// produced; ReplicaBytes is their serialized payload volume.
+	Replications int
+	ReplicaBytes int64
+	// BuddyRestores counts recoveries satisfied entirely from in-memory
+	// replicas; DiskRestores counts shrink recoveries that had to fall
+	// back to a disk checkpoint set.
+	BuddyRestores int
+	DiskRestores  int
+	// Shrinks counts world-shrink events this rank survived;
+	// BlocksAdopted is the number of dead ranks' blocks this rank
+	// re-owned.
+	Shrinks       int
+	BlocksAdopted int
+	// DiskReadsDuringRecovery counts filesystem reads (directory scans and
+	// file opens) performed while restoring state after a failure — zero
+	// on the pure buddy path.
+	DiskReadsDuringRecovery int
 }
 
 // OverlapTimes is this rank's accumulated split-phase step breakdown: the

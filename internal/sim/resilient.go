@@ -18,17 +18,55 @@ import (
 // restored run replays the exact deterministic step sequence and finishes
 // bit-identical to an uninterrupted run.
 
+// RecoveryMode selects how RunResilient repairs the world after a
+// permanent rank failure.
+type RecoveryMode int
+
+const (
+	// RecoverRewind (the default) keeps the world intact: every rank —
+	// including the one that failed, which in the in-process model can
+	// rejoin — backs off, rendezvouses and rewinds from the newest valid
+	// disk checkpoint set.
+	RecoverRewind RecoveryMode = iota
+	// RecoverShrink drops the failed rank: the survivors shrink the
+	// communicator, the dead rank's buddy re-owns its blocks from the
+	// in-memory replica, and the run resumes from the replicated step
+	// with zero disk I/O (ULFM-style shrinking recovery; see
+	// docs/RESILIENCE.md). Disk checkpoint sets, when configured, remain
+	// the fallback for a stale or missing replica generation.
+	RecoverShrink
+)
+
+// ErrRetired is returned by RunResilient on a rank that failed
+// permanently under RecoverShrink: the rank has been removed from the
+// world, the survivors carry its blocks on, and this rank must simply
+// return from the SPMD function without further communication.
+var ErrRetired = errors.New("sim: rank retired after permanent failure (shrinking recovery)")
+
+// errSilenced is the internal conversion of an injected Hang: the rank
+// must go dark without even marking itself dead — the world has to detect
+// the silence by timeout.
+var errSilenced = errors.New("sim: rank silenced by injected hang")
+
 // ResilienceConfig tunes RunResilient.
 type ResilienceConfig struct {
-	// CheckpointEvery takes a coordinated checkpoint set before every
-	// multiple of this step count (0 disables checkpointing: failures
-	// rewind to the initial state).
+	// CheckpointEvery protects every multiple of this step count: under
+	// RecoverRewind a coordinated disk checkpoint set is written (when Dir
+	// is non-empty), under RecoverShrink an in-memory buddy replica
+	// generation is produced (plus the disk set when Dir is set, as the
+	// fallback rung). 0 disables both: failures rewind to the initial
+	// state, and shrink recovery has no replicas to restore from.
 	CheckpointEvery int
 	// Dir is the checkpoint root directory; one "set-<step>" subdirectory
-	// per checkpoint.
+	// per checkpoint. Empty disables disk checkpointing (RecoverShrink
+	// then runs purely in memory).
 	Dir string
+	// Mode selects rewind (default) or shrinking recovery.
+	Mode RecoveryMode
 	// MaxFailures caps how many rank-failure events are tolerated before
-	// the run aborts; zero means 8.
+	// the run aborts. Negative selects the default of 8; 0 means zero
+	// tolerance — abort on the first failure; positive values are the
+	// cap.
 	MaxFailures int
 	// BackoffBase and BackoffMax shape the capped exponential delay
 	// between failure detection and the recovery rendezvous; zero means
@@ -38,7 +76,7 @@ type ResilienceConfig struct {
 }
 
 func (rc *ResilienceConfig) applyDefaults() {
-	if rc.MaxFailures == 0 {
+	if rc.MaxFailures < 0 {
 		rc.MaxFailures = 8
 	}
 	if rc.BackoffBase == 0 {
@@ -201,6 +239,7 @@ func (s *Simulation) RestoreLatestCheckpointSet(dir string) (int64, error) {
 	var candidates []int64
 	if c.Rank() == 0 {
 		candidates = output.ListValidSets(dir)
+		s.recoveryDiskReads++
 	}
 	v, err := c.BcastErr(0, candidates)
 	if err != nil {
@@ -243,6 +282,7 @@ func (s *Simulation) RestoreLatestCheckpointSet(dir string) (int64, error) {
 // snapshot coordinates and this rank's block assignment.
 func (s *Simulation) loadOwnRankFile(setDir string) (map[[3]int][2]*field.PDFField, error) {
 	c := s.Comm
+	s.recoveryDiskReads++
 	m, err := output.ValidateSetDir(setDir)
 	if err != nil {
 		return nil, err
@@ -299,38 +339,96 @@ func (s *Simulation) loadOwnRankFile(setDir string) (map[[3]int][2]*field.PDFFie
 }
 
 // RunResilient advances the simulation by the given number of steps under
-// the fault-tolerant driver: periodic coordinated checkpoints, and on any
-// detected rank failure a capped-exponential backoff, a world-wide
-// recovery rendezvous, and a rewind to the newest valid checkpoint set
-// before replaying. Because stepping is deterministic, the run finishes
-// bit-identical to an uninterrupted one.
+// the fault-tolerant driver: periodic protection (disk checkpoint sets,
+// and under RecoverShrink in-memory buddy replicas), and on any detected
+// rank failure a capped-exponential backoff, a recovery rendezvous, and a
+// state restore before replaying — a disk rewind of the whole world
+// (RecoverRewind) or a shrink of the world onto the survivors with the
+// dead rank's blocks adopted from its buddy's replica (RecoverShrink).
+// Because stepping is deterministic, the run finishes bit-identical to an
+// uninterrupted one on the same final block assignment.
+//
+// Under RecoverShrink a rank that failed permanently returns ErrRetired:
+// it is no longer part of the world and must not communicate again.
 func (s *Simulation) RunResilient(steps int, rc ResilienceConfig) (Metrics, error) {
 	rc.applyDefaults()
+	if rc.Mode != RecoverRewind && rc.Mode != RecoverShrink {
+		return Metrics{}, fmt.Errorf("sim: unknown recovery mode %d", rc.Mode)
+	}
+	if rc.Mode == RecoverShrink {
+		s.buddy = newBuddyState()
+	}
 	s.ResetTimers()
 	var rec RecoveryStats
 	start := time.Now()
 	step := 0
 	failures := 0
 	needRestore := false
+	var deadPending []int // world ranks whose blocks still need re-owning
+
+	// onFailure classifies one rank-failure event; it returns a non-nil
+	// terminal error when this rank is done (retired or out of budget).
+	onFailure := func(err error) error {
+		var rfe *comm.RankFailedError
+		if !errors.As(err, &rfe) {
+			return err
+		}
+		failures++
+		rec.FailuresDetected++
+		if failures > rc.MaxFailures {
+			return fmt.Errorf("sim: giving up after %d rank failures: %w", failures, err)
+		}
+		if rc.Mode == RecoverShrink {
+			if rfe.Rank == s.Comm.WorldRank() {
+				// This rank is the victim: leave the world for good.
+				s.Comm.Retire()
+				return ErrRetired
+			}
+			found := false
+			for _, d := range deadPending {
+				found = found || d == rfe.Rank
+			}
+			if !found {
+				deadPending = append(deadPending, rfe.Rank)
+			}
+		}
+		return nil
+	}
 
 	for {
 		if needRestore {
 			tRec := time.Now()
 			time.Sleep(rc.backoff(failures))
-			s.Comm.Recover()
-			restored, err := s.restoreAttempt(rc.Dir)
-			if err != nil {
-				if !comm.IsRankFailure(err) {
-					return Metrics{}, err
+			if rc.Mode == RecoverShrink {
+				for _, d := range deadPending {
+					s.Comm.MarkDead(d)
 				}
-				failures++
-				rec.FailuresDetected++
-				if failures > rc.MaxFailures {
-					return Metrics{}, fmt.Errorf("sim: giving up after %d rank failures: %w", failures, err)
+			}
+			s.Comm.Recover()
+			tRestore := time.Now()
+			diskBefore := s.recoveryDiskReads
+			var restored int64
+			var err error
+			if rc.Mode == RecoverShrink {
+				restored, err = s.shrinkRestoreAttempt(deadPending, rc, &rec, tRestore)
+			} else {
+				restored, err = s.restoreAttempt(rc.Dir)
+			}
+			rec.DiskReadsDuringRecovery += s.recoveryDiskReads - diskBefore
+			if err != nil {
+				rec.TimeLost += time.Since(tRec)
+				if terminal := onFailure(err); terminal != nil {
+					return Metrics{}, terminal
 				}
 				continue
 			}
+			deadPending = nil
 			rec.Restores++
+			if rc.Mode != RecoverShrink {
+				// The shrink path records its rendezvous-to-ready time
+				// itself, just before its completion barrier.
+				rec.RestoreLatency += time.Since(tRestore)
+			}
 			if step > int(restored) {
 				rec.StepsReplayed += step - int(restored)
 			}
@@ -343,13 +441,14 @@ func (s *Simulation) RunResilient(steps int, rc ResilienceConfig) (Metrics, erro
 		if err == nil {
 			break
 		}
-		if !comm.IsRankFailure(err) {
-			return Metrics{}, err
+		if errors.Is(err, errSilenced) {
+			// Injected silent failure: go dark without a trace — the
+			// survivors must detect the silence via the failure-detection
+			// deadline and shrink around this rank.
+			return Metrics{}, ErrRetired
 		}
-		failures++
-		rec.FailuresDetected++
-		if failures > rc.MaxFailures {
-			return Metrics{}, fmt.Errorf("sim: giving up after %d rank failures: %w", failures, err)
+		if terminal := onFailure(err); terminal != nil {
+			return Metrics{}, terminal
 		}
 		needRestore = true
 	}
@@ -374,6 +473,10 @@ func (s *Simulation) runAttempt(total int, rc ResilienceConfig, step *int, rec *
 				err = &comm.RankFailedError{Rank: cr.Rank, Cause: "injected crash"}
 				return
 			}
+			if _, ok := r.(comm.Hang); ok {
+				err = errSilenced
+				return
+			}
 			var rfe *comm.RankFailedError
 			if e, isErr := r.(error); isErr && errors.As(e, &rfe) {
 				err = rfe
@@ -383,10 +486,20 @@ func (s *Simulation) runAttempt(total int, rc ResilienceConfig, step *int, rec *
 		}
 	}()
 	for *step < total {
-		// Arm this step's injected crashes (fires at most once per spec
-		// across replays) before any collective work for the step.
+		// Arm this step's injected crashes and hangs (each fires at most
+		// once per spec across replays) before any collective work for
+		// the step.
 		s.Comm.SetStep(*step)
-		if rc.CheckpointEvery > 0 && *step > 0 && *step%rc.CheckpointEvery == 0 {
+		if rc.Mode == RecoverShrink && rc.CheckpointEvery > 0 &&
+			*step%rc.CheckpointEvery == 0 && s.buddy.lastStep != *step {
+			// Produce a buddy-replica generation, including one at step 0
+			// so the buddy always holds at least the initial state (and
+			// with it the block metadata adoption needs).
+			if err := s.replicate(*step, rec); err != nil {
+				return err
+			}
+		}
+		if rc.CheckpointEvery > 0 && rc.Dir != "" && *step > 0 && *step%rc.CheckpointEvery == 0 {
 			n, err := s.WriteCheckpointSet(rc.Dir, *step)
 			if err != nil {
 				return err

@@ -154,6 +154,14 @@ type Simulation struct {
 	sweepFn   func(int)
 	force     *forcing
 
+	// In-memory buddy replication state of shrinking recovery (buddy.go);
+	// nil unless RunResilient runs with RecoverShrink.
+	buddy *buddyState
+	// recoveryDiskReads counts filesystem reads performed by the restore
+	// paths; the driver snapshots it around each recovery to assert the
+	// buddy path stays disk-free.
+	recoveryDiskReads int
+
 	computeTime  time.Duration
 	commTime     time.Duration
 	boundaryTime time.Duration
