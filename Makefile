@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-sim race-resilience alloc-test fuzz-smoke verify bench bench-hybrid bench-comm bench-resilience clean
+.PHONY: all build test vet race race-sim race-resilience alloc-test fuzz-smoke verify bench bench-hybrid bench-comm bench-resilience bench-phases clean
 
 all: build
 
@@ -28,9 +28,11 @@ race-sim:
 race-resilience:
 	$(GO) test -race -count=1 -run 'TestShrink|TestReplicate|TestResilient|TestRestore|TestWriteCheckpoint|TestBackoff|TestMaxFailures|TestFail' ./internal/sim/ ./internal/comm/
 
-# alloc-test re-runs the steady-state allocation regression gate of the
-# ghost exchange uncached and WITHOUT the race detector (race
-# instrumentation allocates, so the test skips itself under -race).
+# alloc-test re-runs the steady-state allocation regression gates
+# uncached and WITHOUT the race detector (race instrumentation allocates,
+# so the tests skip themselves under -race): TestStepZeroAlloc with
+# telemetry disabled AND TestStepZeroAllocTraced with a tracer and
+# metrics registry attached — the telemetry overhead guard.
 alloc-test:
 	$(GO) test -count=1 -run 'TestStepZeroAlloc' ./internal/sim/
 
@@ -65,6 +67,12 @@ bench-comm: build
 # intervals and writes BENCH_resilience.json.
 bench-resilience: build
 	$(GO) run ./cmd/walberla-bench -fig resilience
+
+# bench-phases breaks the step time into its split-phase components
+# (exchange post, interior sweep, residual wait, frontier sweep) per
+# worker count, on the telemetry timers, and writes BENCH_phases.json.
+bench-phases: build
+	$(GO) run ./cmd/walberla-bench -fig phases
 
 clean:
 	$(GO) clean ./...

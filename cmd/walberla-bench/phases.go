@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"walberla/internal/comm"
+	"walberla/internal/core"
+	"walberla/internal/sim"
+	"walberla/internal/telemetry"
+)
+
+// phasesBench breaks the step time into the split-phase components the
+// telemetry layer times — exchange post, interior sweep, residual
+// exchange wait, frontier sweep — as a function of the intra-rank worker
+// count, on a two-rank lid-driven cavity. The numbers come from the
+// telemetry registry (the sim.phase.*_ns counters every traced step
+// updates), not from ad-hoc stopwatches, so the bench also exercises the
+// telemetry wiring end to end. A rank-0 roofline report places the
+// measured kernel rate against the perfmodel prediction. Results go to
+// stdout as TSV and to BENCH_phases.json.
+func phasesBench() {
+	header("Step phase breakdown vs worker count (telemetry timers)")
+	steps := 150
+	edge := 16
+	if *quick {
+		steps = 40
+		edge = 8
+	}
+	const ranks = 2
+	grid := [3]int{4, 2, 2}
+
+	type result struct {
+		Workers         int     `json:"workers"`
+		MLUPS           float64 `json:"mlups"`
+		WallSeconds     float64 `json:"wall_seconds"`
+		PostSeconds     float64 `json:"exchange_post_seconds"`
+		InteriorSeconds float64 `json:"interior_sweep_seconds"`
+		WaitSeconds     float64 `json:"exchange_wait_seconds"`
+		FrontierSeconds float64 `json:"frontier_sweep_seconds"`
+		WaitShare       float64 `json:"exchange_wait_share"`
+		LoadImbalance   float64 `json:"load_imbalance"`
+		PredictedMLUPS  float64 `json:"predicted_mlups_rank0"`
+		KernelMLUPS     float64 `json:"kernel_mlups_rank0"`
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "phases bench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# ranks=%d grid=%v cells=%d^3 steps=%d (phase seconds summed over ranks)\n",
+		ranks, grid, edge, steps)
+	fmt.Println("workers\tMLUPS\tpost_s\tinterior_s\twait_s\tfrontier_s\twait%\timbalance")
+	var results []result
+	for _, w := range []int{1, 2, 4, 8} {
+		trace := telemetry.NewTrace()
+		var mu sync.Mutex
+		regs := map[int]*telemetry.Registry{}
+
+		p := core.LidDrivenCavity(grid, [3]int{edge, edge, edge}, 0.05, ranks)
+		p.Workers = w
+		p.TelemetryFor = func(rank int) (*telemetry.Tracer, *telemetry.Registry) {
+			reg := telemetry.NewRegistry()
+			mu.Lock()
+			regs[rank] = reg
+			mu.Unlock()
+			return trace.NewTracer(rank, w, 0), reg
+		}
+
+		r := result{Workers: w}
+		err := p.RunEach(steps, func(c *comm.Comm, s *sim.Simulation, m sim.Metrics) {
+			if c.Rank() != 0 {
+				return
+			}
+			rep := s.RooflineReport(nil)
+			r.MLUPS = m.MLUPS
+			r.WallSeconds = m.WallTime.Seconds()
+			r.PredictedMLUPS = rep.PredictedMLUPS
+			r.KernelMLUPS = rep.KernelMLUPS
+		})
+		if err != nil {
+			fail(err)
+		}
+
+		var snaps []telemetry.Snapshot
+		for rank, reg := range regs {
+			snaps = append(snaps, reg.Snapshot(rank))
+		}
+		merged := telemetry.Merge(snaps)
+		r.PostSeconds = float64(merged.Counter("sim.phase.exchange_post_ns")) / 1e9
+		r.InteriorSeconds = float64(merged.Counter("sim.phase.interior_sweep_ns")) / 1e9
+		r.WaitSeconds = float64(merged.Counter("sim.phase.exchange_wait_ns")) / 1e9
+		r.FrontierSeconds = float64(merged.Counter("sim.phase.frontier_sweep_ns")) / 1e9
+		if total := r.PostSeconds + r.InteriorSeconds + r.WaitSeconds + r.FrontierSeconds; total > 0 {
+			r.WaitShare = r.WaitSeconds / total
+		}
+		r.LoadImbalance = merged.Gauge("sim.load_imbalance")
+
+		fmt.Printf("%d\t%.2f\t%.4f\t%.4f\t%.4f\t%.4f\t%.1f%%\t%.2f\n",
+			r.Workers, r.MLUPS, r.PostSeconds, r.InteriorSeconds,
+			r.WaitSeconds, r.FrontierSeconds, 100*r.WaitShare, r.LoadImbalance)
+		results = append(results, r)
+	}
+
+	out := struct {
+		Ranks         int      `json:"ranks"`
+		Grid          [3]int   `json:"grid"`
+		CellsPerBlock [3]int   `json:"cells_per_block"`
+		Steps         int      `json:"steps"`
+		Results       []result `json:"results"`
+	}{
+		Ranks: ranks, Grid: grid,
+		CellsPerBlock: [3]int{edge, edge, edge}, Steps: steps,
+		Results: results,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile("BENCH_phases.json", append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Println("wrote BENCH_phases.json")
+}

@@ -25,8 +25,10 @@ import (
 	"walberla/internal/distance"
 	"walberla/internal/mesh"
 	"walberla/internal/output"
+	"walberla/internal/perfmodel"
 	"walberla/internal/setup"
 	"walberla/internal/sim"
+	"walberla/internal/telemetry"
 	"walberla/internal/vascular"
 )
 
@@ -50,6 +52,11 @@ func main() {
 		ckptDir    = flag.String("checkpoint", "", "write per-block PDF checkpoints into this directory")
 		rebalance  = flag.Int("rebalance", 0, "dynamically rebalance by measured compute time every N steps (0 = off)")
 		resumeDir  = flag.String("resume", "", "restore per-block PDF checkpoints from this directory before stepping")
+
+		tracePath   = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON of all ranks' phase spans to this file (load in ui.perfetto.dev or chrome://tracing)")
+		metricsJSON = flag.String("metrics-json", "", "write a merged JSON metrics snapshot (counters, gauges, histograms, roofline comparison) to this file")
+		metricsAddr = flag.String("metrics-addr", "", `serve live metrics snapshots over HTTP on this address while the run is in flight (e.g. "localhost:6060")`)
+		machineName = flag.String("machine", "supermuc", "perfmodel machine for the roofline comparison: supermuc or juqueen")
 
 		checkpointEvery = flag.Int("checkpoint-every", 0, "run the fault-tolerant driver, taking a coordinated checkpoint set every N steps (0 = off)")
 		checkpointSets  = flag.String("checkpoint-sets", "checkpoint-sets", "directory for coordinated checkpoint sets (with -checkpoint-every)")
@@ -81,6 +88,36 @@ func main() {
 		mode = sim.RecoverShrink
 	default:
 		fatal(fmt.Errorf("-recover-mode: unknown mode %q (want rewind or shrink)", *recoverMode))
+	}
+
+	var machine *perfmodel.Machine
+	switch *machineName {
+	case "supermuc":
+		machine = perfmodel.SuperMUCSocket()
+	case "juqueen":
+		machine = perfmodel.JUQUEENNode()
+	default:
+		fatal(fmt.Errorf("-machine: unknown machine %q (want supermuc or juqueen)", *machineName))
+	}
+
+	// Telemetry: one tracer per rank sharing the trace epoch, one registry
+	// per rank, optionally exposed live over HTTP. Any telemetry flag
+	// enables recording for all of them — the extra cost is spans into
+	// preallocated rings and atomic counter updates.
+	telemetryOn := *tracePath != "" || *metricsJSON != "" || *metricsAddr != ""
+	var trace *telemetry.Trace
+	if *tracePath != "" {
+		trace = telemetry.NewTrace()
+	}
+	var server *telemetry.MetricsServer
+	if *metricsAddr != "" {
+		server = telemetry.NewMetricsServer()
+		addr, err := server.Serve(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer server.Close()
+		fmt.Printf("serving metrics on http://%s/metrics\n", addr)
 	}
 
 	sdf, err := loadGeometry(*meshPath, *useTree, *treeDepth, *seed)
@@ -149,6 +186,8 @@ func main() {
 	var overlap sim.OverlapTimes
 	var frontier, interior int
 	var files int
+	var roofline telemetry.RooflineReport
+	regs := map[int]*telemetry.Registry{}
 	comm.RunWithOptions(*ranks, comm.Options{Faults: faults, FailTimeout: *failTimeout}, func(c *comm.Comm) {
 		var in *blockforest.SetupForest
 		if c.Rank() == 0 {
@@ -158,7 +197,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		s, err := sim.New(c, bf, cfg)
+		rcfg := cfg
+		if telemetryOn {
+			reg := telemetry.NewRegistry()
+			rcfg.Tracer = trace.NewTracer(c.Rank(), *workers, 0) // nil trace → untraced
+			rcfg.Metrics = reg
+			server.Register(c.Rank(), reg)
+			mu.Lock()
+			regs[c.Rank()] = reg
+			mu.Unlock()
+		}
+		s, err := sim.New(c, bf, rcfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -228,12 +277,18 @@ func main() {
 				fatal(err)
 			}
 		}
+		// The live measured-vs-model comparison lands in the registry, so
+		// the metrics snapshot (file and HTTP endpoint) reports per-phase
+		// MLUPS alongside the perfmodel prediction.
+		report := s.RooflineReport(machine)
+		report.Publish(rcfg.Metrics)
 		mu.Lock()
 		defer mu.Unlock()
 		if c.Rank() == 0 {
 			metrics = m
 			overlap = s.Overlap()
 			frontier, interior = s.BlockSplit()
+			roofline = report
 		}
 		for _, bd := range s.Blocks {
 			spacing := (bd.Block.AABB.Max[0] - bd.Block.AABB.Min[0]) / float64(bd.Src.Nx)
@@ -276,6 +331,29 @@ func main() {
 				r.Replications, r.ReplicaBytes, r.BuddyRestores, r.DiskRestores,
 				r.Shrinks, r.BlocksAdopted, r.DiskReadsDuringRecovery)
 		}
+	}
+	if roofline.Machine != "" {
+		if err := roofline.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *tracePath != "" {
+		if err := trace.WriteChromeFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (load in ui.perfetto.dev or chrome://tracing)\n", *tracePath)
+	}
+	if *metricsJSON != "" {
+		var snaps []telemetry.Snapshot
+		for rank, reg := range regs {
+			snaps = append(snaps, reg.Snapshot(rank))
+		}
+		if err := writeFile(*metricsJSON, func(w *os.File) error {
+			return telemetry.Merge(snaps).WriteJSON(w)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metricsJSON)
 	}
 	if files > 0 {
 		fmt.Printf("wrote %d output files\n", files)

@@ -1,6 +1,10 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+
+	"walberla/internal/telemetry"
+)
 
 // Collective tags. Each collective uses a distinct internal tag so that
 // overlapping collectives on disjoint rank subsets cannot mismatch; within
@@ -32,10 +36,14 @@ func (c *Comm) Barrier() {
 
 // BarrierErr is Barrier returning an error on rank failure.
 func (c *Comm) BarrierErr() error {
+	telStart := c.tel.start()
 	if _, err := c.reduceTreeErr(tagBarrier, nil, func(a, b any) any { return nil }); err != nil {
 		return err
 	}
 	_, err := c.bcastTreeErr(tagBarrier, nil)
+	if err == nil && c.tel != nil {
+		c.tel.lane.Span(telemetry.PhaseBarrier, c.tel.step, 0, telStart)
+	}
 	return err
 }
 

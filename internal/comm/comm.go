@@ -404,6 +404,10 @@ type Comm struct {
 	ctx     int         // context id isolating this communicator's traffic
 	splits  int         // number of Split calls issued on this handle
 	stats   *Stats
+	// tel is the optional telemetry attachment (SetTelemetry); like stats
+	// it is shared across every communicator derived from this rank's
+	// handle. nil means untraced — every recording site is a single branch.
+	tel *commTel
 }
 
 // Run executes f on n ranks, one goroutine per rank, and returns when all
@@ -567,7 +571,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	ctx := (c.ctx*31+c.splits)*1000003 + color + 1
 	return &Comm{
 		w: c.w, group: group, toIndex: toIndex, rank: myRank,
-		ctx: ctx, stats: c.stats,
+		ctx: ctx, stats: c.stats, tel: c.tel,
 	}
 }
 
@@ -656,6 +660,7 @@ func (c *Comm) sendMsg(dst, tag int, msg message) error {
 		p.BytesSent += nb
 	}
 	msg.ctx, msg.source, msg.tag = c.ctx, c.WorldRank(), tag
+	telStart := c.tel.sendStart(nb)
 	if p := w.opts.Faults; p != nil {
 		if done, err := c.injectSendFaults(p, worldDst, msg); done {
 			return err
@@ -663,6 +668,7 @@ func (c *Comm) sendMsg(dst, tag int, msg message) error {
 	}
 	waited, err := w.mailboxes[worldDst].put(msg, w.failErr)
 	c.stats.BackpressureWait += waited
+	c.tel.sendDone(worldDst, telStart, waited)
 	return err
 }
 
@@ -732,9 +738,11 @@ func (c *Comm) recvMsg(src, tag int, timeout time.Duration) (message, int, error
 		}
 		worldSrc = c.group[src]
 	}
+	telStart := c.tel.start()
 	start := time.Now()
 	msg, err := c.w.mailboxes[c.WorldRank()].take(c.ctx, worldSrc, tag, timeout, c.w.failErr)
-	c.stats.RecvWait += time.Since(start)
+	waited := time.Since(start)
+	c.stats.RecvWait += waited
 	if err == errTimeout {
 		c.stats.Timeouts++
 		// Accuse the awaited rank (the likely victim of a drop or crash);
@@ -755,11 +763,13 @@ func (c *Comm) recvMsg(src, tag int, timeout time.Duration) (message, int, error
 		if winner := c.w.failure.Load(); winner != nil {
 			f = winner
 		}
+		c.tel.recv(worldSrc, telStart, waited, true, f.Rank)
 		return message{}, 0, f
 	}
 	if err != nil {
 		return message{}, 0, err
 	}
+	c.tel.recv(worldSrc, telStart, waited, false, 0)
 	return msg, c.toIndex[msg.source], nil
 }
 

@@ -108,10 +108,12 @@ func (c *Comm) injectSendFaults(p *FaultPlan, worldDst int, msg message) (done b
 	n := w.sendSeq[c.WorldRank()].Add(1)
 	if p.Drop > 0 && p.chance(faultKindDrop, c.WorldRank(), n) < p.Drop {
 		c.stats.Dropped++
+		c.tel.drop(worldDst)
 		return true, nil
 	}
 	if p.DelayProb > 0 && p.chance(faultKindDelay, c.WorldRank(), n) < p.DelayProb {
 		c.stats.Delayed++
+		c.tel.delay(worldDst)
 		if msg.f64 != nil {
 			// Typed payloads may be persistent buffers the sender repacks
 			// next step; a delayed delivery must snapshot the contents.

@@ -121,6 +121,6 @@ func (c *Comm) Shrink() (*Comm, []int) {
 	ctx := -int(h>>1) - 1
 	return &Comm{
 		w: w, group: group, toIndex: toIndex, rank: myRank,
-		ctx: ctx, stats: c.stats,
+		ctx: ctx, stats: c.stats, tel: c.tel,
 	}, rankMap
 }

@@ -1,0 +1,103 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"walberla/internal/telemetry"
+)
+
+func TestSetTelemetryRecordsTraffic(t *testing.T) {
+	trace := telemetry.NewTrace()
+	var mu sync.Mutex
+	regs := map[int]*telemetry.Registry{}
+	lanes := map[int]*telemetry.Lane{}
+
+	Run(2, func(c *Comm) {
+		tr := trace.NewTracer(c.Rank(), 0, 64)
+		reg := telemetry.NewRegistry()
+		c.SetTelemetry(tr.Driver(), reg)
+		c.SetTelemetryStep(5)
+		mu.Lock()
+		regs[c.Rank()] = reg
+		lanes[c.Rank()] = tr.Driver()
+		mu.Unlock()
+
+		// Traffic on a derived communicator must hit the same handles.
+		sub := c.Split(0, c.Rank())
+		if c.Rank() == 0 {
+			sub.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			sub.RecvFloat64s(0, 7)
+		}
+		c.Barrier()
+	})
+
+	for rank := 0; rank < 2; rank++ {
+		snap := regs[rank].Snapshot(rank)
+		if snap.Counter("comm.sends") == 0 {
+			t.Fatalf("rank %d: no sends counted (collectives should count)", rank)
+		}
+		var sends, recvs, barriers int
+		lanes[rank].Each(func(s telemetry.Span) {
+			switch s.Phase {
+			case telemetry.PhaseSend:
+				sends++
+				if s.Step != 5 {
+					t.Fatalf("rank %d: send span step = %d, want 5", rank, s.Step)
+				}
+			case telemetry.PhaseRecv:
+				recvs++
+			case telemetry.PhaseBarrier:
+				barriers++
+			}
+		})
+		if sends == 0 || recvs == 0 {
+			t.Fatalf("rank %d: spans sends=%d recvs=%d", rank, sends, recvs)
+		}
+		if barriers != 1 {
+			t.Fatalf("rank %d: barrier spans = %d, want 1", rank, barriers)
+		}
+	}
+	if regs[0].Snapshot(0).Counter("comm.bytes_sent") == 0 {
+		t.Fatal("rank 0: no bytes counted")
+	}
+}
+
+func TestTelemetryFaultInstants(t *testing.T) {
+	plan := &FaultPlan{Seed: 42, Drop: 1.0}
+	var lane *telemetry.Lane
+	var reg *telemetry.Registry
+	RunWithOptions(2, Options{Faults: plan, RecvTimeout: 50 * time.Millisecond}, func(c *Comm) {
+		if c.Rank() == 0 {
+			tr := telemetry.NewTracer(0, 0, 64)
+			r := telemetry.NewRegistry()
+			c.SetTelemetry(tr.Driver(), r)
+			lane, reg = tr.Driver(), r
+			c.SendErr(1, 3, []float64{1}) //nolint:errcheck
+			// The drop means rank 1 never replies; the timeout declares a
+			// failure, visible as an instant event.
+			c.RecvErr(1, 4) //nolint:errcheck
+		}
+		// Rank 1 sends nothing and exits.
+	})
+	if reg.Snapshot(0).Counter("comm.dropped") != 1 {
+		t.Fatalf("dropped = %d, want 1", reg.Snapshot(0).Counter("comm.dropped"))
+	}
+	if reg.Snapshot(0).Counter("comm.timeouts") != 1 {
+		t.Fatalf("timeouts = %d, want 1", reg.Snapshot(0).Counter("comm.timeouts"))
+	}
+	var drops, failed int
+	lane.Each(func(s telemetry.Span) {
+		switch s.Phase {
+		case telemetry.PhaseFaultDrop:
+			drops++
+		case telemetry.PhaseRankFailed:
+			failed++
+		}
+	})
+	if drops != 1 || failed != 1 {
+		t.Fatalf("instants: drops=%d failed=%d, want 1/1", drops, failed)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"walberla/internal/lattice"
 	"walberla/internal/setup"
 	"walberla/internal/sim"
+	"walberla/internal/telemetry"
 )
 
 // Problem describes a complete simulation: either a dense box domain
@@ -63,6 +64,11 @@ type Problem struct {
 	Exchange sim.ExchangeMode
 	// Seed drives randomized setup stages.
 	Seed int64
+	// TelemetryFor, if non-nil, supplies each rank's tracer and metrics
+	// registry (either may be nil) before the simulation is built, wiring
+	// span tracing and counters through the run (see docs/TELEMETRY.md).
+	// Called once per rank from that rank's goroutine.
+	TelemetryFor func(rank int) (*telemetry.Tracer, *telemetry.Registry)
 	// UseGraphPartitioner selects METIS-style balancing; Morton curve
 	// otherwise.
 	UseGraphPartitioner bool
@@ -166,7 +172,11 @@ func (p *Problem) RunEach(steps int, fn func(c *comm.Comm, s *sim.Simulation, m 
 			mu.Unlock()
 			return
 		}
-		s, err := sim.New(c, bf, p.simConfig())
+		cfg := p.simConfig()
+		if p.TelemetryFor != nil {
+			cfg.Tracer, cfg.Metrics = p.TelemetryFor(c.Rank())
+		}
+		s, err := sim.New(c, bf, cfg)
 		if err != nil {
 			mu.Lock()
 			if firstErr == nil {

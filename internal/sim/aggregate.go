@@ -9,6 +9,7 @@ import (
 	"walberla/internal/comm"
 	"walberla/internal/field"
 	"walberla/internal/lattice"
+	"walberla/internal/telemetry"
 )
 
 // Rank-aggregated ghost exchange (ExchangeAggregated, the default wire
@@ -283,11 +284,14 @@ func (s *Simulation) buildExchangeClosures() {
 			s.unpackTasks = append(s.unpackTasks, packTask{chIdx: ci, slabIdx: si})
 		}
 	}
-	s.packFn = func(i int) {
+	s.packFn = func(worker, i int) {
 		t := s.packTasks[i]
+		lane := s.tel.worker(worker)
+		start := lane.Start()
 		if t.chIdx < 0 {
 			l := &s.locals[t.slabIdx]
 			field.CopyRegion(l.dst.Src, l.dstReg.lo, l.src.Src, l.srcReg.lo, l.srcReg.hi, l.dirs)
+			lane.Span(telemetry.PhaseLocalCopy, s.steps, int32(i), start)
 			return
 		}
 		ch := &s.channels[t.chIdx]
@@ -296,14 +300,18 @@ func (s *Simulation) buildExchangeClosures() {
 		if n := sl.bd.Src.PackRegion(buf, sl.reg.lo, sl.reg.hi, sl.dirs); n != sl.n {
 			panic(fmt.Sprintf("sim: packed %d of %d values", n, sl.n))
 		}
+		lane.Span(telemetry.PhasePack, s.steps, int32(i), start)
 	}
-	s.unpackFn = func(i int) {
+	s.unpackFn = func(worker, i int) {
 		t := s.unpackTasks[i]
+		lane := s.tel.worker(worker)
+		start := lane.Start()
 		ch := &s.channels[t.chIdx]
 		sl := &ch.recv[t.slabIdx]
 		buf := ch.inbox[sl.off : sl.off+sl.n]
 		if n := sl.bd.Src.UnpackRegion(buf, sl.reg.lo, sl.reg.hi, sl.dirs); n != sl.n {
 			panic(fmt.Sprintf("sim: unpacked %d of %d values", n, sl.n))
 		}
+		lane.Span(telemetry.PhaseUnpack, s.steps, int32(i), start)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"walberla/internal/blockforest"
 	"walberla/internal/comm"
+	"walberla/internal/telemetry"
 )
 
 // allocForest is the two-rank, multi-block scenario of the allocation
@@ -59,6 +60,57 @@ func TestStepZeroAlloc(t *testing.T) {
 		}
 		if avg := testing.AllocsPerRun(runs, step); avg != 0 {
 			t.Errorf("Step allocates %.1f objects per step in steady state, want 0", avg)
+		}
+	})
+}
+
+// TestStepZeroAllocTraced is the telemetry-overhead gate: with a tracer
+// and a metrics registry attached, the steady-state step — now also
+// recording phase spans, pack/unpack/sweep spans, comm send/recv spans
+// and counter updates — still performs zero heap allocations. Spans land
+// in preallocated rings and counters are preregistered atomics, so
+// tracing must never wake the collector mid-run.
+func TestStepZeroAllocTraced(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	const runs = 20
+	trace := telemetry.NewTrace()
+	comm.Run(2, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), allocForest()))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s, err := New(c, forest, Config{
+			Workers:    1,
+			SetupFlags: allFluid,
+			Tracer:     trace.NewTracer(c.Rank(), 1, 0),
+			Metrics:    telemetry.NewRegistry(),
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		step := func() {
+			if err := s.Step(); err != nil {
+				t.Error(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			step()
+		}
+		if c.Rank() != 0 {
+			for i := 0; i < runs+1; i++ {
+				step()
+			}
+			return
+		}
+		if avg := testing.AllocsPerRun(runs, step); avg != 0 {
+			t.Errorf("traced Step allocates %.1f objects per step in steady state, want 0", avg)
+		}
+		if s.Tracer().Driver().Len() == 0 {
+			t.Error("tracing was attached but no spans were recorded")
 		}
 	})
 }

@@ -16,6 +16,7 @@ import (
 	"walberla/internal/kernels"
 	"walberla/internal/lattice"
 	"walberla/internal/output"
+	"walberla/internal/telemetry"
 )
 
 // In-memory buddy checkpointing and shrinking recovery (RecoverShrink).
@@ -207,6 +208,7 @@ func (s *Simulation) replicate(step int, rec *RecoveryStats) error {
 	}
 	rec.Replications++
 	rec.ReplicaBytes += int64(len(msg.Payload))
+	s.tel.replicaBytes.Add(int64(len(msg.Payload)))
 	// Validate and decode NOW, at receipt: a generation that fails either
 	// is simply not committed (the previous one stays restorable and the
 	// vote settles on it), and a committed generation makes the eventual
@@ -298,6 +300,7 @@ func (s *Simulation) shrinkRestoreAttempt(dead []int, rc ResilienceConfig, rec *
 // disk checkpoint set when no common in-memory generation survives.
 // Returns the restored step.
 func (s *Simulation) shrinkRecover(dead []int, rc ResilienceConfig, rec *RecoveryStats, start time.Time) (int64, error) {
+	shrinkStart := s.tel.driver.Start()
 	c := s.Comm
 	b := s.buddy
 	oldSize := c.Size()
@@ -450,6 +453,7 @@ func (s *Simulation) shrinkRecover(dead []int, rc ResilienceConfig, rec *Recover
 		return 0, err
 	}
 	rec.RestoreLatency += ready
+	s.tel.driver.Span(telemetry.PhaseShrink, int(restored), 0, shrinkStart)
 	return restored, nil
 }
 

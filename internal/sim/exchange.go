@@ -274,7 +274,7 @@ func unpack(f *field.PDFField, r region, dirs []lattice.Direction, buf []float64
 // read interior slabs, copies write ghost slabs, and two copies into the
 // same block target different offsets, hence disjoint ghost slabs.
 func (s *Simulation) postExchangePairs() error {
-	s.pool.run(len(s.plan), func(i int) {
+	s.pool.run(len(s.plan), func(_, i int) {
 		op := &s.plan[i]
 		op.buf = pack(op.bd.Src, op.src, op.sendDirs)
 		if op.peer != nil {
@@ -318,7 +318,7 @@ func (s *Simulation) completeExchangePairs() error {
 		}
 		p.op.buf = buf
 	}
-	s.pool.run(len(s.pending), func(i int) {
+	s.pool.run(len(s.pending), func(_, i int) {
 		op := s.pending[i].op
 		unpack(op.bd.Src, op.dst, op.recvDirs, op.buf)
 		op.buf = nil

@@ -235,11 +235,17 @@ func TestNewRejectsNegativeWorkers(t *testing.T) {
 }
 
 func TestWorkerPool(t *testing.T) {
-	// Every index is executed exactly once, for any worker count.
+	// Every index is executed exactly once, for any worker count, and the
+	// reported worker id stays within the pool bounds.
 	for _, w := range []int{0, 1, 2, 5, 16} {
 		p := workerPool{workers: w}
 		var hits [100]int32
-		p.run(len(hits), func(i int) { hits[i]++ })
+		p.run(len(hits), func(worker, i int) {
+			if worker < 0 || (w > 1 && worker >= w) || (w <= 1 && worker != 0) {
+				t.Errorf("workers=%d: task %d ran on worker %d", w, i, worker)
+			}
+			hits[i]++
+		})
 		for i, h := range hits {
 			if h != 1 {
 				t.Fatalf("workers=%d: index %d executed %d times", w, i, h)
@@ -247,7 +253,7 @@ func TestWorkerPool(t *testing.T) {
 		}
 	}
 	// Zero tasks is a no-op.
-	workerPool{workers: 4}.run(0, func(int) { t.Error("task ran") })
+	workerPool{workers: 4}.run(0, func(int, int) { t.Error("task ran") })
 }
 
 func TestWorkerPoolPanicPropagates(t *testing.T) {
@@ -256,7 +262,7 @@ func TestWorkerPoolPanicPropagates(t *testing.T) {
 			t.Error("worker panic was swallowed")
 		}
 	}()
-	workerPool{workers: 3}.run(8, func(i int) {
+	workerPool{workers: 3}.run(8, func(_, i int) {
 		if i == 5 {
 			panic("boom")
 		}

@@ -128,6 +128,7 @@ func (m Metrics) String() string {
 // returns a typed *comm.RankFailedError when a peer dies during the
 // reduction.
 func (s *Simulation) gatherMetrics(steps int, wall time.Duration) (Metrics, error) {
+	s.publishGauges()
 	c := s.Comm
 	totalCells, err := c.AllreduceInt64Err(s.LocalCells(), comm.Sum[int64])
 	if err != nil {

@@ -40,24 +40,29 @@ type poolRun struct {
 	panicked atomic.Pointer[any]
 }
 
-// run executes task(i) for every i in [0, n), using up to p.workers
-// goroutines, and returns when all tasks have finished. A panic in any
+// run executes task(worker, i) for every i in [0, n), using up to
+// p.workers goroutines, and returns when all tasks have finished. worker
+// identifies the executing worker in [0, p.workers); within one region a
+// worker id is owned by exactly one goroutine, so tasks may write
+// worker-indexed state — telemetry span lanes in particular — without
+// synchronization (the region's join happens-before the next region). The
+// serial path runs every task as worker 0 on the caller. A panic in any
 // task is re-raised on the caller after the join.
-func (p workerPool) run(n int, task func(i int)) {
+func (p workerPool) run(n int, task func(worker, i int)) {
 	w := p.workers
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			task(i)
+			task(0, i)
 		}
 		return
 	}
 	var st poolRun
 	st.wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(worker int) {
 			defer st.wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -69,9 +74,9 @@ func (p workerPool) run(n int, task func(i int)) {
 				if i >= n {
 					return
 				}
-				task(i)
+				task(worker, i)
 			}
-		}()
+		}(k)
 	}
 	st.wg.Wait()
 	if r := st.panicked.Load(); r != nil {

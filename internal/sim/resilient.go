@@ -10,6 +10,7 @@ import (
 	"walberla/internal/comm"
 	"walberla/internal/field"
 	"walberla/internal/output"
+	"walberla/internal/telemetry"
 )
 
 // Resilient execution: coordinated checkpoint sets plus automatic
@@ -375,6 +376,7 @@ func (s *Simulation) RunResilient(steps int, rc ResilienceConfig) (Metrics, erro
 		}
 		failures++
 		rec.FailuresDetected++
+		s.tel.failures.Inc()
 		if failures > rc.MaxFailures {
 			return fmt.Errorf("sim: giving up after %d rank failures: %w", failures, err)
 		}
@@ -397,6 +399,7 @@ func (s *Simulation) RunResilient(steps int, rc ResilienceConfig) (Metrics, erro
 
 	for {
 		if needRestore {
+			recStart := s.tel.driver.Start()
 			tRec := time.Now()
 			time.Sleep(rc.backoff(failures))
 			if rc.Mode == RecoverShrink {
@@ -405,6 +408,7 @@ func (s *Simulation) RunResilient(steps int, rc ResilienceConfig) (Metrics, erro
 				}
 			}
 			s.Comm.Recover()
+			resStart := s.tel.driver.Start()
 			tRestore := time.Now()
 			diskBefore := s.recoveryDiskReads
 			var restored int64
@@ -434,6 +438,8 @@ func (s *Simulation) RunResilient(steps int, rc ResilienceConfig) (Metrics, erro
 			}
 			step = int(restored)
 			rec.TimeLost += time.Since(tRec)
+			s.tel.driver.Span(telemetry.PhaseRestore, step, 0, resStart)
+			s.tel.driver.Span(telemetry.PhaseRecovery, step, 0, recStart)
 			needRestore = false
 		}
 
@@ -495,11 +501,14 @@ func (s *Simulation) runAttempt(total int, rc ResilienceConfig, step *int, rec *
 			// Produce a buddy-replica generation, including one at step 0
 			// so the buddy always holds at least the initial state (and
 			// with it the block metadata adoption needs).
+			repStart := s.tel.driver.Start()
 			if err := s.replicate(*step, rec); err != nil {
 				return err
 			}
+			s.tel.driver.Span(telemetry.PhaseReplicate, *step, 0, repStart)
 		}
 		if rc.CheckpointEvery > 0 && rc.Dir != "" && *step > 0 && *step%rc.CheckpointEvery == 0 {
+			ckStart := s.tel.driver.Start()
 			n, err := s.WriteCheckpointSet(rc.Dir, *step)
 			if err != nil {
 				return err
@@ -507,7 +516,9 @@ func (s *Simulation) runAttempt(total int, rc ResilienceConfig, step *int, rec *
 			if n > 0 {
 				rec.CheckpointsWritten++
 				rec.CheckpointBytes += n
+				s.tel.checkpointBytes.Add(n)
 			}
+			s.tel.driver.Span(telemetry.PhaseCheckpoint, *step, 0, ckStart)
 		}
 		if err := s.Step(); err != nil {
 			return err

@@ -23,6 +23,7 @@ import (
 	"walberla/internal/field"
 	"walberla/internal/kernels"
 	"walberla/internal/lattice"
+	"walberla/internal/telemetry"
 )
 
 // KernelChoice selects a compute kernel family for a simulation; it is an
@@ -82,6 +83,15 @@ type Config struct {
 	// domain walls). nil means: all interior cells fluid, ghost cells at
 	// the domain boundary NoSlip walls, remaining ghosts fluid.
 	SetupFlags func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField)
+	// Tracer, when non-nil, records per-phase spans of the step pipeline,
+	// the worker pool, the communication runtime and the resilience stack
+	// into this rank's tracer (see docs/TELEMETRY.md). nil disables
+	// tracing at the cost of one branch per recording site.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, is the registry the simulation and its
+	// communicator update with counters (phase nanoseconds, comm traffic,
+	// checkpoint bytes) and gauges (mailbox occupancy, load imbalance).
+	Metrics *telemetry.Registry
 }
 
 // kernelSpec builds the kernels.Spec of this configuration for the given
@@ -135,8 +145,8 @@ type Simulation struct {
 	exParity    int
 	packTasks   []packTask
 	unpackTasks []packTask
-	packFn      func(int)
-	unpackFn    func(int)
+	packFn      func(int, int)
+	unpackFn    func(int, int)
 
 	// Legacy per-pair exchange state (ExchangePerPair, exchange.go).
 	plan    []exchangeOp
@@ -151,8 +161,13 @@ type Simulation struct {
 	interior  []*BlockData
 	frontier  []*BlockData
 	sweepList []*BlockData
-	sweepFn   func(int)
+	sweepFn   func(int, int)
 	force     *forcing
+
+	// tel holds the pre-resolved telemetry handles (telemetry.go); its
+	// members are nil-safe, so untraced simulations pay one branch per
+	// recording site.
+	tel simTel
 
 	// In-memory buddy replication state of shrinking recovery (buddy.go);
 	// nil unless RunResilient runs with RecoverShrink.
@@ -215,6 +230,10 @@ func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation
 		pool:    workerPool{workers: cfg.Workers},
 		force:   newForcing(cfg.Stencil, cfg.Force),
 	}
+	s.tel = resolveSimTel(cfg.Tracer, cfg.Metrics)
+	// The rank's driver goroutine owns lane 0, so the communicator shares
+	// it for send/recv/barrier spans.
+	c.SetTelemetry(cfg.Tracer.Driver(), cfg.Metrics)
 	for _, b := range forest.Blocks {
 		bd, err := s.newBlockData(b)
 		if err != nil {
@@ -223,8 +242,10 @@ func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation
 		s.Blocks = append(s.Blocks, bd)
 		s.byCoord[b.Coord] = bd
 	}
-	s.sweepFn = func(i int) {
+	s.sweepFn = func(worker, i int) {
 		bd := s.sweepList[i]
+		lane := s.tel.worker(worker)
+		laneStart := lane.Start()
 		tb := time.Now()
 		bd.Boundary.Apply(bd.Src)
 		tk := time.Now()
@@ -232,6 +253,13 @@ func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation
 		s.force.apply(bd)
 		bd.stepBoundary = tk.Sub(tb)
 		bd.stepCompute = time.Since(tk)
+		if lane != nil {
+			// Reuse the durations just measured instead of stamping each
+			// boundary live — two fewer clock reads per block.
+			mid := laneStart + int64(bd.stepBoundary)
+			lane.SpanAt(telemetry.PhaseBoundary, s.steps, int32(i), laneStart, mid)
+			lane.SpanAt(telemetry.PhaseCollideStream, s.steps, int32(i), mid, mid+int64(bd.stepCompute))
+		}
 	}
 	s.rebuildPlan()
 	return s, nil
@@ -352,30 +380,37 @@ func MarkGhostFace(flags *field.FlagField, f lattice.Face, t field.CellType) {
 // fields in an unspecified state that only a checkpoint restore (or
 // re-initialization) may repair.
 func (s *Simulation) Step() error {
+	s.Comm.SetTelemetryStep(s.steps)
+	stepStart := s.tel.driver.Start()
 	t0 := time.Now()
 	if err := s.postExchange(); err != nil {
 		return err
 	}
 	t1 := time.Now()
-	s.overlap.Post += t1.Sub(t0)
+	post := t1.Sub(t0)
+	s.overlap.Post += post
 
 	s.sweepBlocks(s.interior)
 	t2 := time.Now()
-	s.overlap.Interior += t2.Sub(t1)
+	interior := t2.Sub(t1)
+	s.overlap.Interior += interior
 
 	if err := s.completeExchange(); err != nil {
 		return err
 	}
 	t3 := time.Now()
-	s.overlap.Wait += t3.Sub(t2)
+	wait := t3.Sub(t2)
+	s.overlap.Wait += wait
 
 	s.sweepBlocks(s.frontier)
-	s.overlap.Frontier += time.Since(t3)
+	frontier := time.Since(t3)
+	s.overlap.Frontier += frontier
 
 	s.commTime = s.overlap.Post + s.overlap.Wait
 	for _, bd := range s.Blocks {
 		field.Swap(bd.Src, bd.Dst)
 	}
+	s.tel.stepPhases(s.steps, stepStart, post, interior, wait, frontier)
 	s.steps++
 	return nil
 }
@@ -389,11 +424,16 @@ func (s *Simulation) sweepBlocks(bds []*BlockData) {
 	s.sweepList = bds
 	s.pool.run(len(bds), s.sweepFn)
 	s.sweepList = nil
+	var bNs, cNs time.Duration
 	for _, bd := range bds {
 		s.boundaryTime += bd.stepBoundary
 		s.computeTime += bd.stepCompute
 		bd.ComputeTime += bd.stepCompute
+		bNs += bd.stepBoundary
+		cNs += bd.stepCompute
 	}
+	s.tel.boundaryNs.Add(int64(bNs))
+	s.tel.collideNs.Add(int64(cNs))
 }
 
 // rebuildPlan recomputes the exchange plan of the configured mode and the

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"time"
+
+	"walberla/internal/perfmodel"
+	"walberla/internal/telemetry"
+)
+
+// Telemetry wiring of the step pipeline (see docs/TELEMETRY.md). A
+// simulation configured with Config.Tracer/Config.Metrics records:
+//
+//   - driver-lane spans for the four split-phase step phases plus the
+//     whole step, checkpointing, buddy replication and the recovery
+//     timeline;
+//   - worker-lane spans for each block's boundary handling and
+//     collide-stream sweep and for every pack/unpack/local-copy task —
+//     the per-worker utilization the load-imbalance factor is computed
+//     from;
+//   - registry counters for per-phase nanoseconds, checkpoint/replica
+//     bytes and failures, and gauges for mailbox occupancy and worker
+//     imbalance.
+//
+// All handles are pre-resolved at construction and nil-safe, so an
+// untraced simulation pays one branch per recording site and a traced
+// steady-state Step() still performs zero heap allocations
+// (TestStepZeroAllocTraced).
+
+// simTel bundles the pre-resolved telemetry handles of one rank.
+type simTel struct {
+	tracer *telemetry.Tracer
+	driver *telemetry.Lane
+
+	postNs     *telemetry.Counter
+	interiorNs *telemetry.Counter
+	waitNs     *telemetry.Counter
+	frontierNs *telemetry.Counter
+	boundaryNs *telemetry.Counter
+	collideNs  *telemetry.Counter
+	steps      *telemetry.Counter
+
+	checkpointBytes *telemetry.Counter
+	replicaBytes    *telemetry.Counter
+	failures        *telemetry.Counter
+
+	imbalance   *telemetry.Gauge
+	mboxPending *telemetry.Gauge
+	mboxHigh    *telemetry.Gauge
+}
+
+// resolveSimTel registers the simulation's metrics and caches the lane
+// handles. Both arguments may be nil (the respective half stays
+// disabled).
+func resolveSimTel(tr *telemetry.Tracer, reg *telemetry.Registry) simTel {
+	return simTel{
+		tracer:          tr,
+		driver:          tr.Driver(),
+		postNs:          reg.Counter("sim.phase.exchange_post_ns"),
+		interiorNs:      reg.Counter("sim.phase.interior_sweep_ns"),
+		waitNs:          reg.Counter("sim.phase.exchange_wait_ns"),
+		frontierNs:      reg.Counter("sim.phase.frontier_sweep_ns"),
+		boundaryNs:      reg.Counter("sim.phase.boundary_ns"),
+		collideNs:       reg.Counter("sim.phase.collide_stream_ns"),
+		steps:           reg.Counter("sim.steps"),
+		checkpointBytes: reg.Counter("sim.checkpoint_bytes"),
+		replicaBytes:    reg.Counter("sim.replica_bytes"),
+		failures:        reg.Counter("sim.failures_detected"),
+		imbalance:       reg.Gauge("sim.load_imbalance"),
+		mboxPending:     reg.Gauge("comm.mailbox_pending"),
+		mboxHigh:        reg.Gauge("comm.mailbox_high_water"),
+	}
+}
+
+// worker returns the span lane of the given pool worker (nil when
+// untraced).
+func (t *simTel) worker(k int) *telemetry.Lane { return t.tracer.Worker(k) }
+
+// publishGauges refreshes the slow-moving gauges; called from metric
+// gathering, not the per-step hot path.
+func (s *Simulation) publishGauges() {
+	t := &s.tel
+	if t.tracer != nil {
+		t.imbalance.Set(t.tracer.LoadImbalance())
+	}
+	mb := s.Comm.MailboxStats()
+	t.mboxPending.Set(float64(mb.Pending))
+	t.mboxHigh.Set(float64(mb.HighWater))
+}
+
+// Tracer returns the tracer the simulation records into (nil when
+// untraced).
+func (s *Simulation) Tracer() *telemetry.Tracer { return s.tel.tracer }
+
+// PhaseBreakdown returns this rank's accumulated wall-clock phase times
+// since the last timer reset, keyed by the telemetry exporter's phase
+// names.
+func (s *Simulation) PhaseBreakdown() map[string]float64 {
+	o := s.overlap
+	return map[string]float64{
+		telemetry.PhaseExchangePost.String():  o.Post.Seconds(),
+		telemetry.PhaseInteriorSweep.String(): o.Interior.Seconds(),
+		telemetry.PhaseExchangeWait.String():  o.Wait.Seconds(),
+		telemetry.PhaseFrontierSweep.String(): o.Frontier.Seconds(),
+	}
+}
+
+// modelClasses maps the configured kernel onto the perfmodel taxonomy.
+func (c *Config) modelClasses() (perfmodel.KernelClass, perfmodel.CollisionClass) {
+	k := perfmodel.KernelGeneric
+	switch c.Kernel {
+	case KernelD3Q19SRT, KernelD3Q19TRT:
+		k = perfmodel.KernelD3Q19
+	case KernelSplitSRT, KernelSplitTRT, KernelSparse:
+		k = perfmodel.KernelSIMD
+	}
+	coll := perfmodel.CollisionSRT
+	switch c.Kernel {
+	case KernelGenericTRT, KernelD3Q19TRT, KernelSplitTRT, KernelSparse:
+		coll = perfmodel.CollisionTRT
+	}
+	return k, coll
+}
+
+// RooflineReport builds the live measured-vs-model comparison of this
+// rank's run since the last timer reset: per-phase wall times and MLUPS
+// from the step-loop timers against the perfmodel kernel prediction and
+// bandwidth ceiling for the given machine (nil selects the SuperMUC
+// socket model). The kernel time is the per-block boundary+sweep CPU
+// time summed over workers, divided by the worker count — the wall-clock
+// kernel time the ECM/roofline models predict.
+func (s *Simulation) RooflineReport(machine *perfmodel.Machine) telemetry.RooflineReport {
+	k, coll := s.Config.modelClasses()
+	o := s.overlap
+	wall := (o.Post + o.Interior + o.Wait + o.Frontier).Seconds()
+	workers := s.pool.workers
+	if workers < 1 {
+		workers = 1
+	}
+	kernelSec := (s.boundaryTime + s.computeTime).Seconds() / float64(workers)
+	return telemetry.BuildRooflineReport(telemetry.RooflineInput{
+		FluidUpdates:       float64(s.LocalFluidCells()) * float64(s.steps),
+		WallSeconds:        wall,
+		KernelSeconds:      kernelSec,
+		PhaseSecondsByName: s.PhaseBreakdown(),
+		Machine:            machine,
+		Kernel:             k,
+		Collision:          coll,
+		Cores:              workers,
+		SMTWays:            1,
+		LoadImbalance:      s.tel.tracer.LoadImbalance(),
+	})
+}
+
+// stepPhases records one completed step's phase spans and counters.
+// Durations are the already-measured phase times of Step, so untraced
+// runs take no extra clock reads here.
+func (t *simTel) stepPhases(step int, stepStart int64, post, interior, wait, frontier time.Duration) {
+	t.postNs.Add(int64(post))
+	t.interiorNs.Add(int64(interior))
+	t.waitNs.Add(int64(wait))
+	t.frontierNs.Add(int64(frontier))
+	t.steps.Inc()
+	d := t.driver
+	if d == nil {
+		return
+	}
+	// Reconstruct the phase boundaries from the step start and the
+	// measured durations instead of stamping each one live — same data,
+	// fewer clock reads.
+	at := stepStart
+	d.SpanAt(telemetry.PhaseExchangePost, step, 0, at, at+int64(post))
+	at += int64(post)
+	d.SpanAt(telemetry.PhaseInteriorSweep, step, 0, at, at+int64(interior))
+	at += int64(interior)
+	d.SpanAt(telemetry.PhaseExchangeWait, step, 0, at, at+int64(wait))
+	at += int64(wait)
+	d.SpanAt(telemetry.PhaseFrontierSweep, step, 0, at, at+int64(frontier))
+	d.Span(telemetry.PhaseStep, step, 0, stepStart)
+}

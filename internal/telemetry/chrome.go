@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome-trace export: writes the recorded spans in the Chrome Trace
+// Event Format (the JSON object form, {"traceEvents": [...]}), loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Ranks map to
+// processes, lanes to threads; duration phases become complete ("X")
+// events, instant phases become thread-scoped instant ("i") events.
+
+// WriteChrome writes the whole trace. Only safe once the runs feeding
+// the tracers have finished.
+func (tr *Trace) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	for _, t := range tr.Tracers() {
+		if err := t.writeChromeEvents(bw, &first); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeFile writes the trace to path.
+func (tr *Trace) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteChrome writes a standalone tracer (one rank) as a full trace
+// document.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	if err := t.writeChromeEvents(bw, &first); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (t *Tracer) writeChromeEvents(bw *bufio.Writer, first *bool) error {
+	if t == nil {
+		return nil
+	}
+	sep := func() error {
+		if *first {
+			*first = false
+			return nil
+		}
+		_, err := bw.WriteString(",\n")
+		return err
+	}
+	// Metadata: name the process after the rank and each thread after its
+	// lane, and pin thread sort order to lane ids (driver on top).
+	if err := sep(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw,
+		`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"rank %d"}}`,
+		t.rank, t.rank); err != nil {
+		return err
+	}
+	for _, l := range t.lanes {
+		if err := sep(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw,
+			`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`,
+			t.rank, l.id, l.name); err != nil {
+			return err
+		}
+		if err := sep(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw,
+			`{"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"args":{"sort_index":%d}}`,
+			t.rank, l.id, l.id); err != nil {
+			return err
+		}
+	}
+	var werr error
+	for _, l := range t.lanes {
+		lane := l
+		lane.Each(func(s Span) {
+			if werr != nil {
+				return
+			}
+			if werr = sep(); werr != nil {
+				return
+			}
+			info := phaseTable[s.Phase]
+			// Timestamps are microseconds in the trace format; floats keep
+			// the nanosecond resolution.
+			ts := float64(s.Start) / 1e3
+			if info.instant {
+				_, werr = fmt.Fprintf(bw,
+					`{"name":"%s","ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":%d,"args":{"step":%d,"%s":%d}}`,
+					info.name, ts, t.rank, lane.id, s.Step, argKey(info), s.Arg)
+				return
+			}
+			dur := float64(s.End-s.Start) / 1e3
+			if info.argName != "" {
+				_, werr = fmt.Fprintf(bw,
+					`{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"step":%d,"%s":%d}}`,
+					info.name, ts, dur, t.rank, lane.id, s.Step, info.argName, s.Arg)
+			} else {
+				_, werr = fmt.Fprintf(bw,
+					`{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"step":%d}}`,
+					info.name, ts, dur, t.rank, lane.id, s.Step)
+			}
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+func argKey(info phaseInfo) string {
+	if info.argName != "" {
+		return info.argName
+	}
+	return "arg"
+}

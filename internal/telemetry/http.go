@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Expvar-style HTTP endpoint: serves live JSON snapshots of registered
+// registries while a run is in flight. The handler snapshots atomics
+// without pausing writers, so responses are cheap and safe mid-step.
+
+// MetricsServer serves metric snapshots over HTTP.
+//
+//	GET /metrics         merged snapshot across all registered ranks
+//	GET /metrics/ranks   array of per-rank snapshots
+type MetricsServer struct {
+	mu    sync.Mutex
+	regs  []*Registry
+	ranks []int
+	ln    net.Listener
+}
+
+// NewMetricsServer builds an empty server; attach registries with
+// Register, then Serve.
+func NewMetricsServer() *MetricsServer { return &MetricsServer{} }
+
+// Register attaches one rank's registry. Safe to call concurrently from
+// SPMD rank goroutines, also while serving.
+func (s *MetricsServer) Register(rank int, r *Registry) {
+	if s == nil || r == nil {
+		return
+	}
+	s.mu.Lock()
+	s.regs = append(s.regs, r)
+	s.ranks = append(s.ranks, rank)
+	s.mu.Unlock()
+}
+
+func (s *MetricsServer) snapshots() []Snapshot {
+	s.mu.Lock()
+	regs := append([]*Registry(nil), s.regs...)
+	ranks := append([]int(nil), s.ranks...)
+	s.mu.Unlock()
+	snaps := make([]Snapshot, len(regs))
+	for i, r := range regs {
+		snaps[i] = r.Snapshot(ranks[i])
+	}
+	return snaps
+}
+
+// ServeHTTP implements http.Handler.
+func (s *MetricsServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch req.URL.Path {
+	case "/", "/metrics":
+		Merge(s.snapshots()).WriteJSON(w)
+	case "/metrics/ranks":
+		w.Write([]byte("[\n"))
+		for i, snap := range s.snapshots() {
+			if i > 0 {
+				w.Write([]byte(",\n"))
+			}
+			snap.WriteJSON(w)
+		}
+		w.Write([]byte("]\n"))
+	default:
+		http.NotFound(w, req)
+	}
+}
+
+// Serve starts listening on addr (e.g. "localhost:6060"; ":0" picks an
+// ephemeral port) and serves in a background goroutine. Returns the
+// bound address.
+func (s *MetricsServer) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go http.Serve(ln, s) //nolint:errcheck // closed by Close
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener started by Serve.
+func (s *MetricsServer) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	return ln.Close()
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics registry: counters, gauges and duration histograms registered
+// once (allocating) and updated from hot paths with single atomic
+// operations (never allocating). All update methods are nil-safe, so a
+// disabled registry is a nil pointer and instrumentation costs one
+// branch.
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter; nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one; nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; nil-safe.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down (queue depths, factors).
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value; nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current gauge value; nil-safe.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histogramBuckets is the fixed bucket count of every histogram: bucket i
+// holds observations with floor(log2(ns)) == i-1 (bucket 0 holds < 1 ns),
+// spanning 1 ns to ~9.2 s in the last regular bucket and everything above
+// in the overflow bucket. Power-of-two buckets make Observe a bits.Len64
+// plus one atomic add.
+const histogramBuckets = 34
+
+// Histogram accumulates a duration distribution into power-of-two
+// buckets. Fixed-size state, so registration allocates once and Observe
+// never does.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [histogramBuckets]atomic.Int64
+}
+
+// Observe records one duration; nil-safe, allocation-free.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns)) // 0 for 0ns, 1 for 1ns, ...
+	if i >= histogramBuckets {
+		i = histogramBuckets - 1
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of observations; nil-safe.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SumNs returns the total observed nanoseconds; nil-safe.
+func (h *Histogram) SumNs() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sumNs.Load()
+}
+
+// MeanNs returns the mean observation in nanoseconds.
+func (h *Histogram) MeanNs() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.SumNs()) / float64(n)
+}
+
+// quantileNs estimates the q-quantile (0..1) from the bucket counts by
+// linear interpolation inside the selected bucket.
+func (h *Histogram) quantileNs(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := 0; i < histogramBuckets; i++ {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(int64(1) << (i - 1))
+			}
+			hi := float64(int64(1) << i)
+			frac := (target - cum) / n
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return float64(h.sumNs.Load())
+}
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram) is
+// idempotent per name and safe for concurrent use; updates on the
+// returned handles are lock-free. A nil Registry hands out nil handles,
+// which disable recording at every call site.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (registering on first use) the named counter; nil on a
+// nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram; nil
+// on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{name: name}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

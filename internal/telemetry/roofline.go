@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"walberla/internal/perfmodel"
+)
+
+// Live roofline comparison: the paper's node-level validation (measured
+// MLUPS vs roofline/ECM prediction, section 4.1) produced by the running
+// binary from the telemetry timers instead of offline analysis.
+
+// PhaseSeconds is one phase's share of the run in a roofline report.
+type PhaseSeconds struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Share   float64 `json:"share"` // fraction of wall time
+	// MLUPS is the update rate the whole run would achieve if every step
+	// cost only this phase — fluid updates / phase time. Large numbers
+	// mean the phase is cheap.
+	MLUPS float64 `json:"mlups"`
+}
+
+// RooflineReport compares a run's measured per-phase performance against
+// the perfmodel predictions for a machine.
+type RooflineReport struct {
+	Machine string         `json:"machine"`
+	Phases  []PhaseSeconds `json:"phases"`
+	// MeasuredMLUPS is fluid updates per wall-clock second (per rank,
+	// multiply by ranks for the aggregate).
+	MeasuredMLUPS float64 `json:"measured_mlups"`
+	// KernelMLUPS is fluid updates per second of pure kernel time
+	// (boundary + collide-stream) — the quantity the kernel models
+	// predict.
+	KernelMLUPS float64 `json:"kernel_mlups"`
+	// PredictedMLUPS is the perfmodel ECM/SMT kernel prediction for the
+	// machine, kernel class and core count.
+	PredictedMLUPS float64 `json:"predicted_mlups"`
+	// RooflineMLUPS is the bandwidth ceiling of the machine.
+	RooflineMLUPS float64 `json:"roofline_mlups"`
+	// ModelEfficiency is KernelMLUPS / PredictedMLUPS.
+	ModelEfficiency float64 `json:"model_efficiency"`
+	// LoadImbalance is max/mean worker busy time (1.0 = perfect).
+	LoadImbalance float64 `json:"load_imbalance"`
+}
+
+// RooflineInput is what a run hands to BuildRooflineReport: measured
+// times and sizes plus the model parameters describing the kernel.
+type RooflineInput struct {
+	// FluidUpdates is total fluid cell updates (fluid cells x steps) on
+	// the scope being reported (one rank, or global).
+	FluidUpdates float64
+	// WallSeconds is the wall-clock time of the stepping loop.
+	WallSeconds float64
+	// KernelSeconds is the time spent in boundary handling plus
+	// collide-stream sweeps, summed over workers and divided by the
+	// worker count (i.e. wall-clock kernel time of one rank).
+	KernelSeconds float64
+	// PhaseSecondsByName are the wall-clock phase times to itemize
+	// (exchange-post, interior-sweep, ...).
+	PhaseSecondsByName map[string]float64
+	// Machine is the perfmodel machine to compare against.
+	Machine *perfmodel.Machine
+	// Kernel and Collision classify the running kernel for the model.
+	Kernel    perfmodel.KernelClass
+	Collision perfmodel.CollisionClass
+	// Cores is the core count the prediction should assume (the worker
+	// count of the run, capped at the machine's cores).
+	Cores int
+	// SMTWays for the prediction (0 selects 1).
+	SMTWays int
+	// LoadImbalance as measured by the tracer (0 when untraced).
+	LoadImbalance float64
+}
+
+// BuildRooflineReport assembles the comparison.
+func BuildRooflineReport(in RooflineInput) RooflineReport {
+	m := in.Machine
+	if m == nil {
+		m = perfmodel.SuperMUCSocket()
+	}
+	cores := in.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	if cores > m.Cores {
+		cores = m.Cores
+	}
+	smt := in.SMTWays
+	if smt < 1 {
+		smt = 1
+	}
+	r := RooflineReport{
+		Machine:        m.Name,
+		PredictedMLUPS: perfmodel.KernelMLUPS(m, in.Kernel, in.Collision, cores, smt),
+		RooflineMLUPS:  m.Roofline(),
+		LoadImbalance:  in.LoadImbalance,
+	}
+	if in.WallSeconds > 0 {
+		r.MeasuredMLUPS = in.FluidUpdates / in.WallSeconds / 1e6
+	}
+	if in.KernelSeconds > 0 {
+		r.KernelMLUPS = in.FluidUpdates / in.KernelSeconds / 1e6
+	}
+	if r.PredictedMLUPS > 0 {
+		r.ModelEfficiency = r.KernelMLUPS / r.PredictedMLUPS
+	}
+	names := make([]string, 0, len(in.PhaseSecondsByName))
+	for name := range in.PhaseSecondsByName {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return in.PhaseSecondsByName[names[i]] > in.PhaseSecondsByName[names[j]]
+	})
+	for _, name := range names {
+		sec := in.PhaseSecondsByName[name]
+		p := PhaseSeconds{Name: name, Seconds: sec}
+		if in.WallSeconds > 0 {
+			p.Share = sec / in.WallSeconds
+		}
+		if sec > 0 {
+			p.MLUPS = in.FluidUpdates / sec / 1e6
+		}
+		r.Phases = append(r.Phases, p)
+	}
+	return r
+}
+
+// Publish writes the report into the registry as roofline.* gauges, so
+// metrics snapshots (and the HTTP endpoint) carry the per-phase MLUPS and
+// the model comparison alongside the raw counters. Nil-safe.
+func (r RooflineReport) Publish(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("roofline.measured_mlups").Set(r.MeasuredMLUPS)
+	reg.Gauge("roofline.kernel_mlups").Set(r.KernelMLUPS)
+	reg.Gauge("roofline.predicted_mlups").Set(r.PredictedMLUPS)
+	reg.Gauge("roofline.ceiling_mlups").Set(r.RooflineMLUPS)
+	reg.Gauge("roofline.model_efficiency").Set(r.ModelEfficiency)
+	reg.Gauge("roofline.load_imbalance").Set(r.LoadImbalance)
+	for _, p := range r.Phases {
+		reg.Gauge("roofline.phase_mlups." + p.Name).Set(p.MLUPS)
+		reg.Gauge("roofline.phase_share." + p.Name).Set(p.Share)
+	}
+}
+
+// WriteText renders the report for terminals.
+func (r RooflineReport) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "roofline comparison (%s)\n", r.Machine); err != nil {
+		return err
+	}
+	for _, p := range r.Phases {
+		if _, err := fmt.Fprintf(w, "  phase %-16s %10.4fs  %5.1f%%  %10.2f MLUPS\n",
+			p.Name, p.Seconds, 100*p.Share, p.MLUPS); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"  measured %.2f MLUPS (kernel-only %.2f) vs model %.2f MLUPS, roofline %.2f MLUPS — model efficiency %.0f%%, load imbalance %.2f\n",
+		r.MeasuredMLUPS, r.KernelMLUPS, r.PredictedMLUPS, r.RooflineMLUPS,
+		100*r.ModelEfficiency, r.LoadImbalance)
+	return err
+}

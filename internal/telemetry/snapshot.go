@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshots: point-in-time copies of a registry's metrics, mergeable
+// across ranks and exportable as JSON or CSV. Snapshotting reads the
+// atomics without stopping writers, so a snapshot taken mid-run (the HTTP
+// endpoint) is internally slightly torn but each value is valid.
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot, with bucket-interpolated
+// quantiles in nanoseconds.
+type HistogramValue struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	SumNs   int64   `json:"sum_ns"`
+	MeanNs  float64 `json:"mean_ns"`
+	P50Ns   float64 `json:"p50_ns"`
+	P90Ns   float64 `json:"p90_ns"`
+	P99Ns   float64 `json:"p99_ns"`
+	buckets [histogramBuckets]int64
+}
+
+// Snapshot is one registry's state at a point in time.
+type Snapshot struct {
+	Rank       int              `json:"rank"`
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state; rank tags the snapshot
+// for multi-rank merges. Nil-safe (returns an empty snapshot).
+func (r *Registry) Snapshot(rank int) Snapshot {
+	s := Snapshot{Rank: rank}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		hv := HistogramValue{
+			Name:   name,
+			Count:  h.Count(),
+			SumNs:  h.SumNs(),
+			MeanNs: h.MeanNs(),
+			P50Ns:  h.quantileNs(0.50),
+			P90Ns:  h.quantileNs(0.90),
+			P99Ns:  h.quantileNs(0.99),
+		}
+		for i := range hv.buckets {
+			hv.buckets[i] = h.buckets[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	return s
+}
+
+// Counter returns the named counter's value in the snapshot (0 when
+// absent).
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value in the snapshot (0 when absent).
+func (s Snapshot) Gauge(name string) float64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Merge combines per-rank snapshots into one aggregate (rank -1):
+// counters and histogram bucket contents sum; gauges take the maximum
+// over ranks (gauges describe rank-local levels — queue depths,
+// imbalance factors — whose global view is the worst rank).
+func Merge(snaps []Snapshot) Snapshot {
+	out := Snapshot{Rank: -1}
+	counters := map[string]int64{}
+	gauges := map[string]float64{}
+	hists := map[string]*HistogramValue{}
+	var corder, gorder, horder []string
+	for _, s := range snaps {
+		for _, c := range s.Counters {
+			if _, ok := counters[c.Name]; !ok {
+				corder = append(corder, c.Name)
+			}
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			if _, ok := gauges[g.Name]; !ok {
+				gorder = append(gorder, g.Name)
+				gauges[g.Name] = g.Value
+			} else if g.Value > gauges[g.Name] {
+				gauges[g.Name] = g.Value
+			}
+		}
+		for _, h := range s.Histograms {
+			m := hists[h.Name]
+			if m == nil {
+				m = &HistogramValue{Name: h.Name}
+				hists[h.Name] = m
+				horder = append(horder, h.Name)
+			}
+			m.Count += h.Count
+			m.SumNs += h.SumNs
+			for i := range m.buckets {
+				m.buckets[i] += h.buckets[i]
+			}
+		}
+	}
+	for _, name := range corder {
+		out.Counters = append(out.Counters, CounterValue{Name: name, Value: counters[name]})
+	}
+	for _, name := range gorder {
+		out.Gauges = append(out.Gauges, GaugeValue{Name: name, Value: gauges[name]})
+	}
+	for _, name := range horder {
+		m := hists[name]
+		if m.Count > 0 {
+			m.MeanNs = float64(m.SumNs) / float64(m.Count)
+		}
+		h := bucketsToHistogram(m.buckets)
+		m.P50Ns = h.quantileNs(0.50)
+		m.P90Ns = h.quantileNs(0.90)
+		m.P99Ns = h.quantileNs(0.99)
+		out.Histograms = append(out.Histograms, *m)
+	}
+	return out
+}
+
+// bucketsToHistogram rebuilds a Histogram from merged bucket counts so
+// the quantile interpolation can be reused.
+func bucketsToHistogram(buckets [histogramBuckets]int64) *Histogram {
+	h := &Histogram{}
+	var total int64
+	for i, n := range buckets {
+		h.buckets[i].Store(n)
+		total += n
+	}
+	h.count.Store(total)
+	return h
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the snapshot as "kind,name,value[,mean_ns,p50_ns,
+// p90_ns,p99_ns]" lines with one header.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind,name,value,mean_ns,p50_ns,p90_ns,p99_ns"); err != nil {
+		return err
+	}
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter,%s,%d,,,,\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge,%s,%g,,,,\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "histogram,%s,%d,%.0f,%.0f,%.0f,%.0f\n",
+			h.Name, h.Count, h.MeanNs, h.P50Ns, h.P90Ns, h.P99Ns); err != nil {
+			return err
+		}
+	}
+	return nil
+}
