@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-sim race-resilience alloc-test fuzz-smoke verify bench bench-hybrid bench-comm bench-resilience bench-phases clean
+.PHONY: all build test vet race race-sim race-resilience race-net alloc-test fuzz-smoke verify bench bench-hybrid bench-comm bench-resilience bench-phases bench-net clean
 
 all: build
 
@@ -28,6 +28,13 @@ race-sim:
 race-resilience:
 	$(GO) test -race -count=1 -run 'TestShrink|TestReplicate|TestResilient|TestRestore|TestWriteCheckpoint|TestBackoff|TestMaxFailures|TestFail' ./internal/sim/ ./internal/comm/
 
+# race-net re-runs the socket-transport suite uncached under the race
+# detector: wire framing, reconnect/backoff with the frame fault
+# injector, failure accusation, and the cross-transport bit-identity and
+# shrink-recovery-over-sockets tests.
+race-net:
+	$(GO) test -race -count=1 -run 'TestNet|TestFrame|TestCrossTransport|TestScalar|TestClassify|TestReadFrame|TestF64Bytes' ./internal/comm/ ./internal/sim/
+
 # alloc-test re-runs the steady-state allocation regression gates
 # uncached and WITHOUT the race detector (race instrumentation allocates,
 # so the tests skip themselves under -race): TestStepZeroAlloc with
@@ -42,11 +49,12 @@ fuzz-smoke:
 	$(GO) test -run '^Fuzz' -fuzz FuzzReadManifest -fuzztime 5s ./internal/output/
 	$(GO) test -run '^Fuzz' -fuzz FuzzReadRankFile -fuzztime 5s ./internal/output/
 	$(GO) test -run '^Fuzz' -fuzz FuzzLoadCheckpoint -fuzztime 5s ./internal/output/
+	$(GO) test -run '^Fuzz' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/comm/
 
 # verify is the pre-commit gate: static checks, a full build, the
 # allocation regression gate, the fuzz seed sweep, and the test suite
 # under the race detector.
-verify: vet build alloc-test fuzz-smoke race-sim race
+verify: vet build alloc-test fuzz-smoke race-net race-sim race
 
 bench:
 	$(GO) test -bench=. -benchtime=0.2s -run='^$$' ./internal/...
@@ -73,6 +81,14 @@ bench-resilience: build
 # worker count, on the telemetry timers, and writes BENCH_phases.json.
 bench-phases: build
 	$(GO) run ./cmd/walberla-bench -fig phases
+
+# bench-net compares the in-process communicator with the unix/tcp
+# socket transports on the same ghost-exchange workload, measures
+# reconnect recovery after severed connections, calibrates the postal
+# model (latency, bandwidth) against the real wire, and writes
+# BENCH_net.json.
+bench-net: build
+	$(GO) run ./cmd/walberla-bench -fig net
 
 clean:
 	$(GO) clean ./...

@@ -21,7 +21,7 @@ import (
 var quick = flag.Bool("quick", false, "reduce problem sizes for fast runs")
 
 func main() {
-	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|comm|resilience|phases|all")
+	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|comm|resilience|phases|net|all")
 	flag.Parse()
 
 	figures := map[string]func(){
@@ -41,9 +41,10 @@ func main() {
 		"comm":       commBench,
 		"resilience": resilienceBench,
 		"phases":     phasesBench,
+		"net":        netBench,
 	}
 	if *figure == "all" {
-		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca", "hybrid", "comm", "resilience", "phases"} {
+		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca", "hybrid", "comm", "resilience", "phases", "net"} {
 			figures[name]()
 		}
 		return

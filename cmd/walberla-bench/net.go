@@ -1,0 +1,287 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/field"
+	"walberla/internal/netmodel"
+	"walberla/internal/sim"
+)
+
+// netBench compares the in-process communicator with the socket transports
+// on the same ghost-exchange workload (messages, bytes and step latency
+// per transport), measures how long a severed connection takes to recover,
+// and calibrates the analytic network models' postal parameters (latency,
+// bandwidth) against the real wire with a ping-pong sweep. Results go to
+// stdout as TSV and to BENCH_net.json.
+func netBench() {
+	header("Socket transport vs in-process (ghost exchange, reconnect, calibration)")
+	steps, warm := 60, 3
+	pingSizes := []int{1, 64, 1024, 16384, 131072}
+	pingReps := 200
+	if *quick {
+		steps, pingReps = 20, 50
+	}
+
+	type transportResult struct {
+		Transport       string  `json:"transport"`
+		MessagesPerStep float64 `json:"messages_per_step_global"`
+		BytesPerStep    float64 `json:"bytes_per_step_global"`
+		StepMicros      float64 `json:"step_latency_us"`
+		MLUPS           float64 `json:"mlups"`
+		WireFramesSent  int64   `json:"wire_frames_sent,omitempty"`
+		WireBytesSent   int64   `json:"wire_bytes_sent,omitempty"`
+		Heartbeats      int64   `json:"wire_heartbeats,omitempty"`
+	}
+
+	const ranks, edge = 2, 16
+	grid := [3]int{2, 2, 1}
+	runTransport := func(name string, net *comm.NetOptions) transportResult {
+		domain := blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1})
+		f := blockforest.NewSetupForest(domain, grid, [3]int{edge, edge, edge}, [3]bool{true, true, true})
+		f.BalanceMorton(ranks)
+		var mu sync.Mutex
+		var r transportResult
+		comm.RunWithOptions(ranks, comm.Options{Net: net}, func(c *comm.Comm) {
+			var in *blockforest.SetupForest
+			if c.Rank() == 0 {
+				in = f
+			}
+			bf, err := blockforest.Distribute(c, in)
+			if err != nil {
+				fatalNet(err)
+			}
+			s, err := sim.New(c, bf, sim.Config{
+				SetupFlags: func(b *blockforest.Block, forest *blockforest.BlockForest, flags *field.FlagField) {
+					flags.Fill(field.Fluid)
+				},
+			})
+			if err != nil {
+				fatalNet(err)
+			}
+			for i := 0; i < warm; i++ {
+				if err := s.Step(); err != nil {
+					fatalNet(err)
+				}
+			}
+			c.ResetStats()
+			t0 := time.Now()
+			for i := 0; i < steps; i++ {
+				if err := s.Step(); err != nil {
+					fatalNet(err)
+				}
+			}
+			wall := time.Since(t0)
+			st := c.Stats()
+			ns, haveNet := c.NetStats()
+
+			sends, err := c.AllreduceInt64Err(st.Sends, comm.Sum[int64])
+			if err != nil {
+				fatalNet(err)
+			}
+			bytes, err := c.AllreduceInt64Err(st.BytesSent, comm.Sum[int64])
+			if err != nil {
+				fatalNet(err)
+			}
+			maxWall, err := c.AllreduceInt64Err(int64(wall), comm.Max[int64])
+			if err != nil {
+				fatalNet(err)
+			}
+			var frames, wireBytes, hbs int64
+			if haveNet {
+				frames, err = c.AllreduceInt64Err(ns.FramesSent, comm.Sum[int64])
+				if err != nil {
+					fatalNet(err)
+				}
+				wireBytes, err = c.AllreduceInt64Err(ns.BytesSent, comm.Sum[int64])
+				if err != nil {
+					fatalNet(err)
+				}
+				hbs, err = c.AllreduceInt64Err(ns.Heartbeats, comm.Sum[int64])
+				if err != nil {
+					fatalNet(err)
+				}
+			}
+			if c.Rank() == 0 {
+				cells := int64(grid[0]*grid[1]*grid[2]) * int64(edge*edge*edge)
+				sec := time.Duration(maxWall).Seconds()
+				mu.Lock()
+				r = transportResult{
+					Transport:       name,
+					MessagesPerStep: float64(sends) / float64(steps),
+					BytesPerStep:    float64(bytes) / float64(steps),
+					StepMicros:      sec / float64(steps) * 1e6,
+					MLUPS:           float64(cells) * float64(steps) / sec / 1e6,
+					WireFramesSent:  frames,
+					WireBytesSent:   wireBytes,
+					Heartbeats:      hbs,
+				}
+				mu.Unlock()
+			}
+		})
+		return r
+	}
+
+	fmt.Printf("# ranks=%d cells=%d^3/block grid=%v steps=%d (periodic, all fluid)\n", ranks, edge, grid, steps)
+	fmt.Println("transport\tmsgs/step\tbytes/step\tstep_us\tMLUPS\twire_frames\twire_bytes")
+	var transports []transportResult
+	for _, tc := range []struct {
+		name string
+		net  *comm.NetOptions
+	}{
+		{"inproc", nil},
+		{"unix", &comm.NetOptions{Network: "unix"}},
+		{"tcp", &comm.NetOptions{Network: "tcp"}},
+	} {
+		r := runTransport(tc.name, tc.net)
+		transports = append(transports, r)
+		fmt.Printf("%s\t%.1f\t%.0f\t%.1f\t%.2f\t%d\t%d\n",
+			r.Transport, r.MessagesPerStep, r.BytesPerStep, r.StepMicros, r.MLUPS,
+			r.WireFramesSent, r.WireBytesSent)
+	}
+
+	// Reconnect recovery: ping-pong with severed connections. Every
+	// round trip is timed; the worst round trip of a faulty run bounds the
+	// detect-reconnect-resend cycle, compared against the fault-free worst.
+	pingPong := func(reps, floats int, plan *comm.NetFaultPlan) (worst time.Duration, resent int64) {
+		var mu sync.Mutex
+		net := &comm.NetOptions{Network: "unix", HeartbeatEvery: 2 * time.Millisecond}
+		net.Faults = plan
+		comm.RunWithOptions(2, comm.Options{Net: net}, func(c *comm.Comm) {
+			peer := 1 - c.Rank()
+			for i := 0; i < reps; i++ {
+				buf := make([]float64, floats)
+				t0 := time.Now()
+				if c.Rank() == 0 {
+					if err := c.SendFloat64s(peer, 7, buf); err != nil {
+						fatalNet(err)
+					}
+					if _, _, err := c.RecvFloat64sErr(peer, 8); err != nil {
+						fatalNet(err)
+					}
+					if d := time.Since(t0); d > worst {
+						mu.Lock()
+						worst = d
+						mu.Unlock()
+					}
+				} else {
+					if _, _, err := c.RecvFloat64sErr(peer, 7); err != nil {
+						fatalNet(err)
+					}
+					if err := c.SendFloat64s(peer, 8, buf); err != nil {
+						fatalNet(err)
+					}
+				}
+			}
+			ns, _ := c.NetStats()
+			mu.Lock()
+			resent += ns.ResentFrames
+			mu.Unlock()
+		})
+		return worst, resent
+	}
+
+	header("Reconnect recovery (worst ping-pong round trip, severed vs clean)")
+	cleanWorst, _ := pingPong(pingReps, 16, nil)
+	severPlan := &comm.NetFaultPlan{Severs: []comm.SeverSpec{
+		{From: 0, To: 1, AtFrame: uint64(pingReps / 4)},
+		{From: 1, To: 0, AtFrame: uint64(pingReps / 2)},
+	}}
+	severWorst, resent := pingPong(pingReps, 16, severPlan)
+	fmt.Println("case\tworst_rt_us\tresent_frames")
+	fmt.Printf("clean\t%.1f\t0\n", float64(cleanWorst.Nanoseconds())/1e3)
+	fmt.Printf("severed\t%.1f\t%d\n", float64(severWorst.Nanoseconds())/1e3, resent)
+
+	// Calibration: one-way latency/bandwidth of the unix wire from timed
+	// round trips across message sizes, fitted to t = L + m/B.
+	header("Postal-model calibration of the socket wire")
+	var sizes, times []float64
+	fmt.Println("bytes\trt_us\toneway_us")
+	for _, floats := range pingSizes {
+		var mu sync.Mutex
+		var total time.Duration
+		net := &comm.NetOptions{Network: "unix"}
+		comm.RunWithOptions(2, comm.Options{Net: net}, func(c *comm.Comm) {
+			peer := 1 - c.Rank()
+			// Warm the connection and the receive rotation.
+			for i := 0; i < 5; i++ {
+				buf := make([]float64, floats)
+				if c.Rank() == 0 {
+					c.SendFloat64s(peer, 7, buf)
+					c.RecvFloat64s(peer, 8)
+				} else {
+					c.RecvFloat64s(peer, 7)
+					c.SendFloat64s(peer, 8, buf)
+				}
+			}
+			t0 := time.Now()
+			for i := 0; i < pingReps; i++ {
+				buf := make([]float64, floats)
+				if c.Rank() == 0 {
+					c.SendFloat64s(peer, 7, buf)
+					c.RecvFloat64s(peer, 8)
+				} else {
+					c.RecvFloat64s(peer, 7)
+					c.SendFloat64s(peer, 8, buf)
+				}
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				total = time.Since(t0)
+				mu.Unlock()
+			}
+		})
+		bytes := float64(8 * floats)
+		oneWay := total.Seconds() / float64(2*pingReps)
+		sizes = append(sizes, bytes)
+		times = append(times, oneWay)
+		fmt.Printf("%.0f\t%.2f\t%.2f\n", bytes, total.Seconds()/float64(pingReps)*1e6, oneWay*1e6)
+	}
+	lat, bw, err := netmodel.FitLatencyBandwidth(sizes, times)
+	calibrated := map[string]any{}
+	if err != nil {
+		fmt.Printf("# calibration failed: %v\n", err)
+		calibrated["error"] = err.Error()
+	} else {
+		cal := &netmodel.Calibrated{NetName: "unix", Latency: lat, Bandwidth: bw}
+		fmt.Printf("# fitted: latency=%.2fus bandwidth=%.2fGB/s\n", lat*1e6, bw/1e9)
+		fmt.Printf("# model check: 10 msgs x 1MiB -> %.1fus\n", cal.CommTime(2, 10<<20, 0, 10)*1e6)
+		calibrated["latency_us"] = lat * 1e6
+		calibrated["bandwidth_bytes_per_s"] = bw
+	}
+
+	out := struct {
+		Ranks            int               `json:"ranks"`
+		Steps            int               `json:"steps"`
+		Transports       []transportResult `json:"transports"`
+		CleanWorstRTUs   float64           `json:"clean_worst_roundtrip_us"`
+		SeveredWorstRTUs float64           `json:"severed_worst_roundtrip_us"`
+		ResentFrames     int64             `json:"resent_frames"`
+		Calibration      map[string]any    `json:"calibrated_postal_model"`
+	}{
+		Ranks: ranks, Steps: steps, Transports: transports,
+		CleanWorstRTUs:   float64(cleanWorst.Nanoseconds()) / 1e3,
+		SeveredWorstRTUs: float64(severWorst.Nanoseconds()) / 1e3,
+		ResentFrames:     resent,
+		Calibration:      calibrated,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatalNet(err)
+	}
+	if err := os.WriteFile("BENCH_net.json", append(data, '\n'), 0o644); err != nil {
+		fatalNet(err)
+	}
+	fmt.Println("wrote BENCH_net.json")
+}
+
+func fatalNet(err error) {
+	fmt.Fprintln(os.Stderr, "net bench:", err)
+	os.Exit(1)
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"walberla/internal/blockforest"
@@ -46,6 +47,9 @@ func main() {
 		kernel     = flag.String("kernel", string(sim.KernelSparse), "compute kernel")
 		workers    = flag.Int("workers", 1, "intra-rank worker threads for block sweeps (hybrid mode)")
 		exchange   = flag.String("exchange", "aggregated", "ghost exchange wire format: aggregated (one message per neighbor rank) or per-pair (one per block pair)")
+		transport  = flag.String("transport", "inproc", "rank interconnect: inproc (shared-memory mailboxes) or unix/tcp (framed sockets with CRC-32C, heartbeats and reconnect)")
+		transAddrs = flag.String("transport-addrs", "", "comma-separated listen address per rank for the socket transport (empty = ephemeral loopback/temp sockets)")
+		heartbeat  = flag.Duration("heartbeat", 0, "socket transport heartbeat interval (0 = default 20ms)")
 		tau        = flag.Float64("tau", 0.6, "relaxation time")
 		inflowU    = flag.Float64("inflow", 0.02, "inflow velocity magnitude (+z)")
 		vtkDir     = flag.String("vtk", "", "write per-block VTK files into this directory")
@@ -80,6 +84,24 @@ func main() {
 	if resilient && *rebalance > 0 {
 		fatal(fmt.Errorf("-rebalance cannot be combined with the fault-tolerant driver (-checkpoint-every / -inject-fault)"))
 	}
+	var netOpts *comm.NetOptions
+	switch *transport {
+	case "inproc":
+		if *transAddrs != "" || *heartbeat != 0 {
+			fatal(fmt.Errorf("-transport-addrs/-heartbeat need -transport unix or tcp"))
+		}
+	case "unix", "tcp":
+		netOpts = &comm.NetOptions{Network: *transport, HeartbeatEvery: *heartbeat}
+		if *transAddrs != "" {
+			netOpts.Addrs = strings.Split(*transAddrs, ",")
+			if len(netOpts.Addrs) != *ranks {
+				fatal(fmt.Errorf("-transport-addrs: %d addresses for %d ranks", len(netOpts.Addrs), *ranks))
+			}
+		}
+	default:
+		fatal(fmt.Errorf("-transport: unknown transport %q (want inproc, unix or tcp)", *transport))
+	}
+
 	var mode sim.RecoveryMode
 	switch *recoverMode {
 	case "rewind":
@@ -188,7 +210,7 @@ func main() {
 	var files int
 	var roofline telemetry.RooflineReport
 	regs := map[int]*telemetry.Registry{}
-	comm.RunWithOptions(*ranks, comm.Options{Faults: faults, FailTimeout: *failTimeout}, func(c *comm.Comm) {
+	comm.RunWithOptions(*ranks, comm.Options{Faults: faults, FailTimeout: *failTimeout, Net: netOpts}, func(c *comm.Comm) {
 		var in *blockforest.SetupForest
 		if c.Rank() == 0 {
 			in = forest

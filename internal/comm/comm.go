@@ -286,8 +286,14 @@ type Options struct {
 	// timeout-cause *RankFailedError (RankFailedError.TimedOut reports
 	// true) — the heartbeat that detects silent failures, not just
 	// injected crashes. It acts as the default for RecvTimeout when
-	// RecvTimeout is 0; an explicit RecvTimeout takes precedence.
+	// RecvTimeout is 0; an explicit RecvTimeout takes precedence. On the
+	// socket transport it is additionally the connection-level accusation
+	// deadline (see NetOptions).
 	FailTimeout time.Duration
+	// Net selects the socket transport (TCP or unix-domain sockets) and
+	// configures its heartbeats, reconnect backoff and frame-fault
+	// injection; nil keeps messages in process (see transport.go).
+	Net *NetOptions
 }
 
 // world is the shared state of one Run invocation.
@@ -295,6 +301,9 @@ type world struct {
 	size      int
 	mailboxes []*mailbox
 	opts      Options
+	// transport moves stamped messages between ranks: the in-process
+	// mailbox deposit, or the socket backend when Options.Net is set.
+	transport transport
 
 	// epoch counts completed recoveries; delayed (fault-injected) messages
 	// from an older epoch are discarded at delivery time.
@@ -344,6 +353,11 @@ func (w *world) declareFailure(f *RankFailedError) {
 	if w.failure.CompareAndSwap(nil, f) {
 		for _, m := range w.mailboxes {
 			m.wake()
+		}
+		if w.transport != nil {
+			// Senders can also be blocked inside the transport (retention-
+			// ring backpressure); wake them too.
+			w.transport.onFailure()
 		}
 	}
 }
@@ -427,6 +441,13 @@ func RunWithOptions(n int, opts Options, f func(c *Comm)) {
 		// The failure-detection deadline doubles as the receive deadline:
 		// a silent rank is detected by the receives awaiting it.
 		opts.RecvTimeout = opts.FailTimeout
+		if opts.Net != nil {
+			// On the socket transport the connection-level detector is
+			// primary: its accusation names the silent rank, while a receive
+			// timeout can only blame whichever rank it happened to await.
+			// Give the transport the first FailTimeout window to itself.
+			opts.RecvTimeout = 2 * opts.FailTimeout
+		}
 	}
 	if p := opts.Faults; p != nil {
 		if err := p.Validate(n); err != nil {
@@ -452,6 +473,14 @@ func RunWithOptions(n int, opts Options, f func(c *Comm)) {
 		w.hangFired = make([]atomic.Bool, len(opts.Faults.Hangs))
 	}
 	w.sendSeq = make([]atomic.Uint64, n)
+	w.transport = &inprocTransport{w: w}
+	if opts.Net != nil {
+		nt, err := newNetTransport(w, *opts.Net)
+		if err != nil {
+			panic("comm: " + err.Error())
+		}
+		w.transport = nt
+	}
 	group := make([]int, n)
 	toIndex := make(map[int]int, n)
 	for i := range group {
@@ -480,6 +509,7 @@ func RunWithOptions(n int, opts Options, f func(c *Comm)) {
 	// Stop delayed-delivery timers still pending at teardown; their
 	// callbacks must never touch the mailboxes of a finished world.
 	w.stopDelayedTimers(true)
+	w.transport.shutdown()
 	if testHookWorld != nil {
 		testHookWorld(w)
 	}
@@ -666,7 +696,7 @@ func (c *Comm) sendMsg(dst, tag int, msg message) error {
 			return err
 		}
 	}
-	waited, err := w.mailboxes[worldDst].put(msg, w.failErr)
+	waited, err := w.transport.deliver(c.WorldRank(), worldDst, msg)
 	c.stats.BackpressureWait += waited
 	c.tel.sendDone(worldDst, telStart, waited)
 	return err

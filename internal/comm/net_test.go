@@ -1,0 +1,462 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastNet returns socket-transport options tuned for tests: aggressive
+// heartbeats so stall detection and reconnects resolve in milliseconds.
+func fastNet() *NetOptions {
+	return &NetOptions{HeartbeatEvery: 2 * time.Millisecond}
+}
+
+// TestNetTransportRing pushes typed float64 traffic around a ring over
+// unix sockets and checks values, transport identity and frame counters.
+func TestNetTransportRing(t *testing.T) {
+	const n, steps = 4, 50
+	RunWithOptions(n, Options{Net: fastNet()}, func(c *Comm) {
+		if got := c.TransportName(); got != "unix" {
+			t.Errorf("TransportName = %q, want unix", got)
+		}
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() + n - 1) % n
+		for step := 0; step < steps; step++ {
+			// Fresh buffer per message: like Send, the payload is shared
+			// with the runtime until delivered (and retained for resend), so
+			// only a protocol like the ghost exchange's double-buffer
+			// ownership may reuse buffers.
+			buf := make([]float64, 8)
+			for i := range buf {
+				buf[i] = float64(c.Rank()*1000 + step + i)
+			}
+			if err := c.SendFloat64s(right, 7, buf); err != nil {
+				t.Errorf("rank %d send: %v", c.Rank(), err)
+				return
+			}
+			got, src := c.RecvFloat64s(left, 7)
+			if src != left || len(got) != len(buf) {
+				t.Errorf("rank %d: got %d floats from %d", c.Rank(), len(got), src)
+				return
+			}
+			for i, v := range got {
+				if want := float64(left*1000 + step + i); v != want {
+					t.Errorf("rank %d step %d[%d]: got %v want %v", c.Rank(), step, i, v, want)
+					return
+				}
+			}
+		}
+		stats, ok := c.NetStats()
+		if !ok {
+			t.Error("NetStats not available on socket transport")
+			return
+		}
+		if stats.FramesSent < steps || stats.FramesRecv < steps {
+			t.Errorf("rank %d: frames sent/recv %d/%d, want >= %d", c.Rank(), stats.FramesSent, stats.FramesRecv, steps)
+		}
+		if stats.Connects == 0 {
+			t.Errorf("rank %d: no connects recorded", c.Rank())
+		}
+	})
+}
+
+// TestNetTransportTCP runs the same communicator semantics over loopback
+// TCP instead of unix sockets.
+func TestNetTransportTCP(t *testing.T) {
+	RunWithOptions(3, Options{Net: &NetOptions{Network: "tcp", HeartbeatEvery: 2 * time.Millisecond}}, func(c *Comm) {
+		if got := c.TransportName(); got != "tcp" {
+			t.Errorf("TransportName = %q, want tcp", got)
+		}
+		sum := c.AllreduceInt64(int64(c.Rank()), func(a, b int64) int64 { return a + b })
+		if sum != 3 {
+			t.Errorf("rank %d: allreduce sum = %d, want 3", c.Rank(), sum)
+		}
+	})
+}
+
+// TestNetTransportPayloadKinds exercises every wire encoding: nil
+// (barrier), bytes, int64 slices, scalars and opaque struct payloads
+// (collectives gather structs).
+func TestNetTransportPayloadKinds(t *testing.T) {
+	type opaque struct {
+		Rank int
+		Name string
+	}
+	const n = 3
+	RunWithOptions(n, Options{Net: fastNet()}, func(c *Comm) {
+		c.Barrier()
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		c.Send(next, 1, []byte{byte(c.Rank()), 0xab})
+		c.Send(next, 2, []int64{int64(c.Rank()), -7})
+		c.Send(next, 3, int64(c.Rank()*11))
+		c.Send(next, 4, c.Rank()*13)
+		c.Send(next, 5, float64(c.Rank())+0.5)
+		c.Send(next, 6, opaque{Rank: c.Rank(), Name: "hello"})
+
+		if b, _ := c.RecvBytes(prev, 1); b[0] != byte(prev) || b[1] != 0xab {
+			t.Errorf("rank %d: bad []byte payload %v", c.Rank(), b)
+		}
+		if v, _ := c.Recv(prev, 2); v.([]int64)[0] != int64(prev) {
+			t.Errorf("rank %d: bad []int64 payload %v", c.Rank(), v)
+		}
+		if v, _ := c.Recv(prev, 3); v.(int64) != int64(prev*11) {
+			t.Errorf("rank %d: bad int64 payload %v", c.Rank(), v)
+		}
+		if v, _ := c.Recv(prev, 4); v.(int) != prev*13 {
+			t.Errorf("rank %d: bad int payload %v", c.Rank(), v)
+		}
+		if v, _ := c.Recv(prev, 5); v.(float64) != float64(prev)+0.5 {
+			t.Errorf("rank %d: bad float64 payload %v", c.Rank(), v)
+		}
+		if v, _ := c.Recv(prev, 6); v.(opaque) != (opaque{Rank: prev, Name: "hello"}) {
+			t.Errorf("rank %d: bad opaque payload %+v", c.Rank(), v)
+		}
+		gathered := c.Allgather(opaque{Rank: c.Rank(), Name: "g"})
+		for r, g := range gathered {
+			if g.(opaque).Rank != r {
+				t.Errorf("rank %d: allgather[%d] = %+v", c.Rank(), r, g)
+			}
+		}
+		c.Barrier()
+	})
+}
+
+// TestNetTransportSplitTraffic checks that subcommunicator traffic is
+// isolated on the wire exactly as in process (contexts travel in the
+// frame header).
+func TestNetTransportSplitTraffic(t *testing.T) {
+	RunWithOptions(4, Options{Net: fastNet()}, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		sum := sub.AllreduceInt64(int64(c.Rank()), func(a, b int64) int64 { return a + b })
+		want := int64(0 + 2)
+		if c.Rank()%2 == 1 {
+			want = 1 + 3
+		}
+		if sum != want {
+			t.Errorf("rank %d: subgroup sum = %d, want %d", c.Rank(), sum, want)
+		}
+	})
+}
+
+// exerciseFaultyNet runs steady ring traffic under a frame-fault plan and
+// asserts every value still arrives intact and in order — transient wire
+// faults must be fully absorbed by retention, reconnect and resend.
+func exerciseFaultyNet(t *testing.T, n, steps int, plan *NetFaultPlan, check func(r int, all []NetStats)) {
+	t.Helper()
+	opts := fastNet()
+	opts.Faults = plan
+	statsMu := sync.Mutex{}
+	all := make([]NetStats, n)
+	RunWithOptions(n, Options{Net: opts, FailTimeout: 20 * time.Second}, func(c *Comm) {
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() + n - 1) % n
+		for step := 0; step < steps; step++ {
+			buf := make([]float64, 4)
+			for i := range buf {
+				buf[i] = float64(c.Rank()*100000 + step*10 + i)
+			}
+			if err := c.SendFloat64s(right, 9, buf); err != nil {
+				t.Errorf("rank %d send: %v", c.Rank(), err)
+				return
+			}
+			got, _ := c.RecvFloat64s(left, 9)
+			for i, v := range got {
+				if want := float64(left*100000 + step*10 + i); v != want {
+					t.Errorf("rank %d step %d[%d]: got %v want %v", c.Rank(), step, i, v, want)
+					return
+				}
+			}
+		}
+		c.Barrier()
+		s, _ := c.NetStats()
+		statsMu.Lock()
+		all[c.WorldRank()] = s
+		statsMu.Unlock()
+	})
+	for r := range all {
+		check(r, all)
+	}
+}
+
+// TestNetTransportDropsAbsorbed injects deterministic frame drops; the
+// gap/heartbeat detectors must recover every one via reconnect + resend
+// with zero effect on delivered values.
+func TestNetTransportDropsAbsorbed(t *testing.T) {
+	total := func(all []NetStats, f func(NetStats) int64) int64 {
+		var s int64
+		for _, st := range all {
+			s += f(st)
+		}
+		return s
+	}
+	exerciseFaultyNet(t, 3, 40, &NetFaultPlan{Seed: 42, Drop: 0.05}, func(r int, all []NetStats) {
+		if r != 0 {
+			return
+		}
+		if total(all, func(s NetStats) int64 { return s.InjectedDrops }) == 0 {
+			t.Error("plan injected no drops — fault path untested")
+		}
+		if total(all, func(s NetStats) int64 { return s.ResentFrames }) == 0 {
+			t.Error("drops recovered without any resends?")
+		}
+		if total(all, func(s NetStats) int64 { return s.Reconnects }) == 0 {
+			t.Error("drops recovered without any reconnects?")
+		}
+	})
+}
+
+// TestNetTransportCorruptionAbsorbed injects checksum corruption; the CRC
+// must reject the frames and the resend path must deliver clean copies.
+func TestNetTransportCorruptionAbsorbed(t *testing.T) {
+	exerciseFaultyNet(t, 3, 40, &NetFaultPlan{Seed: 7, Corrupt: 0.05}, func(r int, all []NetStats) {
+		if r != 0 {
+			return
+		}
+		var checksums, corrupts int64
+		for _, s := range all {
+			checksums += s.ChecksumErrors
+			corrupts += s.InjectedCorrupts
+		}
+		if corrupts == 0 {
+			t.Error("plan injected no corruption — fault path untested")
+		}
+		if checksums == 0 {
+			t.Error("injected corruption never tripped the CRC check")
+		}
+	})
+}
+
+// TestNetTransportSeverAndRefusal severs live sockets mid-stream and
+// refuses the first reconnect attempts, exercising the capped-backoff
+// redial path end to end.
+func TestNetTransportSeverAndRefusal(t *testing.T) {
+	plan := &NetFaultPlan{
+		Seed:     3,
+		Severs:   []SeverSpec{{From: 0, To: 1, AtFrame: 5}, {From: 1, To: 0, AtFrame: 11}},
+		Refusals: []RefuseSpec{{From: 0, To: 1, Count: 2}},
+	}
+	exerciseFaultyNet(t, 2, 30, plan, func(r int, all []NetStats) {
+		if r != 0 {
+			return
+		}
+		var severs, reconnects int64
+		for _, s := range all {
+			severs += s.InjectedSevers
+			reconnects += s.Reconnects
+		}
+		if severs != 2 {
+			t.Errorf("injected severs = %d, want 2", severs)
+		}
+		if reconnects < 2 {
+			t.Errorf("reconnects = %d, want >= 2", reconnects)
+		}
+	})
+}
+
+// TestNetTransportDelay injects write stalls; traffic must simply be
+// slower, never wrong.
+func TestNetTransportDelay(t *testing.T) {
+	plan := &NetFaultPlan{Seed: 9, Delay: 0.1, MaxDelay: 2 * time.Millisecond}
+	exerciseFaultyNet(t, 2, 30, plan, func(r int, all []NetStats) {
+		if r != 0 {
+			return
+		}
+		var delays int64
+		for _, s := range all {
+			delays += s.InjectedDelays
+		}
+		if delays == 0 {
+			t.Error("plan injected no delays — fault path untested")
+		}
+	})
+}
+
+// TestNetTransportBlackHoleAccusation silences rank 2 mid-run and checks
+// the connection-level detector accuses exactly that rank within
+// FailTimeout, surfacing the typed timeout-cause RankFailedError on the
+// survivors.
+func TestNetTransportBlackHoleAccusation(t *testing.T) {
+	const n = 3
+	const failTimeout = 300 * time.Millisecond
+	opts := fastNet()
+	opts.Faults = &NetFaultPlan{BlackHoles: []HoleSpec{{Rank: 2, AfterFrames: 4}}}
+	var mu sync.Mutex
+	detect := make([]time.Duration, 0, n)
+	accusedSet := make(map[int]bool)
+	RunWithOptions(n, Options{Net: opts, FailTimeout: failTimeout}, func(c *Comm) {
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() + n - 1) % n
+		start := time.Now()
+		var failure *RankFailedError
+		for step := 0; step < 1000; step++ {
+			if err := c.SendFloat64s(right, 1, []float64{float64(step)}); err != nil {
+				if !errors.As(err, &failure) {
+					t.Errorf("rank %d: untyped send error %v", c.Rank(), err)
+				}
+				break
+			}
+			if _, _, err := c.RecvFloat64sErr(left, 1); err != nil {
+				if !errors.As(err, &failure) {
+					t.Errorf("rank %d: untyped recv error %v", c.Rank(), err)
+				}
+				break
+			}
+		}
+		elapsed := time.Since(start)
+		if failure == nil {
+			t.Errorf("rank %d: black hole never surfaced as a failure", c.Rank())
+			return
+		}
+		if !failure.TimedOut() {
+			t.Errorf("rank %d: accusation %v not marked as timeout", c.Rank(), failure)
+		}
+		mu.Lock()
+		detect = append(detect, elapsed)
+		accusedSet[failure.Rank] = true
+		mu.Unlock()
+	})
+	if len(accusedSet) != 1 || !accusedSet[2] {
+		t.Errorf("accused set = %v, want exactly rank 2", accusedSet)
+	}
+	// The transport must detect the silence within FailTimeout of it
+	// starting (generous wall-clock envelope: traffic until the hole plus
+	// the detection window plus scheduling slack).
+	for _, d := range detect {
+		if d > 8*failTimeout {
+			t.Errorf("detection took %v, want well under %v", d, 8*failTimeout)
+		}
+	}
+}
+
+// TestNetTransportMarkDeadStopsReconnects checks noteDead: after the
+// survivors mark a silent rank dead, its connections close permanently
+// and the surviving pair keeps communicating over its own link.
+func TestNetTransportMarkDeadStopsReconnects(t *testing.T) {
+	const n = 3
+	opts := fastNet()
+	opts.Faults = &NetFaultPlan{BlackHoles: []HoleSpec{{Rank: 2, AfterFrames: 0}}}
+	RunWithOptions(n, Options{Net: opts, FailTimeout: 200 * time.Millisecond}, func(c *Comm) {
+		if c.Rank() == 2 {
+			// The victim: wait until either it observes the accusation or
+			// the survivors' recovery has already marked it dead (their
+			// Recover clears the failure, so polling Failed alone races),
+			// then retire.
+			for c.Failed() == nil && c.Alive(2) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			c.Retire()
+			return
+		}
+		// Survivors: trip the failure detector by awaiting the victim.
+		_, _, err := c.RecvFloat64sErr(2, 1)
+		var rfe *RankFailedError
+		if !errors.As(err, &rfe) {
+			t.Errorf("rank %d: expected rank failure, got %v", c.Rank(), err)
+			return
+		}
+		c.MarkDead(2)
+		c.Recover()
+		sub, rankMap := c.Shrink()
+		if sub == nil || sub.Size() != 2 {
+			t.Errorf("rank %d: shrink produced %v (map %v)", c.Rank(), sub, rankMap)
+			return
+		}
+		// The surviving pair must still talk over its (possibly recycled)
+		// socket after the shrink.
+		peer := 1 - sub.Rank()
+		if err := sub.SendFloat64s(peer, 3, []float64{float64(sub.Rank())}); err != nil {
+			t.Errorf("rank %d: post-shrink send: %v", c.Rank(), err)
+			return
+		}
+		got, _, err := sub.RecvFloat64sErr(peer, 3)
+		if err != nil || got[0] != float64(peer) {
+			t.Errorf("rank %d: post-shrink recv = %v, %v", c.Rank(), got, err)
+		}
+	})
+}
+
+// TestNetTransportBackpressure bounds the retention ring and floods one
+// direction: senders must block (not fail, not drop) until acks free ring
+// space.
+func TestNetTransportBackpressure(t *testing.T) {
+	opts := fastNet()
+	opts.RetainFrames = 4
+	RunWithOptions(2, Options{Net: opts}, func(c *Comm) {
+		const msgs = 64
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := c.SendFloat64s(1, 5, []float64{float64(i)}); err != nil {
+					t.Errorf("send %d: %v", i, err)
+					return
+				}
+			}
+		} else {
+			time.Sleep(20 * time.Millisecond) // let the ring fill
+			for i := 0; i < msgs; i++ {
+				got, _ := c.RecvFloat64s(0, 5)
+				if got[0] != float64(i) {
+					t.Errorf("recv %d: got %v", i, got[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestNetOptionsValidate rejects impossible socket configurations.
+func TestNetOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts NetOptions
+	}{
+		{"bad network", NetOptions{Network: "udp"}},
+		{"addr count", NetOptions{Network: "tcp", Addrs: []string{"127.0.0.1:0"}}},
+		{"bad fault fraction", NetOptions{Network: "unix", Faults: &NetFaultPlan{Drop: 1.5}}},
+		{"sever self", NetOptions{Network: "unix", Faults: &NetFaultPlan{Severs: []SeverSpec{{From: 1, To: 1, AtFrame: 1}}}}},
+		{"sever frame zero", NetOptions{Network: "unix", Faults: &NetFaultPlan{Severs: []SeverSpec{{From: 0, To: 1}}}}},
+		{"refusal rank", NetOptions{Network: "unix", Faults: &NetFaultPlan{Refusals: []RefuseSpec{{From: 0, To: 9, Count: 1}}}}},
+		{"hole rank", NetOptions{Network: "unix", Faults: &NetFaultPlan{BlackHoles: []HoleSpec{{Rank: -1}}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.opts.validate(2); err == nil {
+			t.Errorf("%s: validate accepted %+v", tc.name, tc.opts)
+		}
+	}
+	if err := (NetOptions{}).withDefaults().validate(2); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+}
+
+// TestNetStatsInproc checks NetStats degrades gracefully on backend zero.
+func TestNetStatsInproc(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.TransportName() != "inproc" {
+			t.Errorf("TransportName = %q, want inproc", c.TransportName())
+		}
+		if _, ok := c.NetStats(); ok {
+			t.Error("NetStats reported ok on the in-process backend")
+		}
+	})
+}
+
+// TestNetTransportManyRanks smoke-tests a wider world (one listener and
+// n-1 connections per rank) with an alltoall.
+func TestNetTransportManyRanks(t *testing.T) {
+	const n = 7
+	RunWithOptions(n, Options{Net: fastNet()}, func(c *Comm) {
+		bufs := make([]any, n)
+		for i := range bufs {
+			bufs[i] = fmt.Sprintf("%d->%d", c.Rank(), i)
+		}
+		got := c.Alltoall(bufs)
+		for i, g := range got {
+			if want := fmt.Sprintf("%d->%d", i, c.Rank()); g.(string) != want {
+				t.Errorf("rank %d: alltoall[%d] = %v, want %s", c.Rank(), i, g, want)
+			}
+		}
+	})
+}

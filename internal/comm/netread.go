@@ -1,0 +1,311 @@
+package comm
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// readLoop consumes one socket generation's inbound frame stream and
+// deposits data frames into the rank's mailbox. readerGate serializes
+// readers across reconnects: a new socket's reader waits until its
+// predecessor drained, so lastRecv and the decode buffers advance in
+// stream order. Any error — wire, decode, checksum, sequence gap — tears
+// the connection down; the retention/resend protocol makes that lossless.
+func (c *netConn) readLoop(sock net.Conn, gen uint64) {
+	ep := c.ep
+	t := ep.t
+	defer t.wg.Done()
+	c.readerGate.Lock()
+	defer c.readerGate.Unlock()
+	c.mu.Lock()
+	stale := c.sockGen != gen
+	c.mu.Unlock()
+	if stale {
+		return
+	}
+	for {
+		// The deadline is a backstop only — the supervisor's stall detector
+		// fires first on a silent peer; this bounds how long a reader can
+		// linger on a socket the supervisor already abandoned.
+		sock.SetReadDeadline(time.Now().Add(4 * t.opts.StallTimeout))
+		if _, err := io.ReadFull(sock, c.scratch.hdr[:]); err != nil {
+			c.sever(gen)
+			return
+		}
+		h, err := decodeFrameHeader(&c.scratch.hdr, t.opts.MaxFrameBytes)
+		if err != nil {
+			c.sever(gen)
+			return
+		}
+		ep.bytesIn(int64(frameHeaderLen) + int64(h.length))
+		switch h.kind {
+		case frameHeartbeat:
+			if checkFrameCRC(&c.scratch.hdr, nil) != nil {
+				ep.checksumErr()
+				c.sever(gen)
+				return
+			}
+			if ep.isHoled() {
+				continue // black-holed: drain, acknowledge nothing
+			}
+			c.lastIn.Store(time.Now().UnixNano())
+			c.prune(h.ack)
+			// Tail-gap detection: the heartbeat names the peer's last data
+			// seq; it was written after that data on the same FIFO socket,
+			// so a cursor behind it proves a lost frame. Sever and let the
+			// reconnect resend recover it — this bounds the latency of a
+			// dropped stream tail to about one heartbeat interval.
+			if h.seq > c.lastRecv.Load() {
+				ep.gapFrame()
+				c.sever(gen)
+				return
+			}
+		case frameData:
+			if int(h.source) != c.peer {
+				c.sever(gen)
+				return
+			}
+			seq := h.seq
+			last := c.lastRecv.Load()
+			dup := seq <= last
+			gap := seq > last+1
+			var payload []byte
+			var f64dst []float64
+			var ring *recvRing
+			if h.enc == encF64s && !dup && !gap {
+				// Zero-copy decode: read the payload straight into the
+				// rotation buffer the message will carry.
+				f64dst, ring = c.f64Buffer(recvKey{h.ctx, h.tag}, int(h.length)/8)
+				payload = f64Bytes(f64dst)
+			} else {
+				payload = c.scratch.grow(int(h.length))
+			}
+			if _, err := io.ReadFull(sock, payload); err != nil {
+				c.sever(gen)
+				return
+			}
+			if checkFrameCRC(&c.scratch.hdr, payload) != nil {
+				ep.checksumErr()
+				c.sever(gen)
+				return
+			}
+			if ep.isHoled() {
+				continue
+			}
+			c.lastIn.Store(time.Now().UnixNano())
+			c.prune(h.ack)
+			if dup {
+				// Already delivered before the last reconnect; the resend
+				// protocol over-replays rather than losing.
+				ep.dupFrame()
+				continue
+			}
+			if gap {
+				ep.gapFrame()
+				c.sever(gen)
+				return
+			}
+			ep.frameRecv()
+			if int64(h.epoch) < t.w.epoch.Load() {
+				// Pre-recovery traffic: consume for stream continuity, never
+				// deliver (the wire analogue of the recovery mailbox purge).
+				c.lastRecv.Store(seq)
+				continue
+			}
+			msg := message{ctx: int(h.ctx), source: int(h.source), tag: int(h.tag)}
+			switch h.enc {
+			case encF64s:
+				if len(f64dst) == 0 {
+					f64dst = emptyF64
+				}
+				msg.f64 = f64dst
+			case encBytes:
+				b := make([]byte, len(payload))
+				copy(b, payload)
+				msg.data = b
+			case encI64s:
+				v := make([]int64, len(payload)/8)
+				bytesI64(v, payload)
+				msg.data = v
+			case encInt64, encInt, encFloat64:
+				msg.data = decodeScalar(h.enc, payload)
+			case encOpaque:
+				v, ok := t.opaque.Load(opaqueKey{c.peer, ep.rank, seq})
+				if !ok {
+					// Unreachable by protocol (pruned means acked means dup);
+					// treat as stream corruption rather than delivering nil.
+					c.sever(gen)
+					return
+				}
+				msg.data = v
+			}
+			c.delivering.Store(true)
+			pending, err := t.w.mailboxes[ep.rank].putNet(msg, t.w, int64(h.epoch), t.bail)
+			c.delivering.Store(false)
+			if err != nil {
+				if t.closed.Load() {
+					return
+				}
+				// A declared failure aborted a backpressured deposit. The
+				// pending recovery's purge would have discarded the message
+				// anyway, so advance the cursor and keep the stream alive.
+			}
+			c.lastRecv.Store(seq)
+			if ring != nil {
+				ring.lastPending = pending
+			}
+		default:
+			// hello/welcome mid-stream: the peer lost framing.
+			c.sever(gen)
+			return
+		}
+	}
+}
+
+// supervise is the connection's background caretaker: while up it
+// heartbeats and tears down stalled links; while down it accuses peers
+// silent past FailTimeout and (on the dialer side) redials with capped
+// exponential backoff.
+func (c *netConn) supervise() {
+	t := c.ep.t
+	defer t.wg.Done()
+	backoff := t.opts.ReconnectBase
+	// Dialers attempt the first connection immediately; acceptors just
+	// start their heartbeat cadence.
+	first := t.opts.HeartbeatEvery
+	if c.dialer {
+		first = 0
+	}
+	timer := time.NewTimer(first)
+	defer timer.Stop()
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-timer.C:
+		}
+		c.mu.Lock()
+		if c.permDown {
+			c.mu.Unlock()
+			return
+		}
+		down := c.down
+		if !down {
+			idle := time.Since(time.Unix(0, c.lastIn.Load()))
+			if idle > t.opts.StallTimeout && !c.delivering.Load() && !c.ep.isHoled() {
+				// Silent past the stall threshold: assume the socket is
+				// dead, recycle it. If the peer is alive the redial
+				// restores the stream; if not, the accusation clock below
+				// keeps running off lastIn.
+				c.teardownLocked()
+				down = true
+			} else {
+				c.writeHeartbeatLocked()
+			}
+		}
+		c.mu.Unlock()
+		if down {
+			c.maybeAccuse()
+			if c.dialer && !c.ep.isHoled() && c.tryDial() {
+				backoff = t.opts.ReconnectBase
+				timer.Reset(t.opts.HeartbeatEvery)
+				continue
+			}
+			timer.Reset(backoff)
+			backoff *= 2
+			if backoff > t.opts.ReconnectMax {
+				backoff = t.opts.ReconnectMax
+			}
+		} else {
+			backoff = t.opts.ReconnectBase
+			timer.Reset(t.opts.HeartbeatEvery)
+		}
+	}
+}
+
+// maybeAccuse declares a rank failure once the connection has been silent
+// past FailTimeout. Normally the silent peer is accused; but an endpoint
+// whose every live connection is down at once is far more likely to be
+// the problem itself (a black-holed node still believes it is fine — its
+// packets just go nowhere), so with two or more live links all down it
+// accuses its own rank. For a world of three or more ranks this makes the
+// black-hole victim's identity deterministic: every endpoint, victim
+// included, names the victim.
+func (c *netConn) maybeAccuse() {
+	t := c.ep.t
+	ft := t.w.opts.FailTimeout
+	if ft <= 0 || t.closed.Load() || t.w.failure.Load() != nil {
+		return
+	}
+	if time.Since(time.Unix(0, c.lastIn.Load())) <= ft {
+		return
+	}
+	c.mu.Lock()
+	eligible := c.down && !c.permDown
+	c.mu.Unlock()
+	if !eligible {
+		return
+	}
+	accused := c.peer
+	live, downN := 0, 0
+	for _, o := range c.ep.conns {
+		if o == nil {
+			continue
+		}
+		o.mu.Lock()
+		if !o.permDown {
+			live++
+			if o.down {
+				downN++
+			}
+		}
+		o.mu.Unlock()
+	}
+	if live >= 2 && downN == live {
+		accused = c.ep.rank
+	}
+	f := &RankFailedError{
+		Rank: accused,
+		Cause: fmt.Sprintf("%srank %d saw no traffic from rank %d on the %s transport within %v",
+			timeoutCausePrefix, c.ep.rank, c.peer, t.opts.Network, ft),
+	}
+	c.ep.accused(accused)
+	t.w.declareFailure(f)
+}
+
+// tryDial attempts the dialer's half of the handshake: connect, send a
+// hello carrying our receive progress, await the welcome carrying the
+// peer's. Failures (connect refused, injected refusal, handshake
+// timeout) report false and the supervisor backs off.
+func (c *netConn) tryDial() bool {
+	t := c.ep.t
+	dialTO := t.opts.StallTimeout
+	if dialTO <= 0 {
+		dialTO = time.Second
+	}
+	d := net.Dialer{Timeout: dialTO}
+	sock, err := d.Dial(t.opts.Network, t.addrs[c.peer])
+	if err != nil {
+		return false
+	}
+	sock.SetDeadline(time.Now().Add(4 * t.opts.StallTimeout))
+	var hdr [frameHeaderLen]byte
+	encodeFrameHeader(&hdr, frameHeader{
+		kind: frameHello, ack: c.lastRecv.Load(),
+		epoch: uint64(t.w.epoch.Load()), source: int32(c.ep.rank),
+	}, nil)
+	if _, err := sock.Write(hdr[:]); err != nil {
+		sock.Close()
+		return false
+	}
+	var s frameScratch
+	h, _, err := readFrame(sock, t.opts.MaxFrameBytes, &s)
+	if err != nil || h.kind != frameWelcome || int(h.source) != c.peer {
+		sock.Close()
+		return false
+	}
+	sock.SetDeadline(time.Time{})
+	return c.install(sock, h.ack)
+}

@@ -1,0 +1,168 @@
+package comm
+
+import (
+	"sync"
+
+	"walberla/internal/telemetry"
+)
+
+// Telemetry wiring of the socket transport. Unlike the rank-driver
+// telemetry (telemetry.go), transport events originate on background
+// goroutines — supervisors, readers, accept handlers — so they cannot
+// share the driver's single-writer span lane. SetNetTelemetry attaches a
+// dedicated lane (created with Tracer.AddLane) guarded by a mutex: the
+// events are rare (connects, faults, accusations — never per frame), so
+// the lock is off every hot path. Counters are registry atomics, safe
+// from any goroutine.
+
+// netTel bundles one endpoint's attached telemetry handles. All methods
+// are nil-safe.
+type netTel struct {
+	mu   sync.Mutex
+	lane *telemetry.Lane
+
+	framesSent, framesRecv *telemetry.Counter
+	bytesSent, bytesRecv   *telemetry.Counter
+	heartbeats             *telemetry.Counter
+	reconnects, resent     *telemetry.Counter
+	dups, gaps, checksums  *telemetry.Counter
+	accusals, injected     *telemetry.Counter
+}
+
+// instant records a transport event span; safe from any goroutine.
+func (nt *netTel) instant(p telemetry.Phase, arg int) {
+	if nt == nil || nt.lane == nil {
+		return
+	}
+	nt.mu.Lock()
+	nt.lane.Instant(p, 0, int32(arg))
+	nt.mu.Unlock()
+}
+
+// SetNetTelemetry attaches a span lane and metrics registry to this
+// rank's socket endpoint: connection lifecycle instants (net-connect,
+// net-reconnect, net-resend, net-fault, net-accuse) on the lane and
+// comm.net.* counters in the registry. The lane must be dedicated to the
+// transport (e.g. from Tracer.AddLane("net", 0)) — it is written from
+// background goroutines under an internal lock, never from the rank's
+// driver. No-op on the in-process backend; nil lane/registry disable the
+// respective half.
+func (c *Comm) SetNetTelemetry(lane *telemetry.Lane, reg *telemetry.Registry) {
+	t, ok := c.w.transport.(*netTransport)
+	if !ok {
+		return
+	}
+	ep := t.endpoints[c.WorldRank()]
+	if lane == nil && reg == nil {
+		ep.tel.Store(nil)
+		return
+	}
+	ep.tel.Store(&netTel{
+		lane:       lane,
+		framesSent: reg.Counter("comm.net.frames_sent"),
+		framesRecv: reg.Counter("comm.net.frames_recv"),
+		bytesSent:  reg.Counter("comm.net.bytes_sent"),
+		bytesRecv:  reg.Counter("comm.net.bytes_recv"),
+		heartbeats: reg.Counter("comm.net.heartbeats"),
+		reconnects: reg.Counter("comm.net.reconnects"),
+		resent:     reg.Counter("comm.net.resent_frames"),
+		dups:       reg.Counter("comm.net.dup_frames"),
+		gaps:       reg.Counter("comm.net.gaps"),
+		checksums:  reg.Counter("comm.net.checksum_errors"),
+		accusals:   reg.Counter("comm.net.accusals"),
+		injected:   reg.Counter("comm.net.injected_faults"),
+	})
+}
+
+// event records a connection-lifecycle instant, bumping the matching
+// registry counter where one exists.
+func (ep *netEndpoint) event(p telemetry.Phase, arg int) {
+	nt := ep.tel.Load()
+	if nt == nil {
+		return
+	}
+	switch p {
+	case telemetry.PhaseNetReconnect:
+		nt.reconnects.Inc()
+	case telemetry.PhaseNetResend:
+		nt.resent.Inc()
+	}
+	nt.instant(p, arg)
+}
+
+// netFault records one injected frame fault against peer.
+func (ep *netEndpoint) netFault(peer int) {
+	nt := ep.tel.Load()
+	if nt == nil {
+		return
+	}
+	nt.injected.Inc()
+	nt.instant(telemetry.PhaseNetFault, peer)
+}
+
+// frameSent counts one written data frame of the given wire size.
+func (ep *netEndpoint) frameSent(bytes int64) {
+	ep.stats.framesSent.Add(1)
+	if nt := ep.tel.Load(); nt != nil {
+		nt.framesSent.Inc()
+		nt.bytesSent.Add(bytes)
+	}
+}
+
+// heartbeat counts one written liveness probe.
+func (ep *netEndpoint) heartbeat() {
+	ep.stats.heartbeats.Add(1)
+	if nt := ep.tel.Load(); nt != nil {
+		nt.heartbeats.Inc()
+		nt.bytesSent.Add(frameHeaderLen)
+	}
+}
+
+// bytesIn counts inbound wire bytes (all frame kinds).
+func (ep *netEndpoint) bytesIn(n int64) {
+	ep.stats.bytesRecv.Add(n)
+	if nt := ep.tel.Load(); nt != nil {
+		nt.bytesRecv.Add(n)
+	}
+}
+
+// frameRecv counts one accepted inbound data frame.
+func (ep *netEndpoint) frameRecv() {
+	ep.stats.framesRecv.Add(1)
+	if nt := ep.tel.Load(); nt != nil {
+		nt.framesRecv.Inc()
+	}
+}
+
+// dupFrame counts one discarded duplicate data frame.
+func (ep *netEndpoint) dupFrame() {
+	ep.stats.dups.Add(1)
+	if nt := ep.tel.Load(); nt != nil {
+		nt.dups.Inc()
+	}
+}
+
+// gapFrame counts one sequence gap forcing a teardown.
+func (ep *netEndpoint) gapFrame() {
+	ep.stats.gaps.Add(1)
+	if nt := ep.tel.Load(); nt != nil {
+		nt.gaps.Inc()
+	}
+}
+
+// checksumErr counts one frame rejected by the CRC check.
+func (ep *netEndpoint) checksumErr() {
+	ep.stats.checksumErrs.Add(1)
+	if nt := ep.tel.Load(); nt != nil {
+		nt.checksums.Inc()
+	}
+}
+
+// accused counts one rank accusation declared by this endpoint.
+func (ep *netEndpoint) accused(rank int) {
+	ep.stats.accusals.Add(1)
+	if nt := ep.tel.Load(); nt != nil {
+		nt.accusals.Inc()
+		nt.instant(telemetry.PhaseNetAccuse, rank)
+	}
+}

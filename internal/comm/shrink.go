@@ -20,12 +20,18 @@ func (c *Comm) MarkDead(worldRank int) {
 		panic("comm: MarkDead of invalid world rank")
 	}
 	w.recMu.Lock()
-	if !w.dead[worldRank] {
+	newly := !w.dead[worldRank]
+	if newly {
 		w.dead[worldRank] = true
 		w.deadCount++
 		w.finishRecoveryLocked()
 	}
 	w.recMu.Unlock()
+	if newly && w.transport != nil {
+		// Outside recMu: the transport closes sockets and sheds retained
+		// frames, which takes connection locks of its own.
+		w.transport.noteDead(worldRank)
+	}
 }
 
 // Retire marks the calling rank itself permanently dead — the last act of

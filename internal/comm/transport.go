@@ -1,0 +1,182 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+)
+
+// The communicator is abstracted over a Transport: the component that
+// moves a stamped message from the sending rank to the destination rank's
+// mailbox. Backend zero is the original in-process channel world (the
+// sender deposits directly into the receiver's mailbox); the socket
+// backend (net.go) pushes every message through a real length-prefixed,
+// checksummed wire protocol over TCP or unix-domain sockets, with
+// connection-level failure detection feeding the same RankFailedError
+// machinery. Everything above deliver — matching, collectives, fault
+// injection, recovery — is transport-agnostic.
+
+// transport moves stamped messages between world ranks.
+type transport interface {
+	// name identifies the backend ("inproc", "tcp", "unix").
+	name() string
+	// deliver moves msg from world rank src into dst's mailbox, blocking
+	// on backpressure (full mailbox, full retention ring). It returns the
+	// time spent blocked.
+	deliver(src, dst int, msg message) (time.Duration, error)
+	// noteDead tells the transport a world rank is permanently dead:
+	// connections to it are closed, reconnect attempts stop and retained
+	// frames toward it are shed.
+	noteDead(worldRank int)
+	// onFailure wakes transport-internal waiters (ring-full blocked
+	// senders) so they observe a declared rank failure.
+	onFailure()
+	// shutdown tears the transport down after the run (listeners, sockets,
+	// background goroutines).
+	shutdown()
+}
+
+// inprocTransport is backend zero: the classic shared-memory mailbox
+// deposit. deliver is exactly the pre-transport send path, so the
+// zero-allocation and bit-identity properties of the in-process runtime
+// are unchanged.
+type inprocTransport struct{ w *world }
+
+func (t *inprocTransport) name() string { return "inproc" }
+
+func (t *inprocTransport) deliver(src, dst int, msg message) (time.Duration, error) {
+	return t.w.mailboxes[dst].put(msg, t.w.failErr)
+}
+
+func (t *inprocTransport) noteDead(int) {}
+func (t *inprocTransport) onFailure()   {}
+func (t *inprocTransport) shutdown()    {}
+
+// NetOptions selects and configures the socket transport. The zero value
+// of every field picks a sensible default; Options.Net == nil selects the
+// in-process backend.
+type NetOptions struct {
+	// Network is the socket flavor: "tcp" (loopback TCP) or "unix"
+	// (unix-domain stream sockets, the default).
+	Network string
+	// Addrs optionally pins one listen address per world rank (length must
+	// equal the world size). Empty selects ephemeral loopback addresses
+	// ("127.0.0.1:0") or temp-dir unix socket paths.
+	Addrs []string
+	// HeartbeatEvery is the idle-liveness probe interval of every
+	// connection; heartbeats also carry the cumulative acks and the
+	// sender's last data sequence, so dropped stream tails are detected
+	// within one interval. Default 20ms.
+	HeartbeatEvery time.Duration
+	// StallTimeout is the per-connection silence threshold: a connection
+	// with no inbound bytes for this long is torn down and redialed.
+	// Default 6×HeartbeatEvery.
+	StallTimeout time.Duration
+	// ReconnectBase and ReconnectMax bound the capped exponential backoff
+	// between reconnect attempts. Defaults 1ms and 100ms.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// RetainFrames is the per-connection retention ring capacity: unacked
+	// data frames kept for idempotent resend. A full ring blocks the
+	// sender (end-to-end backpressure). Default 512.
+	RetainFrames int
+	// MaxFrameBytes guards the decoder against corrupt length prefixes.
+	// Default 64 MiB.
+	MaxFrameBytes int
+	// Faults injects deterministic frame-layer faults; nil disables.
+	Faults *NetFaultPlan
+}
+
+// withDefaults resolves the zero-value fields.
+func (o NetOptions) withDefaults() NetOptions {
+	if o.Network == "" {
+		o.Network = "unix"
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = 20 * time.Millisecond
+	}
+	if o.StallTimeout <= 0 {
+		o.StallTimeout = 6 * o.HeartbeatEvery
+	}
+	if o.ReconnectBase <= 0 {
+		o.ReconnectBase = time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = 100 * time.Millisecond
+	}
+	if o.ReconnectMax < o.ReconnectBase {
+		o.ReconnectMax = o.ReconnectBase
+	}
+	if o.RetainFrames <= 0 {
+		o.RetainFrames = 512
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = defaultMaxFrameBytes
+	}
+	return o
+}
+
+// validate rejects impossible socket configurations before the world
+// starts.
+func (o NetOptions) validate(n int) error {
+	if o.Network != "tcp" && o.Network != "unix" {
+		return fmt.Errorf("net options: unknown network %q (want tcp or unix)", o.Network)
+	}
+	if len(o.Addrs) != 0 && len(o.Addrs) != n {
+		return fmt.Errorf("net options: %d listen addresses for %d ranks", len(o.Addrs), n)
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TransportName reports the backend moving this communicator's messages:
+// "inproc", "tcp" or "unix".
+func (c *Comm) TransportName() string { return c.w.transport.name() }
+
+// NetStats is one rank's socket-transport counters. All fields are
+// lifetime totals of the rank's endpoint (all its connections).
+type NetStats struct {
+	// FramesSent and FramesRecv count data frames written to and accepted
+	// off the wire (heartbeats and handshakes excluded).
+	FramesSent int64
+	FramesRecv int64
+	// BytesSent and BytesRecv count frame bytes including headers.
+	BytesSent int64
+	BytesRecv int64
+	// Heartbeats counts liveness probes written.
+	Heartbeats int64
+	// Connects counts established connections (initial dials and accepts);
+	// Reconnects counts re-establishments after a teardown.
+	Connects   int64
+	Reconnects int64
+	// ResentFrames counts retained data frames replayed after reconnect
+	// handshakes; DupFrames counts received frames discarded as already
+	// delivered; Gaps counts sequence gaps that forced a teardown.
+	ResentFrames int64
+	DupFrames    int64
+	Gaps         int64
+	// ChecksumErrors counts frames rejected by the CRC check.
+	ChecksumErrors int64
+	// Accusals counts rank failures this endpoint declared from stalled
+	// connections.
+	Accusals int64
+	// InjectedDrops/Corrupts/Delays/Severs count NetFaultPlan decisions
+	// taken on this endpoint's outgoing streams.
+	InjectedDrops    int64
+	InjectedCorrupts int64
+	InjectedDelays   int64
+	InjectedSevers   int64
+}
+
+// NetStats returns this rank's socket-transport counters; ok is false on
+// the in-process backend.
+func (c *Comm) NetStats() (stats NetStats, ok bool) {
+	nt, isNet := c.w.transport.(*netTransport)
+	if !isNet {
+		return NetStats{}, false
+	}
+	return nt.endpoints[c.WorldRank()].snapshot(), true
+}

@@ -1,0 +1,90 @@
+package netmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Calibration against a real transport: the socket backend of
+// internal/comm gives the repository a wire with genuine per-message
+// latency and finite bandwidth, so the analytic models above can be
+// anchored to measured numbers instead of literature values. The bench
+// harness measures round-trip times across message sizes and fits the
+// classic postal model t(m) = latency + m/bandwidth; the resulting
+// Calibrated network plugs into the same projections as the JUQUEEN and
+// SuperMUC models.
+
+// FitLatencyBandwidth fits t(m) = latency + m/bandwidth to measured
+// (bytes, seconds) samples by least squares. It returns the per-message
+// latency in seconds and the bandwidth in bytes/s. At least two samples
+// with distinct sizes are required; a non-positive fitted slope (faster
+// transfers for bigger messages — measurement noise) is rejected.
+func FitLatencyBandwidth(bytes, seconds []float64) (latency, bandwidth float64, err error) {
+	if len(bytes) != len(seconds) {
+		return 0, 0, fmt.Errorf("netmodel: %d sizes vs %d times", len(bytes), len(seconds))
+	}
+	if len(bytes) < 2 {
+		return 0, 0, fmt.Errorf("netmodel: need at least 2 samples, got %d", len(bytes))
+	}
+	n := float64(len(bytes))
+	var mx, mt float64
+	for i := range bytes {
+		mx += bytes[i]
+		mt += seconds[i]
+	}
+	mx /= n
+	mt /= n
+	var sxx, sxt float64
+	for i := range bytes {
+		dx := bytes[i] - mx
+		sxx += dx * dx
+		sxt += dx * (seconds[i] - mt)
+	}
+	if sxx == 0 {
+		return 0, 0, fmt.Errorf("netmodel: all %d samples share one message size", len(bytes))
+	}
+	slope := sxt / sxx
+	if slope <= 0 || math.IsNaN(slope) {
+		return 0, 0, fmt.Errorf("netmodel: non-positive fitted slope %g — samples too noisy", slope)
+	}
+	latency = mt - slope*mx
+	if latency < 0 {
+		// Tiny negative intercepts happen when the latency is below the
+		// timer resolution; clamp rather than report an impossible value.
+		latency = 0
+	}
+	return latency, 1 / slope, nil
+}
+
+// Calibrated is a Network whose parameters came from measurements on a
+// real transport (FitLatencyBandwidth) rather than from an analytic
+// topology model. It deliberately has no topology term: it represents
+// the flat point-to-point cost of the measured wire.
+type Calibrated struct {
+	// NetName names the measured transport (e.g. "unix", "tcp").
+	NetName string
+	// Latency is the per-message cost in seconds.
+	Latency float64
+	// Bandwidth is the sustained point-to-point bandwidth in bytes/s.
+	Bandwidth float64
+	// IntraNodeBandwidth is the bandwidth of same-node traffic; zero means
+	// intra-node messages ride the measured wire too (the socket backend's
+	// reality on one host).
+	IntraNodeBandwidth float64
+}
+
+// Name implements Network.
+func (c *Calibrated) Name() string { return c.NetName }
+
+// CommTime implements Network with the fitted postal model.
+func (c *Calibrated) CommTime(totalCores int, offNodeBytes, intraNodeBytes float64, offNodeMessages int) float64 {
+	t := float64(offNodeMessages)*c.Latency + offNodeBytes/c.Bandwidth
+	if intraNodeBytes > 0 {
+		bw := c.IntraNodeBandwidth
+		if bw <= 0 {
+			bw = c.Bandwidth
+		}
+		t += intraNodeBytes / bw
+	}
+	return t
+}

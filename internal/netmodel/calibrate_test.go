@@ -1,0 +1,77 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitLatencyBandwidthRecoversModel(t *testing.T) {
+	const lat, bw = 12e-6, 2.5e9
+	var bytes, secs []float64
+	for _, m := range []float64{64, 1024, 65536, 1 << 20, 8 << 20} {
+		bytes = append(bytes, m)
+		secs = append(secs, lat+m/bw)
+	}
+	gotLat, gotBW, err := FitLatencyBandwidth(bytes, secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotLat-lat)/lat > 1e-6 {
+		t.Errorf("latency = %g, want %g", gotLat, lat)
+	}
+	if math.Abs(gotBW-bw)/bw > 1e-6 {
+		t.Errorf("bandwidth = %g, want %g", gotBW, bw)
+	}
+}
+
+func TestFitLatencyBandwidthNoisy(t *testing.T) {
+	// Deterministic +/-5% wobble must not throw the fit off by more than
+	// a few percent on a well-spread size range.
+	const lat, bw = 20e-6, 1e9
+	var bytes, secs []float64
+	for i, m := range []float64{256, 4096, 65536, 1 << 20, 4 << 20, 16 << 20} {
+		noise := 1 + 0.05*math.Cos(float64(3*i))
+		bytes = append(bytes, m)
+		secs = append(secs, (lat+m/bw)*noise)
+	}
+	gotLat, gotBW, err := FitLatencyBandwidth(bytes, secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLat <= 0 || math.Abs(gotBW-bw)/bw > 0.15 {
+		t.Errorf("noisy fit: latency %g bandwidth %g, want ~%g/%g", gotLat, gotBW, lat, bw)
+	}
+}
+
+func TestFitLatencyBandwidthRejectsDegenerate(t *testing.T) {
+	if _, _, err := FitLatencyBandwidth([]float64{8}, []float64{1e-6}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, _, err := FitLatencyBandwidth([]float64{8, 8, 8}, []float64{1e-6, 2e-6, 3e-6}); err == nil {
+		t.Error("constant sizes accepted")
+	}
+	if _, _, err := FitLatencyBandwidth([]float64{8, 1024}, []float64{2e-6, 1e-6}); err == nil {
+		t.Error("negative slope accepted")
+	}
+	if _, _, err := FitLatencyBandwidth([]float64{8, 16}, []float64{1e-6}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCalibratedCommTime(t *testing.T) {
+	c := &Calibrated{NetName: "unix", Latency: 10e-6, Bandwidth: 1e9, IntraNodeBandwidth: 4e9}
+	if c.Name() != "unix" {
+		t.Errorf("name %q", c.Name())
+	}
+	got := c.CommTime(32, 1e6, 4e6, 10)
+	want := 10*10e-6 + 1e6/1e9 + 4e6/4e9
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("CommTime = %g, want %g", got, want)
+	}
+	// Zero intra-node bandwidth falls back to the wire bandwidth.
+	c.IntraNodeBandwidth = 0
+	got = c.CommTime(32, 0, 1e6, 0)
+	if math.Abs(got-1e6/1e9) > 1e-12 {
+		t.Errorf("fallback CommTime = %g", got)
+	}
+}

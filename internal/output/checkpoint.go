@@ -24,6 +24,10 @@ import (
 const (
 	checkpointMagic       = "WBC2"
 	checkpointMagicLegacy = "WBC1"
+	// maxCheckpointBytes bounds the allocation a single-block checkpoint
+	// header may request — far above any block the framework produces,
+	// far below anything that could exhaust memory.
+	maxCheckpointBytes = int64(1) << 30
 )
 
 // castagnoli is the CRC32C polynomial table shared by all framework file
@@ -153,6 +157,11 @@ func LoadCheckpoint(r io.Reader, s *lattice.Stencil, layout field.Layout) (*fiel
 		hdr[1] > maxExtent || hdr[2] > maxExtent || hdr[3] > maxExtent || hdr[4] > 8 {
 		return nil, corruptf(checkpointMagic, "implausible header %v", hdr)
 	}
+	// The per-axis bound does not bound the product: three individually
+	// plausible extents can still multiply into a terabyte allocation.
+	if size := CheckpointSize(s.Q, int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4])); size > maxCheckpointBytes {
+		return nil, corruptf(checkpointMagic, "header %v implies a %d-byte checkpoint (limit %d)", hdr, size, int64(maxCheckpointBytes))
+	}
 	if hdr[5] != uint32(field.AoS) && hdr[5] != uint32(field.SoA) {
 		return nil, corruptf(checkpointMagic, "unknown layout %d", hdr[5])
 	}
@@ -234,6 +243,15 @@ func LoadFlags(r io.Reader) (*field.FlagField, error) {
 		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
 			return nil, err
 		}
+	}
+	const maxExtent = 1 << 16
+	if hdr[0] == 0 || hdr[1] == 0 || hdr[2] == 0 ||
+		hdr[0] > maxExtent || hdr[1] > maxExtent || hdr[2] > maxExtent || hdr[3] > 8 {
+		return nil, corruptf("WBF1", "implausible header %v", hdr)
+	}
+	g64 := int64(hdr[3])
+	if cells := (int64(hdr[0]) + 2*g64) * (int64(hdr[1]) + 2*g64) * (int64(hdr[2]) + 2*g64); cells > maxCheckpointBytes {
+		return nil, corruptf("WBF1", "header %v implies %d cells (limit %d)", hdr, cells, int64(maxCheckpointBytes))
 	}
 	f := field.NewFlagField(int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3]))
 	g := f.Ghost

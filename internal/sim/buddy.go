@@ -218,7 +218,15 @@ func (s *Simulation) replicate(step int, rec *RecoveryStats) error {
 		b.lastMeta[in.SrcWorld] = in.Meta
 	}
 	b.parity ^= 1
-	return nil
+	// Commit barrier: without it the ring above only chains each rank to
+	// its ward, so under a gray failure (one connection dead, others
+	// alive) survivors can drift more than one generation apart — and
+	// two-deep buffers that drift by two share no common generation,
+	// forcing the disk fallback. The barrier bounds the skew at one
+	// generation, which guarantees the vote always finds a common
+	// restorable one. A failure here leaves this generation uncommitted
+	// on some ranks; the vote settles on the previous one.
+	return c.BarrierErr()
 }
 
 // decodeReplica validates and deserializes one replica envelope, nil if

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/telemetry"
+)
+
+// socketOpts is the shared socket-transport configuration of the
+// cross-transport tests: unix sockets with a brisk heartbeat so the
+// fault-driven tests converge quickly.
+func socketOpts() *comm.NetOptions {
+	return &comm.NetOptions{
+		Network:        "unix",
+		HeartbeatEvery: 2 * time.Millisecond,
+	}
+}
+
+// runCavityBits executes the two-rank cavity scenario on the given
+// communicator options and returns every block's exact bit pattern.
+func runCavityBits(t *testing.T, opts comm.Options, workers, steps int) map[[3]int][]uint64 {
+	t.Helper()
+	var mu sync.Mutex
+	bits := make(map[[3]int][]uint64)
+	comm.RunWithOptions(2, opts, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), cavityForest()))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := cavityConfig()
+		cfg.Workers = workers
+		s, err := New(c, forest, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mustRun(t, s, steps)
+		collectBits(s, &mu, bits)
+	})
+	if t.Failed() {
+		t.Fatal("cavity run failed")
+	}
+	return bits
+}
+
+// TestCrossTransportBitIdentical is the transport-abstraction acceptance
+// test: the same scenario stepped over the in-process backend and over
+// real sockets (unix and TCP) must produce bit-identical fields across
+// intra-rank worker counts — the wire codec is an exact float64 carrier.
+func TestCrossTransportBitIdentical(t *testing.T) {
+	const steps = 6
+	for _, workers := range []int{1, 2, 4, 7} {
+		t.Run(workerName(workers), func(t *testing.T) {
+			want := runCavityBits(t, comm.Options{}, workers, steps)
+			got := runCavityBits(t, comm.Options{Net: socketOpts()}, workers, steps)
+			assertBitsEqual(t, got, want)
+		})
+	}
+	t.Run("tcp", func(t *testing.T) {
+		want := runCavityBits(t, comm.Options{}, 1, steps)
+		got := runCavityBits(t, comm.Options{Net: &comm.NetOptions{Network: "tcp"}}, 1, steps)
+		assertBitsEqual(t, got, want)
+	})
+}
+
+// TestNetTransientFaultsBitIdentical injects frame-level drops, corruption
+// and delays into a socket run: the retention/resend protocol must absorb
+// every fault with no observable effect — the result stays bit-identical
+// to the in-process reference and no failure is ever declared.
+func TestNetTransientFaultsBitIdentical(t *testing.T) {
+	const steps = 6
+	want := runCavityBits(t, comm.Options{}, 2, steps)
+
+	opts := socketOpts()
+	opts.Faults = &comm.NetFaultPlan{
+		Seed:     42,
+		Drop:     0.03,
+		Corrupt:  0.03,
+		Delay:    0.05,
+		MaxDelay: 2 * time.Millisecond,
+		Severs: []comm.SeverSpec{
+			{From: 0, To: 1, AtFrame: 5},
+			{From: 1, To: 0, AtFrame: 9},
+		},
+	}
+	var mu sync.Mutex
+	got := make(map[[3]int][]uint64)
+	var injected, resent int64
+	comm.RunWithOptions(2, comm.Options{Net: opts, FailTimeout: 30 * time.Second}, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), cavityForest()))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := cavityConfig()
+		cfg.Workers = 2
+		s, err := New(c, forest, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mustRun(t, s, steps)
+		collectBits(s, &mu, got)
+		if f := c.Failed(); f != nil {
+			t.Errorf("rank %d: transient faults escalated to a failure: %v", c.Rank(), f)
+		}
+		ns, ok := c.NetStats()
+		if !ok {
+			t.Errorf("rank %d: no NetStats on the socket transport", c.Rank())
+			return
+		}
+		mu.Lock()
+		injected += ns.InjectedDrops + ns.InjectedCorrupts + ns.InjectedSevers
+		resent += ns.ResentFrames
+		mu.Unlock()
+	})
+	if t.Failed() {
+		t.Fatal("faulty socket run failed")
+	}
+	assertBitsEqual(t, got, want)
+	if injected == 0 {
+		t.Fatal("fault plan injected nothing — the test exercised no recovery")
+	}
+	if resent == 0 {
+		t.Fatal("faults were injected but nothing was resent")
+	}
+}
+
+// TestNetShrinkRecoveryCrash runs the full shrinking-recovery pipeline
+// over real sockets: a rank crashes mid-run, the survivors detect it,
+// shrink the world, adopt the dead rank's blocks from the in-memory buddy
+// replica — zero disk reads — and finish bit-identical to an
+// uninterrupted run.
+func TestNetShrinkRecoveryCrash(t *testing.T) {
+	const steps, victim = 8, 1
+	want := shrinkReference(t, 3, steps, 1)
+	opts := comm.Options{
+		Net:         socketOpts(),
+		Faults:      &comm.FaultPlan{Seed: 11, Crashes: []comm.CrashSpec{{Rank: victim, Step: 5}}},
+		FailTimeout: 2 * time.Second,
+	}
+	got, recovered := runShrinkScenario(t, opts, victim, steps, 1, ResilienceConfig{
+		Mode:            RecoverShrink,
+		CheckpointEvery: 2,
+		MaxFailures:     4,
+		BackoffBase:     time.Millisecond,
+		BackoffMax:      10 * time.Millisecond,
+	})
+	assertBitsEqual(t, got, want)
+	for _, r := range recovered {
+		if r.Shrinks != 1 || r.BuddyRestores != 1 || r.DiskRestores != 0 {
+			t.Errorf("crash over sockets was not recovered by one buddy shrink: %+v", r)
+		}
+		if r.DiskReadsDuringRecovery != 0 {
+			t.Errorf("buddy recovery over sockets read disk %d times, want 0: %+v", r.DiskReadsDuringRecovery, r)
+		}
+	}
+}
+
+// TestNetShrinkRecoveryBlackHole is the connection-level acceptance test:
+// the victim's NIC "fails" (a frame-layer black hole — it keeps computing
+// but its frames go nowhere and nothing comes back), the transport's
+// failure detector accuses it within FailTimeout, and the survivors
+// complete shrinking recovery from the in-memory replicas, bit-identical
+// and without touching disk. AfterFrames is calibrated to the scenario's
+// frame trace: with a replica generation per step, the victim's ninth
+// data frame lands well past the first complete generation (replica
+// frames are atomic — delivered whole or not at all, so an interrupted
+// generation leaves the previous one intact) and well before the run's
+// final collectives, so the accusation fires mid-stepping with a wide
+// scheduling margin on both sides.
+func TestNetShrinkRecoveryBlackHole(t *testing.T) {
+	const steps, victim = 8, 1
+	const failTimeout = 300 * time.Millisecond
+	want := shrinkReference(t, 3, steps, 1)
+
+	netOpts := socketOpts()
+	netOpts.Faults = &comm.NetFaultPlan{BlackHoles: []comm.HoleSpec{{Rank: victim, AfterFrames: 9}}}
+	opts := comm.Options{Net: netOpts, FailTimeout: failTimeout}
+
+	start := time.Now()
+	got, recovered := runShrinkScenario(t, opts, victim, steps, 1, ResilienceConfig{
+		Mode:            RecoverShrink,
+		CheckpointEvery: 1,
+		MaxFailures:     4,
+		BackoffBase:     time.Millisecond,
+		BackoffMax:      10 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	assertBitsEqual(t, got, want)
+	for _, r := range recovered {
+		if r.Shrinks != 1 || r.BuddyRestores != 1 || r.DiskRestores != 0 {
+			t.Errorf("black hole was not recovered by one buddy shrink: %+v", r)
+		}
+		if r.DiskReadsDuringRecovery != 0 {
+			t.Errorf("buddy recovery performed %d disk reads, want 0: %+v", r.DiskReadsDuringRecovery, r)
+		}
+	}
+	// Detection must be bounded by the accusation clock, not the run: the
+	// whole faulty run (compute included) finishing within a few multiples
+	// of FailTimeout proves the detector fired on time.
+	if elapsed > 10*failTimeout {
+		t.Errorf("faulty run took %v — failure detection is not bounded by FailTimeout (%v)", elapsed, failTimeout)
+	}
+}
+
+// TestStepZeroAllocSocket extends the allocation-regression gate to the
+// socket transport: in the steady state every frame is written gathered
+// from the persistent aggregated send buffers and read into rotating
+// receive buffers, so a full step over unix sockets performs zero heap
+// allocations. The heartbeat interval is set beyond the test's lifetime
+// so the measurement sees pure data traffic (background liveness probes
+// allocate nothing either, but their timers tick asynchronously and
+// AllocsPerRun counts every goroutine's mallocs).
+func TestStepZeroAllocSocket(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	const runs = 20
+	quiet := &comm.NetOptions{
+		Network:        "unix",
+		HeartbeatEvery: time.Hour,
+	}
+	comm.RunWithOptions(2, comm.Options{Net: quiet}, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), allocForest()))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s, err := New(c, forest, Config{Workers: 1, SetupFlags: allFluid})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		step := func() {
+			if err := s.Step(); err != nil {
+				t.Error(err)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			step()
+		}
+		if c.Rank() != 0 {
+			for i := 0; i < runs+1; i++ {
+				step()
+			}
+			return
+		}
+		if avg := testing.AllocsPerRun(runs, step); avg != 0 {
+			t.Errorf("socket Step allocates %.1f objects per step in steady state, want 0", avg)
+		}
+	})
+}
+
+// TestNetTelemetryWired checks the sim wires the transport's telemetry:
+// a traced socket run must populate the comm.net.* counters.
+func TestNetTelemetryWired(t *testing.T) {
+	trace := telemetry.NewTrace()
+	reg := telemetry.NewRegistry()
+	comm.RunWithOptions(2, comm.Options{Net: socketOpts()}, func(c *comm.Comm) {
+		forest, err := blockforest.Distribute(c, forestFor(c.Rank(), cavityForest()))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := cavityConfig()
+		cfg.Tracer = trace.NewTracer(c.Rank(), 1, 0)
+		cfg.Metrics = reg
+		s, err := New(c, forest, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mustRun(t, s, 3)
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	for _, name := range []string{"comm.net.frames_sent", "comm.net.frames_recv", "comm.net.bytes_sent", "comm.net.bytes_recv"} {
+		if v := reg.Counter(name).Value(); v == 0 {
+			t.Errorf("counter %s = 0 after a traced socket run", name)
+		}
+	}
+}

@@ -234,6 +234,16 @@ func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation
 	// The rank's driver goroutine owns lane 0, so the communicator shares
 	// it for send/recv/barrier spans.
 	c.SetTelemetry(cfg.Tracer.Driver(), cfg.Metrics)
+	if c.TransportName() != "inproc" {
+		// The socket transport's lifecycle events (connects, resends,
+		// accusations) happen on background goroutines; give them their own
+		// lane so they never contend with the driver's.
+		var lane *telemetry.Lane
+		if cfg.Tracer != nil {
+			lane = cfg.Tracer.AddLane("net", 0)
+		}
+		c.SetNetTelemetry(lane, cfg.Metrics)
+	}
 	for _, b := range forest.Blocks {
 		bd, err := s.newBlockData(b)
 		if err != nil {

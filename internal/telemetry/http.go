@@ -1,9 +1,11 @@
 package telemetry
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // Expvar-style HTTP endpoint: serves live JSON snapshots of registered
@@ -18,11 +20,12 @@ type MetricsServer struct {
 	mu    sync.Mutex
 	regs  []*Registry
 	ranks []int
-	ln    net.Listener
+	srv   *http.Server
+	done  chan struct{} // closed when the serve goroutine has fully exited
 }
 
 // NewMetricsServer builds an empty server; attach registries with
-// Register, then Serve.
+// Register, then Serve or ServeContext.
 func NewMetricsServer() *MetricsServer { return &MetricsServer{} }
 
 // Register attaches one rank's registry. Safe to call concurrently from
@@ -70,28 +73,65 @@ func (s *MetricsServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 }
 
 // Serve starts listening on addr (e.g. "localhost:6060"; ":0" picks an
-// ephemeral port) and serves in a background goroutine. Returns the
-// bound address.
+// ephemeral port) and serves in a background goroutine until Close.
+// Returns the bound address.
 func (s *MetricsServer) Serve(addr string) (string, error) {
+	return s.ServeContext(context.Background(), addr)
+}
+
+// ServeContext is Serve bound to a context: when ctx is cancelled the
+// server drains exactly as in Close. Either way the serve goroutine is
+// fully accounted for — Close (idempotent, safe after cancellation)
+// returns only once it has exited, so callers never leak it.
+func (s *MetricsServer) ServeContext(ctx context.Context, addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
+	srv := &http.Server{Handler: s}
+	done := make(chan struct{})
 	s.mu.Lock()
-	s.ln = ln
+	s.srv = srv
+	s.done = done
 	s.mu.Unlock()
-	go http.Serve(ln, s) //nolint:errcheck // closed by Close
+	go func() {
+		defer close(done)
+		srv.Serve(ln) //nolint:errcheck // ErrServerClosed after shutdown
+	}()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.shutdown(srv)
+			case <-done:
+			}
+		}()
+	}
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener started by Serve.
+// shutdown drains srv: graceful with a bounded deadline, then forced, so
+// a stuck client cannot hold the process open.
+func (s *MetricsServer) shutdown(srv *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if srv.Shutdown(ctx) != nil {
+		srv.Close()
+	}
+}
+
+// Close stops the server started by Serve/ServeContext, draining in-flight
+// requests, and returns once the serve goroutine has exited. Idempotent;
+// a nil or never-served server is a no-op.
 func (s *MetricsServer) Close() error {
 	s.mu.Lock()
-	ln := s.ln
-	s.ln = nil
+	srv, done := s.srv, s.done
+	s.srv, s.done = nil, nil
 	s.mu.Unlock()
-	if ln == nil {
+	if srv == nil {
 		return nil
 	}
-	return ln.Close()
+	s.shutdown(srv)
+	<-done
+	return nil
 }

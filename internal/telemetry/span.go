@@ -93,6 +93,23 @@ const (
 	// PhaseRankFailed marks a declared rank failure (instant). Arg is the
 	// accused world rank.
 	PhaseRankFailed
+	// PhaseNetConnect marks an established socket-transport connection
+	// (instant). Arg is the peer world rank.
+	PhaseNetConnect
+	// PhaseNetReconnect marks a torn-down socket connection being redialed
+	// or re-accepted (instant). Arg is the peer world rank.
+	PhaseNetReconnect
+	// PhaseNetResend marks retained frames being replayed to a peer after
+	// a reconnect handshake (instant). Arg is the peer world rank.
+	PhaseNetResend
+	// PhaseNetFault marks an injected frame-layer network fault — drop,
+	// corruption, sever or black-hole trigger (instant). Arg is the peer
+	// world rank.
+	PhaseNetFault
+	// PhaseNetAccuse marks the socket transport accusing a rank of failure
+	// after a connection stalled past FailTimeout (instant). Arg is the
+	// accused world rank.
+	PhaseNetAccuse
 	// NumPhases bounds the phase space.
 	NumPhases
 )
@@ -126,6 +143,11 @@ var phaseTable = [NumPhases]phaseInfo{
 	PhaseFaultDrop:     {name: "fault-drop", argName: "peer", instant: true},
 	PhaseFaultDelay:    {name: "fault-delay", argName: "peer", instant: true},
 	PhaseRankFailed:    {name: "rank-failed", argName: "rank", instant: true},
+	PhaseNetConnect:    {name: "net-connect", argName: "peer", instant: true},
+	PhaseNetReconnect:  {name: "net-reconnect", argName: "peer", instant: true},
+	PhaseNetResend:     {name: "net-resend", argName: "peer", instant: true},
+	PhaseNetFault:      {name: "net-fault", argName: "peer", instant: true},
+	PhaseNetAccuse:     {name: "net-accuse", argName: "rank", instant: true},
 }
 
 // String returns the phase's exporter name.
@@ -355,6 +377,23 @@ func (t *Tracer) Lanes() []*Lane {
 		return nil
 	}
 	return t.lanes
+}
+
+// AddLane appends a named lane beyond the driver/worker set — e.g. the
+// socket transport's event lane, whose writers are background goroutines
+// rather than the worker pool. Must be called before the run records
+// spans (construction time); nil-safe. spansPerLane 0 selects
+// DefaultSpansPerLane.
+func (t *Tracer) AddLane(name string, spansPerLane int) *Lane {
+	if t == nil {
+		return nil
+	}
+	if spansPerLane <= 0 {
+		spansPerLane = DefaultSpansPerLane
+	}
+	l := &Lane{epoch: t.epoch, spans: make([]Span, spansPerLane), id: len(t.lanes), name: name}
+	t.lanes = append(t.lanes, l)
+	return l
 }
 
 // WorkerBusyNs returns the busy time of each worker lane in nanoseconds —
