@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-sim race-resilience race-net alloc-test fuzz-smoke verify bench bench-hybrid bench-comm bench-resilience bench-phases bench-net clean
+.PHONY: all build test vet race race-sim race-resilience race-net race-serve alloc-test fuzz-smoke verify bench bench-hybrid bench-comm bench-resilience bench-phases bench-net bench-serve clean
 
 all: build
 
@@ -35,6 +35,13 @@ race-resilience:
 race-net:
 	$(GO) test -race -count=1 -run 'TestNet|TestFrame|TestCrossTransport|TestScalar|TestClassify|TestReadFrame|TestF64Bytes' ./internal/comm/ ./internal/sim/
 
+# race-serve re-runs the session daemon suite uncached under the race
+# detector: concurrent session lifecycles over the shared fair-share
+# gate, bit-identical suspend/resume, the scenario schema round trip and
+# the HTTP API surface.
+race-serve:
+	$(GO) test -race -count=1 ./internal/serve/ ./internal/scenario/
+
 # alloc-test re-runs the steady-state allocation regression gates
 # uncached and WITHOUT the race detector (race instrumentation allocates,
 # so the tests skip themselves under -race): TestStepZeroAlloc with
@@ -54,7 +61,7 @@ fuzz-smoke:
 # verify is the pre-commit gate: static checks, a full build, the
 # allocation regression gate, the fuzz seed sweep, and the test suite
 # under the race detector.
-verify: vet build alloc-test fuzz-smoke race-net race-sim race
+verify: vet build alloc-test fuzz-smoke race-net race-sim race-serve race
 
 bench:
 	$(GO) test -bench=. -benchtime=0.2s -run='^$$' ./internal/...
@@ -89,6 +96,13 @@ bench-phases: build
 # BENCH_net.json.
 bench-net: build
 	$(GO) run ./cmd/walberla-bench -fig net
+
+# bench-serve measures the session daemon: session create latency,
+# suspend/resume round trip through a checkpoint set, and aggregate
+# MLUPS at 1/4/8 concurrent sessions over the shared stepping gate vs
+# one dedicated run. Writes BENCH_serve.json.
+bench-serve: build
+	$(GO) run ./cmd/walberla-bench -fig serve
 
 clean:
 	$(GO) clean ./...

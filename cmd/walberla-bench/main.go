@@ -21,7 +21,7 @@ import (
 var quick = flag.Bool("quick", false, "reduce problem sizes for fast runs")
 
 func main() {
-	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|comm|resilience|phases|net|all")
+	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|comm|resilience|phases|net|serve|all")
 	flag.Parse()
 
 	figures := map[string]func(){
@@ -42,9 +42,10 @@ func main() {
 		"resilience": resilienceBench,
 		"phases":     phasesBench,
 		"net":        netBench,
+		"serve":      serveBench,
 	}
 	if *figure == "all" {
-		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca", "hybrid", "comm", "resilience", "phases", "net"} {
+		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca", "hybrid", "comm", "resilience", "phases", "net", "serve"} {
 			figures[name]()
 		}
 		return

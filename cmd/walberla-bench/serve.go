@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"walberla/internal/scenario"
+	"walberla/internal/serve"
+)
+
+// serveBench measures the session daemon's control-plane costs: how long
+// creating a session takes (scenario validation + forest build + world
+// spin-up), the suspend/resume round trip through a coordinated
+// checkpoint set, and how aggregate throughput scales when 1/4/8
+// concurrent sessions share the stepping gate versus one dedicated run.
+// Results go to stdout as TSV and to BENCH_serve.json.
+func serveBench() {
+	header("Session daemon (create latency, suspend/resume RTT, concurrent sessions)")
+	steps, creates := 40, 5
+	if *quick {
+		steps, creates = 10, 2
+	}
+	const (
+		ranks = 2
+		edge  = 8
+	)
+	cells := float64(2*1*1) * float64(edge*edge*edge)
+	scenarioJSON := fmt.Sprintf(`{
+		"version": 1, "name": "bench",
+		"geometry": {"example": "cavity"},
+		"lattice": {}, "collision": {"tau": 0.65},
+		"resolution": {"grid": [2, 1, 1], "cells_per_block": [%d, %d, %d]},
+		"physics": {"force": [0, 0, 0], "initial_velocity": [0, 0, 0]},
+		"parallel": {"ranks": %d},
+		"transport": {}, "resilience": {}, "telemetry": {},
+		"run": {"steps": 1000000}
+	}`, edge, edge, edge, ranks)
+	parse := func() *scenario.Scenario {
+		sc, err := scenario.Parse([]byte(scenarioJSON))
+		if err != nil {
+			fatalServe(err)
+		}
+		return sc
+	}
+	dir, err := os.MkdirTemp("", "walberla-bench-serve-*")
+	if err != nil {
+		fatalServe(err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := serve.NewServer(serve.Config{MaxSessions: 16, MaxConcurrentSteps: 8, DataDir: dir})
+	if err != nil {
+		fatalServe(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	// Create latency: scenario → ready world, averaged over a few worlds.
+	t0 := time.Now()
+	ids := make([]string, creates)
+	for i := range ids {
+		sess, err := srv.Create(parse(), "bench")
+		if err != nil {
+			fatalServe(err)
+		}
+		ids[i] = sess.ID
+	}
+	createMs := float64(time.Since(t0).Milliseconds()) / float64(creates)
+
+	// Suspend/resume round trip (checkpoint set write + world teardown +
+	// spin-up + restore), measured on a stepped session.
+	if _, _, err := srv.Step(ctx, ids[0], steps); err != nil {
+		fatalServe(err)
+	}
+	t0 = time.Now()
+	if err := srv.Suspend(ctx, ids[0]); err != nil {
+		fatalServe(err)
+	}
+	if err := srv.Resume(ctx, ids[0]); err != nil {
+		fatalServe(err)
+	}
+	rttMs := float64(time.Since(t0).Microseconds()) / 1e3
+	for _, id := range ids {
+		if err := srv.Destroy(ctx, id); err != nil {
+			fatalServe(err)
+		}
+	}
+
+	// Aggregate throughput at N concurrent sessions over the shared gate
+	// versus one dedicated session.
+	type loadPoint struct {
+		Sessions       int     `json:"sessions"`
+		AggregateMLUPS float64 `json:"aggregate_mlups"`
+		PerSession     float64 `json:"per_session_mlups"`
+	}
+	measure := func(n int) loadPoint {
+		ids := make([]string, n)
+		for i := range ids {
+			sess, err := srv.Create(parse(), fmt.Sprintf("tenant-%d", i))
+			if err != nil {
+				fatalServe(err)
+			}
+			ids[i] = sess.ID
+		}
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for _, id := range ids {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				if _, _, err := srv.Step(ctx, id, steps); err != nil {
+					fatalServe(err)
+				}
+			}(id)
+		}
+		wg.Wait()
+		sec := time.Since(t0).Seconds()
+		for _, id := range ids {
+			if err := srv.Destroy(ctx, id); err != nil {
+				fatalServe(err)
+			}
+		}
+		agg := float64(n) * cells * float64(steps) / sec / 1e6
+		return loadPoint{Sessions: n, AggregateMLUPS: agg, PerSession: agg / float64(n)}
+	}
+	var points []loadPoint
+	for _, n := range []int{1, 4, 8} {
+		points = append(points, measure(n))
+	}
+
+	fmt.Println("metric\tvalue")
+	fmt.Printf("create_latency_ms\t%.2f\n", createMs)
+	fmt.Printf("suspend_resume_ms\t%.2f\n", rttMs)
+	fmt.Println("\nsessions\taggregate_MLUPS\tper_session_MLUPS")
+	for _, p := range points {
+		fmt.Printf("%d\t%.2f\t%.2f\n", p.Sessions, p.AggregateMLUPS, p.PerSession)
+	}
+
+	out := struct {
+		CreateLatencyMs float64     `json:"create_latency_ms"`
+		SuspendResumeMs float64     `json:"suspend_resume_ms"`
+		StepsPerBatch   int         `json:"steps_per_batch"`
+		Ranks           int         `json:"ranks_per_session"`
+		Load            []loadPoint `json:"load"`
+	}{createMs, rttMs, steps, ranks, points}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatalServe(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+		fatalServe(err)
+	}
+	fmt.Println("wrote BENCH_serve.json")
+}
+
+func fatalServe(err error) {
+	fmt.Fprintln(os.Stderr, "serve bench:", err)
+	os.Exit(1)
+}

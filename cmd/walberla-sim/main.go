@@ -13,12 +13,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 
 	"walberla/internal/blockforest"
 	"walberla/internal/boundary"
@@ -27,6 +31,7 @@ import (
 	"walberla/internal/mesh"
 	"walberla/internal/output"
 	"walberla/internal/perfmodel"
+	"walberla/internal/scenario"
 	"walberla/internal/setup"
 	"walberla/internal/sim"
 	"walberla/internal/telemetry"
@@ -35,6 +40,8 @@ import (
 
 func main() {
 	var (
+		scenarioPath = flag.String("scenario", "", "scenario JSON file (see docs/SERVE.md); explicitly set flags override its fields")
+
 		blocksPath = flag.String("blocks", "", "block structure file from blockgen (optional)")
 		meshPath   = flag.String("mesh", "", "colored mesh file (WBM1)")
 		useTree    = flag.Bool("tree", false, "use the built-in synthetic coronary tree")
@@ -70,6 +77,12 @@ func main() {
 		maxFailures     = flag.Int("max-failures", -1, "abort after this many rank failures (-1 = default of 8, 0 = abort on the first failure)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run at the next step boundary on every
+	// rank (in-flight checkpoint sets always commit first); output and
+	// telemetry are still written from the consistent interrupted state.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	faults, err := parseFaultSpec(*injectFault)
 	if err != nil {
@@ -142,6 +155,88 @@ func main() {
 		fmt.Printf("serving metrics on http://%s/metrics\n", addr)
 	}
 
+	if *scenarioPath != "" {
+		sc, err := scenario.ParseFile(*scenarioPath)
+		if err != nil {
+			fatal(err)
+		}
+		// Explicitly set flags override the corresponding scenario fields
+		// — the scenario file is the source of truth, the command line a
+		// per-invocation tweak.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "steps":
+				sc.Run.Steps = *steps
+			case "ranks":
+				sc.Parallel.Ranks = *ranks
+			case "workers":
+				sc.Parallel.Workers = *workers
+			case "exchange":
+				sc.Parallel.Exchange = *exchange
+			case "tau":
+				sc.Collision.Tau = *tau
+			case "kernel":
+				sc.Collision.Kernel = *kernel
+			case "cells":
+				sc.Resolution.CellsPerBlock = [3]int{*cells, *cells, *cells}
+			case "dx":
+				sc.Geometry.Dx = *dx
+			case "inflow":
+				sc.Geometry.InflowVelocity = *inflowU
+			case "tree-depth":
+				sc.Geometry.TreeDepth = *treeDepth
+			case "seed":
+				sc.Geometry.Seed = *seed
+			case "rebalance":
+				sc.Run.RebalanceEvery = *rebalance
+			case "checkpoint-every":
+				sc.Resilience.CheckpointEvery = *checkpointEvery
+			case "checkpoint-sets":
+				sc.Resilience.Dir = *checkpointSets
+			case "recover-mode":
+				sc.Resilience.Mode = *recoverMode
+			case "fail-timeout":
+				sc.Resilience.FailTimeout = scenario.Duration(*failTimeout)
+			case "max-failures":
+				sc.Resilience.MaxFailures = maxFailures
+			case "transport":
+				sc.Transport.Network = *transport
+			case "transport-addrs":
+				sc.Transport.Addrs = strings.Split(*transAddrs, ",")
+			case "heartbeat":
+				sc.Transport.Heartbeat = scenario.Duration(*heartbeat)
+			}
+		})
+		if err := sc.Validate(); err != nil {
+			fatal(err)
+		}
+		opts := scenario.ExecuteOptions{VTKDir: *vtkDir}
+		var mu sync.Mutex
+		regs := map[int]*telemetry.Registry{}
+		if telemetryOn {
+			opts.TelemetryFor = func(rank int) (*telemetry.Tracer, *telemetry.Registry) {
+				reg := telemetry.NewRegistry()
+				server.Register(rank, reg)
+				mu.Lock()
+				regs[rank] = reg
+				mu.Unlock()
+				return trace.NewTracer(rank, sc.Parallel.Workers, 0), reg
+			}
+		}
+		res, err := scenario.Execute(ctx, sc, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if res.Interrupted {
+			fmt.Printf("interrupted at step %d (state is consistent at this boundary)\n", res.Steps)
+		} else {
+			fmt.Println("simulation:", res.Metrics)
+		}
+		fmt.Printf("field hash: %016x\n", res.Hash)
+		writeTelemetry(*tracePath, *metricsJSON, trace, regs)
+		return
+	}
+
 	sdf, err := loadGeometry(*meshPath, *useTree, *treeDepth, *seed)
 	if err != nil {
 		fatal(err)
@@ -208,6 +303,8 @@ func main() {
 	var overlap sim.OverlapTimes
 	var frontier, interior int
 	var files int
+	var fieldHash uint64
+	var interruptedAt int
 	var roofline telemetry.RooflineReport
 	regs := map[int]*telemetry.Registry{}
 	comm.RunWithOptions(*ranks, comm.Options{Faults: faults, FailTimeout: *failTimeout, Net: netOpts}, func(c *comm.Comm) {
@@ -254,8 +351,9 @@ func main() {
 			}
 		}
 		var m sim.Metrics
+		interrupted := false
 		if resilient {
-			m, err = s.RunResilient(*steps, sim.ResilienceConfig{
+			m, err = s.RunResilientCtx(ctx, *steps, sim.ResilienceConfig{
 				CheckpointEvery: *checkpointEvery,
 				Dir:             *checkpointSets,
 				Mode:            mode,
@@ -267,17 +365,23 @@ func main() {
 				fmt.Printf("rank %d retired; its blocks were adopted by the surviving ranks\n", c.Rank())
 				return
 			}
-			if err != nil {
+			if errors.Is(err, sim.ErrInterrupted) {
+				interrupted = true
+			} else if err != nil {
 				fatal(err)
 			}
 		} else if *rebalance > 0 {
 			remaining := *steps
-			for remaining > 0 {
+			for remaining > 0 && !interrupted {
 				chunk := *rebalance
 				if chunk > remaining {
 					chunk = remaining
 				}
-				m, err = s.Run(chunk)
+				m, err = s.RunCtx(ctx, chunk)
+				if errors.Is(err, sim.ErrInterrupted) {
+					interrupted = true
+					break
+				}
 				if err != nil {
 					fatal(err)
 				}
@@ -294,10 +398,16 @@ func main() {
 				}
 			}
 		} else {
-			m, err = s.Run(*steps)
-			if err != nil {
+			m, err = s.RunCtx(ctx, *steps)
+			if errors.Is(err, sim.ErrInterrupted) {
+				interrupted = true
+			} else if err != nil {
 				fatal(err)
 			}
+		}
+		hash, err := s.FieldHash()
+		if err != nil {
+			fatal(err)
 		}
 		// The live measured-vs-model comparison lands in the registry, so
 		// the metrics snapshot (file and HTTP endpoint) reports per-phase
@@ -311,6 +421,10 @@ func main() {
 			overlap = s.Overlap()
 			frontier, interior = s.BlockSplit()
 			roofline = report
+			fieldHash = hash
+			if interrupted {
+				interruptedAt = s.Steps()
+			}
 		}
 		for _, bd := range s.Blocks {
 			spacing := (bd.Block.AABB.Max[0] - bd.Block.AABB.Min[0]) / float64(bd.Src.Nx)
@@ -339,7 +453,12 @@ func main() {
 			}
 		}
 	})
-	fmt.Println("simulation:", metrics)
+	if interruptedAt > 0 {
+		fmt.Printf("interrupted at step %d (state is consistent at this boundary)\n", interruptedAt)
+	} else {
+		fmt.Println("simulation:", metrics)
+	}
+	fmt.Printf("field hash: %016x\n", fieldHash)
 	if *workers > 1 {
 		fmt.Printf("hybrid: workers=%d blocks(frontier/interior)=%d/%d overlap: %v\n",
 			*workers, frontier, interior, overlap)
@@ -359,26 +478,32 @@ func main() {
 			fatal(err)
 		}
 	}
-	if *tracePath != "" {
-		if err := trace.WriteChromeFile(*tracePath); err != nil {
+	writeTelemetry(*tracePath, *metricsJSON, trace, regs)
+	if files > 0 {
+		fmt.Printf("wrote %d output files\n", files)
+	}
+}
+
+// writeTelemetry flushes the optional trace and metrics artifacts; both
+// the flag path and the scenario path end here.
+func writeTelemetry(tracePath, metricsJSON string, trace *telemetry.Trace, regs map[int]*telemetry.Registry) {
+	if tracePath != "" {
+		if err := trace.WriteChromeFile(tracePath); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s (load in ui.perfetto.dev or chrome://tracing)\n", *tracePath)
+		fmt.Printf("wrote %s (load in ui.perfetto.dev or chrome://tracing)\n", tracePath)
 	}
-	if *metricsJSON != "" {
+	if metricsJSON != "" {
 		var snaps []telemetry.Snapshot
 		for rank, reg := range regs {
 			snaps = append(snaps, reg.Snapshot(rank))
 		}
-		if err := writeFile(*metricsJSON, func(w *os.File) error {
+		if err := writeFile(metricsJSON, func(w *os.File) error {
 			return telemetry.Merge(snaps).WriteJSON(w)
 		}); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *metricsJSON)
-	}
-	if files > 0 {
-		fmt.Printf("wrote %d output files\n", files)
+		fmt.Printf("wrote %s\n", metricsJSON)
 	}
 }
 

@@ -46,6 +46,7 @@ type Problem struct {
 	Magic           float64
 	Boundary        boundary.Config
 	Force           [3]float64
+	InitialRho      float64
 	InitialVelocity [3]float64
 	// InitialState optionally initializes every cell individually (global
 	// cell coordinates), e.g. for analytic validation flows.
@@ -76,9 +77,11 @@ type Problem struct {
 	MemoryLimitCells float64
 }
 
-// buildForest constructs the balanced global forest on the calling
-// goroutine (rank 0 does this before broadcasting).
-func (p *Problem) buildForest() (*blockforest.SetupForest, error) {
+// BuildForest constructs the balanced global forest on the calling
+// goroutine (rank 0 does this before broadcasting; the scenario and
+// session layers build it once and reuse it across world restarts so a
+// resumed session restores onto the identical block assignment).
+func (p *Problem) BuildForest() (*blockforest.SetupForest, error) {
 	ranks := p.Ranks
 	if ranks == 0 {
 		ranks = 1
@@ -112,7 +115,10 @@ func (p *Problem) buildForest() (*blockforest.SetupForest, error) {
 	return f, nil
 }
 
-func (p *Problem) simConfig() sim.Config {
+// SimConfig assembles the sim.Config of this problem; callers that do
+// not go through Run/RunEach (the session daemon) normalize it with
+// Config.Validate before use.
+func (p *Problem) SimConfig() sim.Config {
 	cfg := sim.Config{
 		Stencil:         p.Stencil,
 		Kernel:          p.Kernel,
@@ -120,6 +126,7 @@ func (p *Problem) simConfig() sim.Config {
 		Magic:           p.Magic,
 		Boundary:        p.Boundary,
 		Force:           p.Force,
+		InitialRho:      p.InitialRho,
 		InitialVelocity: p.InitialVelocity,
 		InitialState:    p.InitialState,
 		SetupFlags:      p.SetupFlags,
@@ -148,7 +155,7 @@ func (p *Problem) Run(steps int) (sim.Metrics, error) {
 // time loop, giving access to the local simulation state (for probing
 // fields, writing output, or assertions in tests).
 func (p *Problem) RunEach(steps int, fn func(c *comm.Comm, s *sim.Simulation, m sim.Metrics)) error {
-	forest, err := p.buildForest()
+	forest, err := p.BuildForest()
 	if err != nil {
 		return err
 	}
@@ -172,7 +179,7 @@ func (p *Problem) RunEach(steps int, fn func(c *comm.Comm, s *sim.Simulation, m 
 			mu.Unlock()
 			return
 		}
-		cfg := p.simConfig()
+		cfg := p.SimConfig()
 		if p.TelemetryFor != nil {
 			cfg.Tracer, cfg.Metrics = p.TelemetryFor(c.Rank())
 		}

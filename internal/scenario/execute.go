@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/output"
+	"walberla/internal/sim"
+	"walberla/internal/telemetry"
+)
+
+// ExecuteOptions carries host-side hooks that are not part of the
+// scenario contract: where telemetry goes, and whether fields are dumped
+// at the end.
+type ExecuteOptions struct {
+	// TelemetryFor, if non-nil, supplies each rank's tracer and metrics
+	// registry (either may be nil) before the simulation is built.
+	TelemetryFor func(rank int) (*telemetry.Tracer, *telemetry.Registry)
+	// VTKDir, if non-empty, receives one VTK file per block after the run.
+	VTKDir string
+	// Each, if non-nil, runs on every rank's goroutine after its time
+	// loop with the local simulation state (probing, assertions).
+	Each func(c *comm.Comm, s *sim.Simulation)
+}
+
+// Result is what one scenario execution produced.
+type Result struct {
+	// Metrics are the globally reduced run metrics (zero when the run was
+	// interrupted before completion).
+	Metrics sim.Metrics
+	// Hash is the collective field fingerprint after the run — equal
+	// across CLI, daemon, worker counts and transports exactly when the
+	// fields are bit-identical.
+	Hash uint64
+	// Steps is the number of steps rank 0 executed (less than the
+	// scenario's run.steps when interrupted).
+	Steps int
+	// Interrupted reports that the context cancelled the run at a step
+	// boundary; the fields (and Hash) are the consistent state there.
+	Interrupted bool
+}
+
+// Execute runs the scenario to completion (or cancellation) and returns
+// the reduced metrics and the final field hash. It is the one execution
+// path shared by the CLI, the tests and the benchmark harness, which is
+// what makes "the same scenario file gives the same answer everywhere" a
+// checkable property rather than a convention.
+func Execute(ctx context.Context, sc *Scenario, opts ExecuteOptions) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	p, err := sc.Problem()
+	if err != nil {
+		return Result{}, err
+	}
+	forest, err := p.BuildForest()
+	if err != nil {
+		return Result{}, err
+	}
+	rc, resilient := sc.Resilient()
+
+	var mu sync.Mutex
+	var res Result
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	comm.RunWithOptions(sc.Parallel.Ranks, sc.CommOptions(), func(c *comm.Comm) {
+		var in *blockforest.SetupForest
+		if c.Rank() == 0 {
+			in = forest
+		}
+		bf, err := blockforest.Distribute(c, in)
+		if err != nil {
+			fail(err)
+			return
+		}
+		cfg := p.SimConfig()
+		if opts.TelemetryFor != nil {
+			cfg.Tracer, cfg.Metrics = opts.TelemetryFor(c.Rank())
+		}
+		s, err := sim.New(c, bf, cfg)
+		if err != nil {
+			fail(err)
+			return
+		}
+		var m sim.Metrics
+		interrupted := false
+		switch {
+		case resilient:
+			m, err = s.RunResilientCtx(ctx, sc.Run.Steps, rc)
+		case sc.Run.RebalanceEvery > 0:
+			m, err = runRebalanced(ctx, s, sc.Run.Steps, sc.Run.RebalanceEvery)
+		default:
+			m, err = s.RunCtx(ctx, sc.Run.Steps)
+		}
+		switch {
+		case errors.Is(err, sim.ErrInterrupted):
+			interrupted = true
+		case errors.Is(err, sim.ErrRetired):
+			// This rank failed permanently under shrinking recovery; the
+			// survivors carry its blocks (and the result) on.
+			return
+		case err != nil:
+			fail(err)
+			return
+		}
+		hash, err := s.FieldHash()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if opts.VTKDir != "" {
+			if err := WriteBlockVTK(opts.VTKDir, s); err != nil {
+				fail(err)
+				return
+			}
+		}
+		if opts.Each != nil {
+			opts.Each(c, s)
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			res = Result{Metrics: m, Hash: hash, Steps: s.Steps(), Interrupted: interrupted}
+			mu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	return res, nil
+}
+
+// runRebalanced interleaves chunked stepping with workload-measured
+// rebalancing, preserving the context's step-boundary cancellation.
+func runRebalanced(ctx context.Context, s *sim.Simulation, steps, every int) (sim.Metrics, error) {
+	var m sim.Metrics
+	for remaining := steps; remaining > 0; {
+		chunk := every
+		if chunk > remaining {
+			chunk = remaining
+		}
+		var err error
+		m, err = s.RunCtx(ctx, chunk)
+		if err != nil {
+			return m, err
+		}
+		remaining -= chunk
+		if remaining > 0 {
+			if err := s.RebalanceByWorkload(true); err != nil {
+				return m, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// WriteBlockVTK dumps every local block's field as block_X_Y_Z.vtk into
+// dir (created if missing). Each rank writes only its own blocks, so the
+// daemon and the CLI call this per rank without coordination.
+func WriteBlockVTK(dir string, s *sim.Simulation) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, bd := range s.Blocks {
+		spacing := (bd.Block.AABB.Max[0] - bd.Block.AABB.Min[0]) / float64(bd.Src.Nx)
+		origin := [3]float64{
+			bd.Block.AABB.Min[0] + spacing/2,
+			bd.Block.AABB.Min[1] + spacing/2,
+			bd.Block.AABB.Min[2] + spacing/2,
+		}
+		name := fmt.Sprintf("block_%d_%d_%d", bd.Block.Coord[0], bd.Block.Coord[1], bd.Block.Coord[2])
+		f, err := os.Create(filepath.Join(dir, name+".vtk"))
+		if err != nil {
+			return err
+		}
+		err = output.WriteVTK(f, name, bd.Src, bd.Flags, origin, spacing)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

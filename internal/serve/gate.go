@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// gate is the fair-share stepping gate of the daemon: at most `slots`
+// sessions execute step batches concurrently, and when sessions queue up
+// the freed slots are handed out round-robin across *tenants*, not FIFO
+// across requests — a tenant with fifty queued sessions cannot starve a
+// tenant with one. Within a tenant, waiters are served in arrival order.
+type gate struct {
+	mu    sync.Mutex
+	free  int
+	queue map[string][]chan struct{}
+	// order is the round-robin tenant ring; next indexes the tenant that
+	// is first in line for the next freed slot.
+	order []string
+	next  int
+}
+
+func newGate(slots int) *gate {
+	if slots < 1 {
+		slots = 1
+	}
+	return &gate{free: slots, queue: map[string][]chan struct{}{}}
+}
+
+// acquire blocks until the tenant holds a stepping slot or ctx is done.
+func (g *gate) acquire(ctx context.Context, tenant string) error {
+	g.mu.Lock()
+	if g.free > 0 && len(g.queue) == 0 {
+		g.free--
+		g.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	if _, ok := g.queue[tenant]; !ok {
+		g.order = append(g.order, tenant)
+	}
+	g.queue[tenant] = append(g.queue[tenant], ch)
+	g.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		// Either remove the abandoned waiter, or — if release already
+		// handed us the slot while we were cancelling — pass it on.
+		select {
+		case <-ch:
+			g.mu.Unlock()
+			g.release()
+			return context.Cause(ctx)
+		default:
+		}
+		q := g.queue[tenant]
+		for i, w := range q {
+			if w == ch {
+				g.queue[tenant] = append(q[:i:i], q[i+1:]...)
+				break
+			}
+		}
+		if len(g.queue[tenant]) == 0 {
+			g.dropTenant(tenant)
+		}
+		g.mu.Unlock()
+		return context.Cause(ctx)
+	}
+}
+
+// release returns a slot, handing it to the next tenant in the ring with
+// a waiter (the slot transfers directly; free is untouched).
+func (g *gate) release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 0; i < len(g.order); i++ {
+		idx := (g.next + i) % len(g.order)
+		tenant := g.order[idx]
+		q := g.queue[tenant]
+		if len(q) == 0 {
+			continue
+		}
+		g.queue[tenant] = q[1:]
+		if len(g.queue[tenant]) == 0 {
+			g.dropTenant(tenant)
+			g.next = idx % max(len(g.order), 1)
+		} else {
+			g.next = (idx + 1) % len(g.order)
+		}
+		close(q[0])
+		return
+	}
+	g.free++
+}
+
+// dropTenant removes a tenant with an empty queue from the ring,
+// keeping next pointed at the same successor.
+func (g *gate) dropTenant(tenant string) {
+	delete(g.queue, tenant)
+	for i, t := range g.order {
+		if t == tenant {
+			g.order = append(g.order[:i:i], g.order[i+1:]...)
+			if g.next > i {
+				g.next--
+			}
+			if len(g.order) > 0 {
+				g.next %= len(g.order)
+			} else {
+				g.next = 0
+			}
+			return
+		}
+	}
+}

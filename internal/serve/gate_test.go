@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGateFairShare: with one slot and two tenants — one flooding the
+// gate, one submitting a single request — the freed slot alternates
+// between tenants, so the single request is served after at most one
+// batch of the flooder, not after the flooder's whole queue.
+func TestGateFairShare(t *testing.T) {
+	g := newGate(1)
+	if err := g.acquire(context.Background(), "hog"); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	grab := func(tenant string) {
+		defer wg.Done()
+		if err := g.acquire(context.Background(), tenant); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		order = append(order, tenant)
+		mu.Unlock()
+		g.release()
+	}
+	// Queue the hog's backlog first, then the small tenant.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go grab("hog")
+	}
+	time.Sleep(20 * time.Millisecond) // the backlog is queued
+	wg.Add(1)
+	go grab("small")
+	time.Sleep(20 * time.Millisecond)
+
+	g.release() // hand the held slot to the queue
+	wg.Wait()
+
+	pos := -1
+	for i, tenant := range order {
+		if tenant == "small" {
+			pos = i
+		}
+	}
+	if pos < 0 || pos > 1 {
+		t.Errorf("small tenant served at position %d of %v — round-robin broken", pos, order)
+	}
+}
+
+// TestGateCancelledWaiter: a waiter abandoning the queue neither leaks a
+// slot nor wedges the ring.
+func TestGateCancelledWaiter(t *testing.T) {
+	g := newGate(1)
+	if err := g.acquire(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.acquire(ctx, "b") }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled acquire returned nil")
+	}
+	g.release()
+	// The slot must be free again.
+	done := make(chan struct{})
+	go func() {
+		if err := g.acquire(context.Background(), "c"); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("slot lost after a cancelled waiter")
+	}
+}

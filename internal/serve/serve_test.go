@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"walberla/internal/scenario"
+	"walberla/internal/telemetry"
+)
+
+// testScenario is a small two-rank cavity that steps in milliseconds.
+func testScenario(t *testing.T, steps int) *scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Parse([]byte(fmt.Sprintf(`{
+		"version": 1,
+		"name": "serve-test",
+		"geometry": {"example": "cavity"},
+		"lattice": {},
+		"resolution": {"grid": [2, 1, 1], "cells_per_block": [4, 4, 4]},
+		"collision": {"tau": 0.65},
+		"physics": {"force": [0, 0, 0], "initial_velocity": [0, 0, 0]},
+		"parallel": {"ranks": 2},
+		"transport": {},
+		"resilience": {},
+		"telemetry": {},
+		"run": {"steps": %d}
+	}`, steps)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestSessionLifecycle drives one session through every verb and proves
+// the suspend/resume cycle is bit-identical: the hash after suspend,
+// resume and the remaining steps equals the hash of an uninterrupted
+// scenario.Execute of the same file — the daemon and the library path
+// agree to the last bit.
+func TestSessionLifecycle(t *testing.T) {
+	const total = 6
+	sc := testScenario(t, total)
+	want, err := scenario.Execute(context.Background(), sc, scenario.ExecuteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Config{})
+	sess, err := s.Create(testScenario(t, total), "tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := s.Step(ctx, sess.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Suspend(ctx, sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.info().State; got != StateSuspended {
+		t.Fatalf("state after suspend = %s", got)
+	}
+	// Suspended sessions refuse commands.
+	if _, _, err := s.Step(ctx, sess.ID, 1); err == nil {
+		t.Fatal("stepped a suspended session")
+	}
+	if err := s.Resume(ctx, sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	hash, stepped, err := s.Step(ctx, sess.ID, total-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepped != total {
+		t.Fatalf("stepped = %d, want %d", stepped, total)
+	}
+	if hash != want.Hash {
+		t.Errorf("suspend/resume hash %016x != uninterrupted %016x", hash, want.Hash)
+	}
+	if err := s.Destroy(ctx, sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(sess.ID); err == nil {
+		t.Fatal("destroyed session still listed")
+	}
+}
+
+// TestConcurrentSessions is the lifecycle race test: ≥3 sessions from
+// different tenants create/step/steer/snapshot/suspend/resume/destroy
+// concurrently over the shared gate (run under -race via make
+// race-serve). Each session must still produce the exact uninterrupted
+// hash — concurrency and fair-share scheduling may never leak state
+// between sessions.
+func TestConcurrentSessions(t *testing.T) {
+	const (
+		sessions = 4
+		total    = 6
+	)
+	want, err := scenario.Execute(context.Background(), testScenario(t, total), scenario.ExecuteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{MaxSessions: sessions, MaxConcurrentSteps: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			sess, err := s.Create(testScenario(t, total), fmt.Sprintf("tenant-%d", i%2))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := s.Step(ctx, sess.ID, 3); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%2 == 0 {
+				if err := s.Suspend(ctx, sess.ID); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Resume(ctx, sess.ID); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, _, err := s.Step(ctx, sess.ID, total-3-1); err != nil {
+				t.Error(err)
+				return
+			}
+			hash, stepped, err := s.Step(ctx, sess.ID, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if stepped != total || hash != want.Hash {
+				t.Errorf("session %s: steps %d hash %016x, want %d/%016x",
+					sess.ID, stepped, hash, total, want.Hash)
+			}
+			if err := s.Destroy(ctx, sess.ID); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestAdmissionControl: the resident-session cap refuses creation with a
+// typed 429, and a suspended session frees its slot.
+func TestAdmissionControl(t *testing.T) {
+	s := newTestServer(t, Config{MaxSessions: 1})
+	ctx := context.Background()
+	first, err := s.Create(testScenario(t, 4), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Create(testScenario(t, 4), "b")
+	apiStatus(t, err, 429)
+	if err := s.Suspend(ctx, first.ID); err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Create(testScenario(t, 4), "b")
+	if err != nil {
+		t.Fatalf("create after suspend: %v", err)
+	}
+	// Resuming the first now exceeds the cap again.
+	apiStatus(t, s.Resume(ctx, first.ID), 429)
+	if err := s.Destroy(ctx, second.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resume(ctx, first.ID); err != nil {
+		t.Fatalf("resume after destroy: %v", err)
+	}
+}
+
+func apiStatus(t *testing.T, err error, want int) {
+	t.Helper()
+	var api *APIError
+	if err == nil || !errors.As(err, &api) || api.Status != want {
+		t.Fatalf("error = %v, want API status %d", err, want)
+	}
+}
+
+// TestHTTPAPI drives the full HTTP surface end to end over httptest,
+// including scenario rejection, session metrics labels and the VTK frame
+// manifest.
+func TestHTTPAPI(t *testing.T) {
+	metrics := telemetry.NewMetricsServer()
+	s := newTestServer(t, Config{Metrics: metrics})
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	post := func(path string, body any) (int, map[string]any) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out) //nolint:errcheck
+		return resp.StatusCode, out
+	}
+
+	// Rejection: an unknown field is a 400 with the offending name.
+	code, out := post("/v1/sessions", map[string]any{"version": 1, "geomtry": map[string]any{}})
+	if code != 400 || !strings.Contains(fmt.Sprint(out["error"]), "geomtry") {
+		t.Fatalf("bad scenario → %d %v", code, out)
+	}
+
+	code, out = post("/v1/sessions", map[string]any{
+		"tenant":   "curl",
+		"scenario": json.RawMessage(mustJSON(t, testScenario(t, 5))),
+	})
+	if code != 201 {
+		t.Fatalf("create → %d %v", code, out)
+	}
+	id := fmt.Sprint(out["id"])
+
+	code, out = post("/v1/sessions/"+id+"/step", map[string]any{"steps": 2})
+	if code != 200 || out["hash"] == nil {
+		t.Fatalf("step → %d %v", code, out)
+	}
+	hashAfter2 := fmt.Sprint(out["hash"])
+
+	// The session's labeled metrics are live.
+	sessions := get(t, ts.URL+"/metrics/sessions")
+	if !strings.Contains(sessions, id) {
+		t.Errorf("/metrics/sessions lacks %s: %s", id, sessions)
+	}
+
+	code, out = post("/v1/sessions/"+id+"/steer", map[string]any{"force": []float64{1e-6, 0, 0}})
+	if code != 200 {
+		t.Fatalf("steer → %d %v", code, out)
+	}
+	code, out = post("/v1/sessions/"+id+"/snapshot", nil)
+	if code != 200 {
+		t.Fatalf("snapshot → %d %v", code, out)
+	}
+	if files, ok := out["files"].([]any); !ok || len(files) != 2 {
+		t.Fatalf("snapshot manifest %v, want 2 block files", out["files"])
+	}
+
+	code, out = post("/v1/sessions/"+id+"/suspend", nil)
+	if code != 200 || out["state"] != string(StateSuspended) {
+		t.Fatalf("suspend → %d %v", code, out)
+	}
+	// Suspended sessions drop off the metrics surface.
+	if got := get(t, ts.URL+"/metrics/sessions"); strings.Contains(got, id) {
+		t.Errorf("suspended session still on /metrics/sessions: %s", got)
+	}
+	code, out = post("/v1/sessions/"+id+"/resume", nil)
+	if code != 200 || out["state"] != string(StateReady) {
+		t.Fatalf("resume → %d %v", code, out)
+	}
+	code, out = post("/v1/sessions/"+id+"/step", map[string]any{"steps": 0})
+	if code != 400 {
+		t.Fatalf("zero steps → %d %v", code, out)
+	}
+
+	// The list shows the session with its step count.
+	var list struct {
+		Sessions []Info `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/v1/sessions")), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sessions) != 1 || list.Sessions[0].Steps != 2 || list.Sessions[0].LastHash != hashAfter2 {
+		t.Fatalf("list = %+v", list.Sessions)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("delete → %d", resp.StatusCode)
+	}
+	if code, _ := post("/v1/sessions/"+id+"/step", map[string]any{"steps": 1}); code != 404 {
+		t.Fatalf("step after delete → %d", code)
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

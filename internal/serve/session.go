@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/scenario"
+	"walberla/internal/sim"
+	"walberla/internal/telemetry"
+)
+
+// State is the lifecycle state of a session.
+type State string
+
+const (
+	// StateReady means the session's world is resident and idle.
+	StateReady State = "ready"
+	// StateStepping means a step batch is executing (possibly queued on
+	// the fair-share gate).
+	StateStepping State = "stepping"
+	// StateSuspended means the session was spilled to a checkpoint set on
+	// disk and its world torn down; Resume revives it bit-identically.
+	StateSuspended State = "suspended"
+	// StateFailed means the world died with an error (kept for get/list
+	// post-mortems until destroyed).
+	StateFailed State = "failed"
+	// StateDestroyed is terminal.
+	StateDestroyed State = "destroyed"
+)
+
+// Session is one resident (or spilled) simulation owned by the daemon.
+// Every mutation goes through its world's rank-0 command loop: rank 0
+// receives a command, broadcasts it to all ranks, and every rank executes
+// it collectively — exactly the SPMD discipline of the solver, so
+// collective operations (stepping, hashing, checkpointing) stay deadlock
+// free no matter how many sessions share the process.
+type Session struct {
+	ID     string
+	Tenant string
+
+	srv      *Server
+	scenario *scenario.Scenario
+	// forest is built once at create and reused for every revival, so a
+	// resumed world restores onto the identical block assignment.
+	forest *blockforest.SetupForest
+	dir    string // per-session spill directory (checkpoint sets, frames)
+
+	mu        sync.Mutex
+	state     State
+	stepped   int // committed steps since creation
+	lastHash  uint64
+	err       error
+	created   time.Time
+	cmds      chan command
+	worldDone chan struct{}
+	cancel    context.CancelCauseFunc // interrupts an in-flight step batch
+}
+
+type cmdOp int
+
+const (
+	opStep cmdOp = iota + 1
+	opSteer
+	opHash
+	opSnapshot
+	opSuspend
+	opDestroy
+)
+
+// wireCmd is the broadcast form of a command; it crosses rank boundaries
+// as JSON bytes so sessions work over every transport the scenario can
+// select (in-process and socket alike).
+type wireCmd struct {
+	Op    cmdOp      `json:"op"`
+	Steps int        `json:"steps,omitempty"`
+	Force [3]float64 `json:"force,omitempty"`
+	Dir   string     `json:"dir,omitempty"`
+	Step  int        `json:"step,omitempty"` // checkpoint step for suspend
+}
+
+type command struct {
+	wire  wireCmd
+	reply chan cmdResult
+}
+
+type cmdResult struct {
+	hash  uint64
+	files []string
+	err   error
+}
+
+// Info is the externally visible session status.
+type Info struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name,omitempty"`
+	Tenant   string    `json:"tenant,omitempty"`
+	State    State     `json:"state"`
+	Steps    int       `json:"steps"`
+	Of       int       `json:"of"`
+	Ranks    int       `json:"ranks"`
+	LastHash string    `json:"last_hash,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+}
+
+func (s *Session) info() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in := Info{
+		ID:      s.ID,
+		Name:    s.scenario.Name,
+		Tenant:  s.Tenant,
+		State:   s.state,
+		Steps:   s.stepped,
+		Of:      s.scenario.Run.Steps,
+		Ranks:   s.scenario.Parallel.Ranks,
+		Created: s.created,
+	}
+	if s.lastHash != 0 {
+		in.LastHash = fmt.Sprintf("%016x", s.lastHash)
+	}
+	if s.err != nil {
+		in.Error = s.err.Error()
+	}
+	return in
+}
+
+// start spins up the session's SPMD world and blocks until every rank
+// has built (and, when resuming, restored) its simulation state — or the
+// spin-up failed. The world then parks in the rank-0 command loop.
+func (s *Session) start(resume bool) error {
+	ready := make(chan error, 1)
+	cmds := make(chan command)
+	done := make(chan struct{})
+	ctx, cancel := context.WithCancelCause(context.Background())
+
+	s.mu.Lock()
+	s.cmds = cmds
+	s.worldDone = done
+	s.cancel = cancel
+	s.mu.Unlock()
+
+	go s.world(ctx, cmds, ready, done, resume)
+
+	// A failing non-zero rank can tear the world down before rank 0 ever
+	// reports readiness — watch both channels.
+	var err error
+	select {
+	case err = <-ready:
+	case <-done:
+		select {
+		case err = <-ready:
+		default:
+			err = fmt.Errorf("serve: session %s world exited during spin-up", s.ID)
+		}
+	}
+	if err != nil {
+		cancel(err)
+		<-done
+		s.mu.Lock()
+		s.state = StateFailed
+		s.err = err
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	s.state = StateReady
+	s.mu.Unlock()
+	return nil
+}
+
+// world hosts the session's SPMD ranks for one residency. It exits when
+// a suspend or destroy command lands (or spin-up fails).
+func (s *Session) world(ctx context.Context, cmds chan command, ready chan<- error, done chan struct{}, resume bool) {
+	defer close(done)
+	sc := s.scenario
+	p, err := sc.Problem()
+	if err != nil {
+		ready <- err
+		return
+	}
+	var mu sync.Mutex
+	var worldErr error
+	fail := func(err error) {
+		mu.Lock()
+		if worldErr == nil {
+			worldErr = err
+		}
+		mu.Unlock()
+	}
+	metrics := s.srv.cfg.Metrics
+	comm.RunWithOptions(sc.Parallel.Ranks, sc.CommOptions(), func(c *comm.Comm) {
+		var in *blockforest.SetupForest
+		if c.Rank() == 0 {
+			in = s.forest
+		}
+		bf, err := blockforest.Distribute(c, in)
+		if err != nil {
+			if c.Rank() == 0 {
+				ready <- err
+			}
+			return
+		}
+		cfg := p.SimConfig()
+		reg := telemetry.NewRegistry()
+		cfg.Metrics = reg
+		metrics.RegisterLabeled(s.ID, c.Rank(), reg)
+		defer metrics.UnregisterLabeled(s.ID)
+		st, err := sim.New(c, bf, cfg)
+		if err != nil {
+			if c.Rank() == 0 {
+				ready <- err
+			}
+			return
+		}
+		if resume {
+			if _, err := st.RestoreLatestCheckpointSet(s.dir); err != nil {
+				if c.Rank() == 0 {
+					ready <- fmt.Errorf("serve: restoring session %s: %w", s.ID, err)
+				}
+				return
+			}
+		}
+		if c.Rank() == 0 {
+			ready <- nil
+		}
+		if err := s.commandLoop(ctx, c, st, cmds); err != nil {
+			fail(err)
+		}
+	})
+	if worldErr != nil {
+		s.mu.Lock()
+		s.state = StateFailed
+		s.err = worldErr
+		s.mu.Unlock()
+	}
+}
+
+// commandLoop is the collective heart of a session: rank 0 pulls the
+// next command and broadcasts it; every rank executes it in lockstep.
+// Returns when the residency ends (suspend/destroy) or a rank errors.
+func (s *Session) commandLoop(ctx context.Context, c *comm.Comm, st *sim.Simulation, cmds chan command) error {
+	for {
+		var payload []byte
+		var reply chan cmdResult
+		if c.Rank() == 0 {
+			var cmd command
+			select {
+			case cmd = <-cmds:
+			case <-ctx.Done():
+				cmd = command{wire: wireCmd{Op: opDestroy}}
+			}
+			reply = cmd.reply
+			if cmd.wire.Op == opSuspend {
+				// Stamp the checkpoint step at execution time: a suspend
+				// queued behind a step batch must label the set with the
+				// step the fields are actually at.
+				s.mu.Lock()
+				cmd.wire.Step = s.stepped
+				s.mu.Unlock()
+			}
+			b, err := json.Marshal(cmd.wire)
+			if err != nil {
+				b = nil // broadcast an empty frame; all ranks bail together
+			}
+			payload = b
+		}
+		v, err := c.BcastErr(0, payload)
+		if err != nil {
+			return err
+		}
+		frame, _ := v.([]byte)
+		var w wireCmd
+		if err := json.Unmarshal(frame, &w); err != nil {
+			answer(reply, cmdResult{err: fmt.Errorf("serve: bad command frame: %w", err)})
+			return fmt.Errorf("serve: rank %d: bad command frame: %w", c.Rank(), err)
+		}
+		stop, err := s.execute(ctx, c, st, w, reply)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+}
+
+// execute runs one broadcast command on this rank. The bool result asks
+// the world to end this residency.
+func (s *Session) execute(ctx context.Context, c *comm.Comm, st *sim.Simulation, w wireCmd, reply chan cmdResult) (bool, error) {
+	switch w.Op {
+	case opStep:
+		// The fair-share gate bounds how many sessions step at once;
+		// rank 0 holds the slot for the whole collective batch (the other
+		// ranks are blocked inside the exchange until rank 0 proceeds, so
+		// one slot covers the whole world).
+		if c.Rank() == 0 {
+			if err := s.srv.gate.acquire(ctx, s.Tenant); err != nil {
+				// The batch never started; tell the peers to skip it.
+				answer(reply, cmdResult{err: err})
+				if _, berr := c.BcastErr(0, int64(0)); berr != nil {
+					return false, berr
+				}
+				return false, nil
+			}
+			if _, err := c.BcastErr(0, int64(1)); err != nil {
+				s.srv.gate.release()
+				return false, err
+			}
+		} else {
+			v, err := c.BcastErr(0, int64(0))
+			if err != nil {
+				return false, err
+			}
+			if admitted, _ := v.(int64); admitted == 0 {
+				return false, nil
+			}
+		}
+		_, err := st.RunCtx(ctx, w.Steps)
+		if c.Rank() == 0 {
+			s.srv.gate.release()
+		}
+		interrupted := errors.Is(err, sim.ErrInterrupted)
+		if err != nil && !interrupted {
+			answer(reply, cmdResult{err: err})
+			return false, err
+		}
+		hash, herr := st.FieldHash()
+		if herr != nil {
+			answer(reply, cmdResult{err: herr})
+			return false, herr
+		}
+		if c.Rank() == 0 {
+			s.mu.Lock()
+			if !interrupted {
+				s.stepped += w.Steps
+			}
+			s.lastHash = hash
+			s.mu.Unlock()
+			res := cmdResult{hash: hash}
+			if interrupted {
+				res.err = sim.ErrInterrupted
+			}
+			answer(reply, res)
+		}
+		return false, nil
+	case opSteer:
+		st.SetForce(w.Force)
+		if err := c.BarrierErr(); err != nil {
+			return false, err
+		}
+		answer(reply, cmdResult{})
+		return false, nil
+	case opHash:
+		hash, err := st.FieldHash()
+		if err != nil {
+			answer(reply, cmdResult{err: err})
+			return false, err
+		}
+		if c.Rank() == 0 {
+			s.mu.Lock()
+			s.lastHash = hash
+			s.mu.Unlock()
+		}
+		answer(reply, cmdResult{hash: hash})
+		return false, nil
+	case opSnapshot:
+		err := scenario.WriteBlockVTK(w.Dir, st)
+		// Frame manifests list a complete frame or nothing: every rank
+		// finishes writing before rank 0 reads the directory.
+		if berr := c.BarrierErr(); berr != nil {
+			return false, berr
+		}
+		if err != nil {
+			answer(reply, cmdResult{err: err})
+			return false, err
+		}
+		if c.Rank() == 0 {
+			files, lerr := listFrame(w.Dir)
+			answer(reply, cmdResult{files: files, err: lerr})
+		}
+		return false, nil
+	case opSuspend:
+		if _, err := st.WriteCheckpointSet(s.dir, w.Step); err != nil {
+			answer(reply, cmdResult{err: err})
+			return false, err
+		}
+		answer(reply, cmdResult{})
+		return true, nil
+	case opDestroy:
+		answer(reply, cmdResult{})
+		return true, nil
+	default:
+		err := fmt.Errorf("serve: unknown command op %d", w.Op)
+		answer(reply, cmdResult{err: err})
+		return false, err
+	}
+}
+
+// answer replies to the HTTP layer; only rank 0 carries a reply channel.
+func answer(reply chan cmdResult, r cmdResult) {
+	if reply != nil {
+		reply <- r
+	}
+}
+
+func listFrame(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".vtk" {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// send routes one command to the session's rank-0 loop and waits for the
+// reply. It fails fast when the session is not resident.
+func (s *Session) send(ctx context.Context, w wireCmd) (cmdResult, error) {
+	s.mu.Lock()
+	if s.state != StateReady && s.state != StateStepping {
+		state := s.state
+		s.mu.Unlock()
+		return cmdResult{}, fmt.Errorf("serve: session %s is %s", s.ID, state)
+	}
+	cmds, done := s.cmds, s.worldDone
+	s.mu.Unlock()
+
+	cmd := command{wire: w, reply: make(chan cmdResult, 1)}
+	select {
+	case cmds <- cmd:
+	case <-done:
+		return cmdResult{}, fmt.Errorf("serve: session %s world exited", s.ID)
+	case <-ctx.Done():
+		return cmdResult{}, context.Cause(ctx)
+	}
+	select {
+	case r := <-cmd.reply:
+		return r, r.err
+	case <-done:
+		return cmdResult{}, fmt.Errorf("serve: session %s world exited", s.ID)
+	}
+}

@@ -250,7 +250,7 @@ func TestShrinkDiskFallback(t *testing.T) {
 		c.MarkDead(c.WorldRankOf(1))
 		c.Recover()
 		var rec RecoveryStats
-		rc.applyDefaults()
+		rc.Validate()
 		restored, err := s.shrinkRecover([]int{c.WorldRankOf(1)}, rc, &rec, time.Now())
 		if err != nil {
 			t.Errorf("shrinkRecover: %v", err)
@@ -280,7 +280,7 @@ func TestShrinkDiskFallback(t *testing.T) {
 // base and saturate at the cap.
 func TestBackoffCapping(t *testing.T) {
 	rc := ResilienceConfig{BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond}
-	rc.applyDefaults()
+	rc.Validate()
 	for _, tc := range []struct {
 		n    int
 		want time.Duration
@@ -297,7 +297,7 @@ func TestBackoffCapping(t *testing.T) {
 		}
 	}
 	var def ResilienceConfig
-	def.applyDefaults()
+	def.Validate()
 	if def.BackoffBase != 10*time.Millisecond || def.BackoffMax != 2*time.Second {
 		t.Errorf("default backoff = %v/%v, want 10ms/2s", def.BackoffBase, def.BackoffMax)
 	}
@@ -309,7 +309,7 @@ func TestBackoffCapping(t *testing.T) {
 func TestMaxFailuresSemantics(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{{-1, 8}, {-7, 8}, {0, 0}, {5, 5}} {
 		rc := ResilienceConfig{MaxFailures: tc.in}
-		rc.applyDefaults()
+		rc.Validate()
 		if rc.MaxFailures != tc.want {
 			t.Errorf("applyDefaults(MaxFailures=%d) = %d, want %d", tc.in, rc.MaxFailures, tc.want)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -76,7 +77,16 @@ type ResilienceConfig struct {
 	BackoffMax  time.Duration
 }
 
-func (rc *ResilienceConfig) applyDefaults() {
+// Validate normalizes the resilience configuration in place (default
+// failure budget and backoff shape) and rejects unknown recovery modes —
+// the ResilienceConfig counterpart of Config.Validate.
+func (rc *ResilienceConfig) Validate() error {
+	if rc.Mode != RecoverRewind && rc.Mode != RecoverShrink {
+		return fmt.Errorf("sim: unknown recovery mode %d", rc.Mode)
+	}
+	if rc.CheckpointEvery < 0 {
+		return fmt.Errorf("sim: negative checkpoint interval %d", rc.CheckpointEvery)
+	}
 	if rc.MaxFailures < 0 {
 		rc.MaxFailures = 8
 	}
@@ -86,6 +96,7 @@ func (rc *ResilienceConfig) applyDefaults() {
 	if rc.BackoffMax == 0 {
 		rc.BackoffMax = 2 * time.Second
 	}
+	return nil
 }
 
 // backoff returns the capped exponential delay for the nth failure
@@ -352,9 +363,19 @@ func (s *Simulation) loadOwnRankFile(setDir string) (map[[3]int][2]*field.PDFFie
 // Under RecoverShrink a rank that failed permanently returns ErrRetired:
 // it is no longer part of the world and must not communicate again.
 func (s *Simulation) RunResilient(steps int, rc ResilienceConfig) (Metrics, error) {
-	rc.applyDefaults()
-	if rc.Mode != RecoverRewind && rc.Mode != RecoverShrink {
-		return Metrics{}, fmt.Errorf("sim: unknown recovery mode %d", rc.Mode)
+	return s.RunResilientCtx(context.Background(), steps, rc)
+}
+
+// RunResilientCtx is RunResilient bound to a context. Cancellation stops
+// the driver at the next step boundary — never inside a checkpoint: an
+// in-flight checkpoint set or buddy-replica generation always finishes
+// (or, on error, is rolled back atomically by the set's tmp-dir commit
+// protocol) before the drivers return an error wrapping ErrInterrupted.
+// As in RunCtx, a cancellable context costs one scalar allreduce per step
+// so every rank leaves the loop at the same step.
+func (s *Simulation) RunResilientCtx(ctx context.Context, steps int, rc ResilienceConfig) (Metrics, error) {
+	if err := rc.Validate(); err != nil {
+		return Metrics{}, err
 	}
 	if rc.Mode == RecoverShrink {
 		s.buddy = newBuddyState()
@@ -443,9 +464,15 @@ func (s *Simulation) RunResilient(steps int, rc ResilienceConfig) (Metrics, erro
 			needRestore = false
 		}
 
-		err := s.runAttempt(steps, rc, &step, &rec)
+		err := s.runAttempt(ctx, steps, rc, &step, &rec)
 		if err == nil {
 			break
+		}
+		if errors.Is(err, ErrInterrupted) {
+			// Cancellation is not a failure: every rank left the loop at
+			// the same step boundary with consistent fields and every
+			// checkpoint set committed.
+			return Metrics{}, err
 		}
 		if errors.Is(err, errSilenced) {
 			// Injected silent failure: go dark without a trace — the
@@ -472,7 +499,7 @@ func (s *Simulation) RunResilient(steps int, rc ResilienceConfig) (Metrics, erro
 // failure, converting injected-crash panics into the same typed error the
 // communication layer returns, so the driver above treats "this rank
 // died" and "a peer died" uniformly.
-func (s *Simulation) runAttempt(total int, rc ResilienceConfig, step *int, rec *RecoveryStats) (err error) {
+func (s *Simulation) runAttempt(ctx context.Context, total int, rc ResilienceConfig, step *int, rec *RecoveryStats) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if cr, ok := r.(comm.Crash); ok {
@@ -492,6 +519,15 @@ func (s *Simulation) runAttempt(total int, rc ResilienceConfig, step *int, rec *
 		}
 	}()
 	for *step < total {
+		// The cancellation vote sits before this step's protection work,
+		// so a cancel that lands while a checkpoint set or replica
+		// generation is being produced is only acted on at the next step
+		// boundary — after the set committed.
+		if stop, verr := s.cancelVote(ctx); verr != nil {
+			return verr
+		} else if stop {
+			return interrupted(ctx)
+		}
 		// Arm this step's injected crashes and hangs (each fires at most
 		// once per spec across replays) before any collective work for
 		// the step.

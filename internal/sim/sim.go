@@ -13,6 +13,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -92,6 +94,52 @@ type Config struct {
 	// communicator update with counters (phase nanoseconds, comm traffic,
 	// checkpoint bytes) and gauges (mailbox occupancy, load imbalance).
 	Metrics *telemetry.Registry
+}
+
+// Validate normalizes the configuration in place — filling every zero
+// value with its documented default — and reports the first invalid
+// setting. It is the single normalization point for solver options:
+// hand-built configs (New calls it), scenario-built configs
+// (internal/scenario) and the daemon sessions (internal/serve) all pass
+// through it, so a Config that survived Validate means the same
+// simulation everywhere.
+func (c *Config) Validate() error {
+	if c.Stencil == nil {
+		c.Stencil = lattice.D3Q19()
+	}
+	if c.Kernel == "" {
+		if c.Stencil == lattice.D3Q19() {
+			c.Kernel = KernelSplitTRT
+		} else {
+			c.Kernel = KernelGenericTRT
+		}
+	}
+	if c.Stencil != lattice.D3Q19() &&
+		c.Kernel != KernelGenericSRT && c.Kernel != KernelGenericTRT {
+		return fmt.Errorf("sim: stencil %s requires a generic kernel", c.Stencil)
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.9
+	}
+	if c.Tau <= 0.5 {
+		return fmt.Errorf("sim: tau %v must exceed 1/2", c.Tau)
+	}
+	if c.Magic == 0 {
+		c.Magic = collide.MagicParameter
+	}
+	if c.InitialRho == 0 {
+		c.InitialRho = 1
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: negative worker count %d", c.Workers)
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Exchange != ExchangeAggregated && c.Exchange != ExchangePerPair {
+		return fmt.Errorf("sim: unknown exchange mode %v", c.Exchange)
+	}
+	return nil
 }
 
 // kernelSpec builds the kernels.Spec of this configuration for the given
@@ -186,40 +234,8 @@ type Simulation struct {
 
 // New builds the simulation state for this rank's part of the forest.
 func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation, error) {
-	if cfg.Stencil == nil {
-		cfg.Stencil = lattice.D3Q19()
-	}
-	if cfg.Kernel == "" {
-		if cfg.Stencil == lattice.D3Q19() {
-			cfg.Kernel = KernelSplitTRT
-		} else {
-			cfg.Kernel = KernelGenericTRT
-		}
-	}
-	if cfg.Stencil != lattice.D3Q19() &&
-		cfg.Kernel != KernelGenericSRT && cfg.Kernel != KernelGenericTRT {
-		return nil, fmt.Errorf("sim: stencil %s requires a generic kernel", cfg.Stencil)
-	}
-	if cfg.Tau == 0 {
-		cfg.Tau = 0.9
-	}
-	if cfg.Tau <= 0.5 {
-		return nil, fmt.Errorf("sim: tau %v must exceed 1/2", cfg.Tau)
-	}
-	if cfg.Magic == 0 {
-		cfg.Magic = collide.MagicParameter
-	}
-	if cfg.InitialRho == 0 {
-		cfg.InitialRho = 1
-	}
-	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("sim: negative worker count %d", cfg.Workers)
-	}
-	if cfg.Workers == 0 {
-		cfg.Workers = 1
-	}
-	if cfg.Exchange != ExchangeAggregated && cfg.Exchange != ExchangePerPair {
-		return nil, fmt.Errorf("sim: unknown exchange mode %v", cfg.Exchange)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &Simulation{
 		Comm:    c,
@@ -488,9 +504,25 @@ func (s *Simulation) rebuildPlan() {
 // Run advances the given number of steps and returns the metrics of the
 // run (globally reduced over all ranks).
 func (s *Simulation) Run(steps int) (Metrics, error) {
+	return s.RunCtx(context.Background(), steps)
+}
+
+// RunCtx is Run bound to a context: a cancellation stops the time loop at
+// the next step boundary with an error wrapping ErrInterrupted. Because
+// ranks observe the cancellation asynchronously, a cancellable context
+// (ctx.Done() != nil) adds one scalar allreduce per step — the "stop?"
+// vote that keeps every rank exiting at the same step instead of
+// deadlocking its peers mid-exchange. A background context skips the vote
+// and is byte-for-byte the uncancellable Run.
+func (s *Simulation) RunCtx(ctx context.Context, steps int) (Metrics, error) {
 	s.ResetTimers()
 	start := time.Now()
 	for i := 0; i < steps; i++ {
+		if stop, err := s.cancelVote(ctx); err != nil {
+			return Metrics{}, err
+		} else if stop {
+			return Metrics{}, interrupted(ctx)
+		}
 		if err := s.Step(); err != nil {
 			return Metrics{}, err
 		}
@@ -498,6 +530,56 @@ func (s *Simulation) Run(steps int) (Metrics, error) {
 	wall := time.Since(start)
 	return s.gatherMetrics(steps, wall)
 }
+
+// cancelVote is the collective cancellation check of the context-bound
+// drivers: every rank contributes whether its context is done, and the
+// loop stops iff any rank's is — so all ranks agree on the exact step the
+// run ends at. It is a no-op (no communication) for contexts that can
+// never be cancelled.
+func (s *Simulation) cancelVote(ctx context.Context) (stop bool, err error) {
+	if ctx == nil || ctx.Done() == nil {
+		return false, nil
+	}
+	flag := int64(0)
+	if ctx.Err() != nil {
+		flag = 1
+	}
+	v, err := s.Comm.AllreduceInt64Err(flag, comm.Max[int64])
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+// interrupted builds the ErrInterrupted-wrapping error of a cancelled
+// run, attaching this rank's own context cause when it has one (on ranks
+// that merely voted with a cancelled peer the cause is unknown).
+func interrupted(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return fmt.Errorf("%w: %w", ErrInterrupted, cause)
+	}
+	return ErrInterrupted
+}
+
+// ErrInterrupted is returned (wrapped) by RunCtx and RunResilientCtx when
+// the run was stopped by context cancellation rather than by an error:
+// the simulation state is a consistent step boundary on every rank, and
+// any in-flight checkpoint set was finished (or rolled back atomically)
+// before the drivers returned.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// SetForce replaces the constant body force applied after collision —
+// the steering hook of the session API. Every rank must call it at the
+// same step boundary (it changes the physics deterministically from the
+// next step on).
+func (s *Simulation) SetForce(f [3]float64) {
+	s.Config.Force = f
+	s.force = newForcing(s.Stencil, f)
+}
+
+// Steps returns the number of time steps executed since the last timer
+// reset.
+func (s *Simulation) Steps() int { return s.steps }
 
 // ResetTimers zeroes the accumulated phase timers.
 func (s *Simulation) ResetTimers() {

@@ -2,8 +2,10 @@ package telemetry
 
 import (
 	"context"
+	"encoding/json"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
@@ -14,40 +16,74 @@ import (
 
 // MetricsServer serves metric snapshots over HTTP.
 //
-//	GET /metrics         merged snapshot across all registered ranks
-//	GET /metrics/ranks   array of per-rank snapshots
+//	GET /metrics           merged snapshot across all registered ranks
+//	GET /metrics/ranks     array of per-rank snapshots
+//	GET /metrics/sessions  object of per-label merged snapshots (the
+//	                       session daemon labels each session's ranks)
 type MetricsServer struct {
-	mu    sync.Mutex
-	regs  []*Registry
-	ranks []int
-	srv   *http.Server
-	done  chan struct{} // closed when the serve goroutine has fully exited
+	mu   sync.Mutex
+	regs []metricsEntry
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine has fully exited
+}
+
+type metricsEntry struct {
+	label string
+	rank  int
+	reg   *Registry
 }
 
 // NewMetricsServer builds an empty server; attach registries with
-// Register, then Serve or ServeContext.
+// Register/RegisterLabeled, then Serve or ServeContext.
 func NewMetricsServer() *MetricsServer { return &MetricsServer{} }
 
 // Register attaches one rank's registry. Safe to call concurrently from
 // SPMD rank goroutines, also while serving.
 func (s *MetricsServer) Register(rank int, r *Registry) {
+	s.RegisterLabeled("", rank, r)
+}
+
+// RegisterLabeled attaches one rank's registry under a label — the
+// session daemon registers every session rank under the session ID, so
+// /metrics/sessions streams per-session aggregates while /metrics keeps
+// the fleet-wide view. Safe to call concurrently, also while serving.
+func (s *MetricsServer) RegisterLabeled(label string, rank int, r *Registry) {
 	if s == nil || r == nil {
 		return
 	}
 	s.mu.Lock()
-	s.regs = append(s.regs, r)
-	s.ranks = append(s.ranks, rank)
+	s.regs = append(s.regs, metricsEntry{label: label, rank: rank, reg: r})
 	s.mu.Unlock()
 }
 
-func (s *MetricsServer) snapshots() []Snapshot {
+// UnregisterLabeled detaches every registry registered under the label
+// (a destroyed or suspended session drops out of the metrics surface).
+func (s *MetricsServer) UnregisterLabeled(label string) {
+	if s == nil {
+		return
+	}
 	s.mu.Lock()
-	regs := append([]*Registry(nil), s.regs...)
-	ranks := append([]int(nil), s.ranks...)
+	kept := s.regs[:0]
+	for _, e := range s.regs {
+		if e.label != label {
+			kept = append(kept, e)
+		}
+	}
+	s.regs = kept
 	s.mu.Unlock()
-	snaps := make([]Snapshot, len(regs))
-	for i, r := range regs {
-		snaps[i] = r.Snapshot(ranks[i])
+}
+
+func (s *MetricsServer) entries() []metricsEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]metricsEntry(nil), s.regs...)
+}
+
+func (s *MetricsServer) snapshots() []Snapshot {
+	entries := s.entries()
+	snaps := make([]Snapshot, len(entries))
+	for i, e := range entries {
+		snaps[i] = e.reg.Snapshot(e.rank)
 	}
 	return snaps
 }
@@ -67,6 +103,30 @@ func (s *MetricsServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			snap.WriteJSON(w)
 		}
 		w.Write([]byte("]\n"))
+	case "/metrics/sessions":
+		byLabel := map[string][]Snapshot{}
+		for _, e := range s.entries() {
+			if e.label == "" {
+				continue
+			}
+			byLabel[e.label] = append(byLabel[e.label], e.reg.Snapshot(e.rank))
+		}
+		labels := make([]string, 0, len(byLabel))
+		for l := range byLabel {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		w.Write([]byte("{\n"))
+		for i, l := range labels {
+			if i > 0 {
+				w.Write([]byte(",\n"))
+			}
+			key, _ := json.Marshal(l)
+			w.Write(key)
+			w.Write([]byte(": "))
+			Merge(byLabel[l]).WriteJSON(w)
+		}
+		w.Write([]byte("}\n"))
 	default:
 		http.NotFound(w, req)
 	}

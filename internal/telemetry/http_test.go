@@ -110,3 +110,52 @@ func TestMetricsServerContextCancelDrains(t *testing.T) {
 		t.Fatalf("Close after cancellation: %v", err)
 	}
 }
+
+// TestMetricsServerSessionLabels: registries registered under a session
+// label aggregate per label on /metrics/sessions, still contribute to the
+// fleet-wide /metrics view, and disappear when the label is unregistered.
+func TestMetricsServerSessionLabels(t *testing.T) {
+	s := NewMetricsServer()
+	fleet := NewRegistry()
+	fleet.Counter("fleet_steps").Add(1)
+	s.Register(0, fleet)
+	for rank := 0; rank < 2; rank++ {
+		r := NewRegistry()
+		r.Counter("session_steps").Add(int64(rank + 1))
+		s.RegisterLabeled("sess-a", rank, r)
+	}
+	rb := NewRegistry()
+	rb.Counter("session_steps").Add(7)
+	s.RegisterLabeled("sess-b", 0, rb)
+
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sessions := fetch(t, "http://"+addr+"/metrics/sessions")
+	for _, want := range []string{`"sess-a"`, `"sess-b"`, "session_steps"} {
+		if !strings.Contains(sessions, want) {
+			t.Errorf("/metrics/sessions lacks %s: %s", want, sessions)
+		}
+	}
+	if strings.Contains(sessions, "fleet_steps") {
+		t.Errorf("/metrics/sessions leaked the unlabeled registry: %s", sessions)
+	}
+	merged := fetch(t, "http://"+addr+"/metrics")
+	for _, want := range []string{"fleet_steps", "session_steps"} {
+		if !strings.Contains(merged, want) {
+			t.Errorf("/metrics lacks %s: %s", want, merged)
+		}
+	}
+
+	s.UnregisterLabeled("sess-a")
+	sessions = fetch(t, "http://"+addr+"/metrics/sessions")
+	if strings.Contains(sessions, "sess-a") {
+		t.Errorf("sess-a survived UnregisterLabeled: %s", sessions)
+	}
+	if !strings.Contains(sessions, "sess-b") {
+		t.Errorf("UnregisterLabeled removed the wrong label: %s", sessions)
+	}
+}
