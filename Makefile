@@ -50,13 +50,15 @@ race-serve:
 alloc-test:
 	$(GO) test -count=1 -run 'TestStepZeroAlloc' ./internal/sim/
 
-# fuzz-smoke runs each fuzz target of the checkpoint readers briefly
-# against its seed corpus — a regression sweep, not an open-ended hunt.
+# fuzz-smoke runs each fuzz target briefly against its seed corpus — a
+# regression sweep, not an open-ended hunt: the checkpoint readers, the
+# wire frame decoder, and the sparse interval-list builder.
 fuzz-smoke:
 	$(GO) test -run '^Fuzz' -fuzz FuzzReadManifest -fuzztime 5s ./internal/output/
 	$(GO) test -run '^Fuzz' -fuzz FuzzReadRankFile -fuzztime 5s ./internal/output/
 	$(GO) test -run '^Fuzz' -fuzz FuzzLoadCheckpoint -fuzztime 5s ./internal/output/
 	$(GO) test -run '^Fuzz' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/comm/
+	$(GO) test -run '^Fuzz' -fuzz FuzzSparseIntervals -fuzztime 5s ./internal/kernels/
 
 # verify is the pre-commit gate: static checks, a full build, the
 # allocation regression gate, the fuzz seed sweep, and the test suite
@@ -85,9 +87,12 @@ bench-resilience: build
 
 # bench-phases breaks the step time into its split-phase components
 # (exchange post, interior sweep, residual wait, frontier sweep) per
-# worker count, on the telemetry timers, and writes BENCH_phases.json.
+# worker count, on the telemetry timers, appends a timestamped record to
+# BENCH_phases.json, and fails if end-to-end MLUPS or the kernel/roofline
+# ratio regressed more than 5% against the best recorded baseline.
 bench-phases: build
 	$(GO) run ./cmd/walberla-bench -fig phases
+	$(GO) run ./cmd/walberla-bench -compare
 
 # bench-net compares the in-process communicator with the unix/tcp
 # socket transports on the same ghost-exchange workload, measures

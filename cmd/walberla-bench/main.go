@@ -22,7 +22,16 @@ var quick = flag.Bool("quick", false, "reduce problem sizes for fast runs")
 
 func main() {
 	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|comm|resilience|phases|net|serve|all")
+	compare := flag.Bool("compare", false, "compare the newest BENCH_phases.json record against the best recorded baseline and fail on a >5% MLUPS or roofline-ratio regression")
 	flag.Parse()
+
+	if *compare {
+		if err := comparePhases(); err != nil {
+			fmt.Fprintln(os.Stderr, "walberla-bench -compare:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	figures := map[string]func(){
 		"1":          figure1,

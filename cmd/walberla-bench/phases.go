@@ -2,15 +2,165 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"sync"
+	"time"
 
 	"walberla/internal/comm"
 	"walberla/internal/core"
 	"walberla/internal/sim"
 	"walberla/internal/telemetry"
 )
+
+// phasesFile is the benchmark's on-disk record; bench-phases appends one
+// timestamped record per run, and -compare ratchets the newest against
+// the best earlier record of the same configuration.
+const phasesFile = "BENCH_phases.json"
+
+// phasesResult is one worker-count measurement of the phases benchmark.
+type phasesResult struct {
+	Workers         int     `json:"workers"`
+	MLUPS           float64 `json:"mlups"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	PostSeconds     float64 `json:"exchange_post_seconds"`
+	InteriorSeconds float64 `json:"interior_sweep_seconds"`
+	WaitSeconds     float64 `json:"exchange_wait_seconds"`
+	FrontierSeconds float64 `json:"frontier_sweep_seconds"`
+	WaitShare       float64 `json:"exchange_wait_share"`
+	LoadImbalance   float64 `json:"load_imbalance"`
+	PredictedMLUPS  float64 `json:"predicted_mlups_rank0"`
+	KernelMLUPS     float64 `json:"kernel_mlups_rank0"`
+}
+
+// phasesRecord is one timestamped benchmark run.
+type phasesRecord struct {
+	Time          string         `json:"time,omitempty"`
+	Ranks         int            `json:"ranks"`
+	Grid          [3]int         `json:"grid"`
+	CellsPerBlock [3]int         `json:"cells_per_block"`
+	Steps         int            `json:"steps"`
+	Results       []phasesResult `json:"results"`
+}
+
+// phasesHistory is the file layout: an append-only list of records.
+type phasesHistory struct {
+	Records []phasesRecord `json:"records"`
+}
+
+// loadPhasesHistory reads the benchmark history, accepting both the
+// current {"records": [...]} layout and the legacy single-record object
+// (which becomes the history's first, untimestamped record). A missing
+// file is an empty history.
+func loadPhasesHistory(path string) (*phasesHistory, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &phasesHistory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var h phasesHistory
+	if err := json.Unmarshal(data, &h); err == nil && h.Records != nil {
+		return &h, nil
+	}
+	var legacy phasesRecord
+	if err := json.Unmarshal(data, &legacy); err != nil || len(legacy.Results) == 0 {
+		return nil, fmt.Errorf("%s: unrecognized format", path)
+	}
+	return &phasesHistory{Records: []phasesRecord{legacy}}, nil
+}
+
+// sameConfig reports whether two records measured the same benchmark
+// configuration (comparing a quick run against a full run is meaningless).
+func sameConfig(a, b *phasesRecord) bool {
+	return a.Ranks == b.Ranks && a.Grid == b.Grid &&
+		a.CellsPerBlock == b.CellsPerBlock && a.Steps == b.Steps
+}
+
+// comparePhases ratchets the newest record of BENCH_phases.json against
+// the best earlier record of the same configuration: for every worker
+// count, both the end-to-end MLUPS and the kernel/roofline ratio
+// (kernel_mlups_rank0 / predicted_mlups_rank0) must stay within 5% of the
+// best value ever recorded. It returns an error (nonzero exit) on any
+// regression, making `make bench-phases` a performance regression gate.
+func comparePhases() error {
+	const tolerance = 0.95
+	h, err := loadPhasesHistory(phasesFile)
+	if err != nil {
+		return err
+	}
+	if len(h.Records) == 0 {
+		return fmt.Errorf("%s: no records (run walberla-bench -fig phases first)", phasesFile)
+	}
+	cur := &h.Records[len(h.Records)-1]
+	type best struct{ mlups, ratio float64 }
+	baseline := map[int]best{}
+	for i := range h.Records[:len(h.Records)-1] {
+		r := &h.Records[i]
+		if !sameConfig(r, cur) {
+			continue
+		}
+		for _, res := range r.Results {
+			b := baseline[res.Workers]
+			if res.MLUPS > b.mlups {
+				b.mlups = res.MLUPS
+			}
+			if res.PredictedMLUPS > 0 {
+				if ratio := res.KernelMLUPS / res.PredictedMLUPS; ratio > b.ratio {
+					b.ratio = ratio
+				}
+			}
+			baseline[res.Workers] = b
+		}
+	}
+	if len(baseline) == 0 {
+		fmt.Printf("%s: no earlier record matches the newest configuration; nothing to compare\n", phasesFile)
+		return nil
+	}
+	var failures []string
+	for _, res := range cur.Results {
+		b, ok := baseline[res.Workers]
+		if !ok {
+			continue
+		}
+		ratio := 0.0
+		if res.PredictedMLUPS > 0 {
+			ratio = res.KernelMLUPS / res.PredictedMLUPS
+		}
+		status := "ok"
+		if res.MLUPS < tolerance*b.mlups {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"workers=%d MLUPS %.2f is below 95%% of best baseline %.2f", res.Workers, res.MLUPS, b.mlups))
+		}
+		if b.ratio > 0 && ratio < tolerance*b.ratio {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"workers=%d roofline ratio %.3f is below 95%% of best baseline %.3f", res.Workers, ratio, b.ratio))
+		}
+		fmt.Printf("workers=%d MLUPS %.2f (best %.2f) ratio %.3f (best %.3f) %s\n",
+			res.Workers, res.MLUPS, b.mlups, ratio, b.ratio, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("performance regressed vs recorded baseline:\n  %s", joinLines(failures))
+	}
+	fmt.Println("no regression vs recorded baseline")
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}
 
 // phasesBench breaks the step time into the split-phase components the
 // telemetry layer times — exchange post, interior sweep, residual
@@ -32,20 +182,6 @@ func phasesBench() {
 	const ranks = 2
 	grid := [3]int{4, 2, 2}
 
-	type result struct {
-		Workers         int     `json:"workers"`
-		MLUPS           float64 `json:"mlups"`
-		WallSeconds     float64 `json:"wall_seconds"`
-		PostSeconds     float64 `json:"exchange_post_seconds"`
-		InteriorSeconds float64 `json:"interior_sweep_seconds"`
-		WaitSeconds     float64 `json:"exchange_wait_seconds"`
-		FrontierSeconds float64 `json:"frontier_sweep_seconds"`
-		WaitShare       float64 `json:"exchange_wait_share"`
-		LoadImbalance   float64 `json:"load_imbalance"`
-		PredictedMLUPS  float64 `json:"predicted_mlups_rank0"`
-		KernelMLUPS     float64 `json:"kernel_mlups_rank0"`
-	}
-
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "phases bench:", err)
 		os.Exit(1)
@@ -54,7 +190,7 @@ func phasesBench() {
 	fmt.Printf("# ranks=%d grid=%v cells=%d^3 steps=%d (phase seconds summed over ranks)\n",
 		ranks, grid, edge, steps)
 	fmt.Println("workers\tMLUPS\tpost_s\tinterior_s\twait_s\tfrontier_s\twait%\timbalance")
-	var results []result
+	var results []phasesResult
 	for _, w := range []int{1, 2, 4, 8} {
 		trace := telemetry.NewTrace()
 		var mu sync.Mutex
@@ -70,7 +206,7 @@ func phasesBench() {
 			return trace.NewTracer(rank, w, 0), reg
 		}
 
-		r := result{Workers: w}
+		r := phasesResult{Workers: w}
 		err := p.RunEach(steps, func(c *comm.Comm, s *sim.Simulation, m sim.Metrics) {
 			if c.Rank() != 0 {
 				return
@@ -105,23 +241,25 @@ func phasesBench() {
 		results = append(results, r)
 	}
 
-	out := struct {
-		Ranks         int      `json:"ranks"`
-		Grid          [3]int   `json:"grid"`
-		CellsPerBlock [3]int   `json:"cells_per_block"`
-		Steps         int      `json:"steps"`
-		Results       []result `json:"results"`
-	}{
-		Ranks: ranks, Grid: grid,
-		CellsPerBlock: [3]int{edge, edge, edge}, Steps: steps,
-		Results: results,
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	// Append this run as a timestamped record; earlier records (including
+	// legacy single-record files) are preserved so -compare can ratchet
+	// against the best recorded baseline.
+	h, err := loadPhasesHistory(phasesFile)
 	if err != nil {
 		fail(err)
 	}
-	if err := os.WriteFile("BENCH_phases.json", append(data, '\n'), 0o644); err != nil {
+	h.Records = append(h.Records, phasesRecord{
+		Time:  time.Now().UTC().Format(time.RFC3339),
+		Ranks: ranks, Grid: grid,
+		CellsPerBlock: [3]int{edge, edge, edge}, Steps: steps,
+		Results: results,
+	})
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
 		fail(err)
 	}
-	fmt.Println("wrote BENCH_phases.json")
+	if err := os.WriteFile(phasesFile, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("appended record %d to %s\n", len(h.Records), phasesFile)
 }

@@ -51,7 +51,8 @@ func main() {
 		dx         = flag.Float64("dx", 0, "lattice spacing (when building the forest here)")
 		ranks      = flag.Int("ranks", 4, "number of SPMD ranks")
 		steps      = flag.Int("steps", 200, "time steps")
-		kernel     = flag.String("kernel", string(sim.KernelSparse), "compute kernel")
+		kernel     = flag.String("kernel", "auto", "compute kernel: auto (per-block selection), generic, split, sparse, or an exact kernel name")
+		layout     = flag.String("layout", "auto", "PDF memory layout: auto, aos or soa (bit-identical fields either way)")
 		workers    = flag.Int("workers", 1, "intra-rank worker threads for block sweeps (hybrid mode)")
 		exchange   = flag.String("exchange", "aggregated", "ghost exchange wire format: aggregated (one message per neighbor rank) or per-pair (one per block pair)")
 		transport  = flag.String("transport", "inproc", "rank interconnect: inproc (shared-memory mailboxes) or unix/tcp (framed sockets with CRC-32C, heartbeats and reconnect)")
@@ -177,6 +178,8 @@ func main() {
 				sc.Collision.Tau = *tau
 			case "kernel":
 				sc.Collision.Kernel = *kernel
+			case "layout":
+				sc.Collision.Layout = *layout
 			case "cells":
 				sc.Resolution.CellsPerBlock = [3]int{*cells, *cells, *cells}
 			case "dx":
@@ -289,8 +292,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	kernelChoice, err := sim.ParseKernelChoice(*kernel)
+	if err != nil {
+		fatal(fmt.Errorf("-kernel: %w", err))
+	}
+	layoutChoice, err := sim.ParseLayoutChoice(*layout)
+	if err != nil {
+		fatal(fmt.Errorf("-layout: %w", err))
+	}
 	cfg := sim.Config{
-		Kernel:     sim.KernelChoice(*kernel),
+		Kernel:     kernelChoice,
+		Layout:     layoutChoice,
 		Workers:    *workers,
 		Exchange:   exMode,
 		Tau:        *tau,

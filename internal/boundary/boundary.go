@@ -25,9 +25,12 @@ type Config struct {
 	// the reference density 1. Ignored if DensityAt is set.
 	Density float64
 	// VelocityAt, if non-nil, returns the wall velocity per boundary cell,
-	// enabling spatially varying inflow profiles.
+	// enabling spatially varying inflow profiles. It must be a pure
+	// function of the coordinates: Apply evaluates it once per link when
+	// compiling the sweep, not on every time step.
 	VelocityAt func(x, y, z int) (ux, uy, uz float64)
 	// DensityAt, if non-nil, returns the imposed density per boundary cell.
+	// Like VelocityAt it must be a pure function of the coordinates.
 	DensityAt func(x, y, z int) float64
 }
 
@@ -41,6 +44,14 @@ type link struct {
 // Sweep applies the boundary conditions of one block. It precomputes the
 // boundary link lists from the flag field at construction; Apply then runs
 // in time proportional to the number of boundary links.
+//
+// On first use against a field, Apply compiles the link lists into linear
+// indices of that field's storage — by-direction array positions for SoA,
+// interleaved positions for AoS — so the steady-state boundary pass is a
+// flat gather/scatter with no per-link coordinate arithmetic. The compiled
+// form is tied to the field's shape and layout (both stable across the
+// double-buffer Swap of the time loop) and is rebuilt transparently if a
+// differently shaped field is passed.
 type Sweep struct {
 	stencil *lattice.Stencil
 	flags   *field.FlagField
@@ -50,11 +61,33 @@ type Sweep struct {
 	velocity []link
 	pressure []link
 
+	comp *compiledLinks
+
 	// scratch holds the Q PDFs of one fluid cell for the pressure
 	// condition's moment computation, allocated once so Apply stays free
 	// of per-call heap allocations. Each block owns its Sweep and Apply
 	// runs on one worker at a time, so a single scratch buffer suffices.
 	scratch []float64
+}
+
+// compiledLinks is the link lists lowered to linear indices of one
+// concrete field shape. dst is the boundary slot written, src the fluid
+// slot read (the opposite direction at the neighbor across the link).
+type compiledLinks struct {
+	layout            field.Layout
+	nx, ny, nz, ghost int
+
+	nsDst, nsSrc []int32
+
+	vDst, vSrc []int32
+	vAdd       []float64 // momentum correction, constant per link
+
+	pDst, pSrc []int32
+	pCell      []int32   // fluid cell index for the moment gather
+	pC2WR      []float64 // 2 w_d rho_w, constant per link
+	pCx        []float64
+	pCy        []float64
+	pCz        []float64
 }
 
 // NewSweep scans the flag field (including its ghost layer, where domain
@@ -107,29 +140,32 @@ func (bs *Sweep) Links() (noSlip, velocity, pressure int) {
 	return len(bs.noSlip), len(bs.velocity), len(bs.pressure)
 }
 
-// Apply writes the boundary values into src so that the subsequent
-// stream-pull kernel sweep realizes the boundary conditions. src must hold
-// the post-collision PDFs of the previous time step.
-func (bs *Sweep) Apply(src *field.PDFField) {
+// compile lowers the link lists to linear indices of the given field. The
+// per-cell velocity and density hooks are evaluated here — they are
+// functions of the (static) geometry only, so their contribution to each
+// link is a constant.
+func (bs *Sweep) compile(src *field.PDFField) *compiledLinks {
 	s := bs.stencil
-
-	// No-slip bounce-back: the population leaving the fluid cell toward
-	// the wall returns unchanged into the opposite direction:
-	//   src(b, d) = src(b + e_d, dbar).
-	for _, l := range bs.noSlip {
-		d := l.d
-		inv := s.Inv[d]
-		fx, fy, fz := int(l.bx)+s.Cx[d], int(l.by)+s.Cy[d], int(l.bz)+s.Cz[d]
-		src.Set(int(l.bx), int(l.by), int(l.bz), d, src.Get(fx, fy, fz, inv))
+	c := &compiledLinks{
+		layout: src.Layout,
+		nx:     src.Nx, ny: src.Ny, nz: src.Nz, ghost: src.Ghost,
 	}
-
-	// Velocity bounce-back: bounce-back plus a momentum correction for the
-	// moving wall,
-	//   src(b, d) = src(b + e_d, dbar) + 6 w_d rho0 (e_d . u_w).
-	for _, l := range bs.velocity {
+	c.nsDst = make([]int32, len(bs.noSlip))
+	c.nsSrc = make([]int32, len(bs.noSlip))
+	for i, l := range bs.noSlip {
 		d := l.d
-		inv := s.Inv[d]
 		fx, fy, fz := int(l.bx)+s.Cx[d], int(l.by)+s.Cy[d], int(l.bz)+s.Cz[d]
+		c.nsDst[i] = int32(src.Index(int(l.bx), int(l.by), int(l.bz), d))
+		c.nsSrc[i] = int32(src.Index(fx, fy, fz, s.Inv[d]))
+	}
+	c.vDst = make([]int32, len(bs.velocity))
+	c.vSrc = make([]int32, len(bs.velocity))
+	c.vAdd = make([]float64, len(bs.velocity))
+	for i, l := range bs.velocity {
+		d := l.d
+		fx, fy, fz := int(l.bx)+s.Cx[d], int(l.by)+s.Cy[d], int(l.bz)+s.Cz[d]
+		c.vDst[i] = int32(src.Index(int(l.bx), int(l.by), int(l.bz), d))
+		c.vSrc[i] = int32(src.Index(fx, fy, fz, s.Inv[d]))
 		var ux, uy, uz float64
 		if bs.cfg.VelocityAt != nil {
 			ux, uy, uz = bs.cfg.VelocityAt(int(l.bx), int(l.by), int(l.bz))
@@ -137,8 +173,61 @@ func (bs *Sweep) Apply(src *field.PDFField) {
 			ux, uy, uz = bs.cfg.WallVelocity[0], bs.cfg.WallVelocity[1], bs.cfg.WallVelocity[2]
 		}
 		eu := float64(s.Cx[d])*ux + float64(s.Cy[d])*uy + float64(s.Cz[d])*uz
-		src.Set(int(l.bx), int(l.by), int(l.bz), d,
-			src.Get(fx, fy, fz, inv)+6.0*s.W[d]*eu)
+		c.vAdd[i] = 6.0 * s.W[d] * eu
+	}
+	c.pDst = make([]int32, len(bs.pressure))
+	c.pSrc = make([]int32, len(bs.pressure))
+	c.pCell = make([]int32, len(bs.pressure))
+	c.pC2WR = make([]float64, len(bs.pressure))
+	c.pCx = make([]float64, len(bs.pressure))
+	c.pCy = make([]float64, len(bs.pressure))
+	c.pCz = make([]float64, len(bs.pressure))
+	for i, l := range bs.pressure {
+		d := l.d
+		fx, fy, fz := int(l.bx)+s.Cx[d], int(l.by)+s.Cy[d], int(l.bz)+s.Cz[d]
+		c.pDst[i] = int32(src.Index(int(l.bx), int(l.by), int(l.bz), d))
+		c.pSrc[i] = int32(src.Index(fx, fy, fz, s.Inv[d]))
+		c.pCell[i] = int32(src.CellIndex(fx, fy, fz))
+		rhoW := bs.cfg.Density
+		if bs.cfg.DensityAt != nil {
+			rhoW = bs.cfg.DensityAt(int(l.bx), int(l.by), int(l.bz))
+		}
+		c.pC2WR[i] = 2.0 * s.W[d] * rhoW
+		c.pCx[i] = float64(s.Cx[d])
+		c.pCy[i] = float64(s.Cy[d])
+		c.pCz[i] = float64(s.Cz[d])
+	}
+	return c
+}
+
+// matches reports whether the compiled form addresses fields shaped like f.
+func (c *compiledLinks) matches(f *field.PDFField) bool {
+	return c.layout == f.Layout && c.nx == f.Nx && c.ny == f.Ny && c.nz == f.Nz && c.ghost == f.Ghost
+}
+
+// Apply writes the boundary values into src so that the subsequent
+// stream-pull kernel sweep realizes the boundary conditions. src must hold
+// the post-collision PDFs of the previous time step.
+func (bs *Sweep) Apply(src *field.PDFField) {
+	s := bs.stencil
+	if bs.comp == nil || !bs.comp.matches(src) {
+		bs.comp = bs.compile(src)
+	}
+	c := bs.comp
+	data := src.Data()
+
+	// No-slip bounce-back: the population leaving the fluid cell toward
+	// the wall returns unchanged into the opposite direction:
+	//   src(b, d) = src(b + e_d, dbar).
+	for i, dst := range c.nsDst {
+		data[dst] = data[c.nsSrc[i]]
+	}
+
+	// Velocity bounce-back: bounce-back plus a momentum correction for the
+	// moving wall,
+	//   src(b, d) = src(b + e_d, dbar) + 6 w_d rho0 (e_d . u_w).
+	for i, dst := range c.vDst {
+		data[dst] = data[c.vSrc[i]] + c.vAdd[i]
 	}
 
 	// Pressure anti-bounce-back: imposes the density rho_w; the velocity
@@ -146,27 +235,29 @@ func (bs *Sweep) Apply(src *field.PDFField) {
 	// fluid cell (first-order extrapolation to the wall),
 	//   src(b, d) = -src(b + e_d, dbar)
 	//               + 2 w_d rho_w (1 + 4.5 (e_d . u)^2 - 1.5 u^2).
-	if len(bs.pressure) > 0 && bs.scratch == nil {
+	if len(c.pDst) > 0 && bs.scratch == nil {
 		bs.scratch = make([]float64, s.Q)
 	}
 	tmp := bs.scratch
-	for _, l := range bs.pressure {
-		d := l.d
-		inv := s.Inv[d]
-		fx, fy, fz := int(l.bx)+s.Cx[d], int(l.by)+s.Cy[d], int(l.bz)+s.Cz[d]
-		rhoW := bs.cfg.Density
-		if bs.cfg.DensityAt != nil {
-			rhoW = bs.cfg.DensityAt(int(l.bx), int(l.by), int(l.bz))
-		}
+	// The moment gather is linear in the direction index for both layouts:
+	// AoS interleaves directions at the cell (stride 1), SoA spaces them by
+	// the per-direction array length.
+	gatherStride := 1
+	cellScale := s.Q
+	if c.layout == field.SoA {
+		gatherStride = src.AllocatedCells()
+		cellScale = 1
+	}
+	for i, dst := range c.pDst {
+		base := int(c.pCell[i]) * cellScale
 		for a := 0; a < s.Q; a++ {
-			tmp[a] = src.Get(fx, fy, fz, lattice.Direction(a))
+			tmp[a] = data[base+a*gatherStride]
 		}
 		_, ux, uy, uz := s.Moments(tmp)
-		eu := float64(s.Cx[d])*ux + float64(s.Cy[d])*uy + float64(s.Cz[d])*uz
+		eu := c.pCx[i]*ux + c.pCy[i]*uy + c.pCz[i]*uz
 		usq := 1.5 * (ux*ux + uy*uy + uz*uz)
-		sym := 2.0 * s.W[d] * rhoW * (1.0 + 4.5*eu*eu - usq)
-		src.Set(int(l.bx), int(l.by), int(l.bz), d,
-			-src.Get(fx, fy, fz, inv)+sym)
+		sym := c.pC2WR[i] * (1.0 + 4.5*eu*eu - usq)
+		data[dst] = -data[c.pSrc[i]] + sym
 	}
 }
 

@@ -42,6 +42,7 @@ type Problem struct {
 	// configure the solver as in sim.Config (nil Stencil means D3Q19).
 	Stencil         *lattice.Stencil
 	Kernel          sim.KernelChoice
+	Layout          sim.LayoutChoice
 	Tau             float64
 	Magic           float64
 	Boundary        boundary.Config
@@ -122,6 +123,7 @@ func (p *Problem) SimConfig() sim.Config {
 	cfg := sim.Config{
 		Stencil:         p.Stencil,
 		Kernel:          p.Kernel,
+		Layout:          p.Layout,
 		Tau:             p.Tau,
 		Magic:           p.Magic,
 		Boundary:        p.Boundary,

@@ -113,14 +113,19 @@ func (k *D3Q19SRT) Sweep(src, dst *field.PDFField, flags *field.FlagField) {
 	}
 }
 
-// srtPair relaxes a direction pair toward equilibrium. d is the dot product
-// e_a . u of the positive representative a; wr is w_a * rho.
-func srtPair(out []float64, base, a, b int, fa, fb, wr, d, usq, omega, om1 float64) {
+// srtPairVals relaxes a direction pair toward equilibrium and returns the
+// post-collision values. d is the dot product e_a . u of the positive
+// representative a; wr is w_a * rho. Shared by the AoS and SoA kernels so
+// both layouts evaluate the identical floating-point expressions.
+func srtPairVals(fa, fb, wr, d, usq, omega, om1 float64) (float64, float64) {
 	cu := 3.0 * d
 	sym := wr * (1.0 + 0.5*cu*cu - usq)
 	asym := wr * cu
-	out[base+a] = om1*fa + omega*(sym+asym)
-	out[base+b] = om1*fb + omega*(sym-asym)
+	return om1*fa + omega*(sym+asym), om1*fb + omega*(sym-asym)
+}
+
+func srtPair(out []float64, base, a, b int, fa, fb, wr, d, usq, omega, om1 float64) {
+	out[base+a], out[base+b] = srtPairVals(fa, fb, wr, d, usq, omega, om1)
 }
 
 // D3Q19TRT is the TRT kernel specialized for D3Q19: like D3Q19SRT but with
@@ -212,10 +217,13 @@ func (k *D3Q19TRT) Sweep(src, dst *field.PDFField, flags *field.FlagField) {
 	}
 }
 
-// trtPair applies the TRT collision to a direction pair. The even part of
-// the equilibrium is the shared symmetric term, the odd part the shared
-// antisymmetric term — the same subexpressions the SRT pair update reuses.
-func trtPair(out []float64, base, a, b int, fa, fb, wr, d, usq, le, lo float64) {
+// trtPairVals applies the TRT collision to a direction pair and returns
+// the post-collision values. The even part of the equilibrium is the
+// shared symmetric term, the odd part the shared antisymmetric term — the
+// same subexpressions the SRT pair update reuses. Shared by the AoS and
+// SoA kernels so both layouts evaluate the identical floating-point
+// expressions.
+func trtPairVals(fa, fb, wr, d, usq, le, lo float64) (float64, float64) {
 	cu := 3.0 * d
 	feqP := wr * (1.0 + 0.5*cu*cu - usq)
 	feqM := wr * cu
@@ -223,6 +231,9 @@ func trtPair(out []float64, base, a, b int, fa, fb, wr, d, usq, le, lo float64) 
 	fm := 0.5 * (fa - fb)
 	even := le * (fp - feqP)
 	odd := lo * (fm - feqM)
-	out[base+a] = fa + even + odd
-	out[base+b] = fb + even - odd
+	return fa + even + odd, fb + even - odd
+}
+
+func trtPair(out []float64, base, a, b int, fa, fb, wr, d, usq, le, lo float64) {
+	out[base+a], out[base+b] = trtPairVals(fa, fb, wr, d, usq, le, lo)
 }

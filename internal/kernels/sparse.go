@@ -178,9 +178,11 @@ type interval struct {
 // SparseInterval is strategy three: per lattice line the ranges of fluid
 // cells are stored like the compressed rows of a sparse matrix, and the
 // split (SIMD) TRT kernel processes each range — branch-free, contiguous,
-// vectorizable.
+// vectorizable. It shares the fused by-direction row update with SplitTRT,
+// so its results are bit-identical to the dense SoA kernel on the cells it
+// covers.
 type SparseInterval struct {
-	inner     SplitTRT
+	p         trtParams
 	intervals []interval
 	src       *field.FlagField
 	fluid     int
@@ -188,10 +190,14 @@ type SparseInterval struct {
 
 // NewSparseInterval constructs the interval sparse TRT kernel for the given
 // block. Unlike the paper's single [first,last] pair per line, maximal runs
-// are stored, so lines with interior gaps remain exact.
+// are stored, so lines with interior gaps remain exact. Every stored run is
+// bounds-checked against the line it belongs to — degenerate geometries
+// (no fluid at all, isolated single cells, fully fluid lines) produce
+// empty, length-one, and full-width intervals respectively, all of which
+// must stay inside [lineBase, lineBase+Nx).
 func NewSparseInterval(op collide.TRT, flags *field.FlagField) *SparseInterval {
 	k := &SparseInterval{src: flags}
-	k.inner.p = trtParams{lambdaE: op.LambdaE, lambdaO: op.LambdaO}
+	k.p = trtParams{lambdaE: op.LambdaE, lambdaO: op.LambdaO}
 	sx, sy, sz := flags.Strides()
 	_ = sx
 	for z := 0; z < flags.Nz; z++ {
@@ -207,8 +213,12 @@ func NewSparseInterval(op collide.TRT, flags *field.FlagField) *SparseInterval {
 					x++
 				}
 				if x > x0 {
-					k.intervals = append(k.intervals, interval{base: lineBase + x0, n: x - x0})
-					k.fluid += x - x0
+					iv := interval{base: lineBase + x0, n: x - x0}
+					if iv.n < 1 || iv.n > flags.Nx || iv.base < lineBase || iv.base+iv.n > lineBase+flags.Nx {
+						panic("kernels: sparse interval escapes its lattice line")
+					}
+					k.intervals = append(k.intervals, iv)
+					k.fluid += iv.n
 				}
 			}
 		}
@@ -237,11 +247,8 @@ func (k *SparseInterval) Sweep(src, dst *field.PDFField, flags *field.FlagField)
 		panic("kernels: SparseInterval used with a different flag field")
 	}
 	rows := newDirRows(src, dst)
-	k.inner.sc.ensure(src.Nx)
-	if len(k.inner.d) < src.Nx {
-		k.inner.d = make([]float64, src.Nx)
-	}
+	le, lo := k.p.lambdaE, k.p.lambdaO
 	for _, iv := range k.intervals {
-		k.inner.row(&rows, iv.base, iv.n)
+		trtRowSoA(&rows, iv.base, iv.n, le, lo)
 	}
 }

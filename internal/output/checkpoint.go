@@ -74,19 +74,35 @@ func SaveCheckpoint(w io.Writer, f *field.PDFField) error {
 	for _, v := range hdr {
 		binary.Write(out, binary.LittleEndian, v)
 	}
-	// Write in canonical (layout-independent) order so checkpoints are
-	// portable between layouts.
+	// Write in canonical (layout-independent) order — (z,y,x) cells with
+	// the Q directions interleaved — so checkpoints are portable between
+	// layouts. Encoding is buffered one padded row at a time: the AoS
+	// storage order coincides with the wire order, and the SoA path
+	// gathers from the by-direction arrays without converting the field.
+	q := f.Stencil.Q
 	g := f.Ghost
-	var scratch [8]byte
+	ax := f.Nx + 2*g
+	row := make([]byte, ax*q*8)
+	data := f.Data()
+	cells := f.AllocatedCells()
 	for z := -g; z < f.Nz+g; z++ {
 		for y := -g; y < f.Ny+g; y++ {
-			for x := -g; x < f.Nx+g; x++ {
-				for a := 0; a < f.Stencil.Q; a++ {
-					binary.LittleEndian.PutUint64(scratch[:],
-						math.Float64bits(f.Get(x, y, z, lattice.Direction(a))))
-					out.Write(scratch[:])
+			ci := f.CellIndex(-g, y, z)
+			if f.Layout == field.AoS {
+				vals := data[ci*q : (ci+ax)*q]
+				for i, v := range vals {
+					binary.LittleEndian.PutUint64(row[i*8:], math.Float64bits(v))
+				}
+			} else {
+				o := 0
+				for x := 0; x < ax; x++ {
+					for a := 0; a < q; a++ {
+						binary.LittleEndian.PutUint64(row[o:], math.Float64bits(data[a*cells+ci+x]))
+						o += 8
+					}
 				}
 			}
+			out.Write(row)
 		}
 	}
 	// Trailer: CRC32C over magic, header and payload (not itself).
@@ -125,6 +141,19 @@ func (c *crcReader) Read(p []byte) (int, error) {
 // Structural problems (bad magic, implausible header, truncation, CRC
 // mismatch) return a typed *CorruptError before any large allocation.
 func LoadCheckpoint(r io.Reader, s *lattice.Stencil, layout field.Layout) (*field.PDFField, error) {
+	return loadCheckpoint(r, s, layout, false)
+}
+
+// LoadCheckpointStored restores a PDF field in the layout recorded in the
+// checkpoint header. The wire format is layout-independent; this variant
+// merely picks the in-memory representation the writer used, which lets a
+// reader reconstruct a mixed-layout rank without knowing the per-block
+// kernel choices in advance.
+func LoadCheckpointStored(r io.Reader, s *lattice.Stencil) (*field.PDFField, error) {
+	return loadCheckpoint(r, s, field.AoS, true)
+}
+
+func loadCheckpoint(r io.Reader, s *lattice.Stencil, layout field.Layout, useStored bool) (*field.PDFField, error) {
 	br := bufio.NewReader(r)
 	cr := newCRCReader(br)
 	magic := make([]byte, 4)
@@ -165,19 +194,38 @@ func LoadCheckpoint(r io.Reader, s *lattice.Stencil, layout field.Layout) (*fiel
 	if hdr[5] != uint32(field.AoS) && hdr[5] != uint32(field.SoA) {
 		return nil, corruptf(checkpointMagic, "unknown layout %d", hdr[5])
 	}
+	if useStored {
+		layout = field.Layout(hdr[5])
+	}
 	f := field.NewPDFField(s, int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4]), layout)
+	// Decode one padded row of the canonical wire order at a time: a
+	// straight copy into AoS storage, a scatter into the by-direction
+	// arrays for SoA — either way without a layout round-trip.
+	q := s.Q
 	g := f.Ghost
-	var scratch [8]byte
+	ax := f.Nx + 2*g
+	row := make([]byte, ax*q*8)
+	data := f.Data()
+	cells := f.AllocatedCells()
 	for z := -g; z < f.Nz+g; z++ {
 		for y := -g; y < f.Ny+g; y++ {
-			for x := -g; x < f.Nx+g; x++ {
-				for a := 0; a < s.Q; a++ {
-					if _, err := io.ReadFull(cr, scratch[:]); err != nil {
-						return nil, corruptf(checkpointMagic,
-							"truncated payload at (%d,%d,%d,%d): %v", x, y, z, a, err)
+			if _, err := io.ReadFull(cr, row); err != nil {
+				return nil, corruptf(checkpointMagic,
+					"truncated payload at row (y=%d,z=%d): %v", y, z, err)
+			}
+			ci := f.CellIndex(-g, y, z)
+			if f.Layout == field.AoS {
+				vals := data[ci*q : (ci+ax)*q]
+				for i := range vals {
+					vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(row[i*8:]))
+				}
+			} else {
+				o := 0
+				for x := 0; x < ax; x++ {
+					for a := 0; a < q; a++ {
+						data[a*cells+ci+x] = math.Float64frombits(binary.LittleEndian.Uint64(row[o:]))
+						o += 8
 					}
-					bits := binary.LittleEndian.Uint64(scratch[:])
-					f.Set(x, y, z, lattice.Direction(a), math.Float64frombits(bits))
 				}
 			}
 		}

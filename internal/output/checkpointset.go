@@ -136,6 +136,18 @@ const maxRankFileBlocks = 1 << 20
 // cross-checked against the manifest entry). Any integrity failure is a
 // typed *CorruptError.
 func ReadRankFile(r io.Reader, s *lattice.Stencil, layout field.Layout) ([]BlockSnapshot, uint32, error) {
+	return readRankFile(r, s, layout, false)
+}
+
+// ReadRankFileStored is ReadRankFile with every block field restored in
+// the layout recorded in its own checkpoint header, so rank files written
+// by a mixed-layout world (per-block kernel selection) round-trip without
+// the reader knowing the per-block layouts in advance.
+func ReadRankFileStored(r io.Reader, s *lattice.Stencil) ([]BlockSnapshot, uint32, error) {
+	return readRankFile(r, s, field.AoS, true)
+}
+
+func readRankFile(r io.Reader, s *lattice.Stencil, layout field.Layout, useStored bool) ([]BlockSnapshot, uint32, error) {
 	cr := newCRCReader(bufio.NewReader(r))
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(cr, magic); err != nil {
@@ -178,7 +190,7 @@ func ReadRankFile(r io.Reader, s *lattice.Stencil, layout field.Layout) ([]Block
 			if n == 0 || n > 1<<40 {
 				return nil, 0, corruptf(rankFileMagic, "block %d: implausible field length %d", i, n)
 			}
-			f, err := LoadCheckpoint(io.LimitReader(rr, int64(n)), s, layout)
+			f, err := loadCheckpoint(io.LimitReader(rr, int64(n)), s, layout, useStored)
 			if err != nil {
 				return nil, 0, fmt.Errorf("block %d field %d: %w", i, fi, err)
 			}

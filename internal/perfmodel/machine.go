@@ -57,6 +57,11 @@ type Machine struct {
 	CacheLevels int
 	// CyclesPerLineTransfer between adjacent cache levels (2 on SNB).
 	CyclesPerLineTransfer float64
+	// CacheBlockBytes is the per-core share of the last-level cache, the
+	// budget cache-blocked (tiled) kernel traversal should size its
+	// working set against (SNB: 20 MiB L3 across 8 cores; BG/Q: 32 MiB L2
+	// across 16 cores).
+	CacheBlockBytes int
 	// SMTEfficiency maps 1-, 2-, 4-way SMT to the fraction of the core's
 	// peak instruction throughput reachable (in-order BG/Q cores need two
 	// threads to dual-issue).
@@ -89,6 +94,7 @@ func SuperMUCSocket() *Machine {
 		CoreCyclesPer8LUP:     448, // IACA static analysis of the TRT SIMD loop
 		CacheLevels:           2,
 		CyclesPerLineTransfer: 2,
+		CacheBlockBytes:       20 * 1024 * 1024 / 8,
 		// Memory bandwidth shrinks mildly at lower clock frequency (Schöne
 		// et al.), with a knee below 1.5 GHz where the uncore can no longer
 		// sustain the request concurrency; calibrated so that 1.6 GHz
@@ -133,6 +139,7 @@ func JUQUEENNode() *Machine {
 		CoreCyclesPer8LUP:     520,
 		CacheLevels:           1, // L1 -> L2 -> memory, one inter-cache hop
 		CyclesPerLineTransfer: 4,
+		CacheBlockBytes:       32 * 1024 * 1024 / 16,
 		ScalarSlowdown:        2.5,
 		GenericSlowdown:       16.0,
 		PeakGFLOPS:            16 * 1.6 * 8, // 204.8 GFLOPS per node

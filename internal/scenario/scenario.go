@@ -102,10 +102,17 @@ type Resolution struct {
 
 // Collision configures the collision operator.
 type Collision struct {
-	// Kernel names the compute kernel family exactly as sim.KernelChoice
-	// ("TRT SIMD", "TRT Interval", "SRT Generic", ...); empty picks the
-	// solver default for the stencil.
+	// Kernel picks the compute kernel: a family alias ("auto", "generic",
+	// "split", "sparse") or an exact sim.KernelChoice name ("TRT SIMD",
+	// "TRT Interval", "SRT Generic", ...). Empty or "auto" (the default)
+	// selects per block at plan-build time — the split SoA kernel for
+	// dense blocks, the interval sparse kernel below the fluid-fraction
+	// threshold.
 	Kernel string `json:"kernel,omitempty"`
+	// Layout picks the PDF memory layout: "auto" (default; the selected
+	// kernels' layout), "aos" or "soa". Both layouts produce bit-identical
+	// fields.
+	Layout string `json:"layout,omitempty"`
 	// Tau is the relaxation time (> 0.5); default 0.9.
 	Tau float64 `json:"tau,omitempty"`
 	// Magic is the TRT magic parameter; default 3/16.
@@ -278,6 +285,20 @@ func (sc *Scenario) Validate() error {
 	if sc.Resolution.CellsPerBlock == [3]int{} {
 		sc.Resolution.CellsPerBlock = [3]int{8, 8, 8}
 	}
+	// Normalize kernel/layout names here so a validated scenario records
+	// the canonical choice (family aliases resolve to concrete names,
+	// empty resolves to auto); cross-checks against the stencil are
+	// delegated to sim.Config.Validate below.
+	kc, err := sim.ParseKernelChoice(sc.Collision.Kernel)
+	if err != nil {
+		return fmt.Errorf("scenario: collision.kernel: %w", err)
+	}
+	sc.Collision.Kernel = string(kc)
+	lc, err := sim.ParseLayoutChoice(sc.Collision.Layout)
+	if err != nil {
+		return fmt.Errorf("scenario: collision.layout: %w", err)
+	}
+	sc.Collision.Layout = string(lc)
 	for d := 0; d < 3; d++ {
 		if sc.Resolution.CellsPerBlock[d] <= 0 {
 			return fmt.Errorf("scenario: resolution.cells_per_block must be positive, got %v", sc.Resolution.CellsPerBlock)
@@ -385,10 +406,19 @@ func (sc *Scenario) stencil() *lattice.Stencil {
 // pure: calling it twice yields problems that build identical forests and
 // identical solver configurations.
 func (sc *Scenario) Problem() (*core.Problem, error) {
+	kc, err := sim.ParseKernelChoice(sc.Collision.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: collision.kernel: %w", err)
+	}
+	lc, err := sim.ParseLayoutChoice(sc.Collision.Layout)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: collision.layout: %w", err)
+	}
 	p := &core.Problem{
 		CellsPerBlock:   sc.Resolution.CellsPerBlock,
 		Stencil:         sc.stencil(),
-		Kernel:          sim.KernelChoice(sc.Collision.Kernel),
+		Kernel:          kc,
+		Layout:          lc,
 		Tau:             sc.Collision.Tau,
 		Magic:           sc.Collision.Magic,
 		Force:           sc.Physics.Force,

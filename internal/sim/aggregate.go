@@ -109,10 +109,13 @@ type packTask struct {
 	slabIdx int
 }
 
-// aggBufPool recycles aggregate buffers across plan rebuilds (rebalance,
-// recovery), bounding allocation churn when block assignments change at
-// runtime. Safe because a plan rebuild is collective and happens-after
-// every peer's unpack of the retired buffers.
+// aggBufPool recycles aggregate buffers across plan rebuilds, bounding
+// allocation churn when block assignments change at runtime. Buffers may
+// only be released when the rebuild trigger is collective among every
+// rank whose zero-copy unpack read them (rebalancing). Failure-recovery
+// rebuilds skip the release: the dead rank's last unpack never
+// synchronizes with the survivors again, so repacking its input would be
+// a data race. See rebuildPlan.
 var aggBufPool sync.Pool
 
 func aggGetBuf(n int) []float64 {

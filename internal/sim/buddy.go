@@ -13,7 +13,6 @@ import (
 	"walberla/internal/blockforest"
 	"walberla/internal/comm"
 	"walberla/internal/field"
-	"walberla/internal/kernels"
 	"walberla/internal/lattice"
 	"walberla/internal/output"
 	"walberla/internal/telemetry"
@@ -213,7 +212,7 @@ func (s *Simulation) replicate(step int, rec *RecoveryStats) error {
 	// is simply not committed (the previous one stays restorable and the
 	// vote settles on it), and a committed generation makes the eventual
 	// restore a pure memory operation.
-	if gen := decodeReplica(in, s.Stencil, s.replicaLayout); gen != nil {
+	if gen := decodeReplica(in, s.Stencil); gen != nil {
 		b.replica[p] = gen
 		b.lastMeta[in.SrcWorld] = in.Meta
 	}
@@ -230,8 +229,11 @@ func (s *Simulation) replicate(step int, rec *RecoveryStats) error {
 }
 
 // decodeReplica validates and deserializes one replica envelope, nil if
-// the envelope is corrupt in any way.
-func decodeReplica(in *buddyMsg, stencil *lattice.Stencil, layoutOf func([]blockMeta) (field.Layout, error)) *replicaGen {
+// the envelope is corrupt in any way. Each block is decoded in the layout
+// its sender stored it in (the wire format records it per block), so
+// replicas from ranks running a mix of layouts restore without any
+// world-wide layout assumption.
+func decodeReplica(in *buddyMsg, stencil *lattice.Stencil) *replicaGen {
 	if output.CRC32C(in.Payload) != in.CRC {
 		return nil
 	}
@@ -239,11 +241,7 @@ func decodeReplica(in *buddyMsg, stencil *lattice.Stencil, layoutOf func([]block
 	if err != nil {
 		return nil
 	}
-	layout, err := layoutOf(metas)
-	if err != nil {
-		return nil
-	}
-	snaps, crc, err := output.ReadRankFile(bytes.NewReader(in.Payload), stencil, layout)
+	snaps, crc, err := output.ReadRankFileStored(bytes.NewReader(in.Payload), stencil)
 	if err != nil || crc != in.CRC || len(snaps) != len(metas) {
 		return nil
 	}
@@ -437,7 +435,10 @@ func (s *Simulation) shrinkRecover(dead []int, rc ResilienceConfig, rec *Recover
 	s.Forest.Rank = newComm.Rank()
 	s.Forest.NumRanks = newComm.Size()
 	s.Forest.Blocks = forestBlocks
-	s.rebuildPlan()
+	// recycleBuffers=false: the dead rank's final zero-copy unpack read our
+	// old send buffers and will never synchronize with this rebuild, so the
+	// retired buffers must not be repacked — see rebuildPlan.
+	s.rebuildPlan(false)
 	rec.Shrinks++
 	rec.BlocksAdopted += len(adopted)
 
@@ -498,23 +499,28 @@ func (s *Simulation) buildAdoptedBlocks(snaps []output.BlockSnapshot, metas []bl
 		}
 		flags := field.NewFlagField(cells[0], cells[1], cells[2], 1)
 		copy(flags.Data(), m.Flags)
-		k, err := kernels.New(s.Config.kernelSpec(flags))
+		k, choice, err := s.Config.blockKernel(flags)
 		if err != nil {
 			return nil, err
 		}
-		if k.Layout() != snap.Src.Layout {
-			return nil, fmt.Errorf("sim: replica block %v layout %v does not match kernel layout %v",
-				snap.Coord, snap.Src.Layout, k.Layout())
+		src, dst := snap.Src, snap.Dst
+		if k.Layout() != src.Layout {
+			// The snapshot was stored in another layout (the wire format
+			// preserves the sender's); transpose into the kernel's.
+			src = src.ConvertLayout(k.Layout())
+			dst = dst.ConvertLayout(k.Layout())
 		}
+		fluid := flags.Count(field.Fluid)
 		blk := m.Block // copy out of the decoded metadata
 		blocks = append(blocks, &BlockData{
-			Block:    &blk,
-			Src:      snap.Src,
-			Dst:      snap.Dst,
-			Flags:    flags,
-			Kernel:   k,
-			Boundary: newBoundarySweep(s, flags),
-			Fluid:    flags.Count(field.Fluid),
+			Block:      &blk,
+			Src:        src,
+			Dst:        dst,
+			Flags:      flags,
+			Kernel:     k,
+			Boundary:   newBoundarySweep(s, flags),
+			Fluid:      fluid,
+			sweepFlags: denseSweepFlags(choice, flags, fluid),
 		})
 	}
 	return blocks, nil
@@ -528,25 +534,13 @@ func decodeReplicaMeta(raw []byte) ([]blockMeta, error) {
 	return metas, nil
 }
 
-// replicaLayout picks the PDF layout for decoding a replica: the local
-// blocks' layout when this rank has any, else the kernel-derived layout
-// of the replica's first block (the kernel choice is global
-// configuration, so all blocks agree).
-func (s *Simulation) replicaLayout(metas []blockMeta) (field.Layout, error) {
-	if len(s.Blocks) > 0 {
-		return s.Blocks[0].Src.Layout, nil
+// restoreInto copies one decoded snapshot field into a live block field,
+// transposing first when the snapshot was stored in the other layout.
+func restoreInto(dst, snap *field.PDFField) {
+	if snap.Layout != dst.Layout {
+		snap = snap.ConvertLayout(dst.Layout)
 	}
-	if len(metas) == 0 {
-		return field.SoA, nil
-	}
-	cells := metas[0].Block.Cells
-	flags := field.NewFlagField(cells[0], cells[1], cells[2], 1)
-	copy(flags.Data(), metas[0].Flags)
-	k, err := kernels.New(s.Config.kernelSpec(flags))
-	if err != nil {
-		return field.SoA, err
-	}
-	return k.Layout(), nil
+	copy(dst.Data(), snap.Data())
 }
 
 // diskShrinkRestore is the fallback rung of shrinking recovery: the
@@ -593,8 +587,8 @@ func (s *Simulation) diskShrinkRestore(myWards []int, rc ResilienceConfig, newCo
 		}
 		for coord, pair := range own {
 			bd := s.byCoord[coord]
-			copy(bd.Src.Data(), pair[0].Data())
-			copy(bd.Dst.Data(), pair[1].Data())
+			restoreInto(bd.Src, pair[0])
+			restoreInto(bd.Dst, pair[1])
 		}
 		return step, adopted, nil
 	}
@@ -612,10 +606,6 @@ func (s *Simulation) adoptFromSet(setDir string, myWards []int) ([]*BlockData, e
 			return nil, fmt.Errorf("sim: no retained metadata for dead rank %d", w)
 		}
 		metas, err := decodeReplicaMeta(metaRaw)
-		if err != nil {
-			return nil, err
-		}
-		layout, err := s.replicaLayout(metas)
 		if err != nil {
 			return nil, err
 		}
@@ -645,7 +635,7 @@ func (s *Simulation) adoptFromSet(setDir string, myWards []int) ([]*BlockData, e
 			return nil, err
 		}
 		s.recoveryDiskReads++
-		snaps, crc, err := output.ReadRankFile(f, s.Stencil, layout)
+		snaps, crc, err := output.ReadRankFileStored(f, s.Stencil)
 		f.Close()
 		if err != nil {
 			return nil, err

@@ -7,7 +7,6 @@ import (
 	"walberla/internal/blockforest"
 	"walberla/internal/comm"
 	"walberla/internal/field"
-	"walberla/internal/kernels"
 )
 
 // Dynamic load balancing — the extension the paper names as future work
@@ -187,7 +186,7 @@ func (s *Simulation) Rebalance(assignment map[[3]int]int) error {
 		forestBlocks = append(forestBlocks, bd.Block)
 	}
 	s.Forest.Blocks = forestBlocks
-	s.rebuildPlan()
+	s.rebuildPlan(true)
 	// Migration invalidates ghost layers; synchronize before stepping on.
 	return s.exchangeGhostLayers()
 }
@@ -199,25 +198,30 @@ func (s *Simulation) adoptBlock(mb *migratedBlock) (*BlockData, error) {
 	cells := b.Cells
 	flags := field.NewFlagField(cells[0], cells[1], cells[2], 1)
 	copy(flags.Data(), mb.Flags)
-	k, err := kernels.New(s.Config.kernelSpec(flags))
+	k, choice, err := s.Config.blockKernel(flags)
 	if err != nil {
 		return nil, err
-	}
-	if k.Layout() != mb.Layout {
-		return nil, fmt.Errorf("sim: migrated block layout %v does not match kernel layout %v", mb.Layout, k.Layout())
 	}
 	src := field.NewPDFField(s.Stencil, cells[0], cells[1], cells[2], 1, mb.Layout)
 	copy(src.Data(), mb.SrcData)
 	dst := src.CopyShape()
 	copy(dst.Data(), mb.DstData)
+	if k.Layout() != mb.Layout {
+		// The sender ran the block in a different layout (e.g. a forced
+		// layout changed between runs); transpose into the kernel's.
+		src = src.ConvertLayout(k.Layout())
+		dst = dst.ConvertLayout(k.Layout())
+	}
+	fluid := flags.Count(field.Fluid)
 	bd := &BlockData{
-		Block:    &b,
-		Src:      src,
-		Dst:      dst,
-		Flags:    flags,
-		Kernel:   k,
-		Boundary: newBoundarySweep(s, flags),
-		Fluid:    flags.Count(field.Fluid),
+		Block:      &b,
+		Src:        src,
+		Dst:        dst,
+		Flags:      flags,
+		Kernel:     k,
+		Boundary:   newBoundarySweep(s, flags),
+		Fluid:      fluid,
+		sweepFlags: denseSweepFlags(choice, flags, fluid),
 	}
 	return bd, nil
 }

@@ -276,8 +276,8 @@ func (s *Simulation) RestoreLatestCheckpointSet(dir string) (int64, error) {
 		}
 		for coord, pair := range blocks {
 			bd := s.byCoord[coord]
-			copy(bd.Src.Data(), pair[0].Data())
-			copy(bd.Dst.Data(), pair[1].Data())
+			restoreInto(bd.Src, pair[0])
+			restoreInto(bd.Dst, pair[1])
 		}
 		return step, nil
 	}
@@ -314,16 +314,15 @@ func (s *Simulation) loadOwnRankFile(setDir string) (map[[3]int][2]*field.PDFFie
 	if entry == nil {
 		return nil, fmt.Errorf("sim: checkpoint set %s has no file for rank %d", setDir, c.Rank())
 	}
-	layout := field.SoA
-	if len(s.Blocks) > 0 {
-		layout = s.Blocks[0].Src.Layout
-	}
 	f, err := os.Open(filepath.Join(setDir, name))
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	snaps, crc, err := output.ReadRankFile(f, s.Stencil, layout)
+	// Decode every block in the layout it was stored in — ranks can run a
+	// mix of layouts under per-block kernel selection; restoreInto
+	// transposes if the live block disagrees.
+	snaps, crc, err := output.ReadRankFileStored(f, s.Stencil)
 	if err != nil {
 		return nil, err
 	}

@@ -43,16 +43,51 @@ const (
 	KernelSparse     = kernels.ChoiceSparse
 )
 
+// KernelAuto defers the kernel choice to plan-build time, where each block
+// picks its own kernel from the configured layout, the stencil and its
+// fluid fraction (see Config.resolveKernel). It is the default.
+const KernelAuto KernelChoice = "auto"
+
+// LayoutChoice selects the PDF memory layout of the simulation fields.
+type LayoutChoice string
+
+// Layout choices. The zero value is LayoutAuto.
+const (
+	// LayoutAuto lets kernel selection pick the layout: structure-of-arrays
+	// for D3Q19 (the split kernels), array-of-structures otherwise.
+	LayoutAuto LayoutChoice = "auto"
+	// LayoutAoS forces array-of-structures fields and the AoS kernel
+	// family.
+	LayoutAoS LayoutChoice = "aos"
+	// LayoutSoA forces structure-of-arrays fields and the split/sparse
+	// kernel family.
+	LayoutSoA LayoutChoice = "soa"
+)
+
+// SparseFluidThreshold is the fluid fraction below which automatic kernel
+// selection switches a block from the dense split kernel to the compressed
+// interval kernel of section 4.3 — below it, skipping the obstacle cells
+// saves more bandwidth than the interval bookkeeping costs.
+const SparseFluidThreshold = 0.95
+
 // Config describes a simulation.
 type Config struct {
 	// Stencil selects the lattice model; nil means D3Q19, the model of
 	// all simulations in the paper. Other stencils (D3Q27, D2Q9) run
 	// through the generic kernels.
 	Stencil *lattice.Stencil
-	// Kernel picks the compute kernel; the zero value is KernelSplitTRT,
-	// the kernel used for all production runs in the paper (or the
-	// generic TRT kernel for non-D3Q19 stencils).
+	// Kernel picks the compute kernel; the zero value is KernelAuto:
+	// every block gets the fastest kernel its geometry and the configured
+	// layout admit — the split (SoA SIMD) TRT kernel for dense D3Q19
+	// blocks, the interval sparse kernel for blocks whose fluid fraction
+	// is below SparseFluidThreshold, the generic TRT kernel for other
+	// stencils. Naming a concrete kernel pins it for all blocks.
 	Kernel KernelChoice
+	// Layout picks the PDF field memory layout; the zero value is
+	// LayoutAuto (the layout of the selected kernels, SoA for D3Q19).
+	// Both layouts produce bit-identical fields; LayoutAoS selects the
+	// non-split kernel family for comparison runs.
+	Layout LayoutChoice
 	// Tau is the relaxation time (stability requires > 0.5); the zero
 	// value means 0.9.
 	Tau float64
@@ -108,15 +143,36 @@ func (c *Config) Validate() error {
 		c.Stencil = lattice.D3Q19()
 	}
 	if c.Kernel == "" {
-		if c.Stencil == lattice.D3Q19() {
-			c.Kernel = KernelSplitTRT
-		} else {
-			c.Kernel = KernelGenericTRT
+		c.Kernel = KernelAuto
+	}
+	if c.Layout == "" {
+		c.Layout = LayoutAuto
+	}
+	switch c.Layout {
+	case LayoutAuto, LayoutAoS, LayoutSoA:
+	default:
+		return fmt.Errorf("sim: unknown layout %q (want auto, aos or soa)", c.Layout)
+	}
+	if c.Kernel != KernelAuto {
+		switch c.Kernel {
+		case KernelGenericSRT, KernelGenericTRT, KernelD3Q19SRT, KernelD3Q19TRT,
+			KernelSplitSRT, KernelSplitTRT, KernelSparse:
+		default:
+			return fmt.Errorf("sim: unknown kernel %q", c.Kernel)
+		}
+		if kl := kernelLayout(c.Kernel); (c.Layout == LayoutAoS && kl != field.AoS) ||
+			(c.Layout == LayoutSoA && kl != field.SoA) {
+			return fmt.Errorf("sim: kernel %s runs on %v fields, conflicting with layout %s",
+				c.Kernel, kl, c.Layout)
 		}
 	}
-	if c.Stencil != lattice.D3Q19() &&
-		c.Kernel != KernelGenericSRT && c.Kernel != KernelGenericTRT {
-		return fmt.Errorf("sim: stencil %s requires a generic kernel", c.Stencil)
+	if c.Stencil != lattice.D3Q19() {
+		if c.Kernel != KernelAuto && c.Kernel != KernelGenericSRT && c.Kernel != KernelGenericTRT {
+			return fmt.Errorf("sim: stencil %s requires a generic kernel", c.Stencil)
+		}
+		if c.Layout == LayoutSoA {
+			return fmt.Errorf("sim: stencil %s runs through the generic AoS kernels; layout soa is unsupported", c.Stencil)
+		}
 	}
 	if c.Tau == 0 {
 		c.Tau = 0.9
@@ -142,16 +198,93 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// kernelSpec builds the kernels.Spec of this configuration for the given
+// ParseKernelChoice maps a user-facing kernel name onto a KernelChoice.
+// It accepts the family aliases of the CLI and scenario schema — "auto",
+// "generic", "split", "sparse" — as well as the exact Figure 3 series
+// names ("TRT SIMD", "SRT D3Q19", ...). Empty means auto.
+func ParseKernelChoice(s string) (KernelChoice, error) {
+	switch s {
+	case "", string(KernelAuto):
+		return KernelAuto, nil
+	case "generic":
+		return KernelGenericTRT, nil
+	case "split":
+		return KernelSplitTRT, nil
+	case "sparse":
+		return KernelSparse, nil
+	}
+	switch kc := KernelChoice(s); kc {
+	case KernelGenericSRT, KernelGenericTRT, KernelD3Q19SRT, KernelD3Q19TRT,
+		KernelSplitSRT, KernelSplitTRT, KernelSparse:
+		return kc, nil
+	}
+	return "", fmt.Errorf("sim: unknown kernel %q (want auto, generic, split, sparse or a Figure 3 kernel name)", s)
+}
+
+// ParseLayoutChoice maps a user-facing layout name onto a LayoutChoice.
+// Empty means auto.
+func ParseLayoutChoice(s string) (LayoutChoice, error) {
+	switch LayoutChoice(s) {
+	case "", LayoutAuto:
+		return LayoutAuto, nil
+	case LayoutAoS:
+		return LayoutAoS, nil
+	case LayoutSoA:
+		return LayoutSoA, nil
+	}
+	return "", fmt.Errorf("sim: unknown layout %q (want auto, aos or soa)", s)
+}
+
+// kernelLayout is the field layout each concrete kernel choice runs on.
+func kernelLayout(k KernelChoice) field.Layout {
+	switch k {
+	case KernelSplitSRT, KernelSplitTRT, KernelSparse:
+		return field.SoA
+	}
+	return field.AoS
+}
+
+// resolveKernel maps the configured kernel and layout onto the concrete
+// kernel choice for one block, given the block's fluid fraction. It is the
+// per-block selection point of KernelAuto: non-D3Q19 stencils fall back to
+// the generic kernel, a forced AoS layout picks the D3Q19-specialized
+// kernel, and SoA blocks get the interval sparse kernel when sparse enough
+// and the dense split kernel otherwise. The choice is a pure function of
+// (config, flags), so every rank that reconstructs a block — migration,
+// buddy adoption — arrives at the same kernel.
+func (c *Config) resolveKernel(fluidFrac float64) KernelChoice {
+	if c.Kernel != KernelAuto {
+		return c.Kernel
+	}
+	if c.Stencil != lattice.D3Q19() {
+		return KernelGenericTRT
+	}
+	if c.Layout == LayoutAoS {
+		return KernelD3Q19TRT
+	}
+	if fluidFrac < SparseFluidThreshold {
+		return KernelSparse
+	}
+	return KernelSplitTRT
+}
+
+// blockKernel resolves and constructs the kernel of one block from its
 // flag field.
-func (c *Config) kernelSpec(flags *field.FlagField) kernels.Spec {
-	return kernels.Spec{
-		Choice:  c.Kernel,
+func (c *Config) blockKernel(flags *field.FlagField) (kernels.Kernel, KernelChoice, error) {
+	interior := flags.Nx * flags.Ny * flags.Nz
+	frac := 1.0
+	if interior > 0 {
+		frac = float64(flags.Count(field.Fluid)) / float64(interior)
+	}
+	choice := c.resolveKernel(frac)
+	k, err := kernels.New(kernels.Spec{
+		Choice:  choice,
 		Stencil: c.Stencil,
 		Tau:     c.Tau,
 		Magic:   c.Magic,
 		Flags:   flags,
-	}
+	})
+	return k, choice, err
 }
 
 // BlockData is the runtime state of one block on this rank.
@@ -165,6 +298,12 @@ type BlockData struct {
 	// ComputeTime accumulates this block's kernel time, the measured
 	// workload used by dynamic rebalancing.
 	ComputeTime time.Duration
+
+	// sweepFlags is the flag field the kernel sweep receives: nil for
+	// fully-fluid blocks under non-flag-bound kernels (selecting the
+	// kernels' dense fast path, which skips all per-cell flag tests),
+	// the block's Flags otherwise.
+	sweepFlags *field.FlagField
 
 	// Per-step phase timing scratch, written by the worker executing this
 	// block's sweep and reduced into the rank timers in deterministic
@@ -275,7 +414,7 @@ func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation
 		tb := time.Now()
 		bd.Boundary.Apply(bd.Src)
 		tk := time.Now()
-		bd.Kernel.Sweep(bd.Src, bd.Dst, bd.Flags)
+		bd.Kernel.Sweep(bd.Src, bd.Dst, bd.sweepFlags)
 		s.force.apply(bd)
 		bd.stepBoundary = tk.Sub(tb)
 		bd.stepCompute = time.Since(tk)
@@ -287,7 +426,7 @@ func New(c *comm.Comm, forest *blockforest.BlockForest, cfg Config) (*Simulation
 			lane.SpanAt(telemetry.PhaseCollideStream, s.steps, int32(i), mid, mid+int64(bd.stepCompute))
 		}
 	}
-	s.rebuildPlan()
+	s.rebuildPlan(true)
 	return s, nil
 }
 
@@ -299,23 +438,35 @@ func (s *Simulation) newBlockData(b *blockforest.Block) (*BlockData, error) {
 	} else {
 		defaultFlags(b, s.Forest, flags)
 	}
-	k, err := kernels.New(s.Config.kernelSpec(flags))
+	k, choice, err := s.Config.blockKernel(flags)
 	if err != nil {
 		return nil, err
 	}
 	layout := k.Layout()
 	src := field.NewPDFField(s.Stencil, cells[0], cells[1], cells[2], 1, layout)
+	fluid := flags.Count(field.Fluid)
 	bd := &BlockData{
-		Block:    b,
-		Src:      src,
-		Dst:      src.CopyShape(),
-		Flags:    flags,
-		Kernel:   k,
-		Boundary: newBoundarySweep(s, flags),
-		Fluid:    flags.Count(field.Fluid),
+		Block:      b,
+		Src:        src,
+		Dst:        src.CopyShape(),
+		Flags:      flags,
+		Kernel:     k,
+		Boundary:   newBoundarySweep(s, flags),
+		Fluid:      fluid,
+		sweepFlags: denseSweepFlags(choice, flags, fluid),
 	}
 	s.initBlockState(bd)
 	return bd, nil
+}
+
+// denseSweepFlags picks the flag field a block's kernel sweep receives:
+// nil when every interior cell is fluid and the kernel is not bound to its
+// flag field — the dense fast path — and the block's flags otherwise.
+func denseSweepFlags(choice KernelChoice, flags *field.FlagField, fluid int) *field.FlagField {
+	if choice != KernelSparse && fluid == flags.Nx*flags.Ny*flags.Nz {
+		return nil
+	}
+	return flags
 }
 
 // initBlockState (re)initializes a block's PDF fields to the configured
@@ -464,12 +615,24 @@ func (s *Simulation) sweepBlocks(bds []*BlockData) {
 
 // rebuildPlan recomputes the exchange plan of the configured mode and the
 // frontier/interior block split; it must run after any change to the
-// block assignment or the neighborhood views (construction, rebalancing).
-// The retired aggregate buffers of a previous plan are recycled through
-// the buffer pool — safe because every rebuild trigger is collective and
-// happens-after all peers' unpacks of those buffers.
-func (s *Simulation) rebuildPlan() {
-	releaseAggregateBuffers(s.channels)
+// block assignment or the neighborhood views (construction, rebalancing,
+// failure recovery).
+//
+// recycleBuffers controls whether the retired aggregate buffers of the
+// previous plan return to the buffer pool. That is safe only when the
+// rebuild trigger is collective among every rank that ever read those
+// buffers: the in-process transport delivers sends zero-copy, so a peer's
+// unpack reads alias our send buffers, and repacking a recycled buffer
+// must happen-after those reads. Rebalancing qualifies (it starts with an
+// Alltoall). Failure recovery does NOT — a hung or crashed rank read our
+// buffers and then retired without ever synchronizing again, so its final
+// unpack has no happens-before edge to the recovery rendezvous. Recovery
+// rebuilds must pass false and let the garbage collector take the retired
+// buffers.
+func (s *Simulation) rebuildPlan(recycleBuffers bool) {
+	if recycleBuffers {
+		releaseAggregateBuffers(s.channels)
+	}
 	s.locals, s.channels, s.plan = nil, nil, nil
 	remote := make(map[*BlockData]bool)
 	if s.Config.Exchange == ExchangePerPair {

@@ -105,16 +105,22 @@ func (s *Simulation) PhaseBreakdown() map[string]float64 {
 }
 
 // modelClasses maps the configured kernel onto the perfmodel taxonomy.
+// KernelAuto is resolved as a dense block would be — the hot path the
+// models predict.
 func (c *Config) modelClasses() (perfmodel.KernelClass, perfmodel.CollisionClass) {
+	kc := c.Kernel
+	if kc == KernelAuto {
+		kc = c.resolveKernel(1.0)
+	}
 	k := perfmodel.KernelGeneric
-	switch c.Kernel {
+	switch kc {
 	case KernelD3Q19SRT, KernelD3Q19TRT:
 		k = perfmodel.KernelD3Q19
 	case KernelSplitSRT, KernelSplitTRT, KernelSparse:
 		k = perfmodel.KernelSIMD
 	}
 	coll := perfmodel.CollisionSRT
-	switch c.Kernel {
+	switch kc {
 	case KernelGenericTRT, KernelD3Q19TRT, KernelSplitTRT, KernelSparse:
 		coll = perfmodel.CollisionTRT
 	}
