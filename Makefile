@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-sim race-resilience race-net race-serve alloc-test fuzz-smoke verify bench bench-hybrid bench-comm bench-resilience bench-phases bench-net bench-serve clean
+.PHONY: all build test vet race race-sim race-resilience race-net race-serve alloc-test fuzz-smoke chaos-smoke verify bench bench-hybrid bench-comm bench-resilience bench-phases bench-net bench-serve clean
 
 all: build
 
@@ -22,11 +22,12 @@ race:
 race-sim:
 	$(GO) test -race -count=1 ./internal/sim/...
 
-# race-resilience re-runs only the fault-tolerance tests (shrinking
-# recovery, buddy replication, checkpoint sets, rewind replay) uncached
-# under the race detector — the quick gate while working on recovery code.
+# race-resilience re-runs only the fault-tolerance tests (shrinking and
+# healing recovery, spare-rank rejoin, world re-grow, buddy replication,
+# checkpoint sets, rewind replay) uncached under the race detector — the
+# quick gate while working on recovery code.
 race-resilience:
-	$(GO) test -race -count=1 -run 'TestShrink|TestReplicate|TestResilient|TestRestore|TestWriteCheckpoint|TestBackoff|TestMaxFailures|TestFail' ./internal/sim/ ./internal/comm/
+	$(GO) test -race -count=1 -run 'TestShrink|TestReplicate|TestResilient|TestRestore|TestWriteCheckpoint|TestBackoff|TestMaxFailures|TestFail|TestHeal|TestSpare|TestGrowWorld|TestChaos' ./internal/sim/ ./internal/comm/
 
 # race-net re-runs the socket-transport suite uncached under the race
 # detector: wire framing, reconnect/backoff with the frame fault
@@ -60,10 +61,19 @@ fuzz-smoke:
 	$(GO) test -run '^Fuzz' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/comm/
 	$(GO) test -run '^Fuzz' -fuzz FuzzSparseIntervals -fuzztime 5s ./internal/kernels/
 
+# chaos-smoke runs the deterministic multi-layer chaos soak uncached
+# under the race detector: seeded frame drop/corruption/delay/sever, rank
+# crashes, a silent hang and on-disk checkpoint bit-flips against a
+# 4-active + 3-spare heal-mode world, asserting the run ends at full
+# world size, bit-identical to the fault-free reference, with all
+# recoveries served from buddy memory and no leaked goroutines.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/sim/
+
 # verify is the pre-commit gate: static checks, a full build, the
-# allocation regression gate, the fuzz seed sweep, and the test suite
-# under the race detector.
-verify: vet build alloc-test fuzz-smoke race-net race-sim race-serve race
+# allocation regression gate, the fuzz seed sweep, the chaos soak, and
+# the test suite under the race detector.
+verify: vet build alloc-test fuzz-smoke chaos-smoke race-net race-sim race-serve race
 
 bench:
 	$(GO) test -bench=. -benchtime=0.2s -run='^$$' ./internal/...
@@ -79,11 +89,15 @@ bench-hybrid: build
 bench-comm: build
 	$(GO) run ./cmd/walberla-bench -fig comm
 
-# bench-resilience compares recovery latency of the in-memory buddy
-# shrink path against disk rewind-and-replay at equal checkpoint
-# intervals and writes BENCH_resilience.json.
+# bench-resilience compares recovery latency (restore and MTTR) of the
+# in-memory buddy shrink path, the spare-rank heal path and disk
+# rewind-and-replay at equal checkpoint intervals, appends a timestamped
+# record to BENCH_resilience.json, and fails if restore latency or MTTR
+# regressed past 1.5x+1ms of the best recorded baseline (or any in-memory
+# recovery touched disk).
 bench-resilience: build
 	$(GO) run ./cmd/walberla-bench -fig resilience
+	$(GO) run ./cmd/walberla-bench -compare
 
 # bench-phases breaks the step time into its split-phase components
 # (exchange post, interior sweep, residual wait, frontier sweep) per

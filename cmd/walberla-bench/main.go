@@ -22,11 +22,11 @@ var quick = flag.Bool("quick", false, "reduce problem sizes for fast runs")
 
 func main() {
 	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|comm|resilience|phases|net|serve|all")
-	compare := flag.Bool("compare", false, "compare the newest BENCH_phases.json record against the best recorded baseline and fail on a >5% MLUPS or roofline-ratio regression")
+	compare := flag.Bool("compare", false, "compare the newest record of every benchmark history on disk (BENCH_phases.json, BENCH_resilience.json) against its best recorded baseline and fail on a regression")
 	flag.Parse()
 
 	if *compare {
-		if err := comparePhases(); err != nil {
+		if err := compareAll(); err != nil {
 			fmt.Fprintln(os.Stderr, "walberla-bench -compare:", err)
 			os.Exit(1)
 		}
@@ -69,4 +69,29 @@ func main() {
 
 func header(title string) {
 	fmt.Printf("\n### %s\n", title)
+}
+
+// compareAll ratchets every benchmark history present on disk against its
+// best recorded baseline; at least one history must exist.
+func compareAll() error {
+	compared := false
+	for _, c := range []struct {
+		file string
+		fn   func() error
+	}{
+		{phasesFile, comparePhases},
+		{resilienceFile, compareResilience},
+	} {
+		if _, err := os.Stat(c.file); err != nil {
+			continue
+		}
+		compared = true
+		if err := c.fn(); err != nil {
+			return err
+		}
+	}
+	if !compared {
+		return fmt.Errorf("no benchmark history found (run walberla-bench -fig phases or -fig resilience first)")
+	}
+	return nil
 }

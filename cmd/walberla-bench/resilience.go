@@ -1,8 +1,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
@@ -15,16 +18,167 @@ import (
 	"walberla/internal/sim"
 )
 
-// resilienceBench compares the two recovery modes of the fault-tolerant
+// resilienceFile is the benchmark's on-disk record; bench-resilience
+// appends one timestamped record per run, and -compare ratchets the
+// newest against the best earlier record of the same configuration.
+const resilienceFile = "BENCH_resilience.json"
+
+// resilienceResult is one recovery mode's measurement.
+type resilienceResult struct {
+	Mode          string  `json:"mode"`
+	RestoreMs     float64 `json:"restore_latency_ms_max"`
+	MTTRMs        float64 `json:"mttr_ms_max"`
+	Restores      int     `json:"restores"`
+	StepsReplayed int     `json:"steps_replayed_max"`
+	DiskReads     int     `json:"disk_reads_during_recovery"`
+	ReplicaBytes  int64   `json:"replica_bytes_rank_max"`
+	CheckpointKB  int64   `json:"checkpoint_kb_rank_max"`
+	WorldSize     int     `json:"final_world_size"`
+	WallSeconds   float64 `json:"wall_seconds"`
+}
+
+// resilienceRecord is one timestamped benchmark run.
+type resilienceRecord struct {
+	Time       string             `json:"time,omitempty"`
+	Ranks      int                `json:"ranks"`
+	Edge       int                `json:"cells_per_block_edge"`
+	Steps      int                `json:"steps"`
+	Interval   int                `json:"checkpoint_interval"`
+	CrashStep  int                `json:"crash_step"`
+	CrashRank  int                `json:"crash_rank"`
+	Modes      []resilienceResult `json:"modes"`
+	SpeedupVsD float64            `json:"buddy_restore_speedup_vs_disk"`
+}
+
+// resilienceHistory is the file layout: an append-only list of records.
+type resilienceHistory struct {
+	Records []resilienceRecord `json:"records"`
+}
+
+// loadResilienceHistory reads the benchmark history, accepting both the
+// current {"records": [...]} layout and the legacy single-record object
+// (which becomes the history's first, untimestamped record). A missing
+// file is an empty history.
+func loadResilienceHistory(path string) (*resilienceHistory, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &resilienceHistory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var h resilienceHistory
+	if err := json.Unmarshal(data, &h); err == nil && h.Records != nil {
+		return &h, nil
+	}
+	var legacy resilienceRecord
+	if err := json.Unmarshal(data, &legacy); err != nil || len(legacy.Modes) == 0 {
+		return nil, fmt.Errorf("%s: unrecognized format", path)
+	}
+	return &resilienceHistory{Records: []resilienceRecord{legacy}}, nil
+}
+
+// sameResilienceConfig reports whether two records measured the same
+// benchmark configuration.
+func sameResilienceConfig(a, b *resilienceRecord) bool {
+	return a.Ranks == b.Ranks && a.Edge == b.Edge && a.Steps == b.Steps &&
+		a.Interval == b.Interval && a.CrashStep == b.CrashStep && a.CrashRank == b.CrashRank
+}
+
+// compareResilience ratchets the newest record of BENCH_resilience.json
+// against the best earlier record of the same configuration: per recovery
+// mode, both the restore latency and the MTTR (recovery wall time per
+// restore) must stay within 1.5x + 1ms of the best (lowest) value ever
+// recorded — recovery windows are milliseconds, so a percentage gate
+// would trip on scheduler jitter; the multiplier still catches structural
+// regressions (an extra rendezvous, an accidental disk access) — and the
+// in-memory modes (buddy-shrink, spare-heal) must stay entirely disk-free
+// during recovery. It returns an error (nonzero exit) on any regression,
+// making `make bench-resilience` a recovery-latency regression gate.
+func compareResilience() error {
+	const (
+		factor  = 1.5 // allowed multiple of the best recorded latency
+		slackMs = 1.0 // absolute jitter allowance on top
+	)
+	allowed := func(best float64) float64 { return best*factor + slackMs }
+	h, err := loadResilienceHistory(resilienceFile)
+	if err != nil {
+		return err
+	}
+	if len(h.Records) == 0 {
+		return fmt.Errorf("%s: no records (run walberla-bench -fig resilience first)", resilienceFile)
+	}
+	cur := &h.Records[len(h.Records)-1]
+	type best struct{ restoreMs, mttrMs float64 }
+	baseline := map[string]best{}
+	for i := range h.Records[:len(h.Records)-1] {
+		r := &h.Records[i]
+		if !sameResilienceConfig(r, cur) {
+			continue
+		}
+		for _, m := range r.Modes {
+			b, ok := baseline[m.Mode]
+			if !ok {
+				b = best{restoreMs: m.RestoreMs, mttrMs: m.MTTRMs}
+			} else {
+				if m.RestoreMs < b.restoreMs {
+					b.restoreMs = m.RestoreMs
+				}
+				if m.MTTRMs < b.mttrMs {
+					b.mttrMs = m.MTTRMs
+				}
+			}
+			baseline[m.Mode] = b
+		}
+	}
+	var failures []string
+	for _, m := range cur.Modes {
+		// The in-memory recovery paths must never touch disk, baseline or not.
+		if (m.Mode == "buddy-shrink" || m.Mode == "spare-heal") && m.DiskReads != 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s performed %d disk reads during recovery, want 0", m.Mode, m.DiskReads))
+		}
+		b, ok := baseline[m.Mode]
+		if !ok {
+			fmt.Printf("%-12s restore %.3fms mttr %.3fms (no baseline)\n", m.Mode, m.RestoreMs, m.MTTRMs)
+			continue
+		}
+		status := "ok"
+		if b.restoreMs > 0 && m.RestoreMs > allowed(b.restoreMs) {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"%s restore latency %.3fms exceeds %.3fms (best baseline %.3fms)", m.Mode, m.RestoreMs, allowed(b.restoreMs), b.restoreMs))
+		}
+		if b.mttrMs > 0 && m.MTTRMs > allowed(b.mttrMs) {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"%s MTTR %.3fms exceeds %.3fms (best baseline %.3fms)", m.Mode, m.MTTRMs, allowed(b.mttrMs), b.mttrMs))
+		}
+		fmt.Printf("%-12s restore %.3fms (best %.3f) mttr %.3fms (best %.3f) %s\n",
+			m.Mode, m.RestoreMs, b.restoreMs, m.MTTRMs, b.mttrMs, status)
+	}
+	if len(baseline) == 0 {
+		fmt.Printf("%s: no earlier record matches the newest configuration; invariants only\n", resilienceFile)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("recovery latency regressed vs recorded baseline:\n  %s", joinLines(failures))
+	}
+	fmt.Println("no recovery regression vs recorded baseline")
+	return nil
+}
+
+// resilienceBench compares the recovery modes of the fault-tolerant
 // driver on the same failure: a lid-driven cavity over four ranks, one
 // rank crashed mid-run, protected at equal checkpoint intervals either by
-// disk checkpoint sets (rewind-and-replay) or by in-memory buddy replicas
-// (shrinking recovery). The headline number is the restore latency — from
-// the recovery rendezvous to the simulation stepping again — where the
-// buddy path wins by avoiding every disk access. Results go to stdout as
-// TSV and to BENCH_resilience.json.
+// disk checkpoint sets (rewind-and-replay), by in-memory buddy replicas
+// (shrinking recovery), or by buddy replicas plus a parked spare rank
+// that rejoins and re-grows the world to full size (healing recovery).
+// The headline numbers are the restore latency — from the recovery
+// rendezvous to the simulation stepping again — and the MTTR (total
+// recovery wall time per restore). Results go to stdout as TSV and are
+// appended as a timestamped record to BENCH_resilience.json.
 func resilienceBench() {
-	header("Resilience: buddy shrink vs disk rewind (restore latency)")
+	header("Resilience: buddy shrink vs disk rewind vs spare heal (restore latency, MTTR)")
 	steps, edge := 60, 16
 	if *quick {
 		steps, edge = 30, 8
@@ -36,18 +190,7 @@ func resilienceBench() {
 	)
 	crashStep := steps/2 + 1
 
-	type result struct {
-		Mode          string  `json:"mode"`
-		RestoreMs     float64 `json:"restore_latency_ms_max"`
-		Restores      int     `json:"restores"`
-		StepsReplayed int     `json:"steps_replayed_max"`
-		DiskReads     int     `json:"disk_reads_during_recovery"`
-		ReplicaBytes  int64   `json:"replica_bytes_rank_max"`
-		CheckpointKB  int64   `json:"checkpoint_kb_rank_max"`
-		WallSeconds   float64 `json:"wall_seconds"`
-	}
-
-	runMode := func(name string, mode sim.RecoveryMode, dir string) result {
+	runMode := func(name string, mode sim.RecoveryMode, dir string) resilienceResult {
 		forest := blockforest.NewSetupForest(
 			blockforest.NewAABB([3]float64{0, 0, 0}, [3]float64{1, 1, 1}),
 			[3]int{2, 2, 1}, [3]int{edge, edge, edge}, [3]bool{})
@@ -57,48 +200,86 @@ func resilienceBench() {
 			Boundary:   boundary.Config{WallVelocity: [3]float64{0.05, 0, 0}},
 			SetupFlags: core.CavityFlags,
 		}
-		res := result{Mode: name}
+		rc := sim.ResilienceConfig{
+			CheckpointEvery: interval,
+			Dir:             dir,
+			Mode:            mode,
+			MaxFailures:     4,
+			BackoffBase:     time.Millisecond,
+			BackoffMax:      time.Millisecond,
+		}
+		spares := 0
+		if mode == sim.RecoverHeal {
+			spares = 1
+		}
+		res := resilienceResult{Mode: name}
 		var mu sync.Mutex
 		start := time.Now()
 		opts := comm.Options{Faults: &comm.FaultPlan{
 			Seed:    17,
 			Crashes: []comm.CrashSpec{{Rank: victim, Step: crashStep}},
 		}}
-		comm.RunWithOptions(ranks, opts, func(c *comm.Comm) {
-			var in *blockforest.SetupForest
-			if c.Rank() == 0 {
-				in = forest
-			}
-			bf, err := blockforest.Distribute(c, in)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "resilience bench:", err)
-				os.Exit(1)
-			}
-			s, err := sim.New(c, bf, cfg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "resilience bench:", err)
-				os.Exit(1)
-			}
-			m, err := s.RunResilient(steps, sim.ResilienceConfig{
-				CheckpointEvery: interval,
-				Dir:             dir,
-				Mode:            mode,
-				MaxFailures:     4,
-				BackoffBase:     time.Millisecond,
-				BackoffMax:      time.Millisecond,
-			})
-			if err == sim.ErrRetired {
-				return
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "resilience bench:", err)
-				os.Exit(1)
+		comm.RunWithOptions(ranks+spares, opts, func(c *comm.Comm) {
+			var s *sim.Simulation
+			var m sim.Metrics
+			if spares > 0 && c.WorldRank() >= ranks {
+				headerBF := &blockforest.BlockForest{
+					Domain:        forest.Domain,
+					GridSize:      forest.GridSize,
+					CellsPerBlock: forest.CellsPerBlock,
+				}
+				var joined bool
+				var err error
+				s, m, joined, err = sim.RunSpareCtx(context.Background(), c, ranks, headerBF, cfg, steps, rc)
+				if !joined {
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "resilience bench:", err)
+						os.Exit(1)
+					}
+					return
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "resilience bench:", err)
+					os.Exit(1)
+				}
+			} else {
+				ac := c
+				if spares > 0 {
+					ac = c.GrowWorld(ranks)
+				}
+				var in *blockforest.SetupForest
+				if ac.Rank() == 0 {
+					in = forest
+				}
+				bf, err := blockforest.Distribute(ac, in)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "resilience bench:", err)
+					os.Exit(1)
+				}
+				s, err = sim.New(ac, bf, cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "resilience bench:", err)
+					os.Exit(1)
+				}
+				m, err = s.RunResilient(steps, rc)
+				if err == sim.ErrRetired {
+					return
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "resilience bench:", err)
+					os.Exit(1)
+				}
 			}
 			r := m.Recovery
 			mu.Lock()
 			defer mu.Unlock()
 			if ms := float64(r.RestoreLatency) / float64(time.Millisecond); ms > res.RestoreMs {
 				res.RestoreMs = ms
+			}
+			if r.Restores > 0 {
+				if ms := float64(r.TimeLost) / float64(time.Millisecond) / float64(r.Restores); ms > res.MTTRMs {
+					res.MTTRMs = ms
+				}
 			}
 			if r.Restores > res.Restores {
 				res.Restores = r.Restores
@@ -112,6 +293,9 @@ func resilienceBench() {
 			}
 			if kb := r.CheckpointBytes / 1024; kb > res.CheckpointKB {
 				res.CheckpointKB = kb
+			}
+			if sz := s.Comm.Size(); sz > res.WorldSize {
+				res.WorldSize = sz
 			}
 		})
 		res.WallSeconds = time.Since(start).Seconds()
@@ -129,7 +313,7 @@ func resilienceBench() {
 	// a loaded host a single trial can land a GC cycle inside the recovery
 	// window of either mode.
 	const trials = 3
-	best := func(name string, mode sim.RecoveryMode, dir string) result {
+	best := func(name string, mode sim.RecoveryMode, dir string) resilienceResult {
 		trialDir := func(t int) string {
 			if dir == "" {
 				return ""
@@ -154,37 +338,44 @@ func resilienceBench() {
 
 	fmt.Printf("# cavity: ranks=%d grid=2x2x1 cells=%d^3 steps=%d interval=%d crash=rank %d@step %d trials=%d (best)\n",
 		ranks, edge, steps, interval, victim, crashStep, trials)
-	fmt.Println("mode\trestore_ms(max)\trestores\treplayed\tdisk_reads\twall_s")
+	fmt.Println("mode\trestore_ms(max)\tmttr_ms(max)\trestores\treplayed\tdisk_reads\tworld\twall_s")
 	rewind := best("disk-rewind", sim.RecoverRewind, diskDir)
 	buddy := best("buddy-shrink", sim.RecoverShrink, "")
-	for _, r := range []result{rewind, buddy} {
-		fmt.Printf("%s\t%.3f\t%d\t%d\t%d\t%.3f\n",
-			r.Mode, r.RestoreMs, r.Restores, r.StepsReplayed, r.DiskReads, r.WallSeconds)
+	heal := best("spare-heal", sim.RecoverHeal, "")
+	modes := []resilienceResult{rewind, buddy, heal}
+	for _, r := range modes {
+		fmt.Printf("%s\t%.3f\t%.3f\t%d\t%d\t%d\t%d\t%.3f\n",
+			r.Mode, r.RestoreMs, r.MTTRMs, r.Restores, r.StepsReplayed, r.DiskReads, r.WorldSize, r.WallSeconds)
 	}
 	speedup := 0.0
 	if buddy.RestoreMs > 0 {
 		speedup = rewind.RestoreMs / buddy.RestoreMs
 	}
-	fmt.Printf("buddy restore latency advantage: %.1fx (buddy disk reads: %d)\n", speedup, buddy.DiskReads)
+	fmt.Printf("buddy restore latency advantage: %.1fx (buddy disk reads: %d); heal resumes at %d ranks\n",
+		speedup, buddy.DiskReads, heal.WorldSize)
 
-	out := struct {
-		Ranks      int      `json:"ranks"`
-		Edge       int      `json:"cells_per_block_edge"`
-		Steps      int      `json:"steps"`
-		Interval   int      `json:"checkpoint_interval"`
-		CrashStep  int      `json:"crash_step"`
-		CrashRank  int      `json:"crash_rank"`
-		Modes      []result `json:"modes"`
-		SpeedupVsD float64  `json:"buddy_restore_speedup_vs_disk"`
-	}{ranks, edge, steps, interval, crashStep, victim, []result{rewind, buddy}, speedup}
-	data, err := json.MarshalIndent(out, "", "  ")
+	// Append this run as a timestamped record; earlier records (including
+	// legacy single-record files) are preserved so -compare can ratchet
+	// against the best recorded baseline.
+	h, err := loadResilienceHistory(resilienceFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "resilience bench:", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile("BENCH_resilience.json", append(data, '\n'), 0o644); err != nil {
+	h.Records = append(h.Records, resilienceRecord{
+		Time:  time.Now().UTC().Format(time.RFC3339),
+		Ranks: ranks, Edge: edge, Steps: steps, Interval: interval,
+		CrashStep: crashStep, CrashRank: victim,
+		Modes: modes, SpeedupVsD: speedup,
+	})
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "resilience bench:", err)
 		os.Exit(1)
 	}
-	fmt.Println("wrote BENCH_resilience.json")
+	if err := os.WriteFile(resilienceFile, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "resilience bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended record %d to %s\n", len(h.Records), resilienceFile)
 }

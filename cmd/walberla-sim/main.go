@@ -50,6 +50,7 @@ func main() {
 		cells      = flag.Int("cells", 16, "cells per block edge (when building the forest here)")
 		dx         = flag.Float64("dx", 0, "lattice spacing (when building the forest here)")
 		ranks      = flag.Int("ranks", 4, "number of SPMD ranks")
+		spares     = flag.Int("spares", 0, "spare ranks parked beside the active world for heal-mode recovery: a failure recruits one, its buddy streams the dead rank's state over, and the run resumes at full size (-recover-mode heal)")
 		steps      = flag.Int("steps", 200, "time steps")
 		kernel     = flag.String("kernel", "auto", "compute kernel: auto (per-block selection), generic, split, sparse, or an exact kernel name")
 		layout     = flag.String("layout", "auto", "PDF memory layout: auto, aos or soa (bit-identical fields either way)")
@@ -73,7 +74,7 @@ func main() {
 		checkpointEvery = flag.Int("checkpoint-every", 0, "run the fault-tolerant driver, taking a coordinated checkpoint set every N steps (0 = off)")
 		checkpointSets  = flag.String("checkpoint-sets", "checkpoint-sets", "directory for coordinated checkpoint sets (with -checkpoint-every)")
 		injectFault     = flag.String("inject-fault", "", `deterministic fault plan, e.g. "crash=1@40,hang=2@80,drop=0.001,delay=0.01:2ms,seed=7"`)
-		recoverMode     = flag.String("recover-mode", "rewind", "recovery after a rank failure: rewind (disk checkpoint sets) or shrink (in-memory buddy replicas, survivors adopt the dead rank's blocks)")
+		recoverMode     = flag.String("recover-mode", "rewind", "recovery after a rank failure: rewind (disk checkpoint sets), shrink (in-memory buddy replicas, survivors adopt the dead rank's blocks) or heal (shrink, then a spare rank rejoins and the world re-grows to full size; see -spares)")
 		failTimeout     = flag.Duration("fail-timeout", 0, "declare a rank failed when a receive from it exceeds this deadline (0 = no silent-failure detection)")
 		maxFailures     = flag.Int("max-failures", -1, "abort after this many rank failures (-1 = default of 8, 0 = abort on the first failure)")
 	)
@@ -89,8 +90,17 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("-inject-fault: %w", err))
 	}
+	if *spares > 0 {
+		if *recoverMode != "heal" {
+			fatal(fmt.Errorf("-spares needs -recover-mode heal (got %q)", *recoverMode))
+		}
+		if *checkpointEvery <= 0 {
+			fatal(fmt.Errorf("-spares needs -checkpoint-every > 0 (the heal driver runs under the fault-tolerant loop)"))
+		}
+	}
 	if faults != nil {
-		if err := faults.Validate(*ranks); err != nil {
+		// Fault targets may name spare ranks too: the world is ranks+spares.
+		if err := faults.Validate(*ranks + *spares); err != nil {
 			fatal(fmt.Errorf("-inject-fault: %w", err))
 		}
 	}
@@ -108,8 +118,8 @@ func main() {
 		netOpts = &comm.NetOptions{Network: *transport, HeartbeatEvery: *heartbeat}
 		if *transAddrs != "" {
 			netOpts.Addrs = strings.Split(*transAddrs, ",")
-			if len(netOpts.Addrs) != *ranks {
-				fatal(fmt.Errorf("-transport-addrs: %d addresses for %d ranks", len(netOpts.Addrs), *ranks))
+			if len(netOpts.Addrs) != *ranks+*spares {
+				fatal(fmt.Errorf("-transport-addrs: %d addresses for %d ranks (+%d spares)", len(netOpts.Addrs), *ranks, *spares))
 			}
 		}
 	default:
@@ -122,8 +132,10 @@ func main() {
 		mode = sim.RecoverRewind
 	case "shrink":
 		mode = sim.RecoverShrink
+	case "heal":
+		mode = sim.RecoverHeal
 	default:
-		fatal(fmt.Errorf("-recover-mode: unknown mode %q (want rewind or shrink)", *recoverMode))
+		fatal(fmt.Errorf("-recover-mode: unknown mode %q (want rewind, shrink or heal)", *recoverMode))
 	}
 
 	var machine *perfmodel.Machine
@@ -170,6 +182,8 @@ func main() {
 				sc.Run.Steps = *steps
 			case "ranks":
 				sc.Parallel.Ranks = *ranks
+			case "spares":
+				sc.Parallel.Spares = *spares
 			case "workers":
 				sc.Parallel.Workers = *workers
 			case "exchange":
@@ -319,62 +333,40 @@ func main() {
 	var interruptedAt int
 	var roofline telemetry.RooflineReport
 	regs := map[int]*telemetry.Registry{}
-	comm.RunWithOptions(*ranks, comm.Options{Faults: faults, FailTimeout: *failTimeout, Net: netOpts}, func(c *comm.Comm) {
-		var in *blockforest.SetupForest
-		if c.Rank() == 0 {
-			in = forest
-		}
-		bf, err := blockforest.Distribute(c, in)
-		if err != nil {
-			fatal(err)
-		}
+	rc := sim.ResilienceConfig{
+		CheckpointEvery: *checkpointEvery,
+		Dir:             *checkpointSets,
+		Mode:            mode,
+		MaxFailures:     *maxFailures,
+	}
+	comm.RunWithOptions(*ranks+*spares, comm.Options{Faults: faults, FailTimeout: *failTimeout, Net: netOpts}, func(c *comm.Comm) {
 		rcfg := cfg
 		if telemetryOn {
 			reg := telemetry.NewRegistry()
-			rcfg.Tracer = trace.NewTracer(c.Rank(), *workers, 0) // nil trace → untraced
+			rcfg.Tracer = trace.NewTracer(c.WorldRank(), *workers, 0) // nil trace → untraced
 			rcfg.Metrics = reg
-			server.Register(c.Rank(), reg)
+			server.Register(c.WorldRank(), reg)
 			mu.Lock()
-			regs[c.Rank()] = reg
+			regs[c.WorldRank()] = reg
 			mu.Unlock()
 		}
-		s, err := sim.New(c, bf, rcfg)
-		if err != nil {
-			fatal(err)
-		}
-		if *resumeDir != "" {
-			restored := 0
-			for _, bd := range s.Blocks {
-				name := fmt.Sprintf("block_%d_%d_%d.wbc",
-					bd.Block.Coord[0], bd.Block.Coord[1], bd.Block.Coord[2])
-				fh, err := os.Open(filepath.Join(*resumeDir, name))
-				if err != nil {
-					continue // no checkpoint for this block: keep initial state
-				}
-				err = output.RestorePDF(fh, bd.Src)
-				fh.Close()
+		var s *sim.Simulation
+		var m sim.Metrics
+		var err error
+		interrupted := false
+		if *spares > 0 && c.WorldRank() >= *ranks {
+			// Spare rank: park until a failure recruits it (or the run ends).
+			header := &blockforest.BlockForest{
+				Domain:        forest.Domain,
+				GridSize:      forest.GridSize,
+				CellsPerBlock: forest.CellsPerBlock,
+			}
+			var joined bool
+			s, m, joined, err = sim.RunSpareCtx(ctx, c, *ranks, header, rcfg, *steps, rc)
+			if !joined {
 				if err != nil {
 					fatal(err)
 				}
-				restored++
-			}
-			if restored > 0 && c.Rank() == 0 {
-				fmt.Printf("rank 0 restored %d block checkpoints from %s\n", restored, *resumeDir)
-			}
-		}
-		var m sim.Metrics
-		interrupted := false
-		if resilient {
-			m, err = s.RunResilientCtx(ctx, *steps, sim.ResilienceConfig{
-				CheckpointEvery: *checkpointEvery,
-				Dir:             *checkpointSets,
-				Mode:            mode,
-				MaxFailures:     *maxFailures,
-			})
-			if err == sim.ErrRetired {
-				// This rank failed permanently under shrinking recovery:
-				// the survivors carry its blocks (and its output) on.
-				fmt.Printf("rank %d retired; its blocks were adopted by the surviving ranks\n", c.Rank())
 				return
 			}
 			if errors.Is(err, sim.ErrInterrupted) {
@@ -382,39 +374,97 @@ func main() {
 			} else if err != nil {
 				fatal(err)
 			}
-		} else if *rebalance > 0 {
-			remaining := *steps
-			for remaining > 0 && !interrupted {
-				chunk := *rebalance
-				if chunk > remaining {
-					chunk = remaining
-				}
-				m, err = s.RunCtx(ctx, chunk)
-				if errors.Is(err, sim.ErrInterrupted) {
-					interrupted = true
-					break
-				}
-				if err != nil {
-					fatal(err)
-				}
-				remaining -= chunk
-				if remaining > 0 {
-					if err := s.RebalanceByWorkload(true); err != nil {
+		} else {
+			// Active rank: with spares parked, the simulation runs on the
+			// world's leading sub-communicator.
+			ac := c
+			if *spares > 0 {
+				ac = c.GrowWorld(*ranks)
+			}
+			var in *blockforest.SetupForest
+			if ac.Rank() == 0 {
+				in = forest
+			}
+			bf, err2 := blockforest.Distribute(ac, in)
+			if err2 != nil {
+				fatal(err2)
+			}
+			s, err = sim.New(ac, bf, rcfg)
+			if err != nil {
+				fatal(err)
+			}
+			if *resumeDir != "" {
+				restored := 0
+				for _, bd := range s.Blocks {
+					name := fmt.Sprintf("block_%d_%d_%d.wbc",
+						bd.Block.Coord[0], bd.Block.Coord[1], bd.Block.Coord[2])
+					fh, err := os.Open(filepath.Join(*resumeDir, name))
+					if err != nil {
+						continue // no checkpoint for this block: keep initial state
+					}
+					err = output.RestorePDF(fh, bd.Src)
+					fh.Close()
+					if err != nil {
 						fatal(err)
 					}
-					// RankLoad is collective: every rank participates.
-					_, maxLoad, total := s.RankLoad()
-					if c.Rank() == 0 {
-						fmt.Printf("rebalanced: max rank load %d of %d fluid cells\n", maxLoad, total)
-					}
+					restored++
+				}
+				if restored > 0 && ac.Rank() == 0 {
+					fmt.Printf("rank 0 restored %d block checkpoints from %s\n", restored, *resumeDir)
 				}
 			}
-		} else {
-			m, err = s.RunCtx(ctx, *steps)
-			if errors.Is(err, sim.ErrInterrupted) {
-				interrupted = true
-			} else if err != nil {
-				fatal(err)
+			if resilient {
+				m, err = s.RunResilientCtx(ctx, *steps, rc)
+				if err == sim.ErrRetired {
+					// This rank failed permanently: under shrink the
+					// survivors carry its blocks on; under heal a spare has
+					// (or will have) taken its place.
+					if mode == sim.RecoverHeal {
+						fmt.Printf("rank %d retired; a spare rank adopted its blocks and the world re-grew\n", c.WorldRank())
+					} else {
+						fmt.Printf("rank %d retired; its blocks were adopted by the surviving ranks\n", c.WorldRank())
+					}
+					return
+				}
+				if errors.Is(err, sim.ErrInterrupted) {
+					interrupted = true
+				} else if err != nil {
+					fatal(err)
+				}
+			} else if *rebalance > 0 {
+				remaining := *steps
+				for remaining > 0 && !interrupted {
+					chunk := *rebalance
+					if chunk > remaining {
+						chunk = remaining
+					}
+					m, err = s.RunCtx(ctx, chunk)
+					if errors.Is(err, sim.ErrInterrupted) {
+						interrupted = true
+						break
+					}
+					if err != nil {
+						fatal(err)
+					}
+					remaining -= chunk
+					if remaining > 0 {
+						if err := s.RebalanceByWorkload(true); err != nil {
+							fatal(err)
+						}
+						// RankLoad is collective: every rank participates.
+						_, maxLoad, total := s.RankLoad()
+						if c.Rank() == 0 {
+							fmt.Printf("rebalanced: max rank load %d of %d fluid cells\n", maxLoad, total)
+						}
+					}
+				}
+			} else {
+				m, err = s.RunCtx(ctx, *steps)
+				if errors.Is(err, sim.ErrInterrupted) {
+					interrupted = true
+				} else if err != nil {
+					fatal(err)
+				}
 			}
 		}
 		hash, err := s.FieldHash()
@@ -428,7 +478,9 @@ func main() {
 		report.Publish(rcfg.Metrics)
 		mu.Lock()
 		defer mu.Unlock()
-		if c.Rank() == 0 {
+		// Recovery may have renumbered the communicator (shrink) or swapped
+		// members in (heal): the rank holding rank 0 NOW reports the result.
+		if s.Comm.Rank() == 0 {
 			metrics = m
 			overlap = s.Overlap()
 			frontier, interior = s.BlockSplit()

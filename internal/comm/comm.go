@@ -337,6 +337,9 @@ type world struct {
 	recCount, recGen int
 	dead             []bool
 	deadCount        int
+	// sparesReleased, once set, terminally releases every parked spare
+	// rank (see grow.go); guarded by recMu.
+	sparesReleased bool
 }
 
 // failErr returns the declared failure of the current epoch, if any.
@@ -359,6 +362,11 @@ func (w *world) declareFailure(f *RankFailedError) {
 			// ring backpressure); wake them too.
 			w.transport.onFailure()
 		}
+		// Parked spares wait on the recovery condition (see grow.go); wake
+		// them so they join the rendezvous.
+		w.recMu.Lock()
+		w.recCond.Broadcast()
+		w.recMu.Unlock()
 	}
 }
 

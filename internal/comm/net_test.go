@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"walberla/internal/testutil"
 )
 
 // fastNet returns socket-transport options tuned for tests: aggressive
@@ -17,6 +19,7 @@ func fastNet() *NetOptions {
 // TestNetTransportRing pushes typed float64 traffic around a ring over
 // unix sockets and checks values, transport identity and frame counters.
 func TestNetTransportRing(t *testing.T) {
+	testutil.CheckLeaks(t)
 	const n, steps = 4, 50
 	RunWithOptions(n, Options{Net: fastNet()}, func(c *Comm) {
 		if got := c.TransportName(); got != "unix" {
@@ -66,6 +69,7 @@ func TestNetTransportRing(t *testing.T) {
 // TestNetTransportTCP runs the same communicator semantics over loopback
 // TCP instead of unix sockets.
 func TestNetTransportTCP(t *testing.T) {
+	testutil.CheckLeaks(t)
 	RunWithOptions(3, Options{Net: &NetOptions{Network: "tcp", HeartbeatEvery: 2 * time.Millisecond}}, func(c *Comm) {
 		if got := c.TransportName(); got != "tcp" {
 			t.Errorf("TransportName = %q, want tcp", got)
@@ -234,6 +238,7 @@ func TestNetTransportCorruptionAbsorbed(t *testing.T) {
 // refuses the first reconnect attempts, exercising the capped-backoff
 // redial path end to end.
 func TestNetTransportSeverAndRefusal(t *testing.T) {
+	testutil.CheckLeaks(t)
 	plan := &NetFaultPlan{
 		Seed:     3,
 		Severs:   []SeverSpec{{From: 0, To: 1, AtFrame: 5}, {From: 1, To: 0, AtFrame: 11}},
@@ -280,6 +285,7 @@ func TestNetTransportDelay(t *testing.T) {
 // FailTimeout, surfacing the typed timeout-cause RankFailedError on the
 // survivors.
 func TestNetTransportBlackHoleAccusation(t *testing.T) {
+	testutil.CheckLeaks(t)
 	const n = 3
 	const failTimeout = 300 * time.Millisecond
 	opts := fastNet()
@@ -336,6 +342,7 @@ func TestNetTransportBlackHoleAccusation(t *testing.T) {
 // survivors mark a silent rank dead, its connections close permanently
 // and the surviving pair keeps communicating over its own link.
 func TestNetTransportMarkDeadStopsReconnects(t *testing.T) {
+	testutil.CheckLeaks(t)
 	const n = 3
 	opts := fastNet()
 	opts.Faults = &NetFaultPlan{BlackHoles: []HoleSpec{{Rank: 2, AfterFrames: 0}}}
@@ -446,6 +453,7 @@ func TestNetStatsInproc(t *testing.T) {
 // TestNetTransportManyRanks smoke-tests a wider world (one listener and
 // n-1 connections per rank) with an alltoall.
 func TestNetTransportManyRanks(t *testing.T) {
+	testutil.CheckLeaks(t)
 	const n = 7
 	RunWithOptions(n, Options{Net: fastNet()}, func(c *Comm) {
 		bufs := make([]any, n)

@@ -75,41 +75,71 @@ func Execute(ctx context.Context, sc *Scenario, opts ExecuteOptions) (Result, er
 		}
 		mu.Unlock()
 	}
-	comm.RunWithOptions(sc.Parallel.Ranks, sc.CommOptions(), func(c *comm.Comm) {
-		var in *blockforest.SetupForest
-		if c.Rank() == 0 {
-			in = forest
-		}
-		bf, err := blockforest.Distribute(c, in)
-		if err != nil {
-			fail(err)
-			return
-		}
+	// Heal mode parks parallel.spares extra ranks alongside the active
+	// world; they join via the spare driver when a failure recruits them.
+	active := sc.Parallel.Ranks
+	spares := 0
+	if resilient && rc.Mode == sim.RecoverHeal {
+		spares = sc.Parallel.Spares
+	}
+	comm.RunWithOptions(active+spares, sc.CommOptions(), func(c *comm.Comm) {
 		cfg := p.SimConfig()
 		if opts.TelemetryFor != nil {
-			cfg.Tracer, cfg.Metrics = opts.TelemetryFor(c.Rank())
+			cfg.Tracer, cfg.Metrics = opts.TelemetryFor(c.WorldRank())
 		}
-		s, err := sim.New(c, bf, cfg)
-		if err != nil {
-			fail(err)
-			return
-		}
+		var s *sim.Simulation
 		var m sim.Metrics
-		interrupted := false
-		switch {
-		case resilient:
-			m, err = s.RunResilientCtx(ctx, sc.Run.Steps, rc)
-		case sc.Run.RebalanceEvery > 0:
-			m, err = runRebalanced(ctx, s, sc.Run.Steps, sc.Run.RebalanceEvery)
-		default:
-			m, err = s.RunCtx(ctx, sc.Run.Steps)
+		var err error
+		if spares > 0 && c.WorldRank() >= active {
+			header := &blockforest.BlockForest{
+				Domain:        forest.Domain,
+				GridSize:      forest.GridSize,
+				CellsPerBlock: forest.CellsPerBlock,
+			}
+			var joined bool
+			s, m, joined, err = sim.RunSpareCtx(ctx, c, active, header, cfg, sc.Run.Steps, rc)
+			if !joined {
+				// The run ended without needing this spare.
+				if err != nil {
+					fail(err)
+				}
+				return
+			}
+		} else {
+			ac := c
+			if spares > 0 {
+				ac = c.GrowWorld(active)
+			}
+			var in *blockforest.SetupForest
+			if ac.Rank() == 0 {
+				in = forest
+			}
+			bf, derr := blockforest.Distribute(ac, in)
+			if derr != nil {
+				fail(derr)
+				return
+			}
+			s, err = sim.New(ac, bf, cfg)
+			if err != nil {
+				fail(err)
+				return
+			}
+			switch {
+			case resilient:
+				m, err = s.RunResilientCtx(ctx, sc.Run.Steps, rc)
+			case sc.Run.RebalanceEvery > 0:
+				m, err = runRebalanced(ctx, s, sc.Run.Steps, sc.Run.RebalanceEvery)
+			default:
+				m, err = s.RunCtx(ctx, sc.Run.Steps)
+			}
 		}
+		interrupted := false
 		switch {
 		case errors.Is(err, sim.ErrInterrupted):
 			interrupted = true
 		case errors.Is(err, sim.ErrRetired):
-			// This rank failed permanently under shrinking recovery; the
-			// survivors carry its blocks (and the result) on.
+			// This rank failed permanently under shrinking/healing recovery;
+			// the survivors carry its blocks (and the result) on.
 			return
 		case err != nil:
 			fail(err)
@@ -127,9 +157,11 @@ func Execute(ctx context.Context, sc *Scenario, opts ExecuteOptions) (Result, er
 			}
 		}
 		if opts.Each != nil {
-			opts.Each(c, s)
+			opts.Each(s.Comm, s)
 		}
-		if c.Rank() == 0 {
+		// Recovery may have renumbered the communicator (shrink) or swapped
+		// members in (heal): the rank holding rank 0 NOW reports the result.
+		if s.Comm.Rank() == 0 {
 			mu.Lock()
 			res = Result{Metrics: m, Hash: hash, Steps: s.Steps(), Interrupted: interrupted}
 			mu.Unlock()

@@ -48,6 +48,7 @@ type Scenario struct {
 	Parallel   Parallel   `json:"parallel"`
 	Transport  Transport  `json:"transport"`
 	Resilience Resilience `json:"resilience"`
+	Faults     Faults     `json:"faults"`
 	Telemetry  Telemetry  `json:"telemetry"`
 	Run        RunSpec    `json:"run"`
 }
@@ -135,6 +136,10 @@ type Parallel struct {
 	Workers int `json:"workers,omitempty"`
 	// Exchange is "aggregated" (default) or "per-pair".
 	Exchange string `json:"exchange,omitempty"`
+	// Spares parks this many extra ranks alongside the active world; heal
+	// recovery recruits them to replace permanently failed ranks (needs
+	// resilience.mode "heal").
+	Spares int `json:"spares,omitempty"`
 }
 
 // Transport selects the rank interconnect.
@@ -155,8 +160,9 @@ type Resilience struct {
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 	// Dir is the checkpoint set directory (required when checkpointing).
 	Dir string `json:"dir,omitempty"`
-	// Mode is "rewind" (default; disk checkpoint sets) or "shrink"
-	// (in-memory buddy replicas, survivors adopt a dead rank's blocks).
+	// Mode is "rewind" (default; disk checkpoint sets), "shrink"
+	// (in-memory buddy replicas, survivors adopt a dead rank's blocks) or
+	// "heal" (shrink, then recruit a parked spare back to full world size).
 	Mode string `json:"mode,omitempty"`
 	// MaxFailures aborts after this many rank failures; nil means the
 	// driver default, explicit 0 aborts on the first failure.
@@ -165,6 +171,31 @@ type Resilience struct {
 	// this deadline (silent-failure detection); zero disables it.
 	FailTimeout Duration `json:"fail_timeout,omitempty"`
 }
+
+// Faults is a deterministic fault-injection schedule: the named ranks
+// crash (declared failure) or hang (silent, needs resilience.fail_timeout
+// to be detected) at the given steps. The schedule describes one world
+// incarnation — a respawned serve session runs clean — and exists so
+// recovery behavior is reproducible from a scenario file alone.
+type Faults struct {
+	// Seed perturbs fault timing deterministically; default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Crashes kill the named ranks at the named steps, declaring the
+	// failure to the survivors.
+	Crashes []FaultEvent `json:"crashes,omitempty"`
+	// Hangs stop the named ranks silently; detection relies on
+	// resilience.fail_timeout.
+	Hangs []FaultEvent `json:"hangs,omitempty"`
+}
+
+// FaultEvent pins one injected fault to a world rank and a step.
+type FaultEvent struct {
+	Rank int `json:"rank"`
+	Step int `json:"step"`
+}
+
+// empty reports whether the schedule injects nothing.
+func (f *Faults) empty() bool { return len(f.Crashes) == 0 && len(f.Hangs) == 0 }
 
 // Telemetry opts the run into span tracing and the metrics registry.
 type Telemetry struct {
@@ -361,12 +392,45 @@ func (sc *Scenario) Validate() error {
 	switch sc.Resilience.Mode {
 	case "":
 		sc.Resilience.Mode = "rewind"
-	case "rewind", "shrink":
+	case "rewind", "shrink", "heal":
 	default:
-		return fmt.Errorf("scenario: unknown resilience.mode %q (want rewind or shrink)", sc.Resilience.Mode)
+		return fmt.Errorf("scenario: unknown resilience.mode %q (want rewind, shrink or heal)", sc.Resilience.Mode)
 	}
 	if sc.Resilience.CheckpointEvery > 0 && sc.Resilience.Mode == "rewind" && sc.Resilience.Dir == "" {
 		return fmt.Errorf("scenario: resilience.dir is required for rewind checkpointing")
+	}
+	if sc.Parallel.Spares < 0 {
+		return fmt.Errorf("scenario: parallel.spares must be non-negative, got %d", sc.Parallel.Spares)
+	}
+	if sc.Parallel.Spares > 0 {
+		if sc.Resilience.Mode != "heal" {
+			return fmt.Errorf("scenario: parallel.spares needs resilience.mode \"heal\", got %q", sc.Resilience.Mode)
+		}
+		if sc.Resilience.CheckpointEvery <= 0 {
+			return fmt.Errorf("scenario: parallel.spares needs resilience.checkpoint_every > 0")
+		}
+	}
+	if !sc.Faults.empty() {
+		world := sc.Parallel.Ranks + sc.Parallel.Spares
+		for _, kind := range []struct {
+			name   string
+			events []FaultEvent
+		}{{"crashes", sc.Faults.Crashes}, {"hangs", sc.Faults.Hangs}} {
+			for _, ev := range kind.events {
+				if ev.Rank < 0 || ev.Rank >= world {
+					return fmt.Errorf("scenario: faults.%s rank %d out of range [0, %d)", kind.name, ev.Rank, world)
+				}
+				if ev.Step < 1 || ev.Step > sc.Run.Steps {
+					return fmt.Errorf("scenario: faults.%s step %d out of range [1, %d]", kind.name, ev.Step, sc.Run.Steps)
+				}
+			}
+		}
+		if sc.Resilience.CheckpointEvery <= 0 {
+			return fmt.Errorf("scenario: a faults schedule needs the fault-tolerant driver (resilience.checkpoint_every > 0)")
+		}
+		if len(sc.Faults.Hangs) > 0 && sc.Resilience.FailTimeout <= 0 {
+			return fmt.Errorf("scenario: faults.hangs need resilience.fail_timeout > 0 (silent-failure detection)")
+		}
 	}
 	if sc.Run.Steps <= 0 {
 		return fmt.Errorf("scenario: run.steps must be positive, got %d", sc.Run.Steps)
@@ -474,7 +538,8 @@ func (sc *Scenario) Problem() (*core.Problem, error) {
 	return p, nil
 }
 
-// CommOptions assembles the communicator options of the scenario.
+// CommOptions assembles the communicator options of the scenario,
+// including its deterministic fault schedule (if any).
 func (sc *Scenario) CommOptions() comm.Options {
 	opts := comm.Options{FailTimeout: time.Duration(sc.Resilience.FailTimeout)}
 	switch sc.Transport.Network {
@@ -484,6 +549,19 @@ func (sc *Scenario) CommOptions() comm.Options {
 			Addrs:          sc.Transport.Addrs,
 			HeartbeatEvery: time.Duration(sc.Transport.Heartbeat),
 		}
+	}
+	if !sc.Faults.empty() {
+		plan := &comm.FaultPlan{Seed: sc.Faults.Seed}
+		if plan.Seed == 0 {
+			plan.Seed = 1
+		}
+		for _, ev := range sc.Faults.Crashes {
+			plan.Crashes = append(plan.Crashes, comm.CrashSpec{Rank: ev.Rank, Step: ev.Step})
+		}
+		for _, ev := range sc.Faults.Hangs {
+			plan.Hangs = append(plan.Hangs, comm.CrashSpec{Rank: ev.Rank, Step: ev.Step})
+		}
+		opts.Faults = plan
 	}
 	return opts
 }
@@ -499,8 +577,11 @@ func (sc *Scenario) Resilient() (sim.ResilienceConfig, bool) {
 		Dir:             sc.Resilience.Dir,
 		MaxFailures:     -1,
 	}
-	if sc.Resilience.Mode == "shrink" {
+	switch sc.Resilience.Mode {
+	case "shrink":
 		rc.Mode = sim.RecoverShrink
+	case "heal":
+		rc.Mode = sim.RecoverHeal
 	}
 	if sc.Resilience.MaxFailures != nil {
 		rc.MaxFailures = *sc.Resilience.MaxFailures

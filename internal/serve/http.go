@@ -22,7 +22,7 @@ import (
 //	POST   /v1/sessions/{id}/suspend   spill to a checkpoint set
 //	POST   /v1/sessions/{id}/resume    revive bit-identically
 //	DELETE /v1/sessions/{id}         destroy
-//	GET    /v1/healthz               liveness
+//	GET    /v1/healthz               liveness + per-session health counts
 //
 // When the server was built with a MetricsServer, its /metrics endpoints
 // are mounted on the same mux.
@@ -74,7 +74,7 @@ func Handler(s *Server) http.Handler {
 		writeJSON(w, 200, map[string]any{"destroyed": true})
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, 200, map[string]any{"ok": true})
+		writeJSON(w, 200, s.Health())
 	})
 	if s.cfg.Metrics != nil {
 		mux.Handle("/metrics", s.cfg.Metrics)

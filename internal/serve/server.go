@@ -172,6 +172,33 @@ func (s *Server) List() []Info {
 	return infos
 }
 
+// HealthSummary aggregates the resilience condition of every session —
+// the /v1/healthz body.
+type HealthSummary struct {
+	OK bool `json:"ok"`
+	// Sessions counts sessions by health (healthy/degraded/healing), plus
+	// "failed" for sessions whose world died for good.
+	Sessions map[string]int `json:"sessions"`
+	// FailuresAbsorbed is the total number of world deaths survived by
+	// supervised respawn across all sessions.
+	FailuresAbsorbed int `json:"failures_absorbed"`
+}
+
+// Health reports the daemon's aggregate health: ok as long as the server
+// is answering, with per-condition session counts for monitoring.
+func (s *Server) Health() HealthSummary {
+	sum := HealthSummary{OK: true, Sessions: map[string]int{}}
+	for _, in := range s.List() {
+		key := string(in.Health)
+		if in.State == StateFailed {
+			key = "failed"
+		}
+		sum.Sessions[key]++
+		sum.FailuresAbsorbed += in.FailuresAbsorbed
+	}
+	return sum
+}
+
 // Step advances a session by n steps (queueing on the fair-share gate)
 // and returns the field hash at the new step boundary.
 func (s *Server) Step(ctx context.Context, id string, n int) (uint64, int, error) {

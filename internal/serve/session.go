@@ -13,6 +13,7 @@ import (
 
 	"walberla/internal/blockforest"
 	"walberla/internal/comm"
+	"walberla/internal/output"
 	"walberla/internal/scenario"
 	"walberla/internal/sim"
 	"walberla/internal/telemetry"
@@ -30,12 +31,33 @@ const (
 	// StateSuspended means the session was spilled to a checkpoint set on
 	// disk and its world torn down; Resume revives it bit-identically.
 	StateSuspended State = "suspended"
+	// StateHealing means the world died unexpectedly and the supervisor is
+	// respawning it from the session's newest checkpoint set.
+	StateHealing State = "healing"
 	// StateFailed means the world died with an error (kept for get/list
 	// post-mortems until destroyed).
 	StateFailed State = "failed"
 	// StateDestroyed is terminal.
 	StateDestroyed State = "destroyed"
 )
+
+// Health is the session's resilience condition, orthogonal to the
+// lifecycle State: a resumed-after-death session is ready AND degraded.
+type Health string
+
+const (
+	// HealthHealthy means no failure has ever been absorbed.
+	HealthHealthy Health = "healthy"
+	// HealthDegraded means the session absorbed at least one world death
+	// (it lost the in-flight batch and resumed from its last durable set).
+	HealthDegraded Health = "degraded"
+	// HealthHealing means a supervised respawn is in flight right now.
+	HealthHealing Health = "healing"
+)
+
+// maxSessionRespawns bounds how many world deaths the supervisor absorbs
+// per session before declaring it failed for good.
+const maxSessionRespawns = 3
 
 // Session is one resident (or spilled) simulation owned by the daemon.
 // Every mutation goes through its world's rank-0 command loop: rank 0
@@ -56,6 +78,8 @@ type Session struct {
 
 	mu        sync.Mutex
 	state     State
+	health    Health
+	respawns  int // world deaths absorbed by supervised respawn
 	stepped   int // committed steps since creation
 	lastHash  uint64
 	err       error
@@ -100,30 +124,43 @@ type cmdResult struct {
 
 // Info is the externally visible session status.
 type Info struct {
-	ID       string    `json:"id"`
-	Name     string    `json:"name,omitempty"`
-	Tenant   string    `json:"tenant,omitempty"`
-	State    State     `json:"state"`
-	Steps    int       `json:"steps"`
-	Of       int       `json:"of"`
-	Ranks    int       `json:"ranks"`
-	LastHash string    `json:"last_hash,omitempty"`
-	Error    string    `json:"error,omitempty"`
-	Created  time.Time `json:"created"`
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	State  State  `json:"state"`
+	// Health is the resilience condition: healthy, degraded (absorbed at
+	// least one world death) or healing (supervised respawn in flight).
+	Health Health `json:"health"`
+	// FailuresAbsorbed counts world deaths survived by respawning.
+	FailuresAbsorbed int `json:"failures_absorbed,omitempty"`
+	// WorldSize is the number of live ranks right now: full while the
+	// world is resident, zero while it is down (suspended/healing/failed).
+	WorldSize int       `json:"world_size"`
+	Steps     int       `json:"steps"`
+	Of        int       `json:"of"`
+	Ranks     int       `json:"ranks"`
+	LastHash  string    `json:"last_hash,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Created   time.Time `json:"created"`
 }
 
 func (s *Session) info() Info {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	in := Info{
-		ID:      s.ID,
-		Name:    s.scenario.Name,
-		Tenant:  s.Tenant,
-		State:   s.state,
-		Steps:   s.stepped,
-		Of:      s.scenario.Run.Steps,
-		Ranks:   s.scenario.Parallel.Ranks,
-		Created: s.created,
+		ID:               s.ID,
+		Name:             s.scenario.Name,
+		Tenant:           s.Tenant,
+		State:            s.state,
+		Health:           s.healthLocked(),
+		FailuresAbsorbed: s.respawns,
+		Steps:            s.stepped,
+		Of:               s.scenario.Run.Steps,
+		Ranks:            s.scenario.Parallel.Ranks,
+		Created:          s.created,
+	}
+	if s.state == StateReady || s.state == StateStepping {
+		in.WorldSize = s.scenario.Parallel.Ranks
 	}
 	if s.lastHash != 0 {
 		in.LastHash = fmt.Sprintf("%016x", s.lastHash)
@@ -132,6 +169,14 @@ func (s *Session) info() Info {
 		in.Error = s.err.Error()
 	}
 	return in
+}
+
+// healthLocked derives the session health; caller holds s.mu.
+func (s *Session) healthLocked() Health {
+	if s.health == "" {
+		return HealthHealthy
+	}
+	return s.health
 }
 
 // start spins up the session's SPMD world and blocks until every rank
@@ -173,7 +218,11 @@ func (s *Session) start(resume bool) error {
 		return err
 	}
 	s.mu.Lock()
-	s.state = StateReady
+	// A destroy that raced the spin-up wins; the caller tears the fresh
+	// world down (the respawn path does exactly that).
+	if s.state != StateDestroyed {
+		s.state = StateReady
+	}
 	s.mu.Unlock()
 	return nil
 }
@@ -198,7 +247,30 @@ func (s *Session) world(ctx context.Context, cmds chan command, ready chan<- err
 		mu.Unlock()
 	}
 	metrics := s.srv.cfg.Metrics
-	comm.RunWithOptions(sc.Parallel.Ranks, sc.CommOptions(), func(c *comm.Comm) {
+	opts := sc.CommOptions()
+	s.mu.Lock()
+	if s.respawns > 0 {
+		// An injected fault schedule describes one world incarnation; a
+		// respawned world is fresh hardware and runs clean (otherwise a
+		// deterministic crash would re-fire on every respawn).
+		opts.Faults = nil
+	}
+	s.mu.Unlock()
+	comm.RunWithOptions(sc.Parallel.Ranks, opts, func(c *comm.Comm) {
+		defer func() {
+			if r := recover(); r != nil {
+				switch r.(type) {
+				case comm.Crash, comm.Hang:
+					// An injected fault killed this rank. The sentinel must
+					// not escape to RunWithOptions (which re-panics unhandled
+					// rank deaths); the world dies as a whole and the
+					// supervisor decides whether the session survives.
+					fail(fmt.Errorf("serve: session %s: %v", s.ID, r))
+				default:
+					panic(r)
+				}
+			}
+		}()
 		var in *blockforest.SetupForest
 		if c.Rank() == 0 {
 			in = s.forest
@@ -222,33 +294,101 @@ func (s *Session) world(ctx context.Context, cmds chan command, ready chan<- err
 			}
 			return
 		}
+		step := 0
 		if resume {
-			if _, err := st.RestoreLatestCheckpointSet(s.dir); err != nil {
+			restored, err := st.RestoreLatestCheckpointSet(s.dir)
+			if err != nil {
 				if c.Rank() == 0 {
 					ready <- fmt.Errorf("serve: restoring session %s: %w", s.ID, err)
 				}
 				return
 			}
+			step = int(restored)
+			if c.Rank() == 0 {
+				// A supervised respawn may land on an older set than the
+				// last committed batch; the visible step count follows the
+				// state that actually survived.
+				s.mu.Lock()
+				s.stepped = step
+				s.mu.Unlock()
+			}
 		}
 		if c.Rank() == 0 {
 			ready <- nil
 		}
-		if err := s.commandLoop(ctx, c, st, cmds); err != nil {
+		if err := s.commandLoop(ctx, c, st, cmds, step); err != nil {
 			fail(err)
 		}
 	})
 	if worldErr != nil {
-		s.mu.Lock()
-		s.state = StateFailed
-		s.err = worldErr
-		s.mu.Unlock()
+		s.supervise(worldErr)
 	}
+}
+
+// supervise handles an unexpected world death: when the session has
+// durable state (batch-granular checkpoint sets, enabled by a scenario
+// with resilience.checkpoint_every > 0) and the respawn budget is not
+// exhausted, it flips the session to healing and respawns the world from
+// the newest set; otherwise the session fails for good. Called from the
+// dying world's goroutine, right before its done channel closes.
+func (s *Session) supervise(cause error) {
+	s.mu.Lock()
+	if s.state == StateDestroyed {
+		s.mu.Unlock()
+		return
+	}
+	durable := s.scenario.Resilience.CheckpointEvery > 0 && len(output.ListValidSets(s.dir)) > 0
+	if !durable || s.respawns >= maxSessionRespawns {
+		s.state = StateFailed
+		s.err = cause
+		s.mu.Unlock()
+		return
+	}
+	s.state = StateHealing
+	s.health = HealthHealing
+	s.respawns++
+	s.err = nil
+	s.mu.Unlock()
+	go s.respawn()
+}
+
+// respawn revives a healing session from its newest checkpoint set.
+func (s *Session) respawn() {
+	s.mu.Lock()
+	if s.state != StateHealing {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	if err := s.start(true); err != nil {
+		s.mu.Lock()
+		if s.state == StateHealing {
+			s.state = StateFailed
+			s.err = err
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	if s.state == StateDestroyed {
+		// Destroy raced the respawn; tear the fresh world down again.
+		cancel, done := s.cancel, s.worldDone
+		s.mu.Unlock()
+		cancel(fmt.Errorf("serve: session %s destroyed during respawn", s.ID))
+		<-done
+		return
+	}
+	s.health = HealthDegraded
+	s.mu.Unlock()
 }
 
 // commandLoop is the collective heart of a session: rank 0 pulls the
 // next command and broadcasts it; every rank executes it in lockstep.
 // Returns when the residency ends (suspend/destroy) or a rank errors.
-func (s *Session) commandLoop(ctx context.Context, c *comm.Comm, st *sim.Simulation, cmds chan command) error {
+// step is this rank's committed step count (the restore point when the
+// world was revived); every rank tracks it locally so checkpoint-set
+// labels agree without extra coordination.
+func (s *Session) commandLoop(ctx context.Context, c *comm.Comm, st *sim.Simulation, cmds chan command, step int) error {
 	for {
 		var payload []byte
 		var reply chan cmdResult
@@ -284,7 +424,7 @@ func (s *Session) commandLoop(ctx context.Context, c *comm.Comm, st *sim.Simulat
 			answer(reply, cmdResult{err: fmt.Errorf("serve: bad command frame: %w", err)})
 			return fmt.Errorf("serve: rank %d: bad command frame: %w", c.Rank(), err)
 		}
-		stop, err := s.execute(ctx, c, st, w, reply)
+		stop, err := s.execute(ctx, c, st, w, reply, &step)
 		if err != nil {
 			return err
 		}
@@ -296,7 +436,7 @@ func (s *Session) commandLoop(ctx context.Context, c *comm.Comm, st *sim.Simulat
 
 // execute runs one broadcast command on this rank. The bool result asks
 // the world to end this residency.
-func (s *Session) execute(ctx context.Context, c *comm.Comm, st *sim.Simulation, w wireCmd, reply chan cmdResult) (bool, error) {
+func (s *Session) execute(ctx context.Context, c *comm.Comm, st *sim.Simulation, w wireCmd, reply chan cmdResult, step *int) (bool, error) {
 	switch w.Op {
 	case opStep:
 		// The fair-share gate bounds how many sessions step at once;
@@ -326,6 +466,10 @@ func (s *Session) execute(ctx context.Context, c *comm.Comm, st *sim.Simulation,
 			}
 		}
 		_, err := st.RunCtx(ctx, w.Steps)
+		// RunCtx resets the per-batch step counter on entry, so its value
+		// now is exactly the number of steps this batch committed (fewer
+		// than requested when interrupted at a boundary).
+		*step += st.Steps()
 		if c.Rank() == 0 {
 			s.srv.gate.release()
 		}
@@ -333,6 +477,15 @@ func (s *Session) execute(ctx context.Context, c *comm.Comm, st *sim.Simulation,
 		if err != nil && !interrupted {
 			answer(reply, cmdResult{err: err})
 			return false, err
+		}
+		// Batch-granular durability: with checkpointing configured, every
+		// committed batch lands a coordinated set, so a supervised respawn
+		// after a world death loses at most the in-flight batch.
+		if !interrupted && s.scenario.Resilience.CheckpointEvery > 0 {
+			if _, err := st.WriteCheckpointSet(s.dir, *step); err != nil {
+				answer(reply, cmdResult{err: err})
+				return false, err
+			}
 		}
 		hash, herr := st.FieldHash()
 		if herr != nil {

@@ -5,7 +5,6 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
@@ -601,47 +600,9 @@ func (s *Simulation) diskShrinkRestore(myWards []int, rc ResilienceConfig, newCo
 func (s *Simulation) adoptFromSet(setDir string, myWards []int) ([]*BlockData, error) {
 	var adopted []*BlockData
 	for _, w := range myWards {
-		metaRaw, ok := s.buddy.lastMeta[w]
-		if !ok {
-			return nil, fmt.Errorf("sim: no retained metadata for dead rank %d", w)
-		}
-		metas, err := decodeReplicaMeta(metaRaw)
+		snaps, metas, err := s.readWardFromSet(setDir, w)
 		if err != nil {
 			return nil, err
-		}
-		// The set was written under the pre-shrink communicator, where the
-		// dead world rank's comm rank named its file.
-		dr := s.Comm.CommRankOf(w)
-		if dr < 0 {
-			return nil, fmt.Errorf("sim: dead world rank %d unknown to the pre-shrink communicator", w)
-		}
-		m, err := output.ValidateSetDir(setDir)
-		s.recoveryDiskReads++
-		if err != nil {
-			return nil, err
-		}
-		name := output.RankFileName(dr)
-		var entry *output.ManifestEntry
-		for i := range m.Entries {
-			if m.Entries[i].Name == name {
-				entry = &m.Entries[i]
-			}
-		}
-		if entry == nil {
-			return nil, fmt.Errorf("sim: checkpoint set %s has no file for dead rank %d", setDir, dr)
-		}
-		f, err := os.Open(filepath.Join(setDir, name))
-		if err != nil {
-			return nil, err
-		}
-		s.recoveryDiskReads++
-		snaps, crc, err := output.ReadRankFileStored(f, s.Stencil)
-		f.Close()
-		if err != nil {
-			return nil, err
-		}
-		if crc != entry.CRC {
-			return nil, fmt.Errorf("sim: rank file %s CRC %08x does not match manifest %08x", name, crc, entry.CRC)
 		}
 		blocks, err := s.buildAdoptedBlocks(snaps, metas)
 		if err != nil {

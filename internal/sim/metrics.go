@@ -76,6 +76,16 @@ type RecoveryStats struct {
 	// file opens) performed while restoring state after a failure — zero
 	// on the pure buddy path.
 	DiskReadsDuringRecovery int
+
+	// Healing recovery (RecoverHeal).
+
+	// Heals counts world-heal events this rank took part in — as a
+	// survivor, a supplier or a recruited spare.
+	Heals int
+	// DegradedTime is the wall time this rank observed the world below
+	// its full size: from a failure detection until a heal restored the
+	// target world size (or until the run ended, under plain shrinking).
+	DegradedTime time.Duration
 }
 
 // OverlapTimes is this rank's accumulated split-phase step breakdown: the

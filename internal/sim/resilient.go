@@ -37,6 +37,15 @@ const (
 	// docs/RESILIENCE.md). Disk checkpoint sets, when configured, remain
 	// the fallback for a stale or missing replica generation.
 	RecoverShrink
+	// RecoverHeal additionally repairs the lost capacity: after the
+	// failure the world *grows back* to its full size by recruiting a
+	// parked spare rank (comm.ParkSpare/GrowWorld), the dead rank's buddy
+	// streams the replica blocks to the recruit instead of adopting them,
+	// and the run resumes at full world size — still bit-identical, since
+	// stepping is deterministic and the restore generation is voted the
+	// same way. With the spare pool exhausted a heal degrades to a plain
+	// shrink. See docs/RESILIENCE.md and RunSpare.
+	RecoverHeal
 )
 
 // ErrRetired is returned by RunResilient on a rank that failed
@@ -81,7 +90,7 @@ type ResilienceConfig struct {
 // failure budget and backoff shape) and rejects unknown recovery modes —
 // the ResilienceConfig counterpart of Config.Validate.
 func (rc *ResilienceConfig) Validate() error {
-	if rc.Mode != RecoverRewind && rc.Mode != RecoverShrink {
+	if rc.Mode != RecoverRewind && rc.Mode != RecoverShrink && rc.Mode != RecoverHeal {
 		return fmt.Errorf("sim: unknown recovery mode %d", rc.Mode)
 	}
 	if rc.CheckpointEvery < 0 {
@@ -279,6 +288,9 @@ func (s *Simulation) RestoreLatestCheckpointSet(dir string) (int64, error) {
 			restoreInto(bd.Src, pair[0])
 			restoreInto(bd.Dst, pair[1])
 		}
+		// Simulated time resumes at the restored step; the plain driver's
+		// fault-injection announcements continue from there.
+		s.worldSteps = int(step)
 		return step, nil
 	}
 
@@ -376,16 +388,34 @@ func (s *Simulation) RunResilientCtx(ctx context.Context, steps int, rc Resilien
 	if err := rc.Validate(); err != nil {
 		return Metrics{}, err
 	}
-	if rc.Mode == RecoverShrink {
+	if rc.Mode != RecoverRewind {
 		s.buddy = newBuddyState()
 	}
+	return s.runResilientLoop(ctx, steps, rc, s.Comm.Size(), 0, RecoveryStats{})
+}
+
+// runResilientLoop is the shared fault-tolerant driver: RunResilientCtx
+// enters it at step 0 on the initial communicator, a recruited spare
+// (joinAndRun) enters it at the restored step on the grown one. target is
+// the full world size heal mode grows back to.
+func (s *Simulation) runResilientLoop(ctx context.Context, steps int, rc ResilienceConfig, target, startStep int, rec RecoveryStats) (Metrics, error) {
 	s.ResetTimers()
-	var rec RecoveryStats
 	start := time.Now()
-	step := 0
-	failures := 0
+	step := startStep
+	failures := rec.FailuresDetected
 	needRestore := false
 	var deadPending []int // world ranks whose blocks still need re-owning
+	var degradedSince time.Time
+
+	// In heal mode the end of the run — on every path except this rank's
+	// own retirement — must release the parked spares, or they would wait
+	// forever for a recruitment that can no longer happen.
+	endRun := true
+	defer func() {
+		if endRun && rc.Mode == RecoverHeal && s.Comm.WorldSize() > s.Comm.Size() {
+			s.Comm.ReleaseSpares()
+		}
+	}()
 
 	// onFailure classifies one rank-failure event; it returns a non-nil
 	// terminal error when this rank is done (retired or out of budget).
@@ -400,9 +430,12 @@ func (s *Simulation) RunResilientCtx(ctx context.Context, steps int, rc Resilien
 		if failures > rc.MaxFailures {
 			return fmt.Errorf("sim: giving up after %d rank failures: %w", failures, err)
 		}
-		if rc.Mode == RecoverShrink {
+		if rc.Mode != RecoverRewind {
 			if rfe.Rank == s.Comm.WorldRank() {
-				// This rank is the victim: leave the world for good.
+				// This rank is the victim: leave the world for good. The
+				// survivors carry the run on (and in heal mode recruit a
+				// replacement), so the spares must stay parked.
+				endRun = false
 				s.Comm.Retire()
 				return ErrRetired
 			}
@@ -413,6 +446,9 @@ func (s *Simulation) RunResilientCtx(ctx context.Context, steps int, rc Resilien
 			if !found {
 				deadPending = append(deadPending, rfe.Rank)
 			}
+			if degradedSince.IsZero() {
+				degradedSince = time.Now()
+			}
 		}
 		return nil
 	}
@@ -421,8 +457,13 @@ func (s *Simulation) RunResilientCtx(ctx context.Context, steps int, rc Resilien
 		if needRestore {
 			recStart := s.tel.driver.Start()
 			tRec := time.Now()
-			time.Sleep(rc.backoff(failures))
-			if rc.Mode == RecoverShrink {
+			// The backoff observes ctx so cancellation mid-recovery does not
+			// sit out the whole ladder; the rendezvous and restore still run
+			// (skipping them would strand the peers in the collective), and
+			// the cancellation vote at the top of the next attempt then
+			// exits every rank at the same point.
+			sleepCtx(ctx, rc.backoff(failures))
+			if rc.Mode != RecoverRewind {
 				for _, d := range deadPending {
 					s.Comm.MarkDead(d)
 				}
@@ -433,9 +474,12 @@ func (s *Simulation) RunResilientCtx(ctx context.Context, steps int, rc Resilien
 			diskBefore := s.recoveryDiskReads
 			var restored int64
 			var err error
-			if rc.Mode == RecoverShrink {
+			switch rc.Mode {
+			case RecoverHeal:
+				restored, err = s.healRestoreAttempt(deadPending, target, rc, &rec, tRestore)
+			case RecoverShrink:
 				restored, err = s.shrinkRestoreAttempt(deadPending, rc, &rec, tRestore)
-			} else {
+			default:
 				restored, err = s.restoreAttempt(rc.Dir)
 			}
 			rec.DiskReadsDuringRecovery += s.recoveryDiskReads - diskBefore
@@ -448,9 +492,9 @@ func (s *Simulation) RunResilientCtx(ctx context.Context, steps int, rc Resilien
 			}
 			deadPending = nil
 			rec.Restores++
-			if rc.Mode != RecoverShrink {
-				// The shrink path records its rendezvous-to-ready time
-				// itself, just before its completion barrier.
+			if rc.Mode == RecoverRewind {
+				// The shrink and heal paths record their rendezvous-to-ready
+				// time themselves, just before their completion barrier.
 				rec.RestoreLatency += time.Since(tRestore)
 			}
 			if step > int(restored) {
@@ -458,6 +502,13 @@ func (s *Simulation) RunResilientCtx(ctx context.Context, steps int, rc Resilien
 			}
 			step = int(restored)
 			rec.TimeLost += time.Since(tRec)
+			if !degradedSince.IsZero() && s.Comm.Size() >= target {
+				// A heal restored the full world size; plain shrinking stays
+				// degraded until the run ends.
+				rec.DegradedTime += time.Since(degradedSince)
+				degradedSince = time.Time{}
+			}
+			s.publishRecoveryGauges(&rec, degradedSince)
 			s.tel.driver.Span(telemetry.PhaseRestore, step, 0, resStart)
 			s.tel.driver.Span(telemetry.PhaseRecovery, step, 0, recStart)
 			needRestore = false
@@ -476,7 +527,9 @@ func (s *Simulation) RunResilientCtx(ctx context.Context, steps int, rc Resilien
 		if errors.Is(err, errSilenced) {
 			// Injected silent failure: go dark without a trace — the
 			// survivors must detect the silence via the failure-detection
-			// deadline and shrink around this rank.
+			// deadline and shrink around this rank. The spares must stay
+			// parked: one of them is this rank's replacement.
+			endRun = false
 			return Metrics{}, ErrRetired
 		}
 		if terminal := onFailure(err); terminal != nil {
@@ -485,6 +538,11 @@ func (s *Simulation) RunResilientCtx(ctx context.Context, steps int, rc Resilien
 		needRestore = true
 	}
 
+	if !degradedSince.IsZero() {
+		rec.DegradedTime += time.Since(degradedSince)
+		degradedSince = time.Time{}
+	}
+	s.publishRecoveryGauges(&rec, degradedSince)
 	wall := time.Since(start)
 	m, err := s.gatherMetrics(steps, wall)
 	if err != nil {
@@ -492,6 +550,35 @@ func (s *Simulation) RunResilientCtx(ctx context.Context, steps int, rc Resilien
 	}
 	m.Recovery = rec
 	return m, nil
+}
+
+// publishRecoveryGauges refreshes the resilience gauges: mean time to
+// repair, current world size, and accumulated degraded wall time.
+func (s *Simulation) publishRecoveryGauges(rec *RecoveryStats, degradedSince time.Time) {
+	if rec.Restores > 0 {
+		s.tel.mttrMs.Set(float64(rec.TimeLost.Milliseconds()) / float64(rec.Restores))
+	}
+	s.tel.worldSize.Set(float64(s.Comm.Size()))
+	d := rec.DegradedTime
+	if !degradedSince.IsZero() {
+		d += time.Since(degradedSince)
+	}
+	s.tel.degradedMs.Set(float64(d.Milliseconds()))
+}
+
+// sleepCtx sleeps for d or until the context is cancelled, whichever
+// comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
 }
 
 // runAttempt executes steps until completion or the first detected
@@ -531,7 +618,7 @@ func (s *Simulation) runAttempt(ctx context.Context, total int, rc ResilienceCon
 		// once per spec across replays) before any collective work for
 		// the step.
 		s.Comm.SetStep(*step)
-		if rc.Mode == RecoverShrink && rc.CheckpointEvery > 0 &&
+		if rc.Mode != RecoverRewind && rc.CheckpointEvery > 0 &&
 			*step%rc.CheckpointEvery == 0 && s.buddy.lastStep != *step {
 			// Produce a buddy-replica generation, including one at step 0
 			// so the buddy always holds at least the initial state (and

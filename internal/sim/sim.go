@@ -369,6 +369,12 @@ type Simulation struct {
 	boundaryTime time.Duration
 	overlap      OverlapTimes
 	steps        int
+	// worldSteps is the cumulative simulated-time step, never reset by
+	// ResetTimers and advanced to the restored step by checkpoint-set
+	// restores. The plain driver announces it to the fault injector so a
+	// scenario's deterministic fault schedule fires at absolute steps even
+	// when the run is split into many RunCtx batches (the serve daemon).
+	worldSteps int
 }
 
 // New builds the simulation state for this rank's part of the forest.
@@ -686,6 +692,11 @@ func (s *Simulation) RunCtx(ctx context.Context, steps int) (Metrics, error) {
 		} else if stop {
 			return Metrics{}, interrupted(ctx)
 		}
+		// Announce the absolute step to the fault injector (free without a
+		// plan). The resilient drivers announce their own replay-aware step
+		// and never come through here.
+		s.worldSteps++
+		s.Comm.SetStep(s.worldSteps)
 		if err := s.Step(); err != nil {
 			return Metrics{}, err
 		}

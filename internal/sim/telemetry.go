@@ -46,6 +46,10 @@ type simTel struct {
 	imbalance   *telemetry.Gauge
 	mboxPending *telemetry.Gauge
 	mboxHigh    *telemetry.Gauge
+
+	mttrMs     *telemetry.Gauge
+	worldSize  *telemetry.Gauge
+	degradedMs *telemetry.Gauge
 }
 
 // resolveSimTel registers the simulation's metrics and caches the lane
@@ -68,6 +72,9 @@ func resolveSimTel(tr *telemetry.Tracer, reg *telemetry.Registry) simTel {
 		imbalance:       reg.Gauge("sim.load_imbalance"),
 		mboxPending:     reg.Gauge("comm.mailbox_pending"),
 		mboxHigh:        reg.Gauge("comm.mailbox_high_water"),
+		mttrMs:          reg.Gauge("recovery.mttr_ms"),
+		worldSize:       reg.Gauge("recovery.world_size"),
+		degradedMs:      reg.Gauge("recovery.degraded_ms"),
 	}
 }
 

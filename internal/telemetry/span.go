@@ -86,6 +86,10 @@ const (
 	// PhaseShrink is the communicator shrink plus block adoption of a
 	// shrinking recovery.
 	PhaseShrink
+	// PhaseHeal is the world re-grow plus state streaming of a healing
+	// recovery: recruit a spare, vote, forward the dead rank's blocks and
+	// rebuild the topology at full size.
+	PhaseHeal
 	// PhaseFaultDrop marks a send discarded by fault injection (instant).
 	PhaseFaultDrop
 	// PhaseFaultDelay marks a send deferred by fault injection (instant).
@@ -140,6 +144,7 @@ var phaseTable = [NumPhases]phaseInfo{
 	PhaseRecovery:      {name: "recovery"},
 	PhaseRestore:       {name: "restore"},
 	PhaseShrink:        {name: "shrink"},
+	PhaseHeal:          {name: "heal"},
 	PhaseFaultDrop:     {name: "fault-drop", argName: "peer", instant: true},
 	PhaseFaultDelay:    {name: "fault-delay", argName: "peer", instant: true},
 	PhaseRankFailed:    {name: "rank-failed", argName: "rank", instant: true},

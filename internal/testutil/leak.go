@@ -1,0 +1,135 @@
+// Package testutil holds helpers shared by test code across packages.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckLeaks registers a cleanup that fails the test if goroutines
+// started during the test are still alive when it ends. Severed socket
+// connections, killed serve sessions and abandoned recovery collectives
+// all historically risked leaving reader or timer goroutines behind; this
+// turns such a leak into a named-stack test failure instead of silent
+// creep across the suite.
+//
+// Goroutine teardown is asynchronous (connection readers notice a close,
+// pools drain), so the check polls for a grace period before declaring a
+// leak. Call it at the top of a test, before starting any work:
+//
+//	func TestX(t *testing.T) {
+//		testutil.CheckLeaks(t)
+//		...
+//	}
+func CheckLeaks(t *testing.T) {
+	t.Helper()
+	before := goroutineIDs()
+	t.Cleanup(func() {
+		const grace = 5 * time.Second
+		deadline := time.Now().Add(grace)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range goroutineIDs() {
+				if _, ok := before[id]; !ok && !ignorable(stack) {
+					leaked = append(leaked, stack)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d goroutine(s) leaked by this test:\n", len(leaked))
+		for _, stack := range leaked {
+			b.WriteString(stack)
+			b.WriteString("\n\n")
+		}
+		t.Error(b.String())
+	})
+}
+
+// goroutineIDs snapshots every live goroutine, keyed by its runtime id,
+// with the full named stack as the value.
+func goroutineIDs() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		// Each record starts "goroutine <id> [<state>]:".
+		if !strings.HasPrefix(g, "goroutine ") {
+			continue
+		}
+		header := g[:strings.IndexByte(g, '\n')]
+		fields := strings.Fields(header)
+		if len(fields) < 2 {
+			continue
+		}
+		out[fields[1]] = g
+	}
+	return out
+}
+
+// ignorable filters goroutines the test cannot be blamed for: the testing
+// framework's own machinery and runtime-internal workers.
+func ignorable(stack string) bool {
+	for _, marker := range []string{
+		"testing.(*T).Run",
+		"testing.tRunner",
+		"testing.runTests",
+		"runtime.goexit",
+		"created by runtime",
+		"runtime/trace",
+		"os/signal.signal_recv",
+		"runtime.gc",
+	} {
+		if strings.Contains(stack, "created by "+marker) || strings.HasPrefix(stackCreator(stack), marker) {
+			return true
+		}
+	}
+	// A goroutine currently executing inside the testing package (e.g.
+	// this cleanup itself, or a parallel subtest waiting its turn).
+	first := stackTopFunc(stack)
+	return strings.HasPrefix(first, "testing.") || strings.HasPrefix(first, "runtime.")
+}
+
+// stackTopFunc returns the innermost function name of a stack record.
+func stackTopFunc(stack string) string {
+	lines := strings.Split(stack, "\n")
+	if len(lines) < 2 {
+		return ""
+	}
+	f := lines[1]
+	if i := strings.IndexByte(f, '('); i > 0 {
+		return f[:i]
+	}
+	return f
+}
+
+// stackCreator returns the "created by" function of a stack record, ""
+// for the main goroutine.
+func stackCreator(stack string) string {
+	i := strings.LastIndex(stack, "created by ")
+	if i < 0 {
+		return ""
+	}
+	rest := stack[i+len("created by "):]
+	if j := strings.IndexAny(rest, " \n"); j > 0 {
+		return rest[:j]
+	}
+	return rest
+}
