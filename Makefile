@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-sim race-resilience race-net race-serve alloc-test fuzz-smoke chaos-smoke verify bench bench-hybrid bench-comm bench-resilience bench-phases bench-net bench-serve clean
+.PHONY: all build test vet race race-sim race-resilience race-net race-serve race-amr alloc-test fuzz-smoke chaos-smoke verify bench bench-hybrid bench-comm bench-resilience bench-phases bench-net bench-serve bench-amr clean
 
 all: build
 
@@ -43,6 +43,15 @@ race-net:
 race-serve:
 	$(GO) test -race -count=1 ./internal/serve/ ./internal/scenario/
 
+# race-amr re-runs the adaptive mesh refinement suite uncached under the
+# race detector: the level-wise timestepping determinism battery
+# (workers/ranks/layout/transport bit-identity), the runtime
+# refine/coarsen controller, migration, the grading invariants and the
+# AMR resilience tests (rewind replay, buddy shrink with zero disk
+# reads).
+race-amr:
+	$(GO) test -race -count=1 ./internal/amr/ ./internal/blockforest/
+
 # alloc-test re-runs the steady-state allocation regression gates
 # uncached and WITHOUT the race detector (race instrumentation allocates,
 # so the tests skip themselves under -race): TestStepZeroAlloc with
@@ -60,6 +69,7 @@ fuzz-smoke:
 	$(GO) test -run '^Fuzz' -fuzz FuzzLoadCheckpoint -fuzztime 5s ./internal/output/
 	$(GO) test -run '^Fuzz' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/comm/
 	$(GO) test -run '^Fuzz' -fuzz FuzzSparseIntervals -fuzztime 5s ./internal/kernels/
+	$(GO) test -run '^Fuzz' -fuzz FuzzRegrade -fuzztime 5s ./internal/blockforest/
 
 # chaos-smoke runs the deterministic multi-layer chaos soak uncached
 # under the race detector: seeded frame drop/corruption/delay/sever, rank
@@ -73,7 +83,7 @@ chaos-smoke:
 # verify is the pre-commit gate: static checks, a full build, the
 # allocation regression gate, the fuzz seed sweep, the chaos soak, and
 # the test suite under the race detector.
-verify: vet build alloc-test fuzz-smoke chaos-smoke race-net race-sim race-serve race
+verify: vet build alloc-test fuzz-smoke chaos-smoke race-net race-sim race-serve race-amr race
 
 bench:
 	$(GO) test -bench=. -benchtime=0.2s -run='^$$' ./internal/...
@@ -115,6 +125,18 @@ bench-phases: build
 # BENCH_net.json.
 bench-net: build
 	$(GO) run ./cmd/walberla-bench -fig net
+
+# bench-amr compares runtime adaptive mesh refinement against uniform
+# coarse and uniform fine baselines on a Gaussian shear layer (an exact
+# Navier-Stokes solution): cell-count savings, RMS profile error vs the
+# analytic solution, per-level MLUPS and the re-grade + migration
+# overhead. Appends a timestamped record to
+# BENCH_amr.json and fails if the refined run's cell savings drop below
+# 4x, its accuracy falls behind uniform coarse, or its MLUPS regresses
+# more than 25% against the best recorded baseline.
+bench-amr: build
+	$(GO) run ./cmd/walberla-bench -fig amr
+	$(GO) run ./cmd/walberla-bench -compare
 
 # bench-serve measures the session daemon: session create latency,
 # suspend/resume round trip through a checkpoint set, and aggregate

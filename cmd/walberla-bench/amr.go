@@ -1,0 +1,419 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"walberla/internal/amr"
+	"walberla/internal/comm"
+	"walberla/internal/field"
+	"walberla/internal/lattice"
+)
+
+// amrFile is the benchmark's on-disk record; bench-amr appends one
+// timestamped record per run and -compare ratchets the newest against
+// the best earlier record of the same configuration.
+const amrFile = "BENCH_amr.json"
+
+// amrLevelStat is one refinement level's share of a refined run.
+type amrLevelStat struct {
+	Level      int     `json:"level"`
+	Leaves     int     `json:"leaves_final"`
+	Updates    int64   `json:"cell_updates"`
+	MLUPS      float64 `json:"mlups"`
+	SweepMs    float64 `json:"sweep_ms_rank_max"`
+	ExchangeMs float64 `json:"exchange_ms_rank_max"`
+}
+
+// amrRunResult is one run (refined or uniform) of the jet workload.
+type amrRunResult struct {
+	Name        string         `json:"name"`
+	Cells       int64          `json:"cells_final"`
+	Steps       int            `json:"steps"`
+	WallSeconds float64        `json:"wall_seconds"`
+	MLUPS       float64        `json:"mlups"`
+	JetEnergy   float64        `json:"jet_energy_density"`
+	JetError    float64        `json:"jet_rms_error_vs_analytic"`
+	Levels      []amrLevelStat `json:"levels,omitempty"`
+	Regrades    int            `json:"regrades,omitempty"`
+	Splits      int            `json:"splits,omitempty"`
+	Merges      int            `json:"merges,omitempty"`
+	Migrated    int            `json:"migrated,omitempty"`
+	RegradeMs   float64        `json:"regrade_ms_rank_max,omitempty"`
+	MigrateMs   float64        `json:"migrate_ms_rank_max,omitempty"`
+	RegradePct  float64        `json:"regrade_pct_of_wall,omitempty"`
+}
+
+// amrRecord is one timestamped benchmark run.
+type amrRecord struct {
+	Time            string         `json:"time,omitempty"`
+	Quick           bool           `json:"quick"`
+	Grid            [3]int         `json:"grid"`
+	Edge            int            `json:"cells_per_block_edge"`
+	MaxLevel        int            `json:"max_level"`
+	Steps           int            `json:"coarse_steps"`
+	Ranks           int            `json:"ranks"`
+	Workers         int            `json:"workers"`
+	Runs            []amrRunResult `json:"runs"`
+	CellRatioVsFine float64        `json:"cell_ratio_fine_over_refined"`
+	ErrRefined      float64        `json:"err_refined_vs_analytic"`
+	ErrCoarse       float64        `json:"err_coarse_vs_analytic"`
+}
+
+type amrHistory struct {
+	Records []amrRecord `json:"records"`
+}
+
+func loadAmrHistory(path string) (*amrHistory, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &amrHistory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var h amrHistory
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &h, nil
+}
+
+func sameAmrConfig(a, b *amrRecord) bool {
+	return a.Quick == b.Quick && a.Grid == b.Grid && a.Edge == b.Edge &&
+		a.MaxLevel == b.MaxLevel && a.Steps == b.Steps && a.Ranks == b.Ranks && a.Workers == b.Workers
+}
+
+// compareAmr ratchets the newest BENCH_amr.json record. Two invariants
+// hold regardless of any baseline — the refined run must keep at least
+// 4x fewer cells than the uniform fine run, and its accuracy against
+// the closed-form jet profile must be no worse than the uniform coarse
+// run's —
+// and against the best earlier record of the same configuration the
+// refined run's MLUPS must stay within 25% (MLUPS on a shared machine
+// is noisier than the millisecond recovery latencies, so the gate is
+// wider than the phase ratchet's 5%).
+func compareAmr() error {
+	const mlupsSlack = 0.75
+	h, err := loadAmrHistory(amrFile)
+	if err != nil {
+		return err
+	}
+	if len(h.Records) == 0 {
+		return fmt.Errorf("%s: no records (run walberla-bench -fig amr first)", amrFile)
+	}
+	cur := &h.Records[len(h.Records)-1]
+	var failures []string
+	if cur.CellRatioVsFine < 4 {
+		failures = append(failures, fmt.Sprintf(
+			"refined run holds only %.2fx fewer cells than uniform fine, want >= 4x", cur.CellRatioVsFine))
+	}
+	if cur.ErrRefined > cur.ErrCoarse {
+		failures = append(failures, fmt.Sprintf(
+			"refined jet error %.3g vs the analytic profile is worse than uniform coarse %.3g", cur.ErrRefined, cur.ErrCoarse))
+	}
+	refinedMLUPS := func(r *amrRecord) float64 {
+		for _, run := range r.Runs {
+			if run.Name == "refined" {
+				return run.MLUPS
+			}
+		}
+		return 0
+	}
+	best := 0.0
+	for i := range h.Records[:len(h.Records)-1] {
+		r := &h.Records[i]
+		if sameAmrConfig(r, cur) {
+			if m := refinedMLUPS(r); m > best {
+				best = m
+			}
+		}
+	}
+	curM := refinedMLUPS(cur)
+	if best > 0 {
+		if curM < best*mlupsSlack {
+			failures = append(failures, fmt.Sprintf(
+				"refined MLUPS %.1f below %.1f (%.0f%% of best recorded %.1f)", curM, best*mlupsSlack, mlupsSlack*100, best))
+		}
+		fmt.Printf("amr: refined %.1f MLUPS (best %.1f), %.2fx fewer cells than fine, err %.3g vs coarse %.3g\n",
+			curM, best, cur.CellRatioVsFine, cur.ErrRefined, cur.ErrCoarse)
+	} else {
+		fmt.Printf("amr: refined %.1f MLUPS (no baseline), %.2fx fewer cells than fine, err %.3g vs coarse %.3g\n",
+			curM, cur.CellRatioVsFine, cur.ErrRefined, cur.ErrCoarse)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("amr benchmark regressed:\n  %s", joinLines(failures))
+	}
+	fmt.Println("no amr regression vs recorded baseline")
+	return nil
+}
+
+// The benchmark workload is a Gaussian shear layer uy(x): a
+// unidirectional shear flow is an exact Navier–Stokes solution (the
+// advection term vanishes identically), so uy evolves by pure 1-D
+// diffusion and every run can be scored against the closed-form
+// solution — no reference-run confound. The layer is sharp (σ₀ ≈ 1.4
+// coarse cells), so the coarse grid genuinely under-resolves it while
+// it is still localized enough that most of the domain stays quiescent.
+const (
+	jetAmp = 0.05
+	jetVar = 2.0 // initial variance v₀ (coarse cell units): uy = A·exp(−d²/(2v₀))
+	jetTau = 0.8 // coarse relaxation time; ν = (τ−1/2)/3
+)
+
+// amrJetState builds the initial condition at a given resolution scale:
+// scale k means the run's level-0 cell is 1/k of the coarse run's —
+// positions and widths scale with k while lattice velocities stay put
+// (acoustic scaling).
+func amrJetState(lx int, scale int) func(x, y, z float64) (float64, float64, float64, float64) {
+	cx := float64(lx*scale) / 2
+	twoVar := 2 * jetVar * float64(scale*scale)
+	return func(x, y, z float64) (rho, ux, uy, uz float64) {
+		d := x - cx
+		return 1, 0, jetAmp * math.Exp(-d*d/twoVar), 0
+	}
+}
+
+// jetAnalytic is the exact diffused profile at coarse time t (coarse
+// steps) and coarse position offset d from the layer center:
+// variance grows as v(t) = v₀ + 2νt, amplitude shrinks as √(v₀/v(t)).
+func jetAnalytic(d, t float64) float64 {
+	nu := (jetTau - 0.5) / 3
+	vt := jetVar + 2*nu*t
+	return jetAmp * math.Sqrt(jetVar/vt) * math.Exp(-d*d/(2*vt))
+}
+
+// jetMeasure walks every owned cell in the jet window |x - Lx/2| < 8
+// (coarse level-0 units, rescaled by the run's resolution scale) and
+// reduces two numbers across all ranks: the mean kinetic energy density
+// over the window (a scale-free diagnostic — densities need no unit
+// conversion between resolutions), and the volume-weighted RMS error of
+// uy against the closed-form diffused profile at coarse time tCoarse.
+// Cell volumes are weighted by 8^-level so refined runs integrate
+// correctly over their mixed-resolution leaves.
+func jetMeasure(s *amr.Sim, c *comm.Comm, cfg *amr.Config, scale int, lxCoarse int, tCoarse float64) (energy, rmsErr float64) {
+	st := cfg.Stencil
+	cx := float64(lxCoarse*scale) / 2
+	w := 8 * float64(scale)
+	f := make([]float64, st.Q)
+	var e, sq, volSum float64
+	for _, b := range s.OwnedBlocks() {
+		h := 1.0 / float64(int(1)<<uint(b.Level()))
+		vol := h * h * h
+		C := cfg.Cells
+		for z := 0; z < C[2]; z++ {
+			for y := 0; y < C[1]; y++ {
+				for x := 0; x < C[0]; x++ {
+					px := (float64(b.Idx[0]*C[0]+x) + 0.5) * h
+					if math.Abs(px-cx) >= w {
+						continue
+					}
+					for a := 0; a < st.Q; a++ {
+						f[a] = b.Src.Get(x, y, z, lattice.Direction(a))
+					}
+					rho, ux, uy, uz := st.Moments(f)
+					e += 0.5 * rho * (ux*ux + uy*uy + uz*uz) * vol
+					d := uy - jetAnalytic((px-cx)/float64(scale), tCoarse)
+					sq += d * d * vol
+					volSum += vol
+				}
+			}
+		}
+	}
+	sum := func(a, b float64) float64 { return a + b }
+	e = c.AllreduceFloat64(e, sum)
+	sq = c.AllreduceFloat64(sq, sum)
+	volSum = c.AllreduceFloat64(volSum, sum)
+	return e / volSum, math.Sqrt(sq / volSum)
+}
+
+// amrBench compares runtime AMR against uniform-resolution baselines on
+// a localized Gaussian shear layer: a refined run (the controller
+// resolves the layer to max_level), a uniform run at the coarse
+// resolution, and a uniform run at the finest resolution everywhere
+// (stepped 2^max_level times as often under acoustic scaling). Because
+// the layer diffuses by a closed-form solution, every run is scored
+// against the exact profile — the fine run shows the error floor. The
+// headline numbers are the cell-count ratio fine/refined (how much mesh
+// the controller saves), the RMS profile error of refined vs coarse
+// (what the saved mesh costs in accuracy), per-level MLUPS and the
+// re-grade + migration overhead. Results go to stdout as TSV and are
+// appended to BENCH_amr.json.
+func amrBench() {
+	header("AMR: refined vs uniform coarse/fine (cells, accuracy, per-level MLUPS, re-grade cost)")
+	const (
+		ranks    = 2
+		workers  = 2
+		maxLevel = 2
+	)
+	grid := [3]int{8, 2, 2}
+	edge := 8
+	steps := 24
+	if *quick {
+		steps = 8
+	}
+	lx := grid[0] * edge
+	fineScale := 1 << maxLevel
+
+	baseCfg := func(scale int) amr.Config {
+		return amr.Config{
+			Stencil:      lattice.D3Q19(),
+			Grid:         grid,
+			Cells:        [3]int{edge * scale, edge * scale, edge * scale},
+			Periodic:     [3]bool{true, true, true},
+			Layout:       field.SoA,
+			Tau:          0.5 + float64(scale)*(jetTau-0.5),
+			Workers:      workers,
+			InitialState: amrJetState(lx, scale),
+		}
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "amr bench:", err)
+		os.Exit(1)
+	}
+
+	// run executes one configuration and reports the rank-0 result. The
+	// refined run steps manually to integrate per-level cell updates
+	// against the live leaf counts (the forest changes under it).
+	run := func(name string, cfg amr.Config, scale, steps int) amrRunResult {
+		var mu sync.Mutex
+		var res amrRunResult
+		comm.Run(ranks, func(c *comm.Comm) {
+			s, err := amr.New(c, cfg)
+			if err != nil {
+				fail(err)
+			}
+			cells := [9]int64{}
+			start := time.Now()
+			for i := 0; i < steps; i++ {
+				if err := s.Step(); err != nil {
+					fail(err)
+				}
+				for l, n := range s.LevelCounts() {
+					cells[l] += int64(n) * int64(cfg.Cells[0]*cfg.Cells[1]*cfg.Cells[2]) * int64(int(1)<<uint(l))
+				}
+			}
+			wall := time.Since(start)
+			energy, rmsErr := jetMeasure(s, c, &cfg, scale, lx, float64(steps)/float64(scale))
+			st := s.GetStats()
+			// Per-rank timers reduce to the rank max: the slowest rank is
+			// the one the synchronized schedule actually waits for.
+			maxI64 := func(a, b int64) int64 {
+				if a > b {
+					return a
+				}
+				return b
+			}
+			var sweepNs, xNs [9]int64
+			for l := 0; l <= maxLevel; l++ {
+				sweepNs[l] = c.AllreduceInt64(st.SweepNs[l], maxI64)
+				xNs[l] = c.AllreduceInt64(st.ExchangeNs[l], maxI64)
+			}
+			regradeNs := c.AllreduceInt64(st.RegradeNs, maxI64)
+			migrateNs := c.AllreduceInt64(st.MigrateNs, maxI64)
+			if c.Rank() != 0 {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			res = amrRunResult{
+				Name:        name,
+				Cells:       s.TotalCells(),
+				Steps:       steps,
+				WallSeconds: wall.Seconds(),
+				JetEnergy:   energy,
+				JetError:    rmsErr,
+				Regrades:    st.Regrades,
+				Splits:      st.Splits,
+				Merges:      st.Merges,
+				Migrated:    st.Migrated,
+				RegradeMs:   float64(regradeNs) / 1e6,
+				MigrateMs:   float64(migrateNs) / 1e6,
+			}
+			var updates int64
+			counts := s.LevelCounts()
+			for l := 0; l <= maxLevel && l < len(counts); l++ {
+				if cells[l] == 0 {
+					continue
+				}
+				ls := amrLevelStat{
+					Level:      l,
+					Leaves:     counts[l],
+					Updates:    cells[l],
+					SweepMs:    float64(sweepNs[l]) / 1e6,
+					ExchangeMs: float64(xNs[l]) / 1e6,
+				}
+				if sweepNs[l] > 0 {
+					ls.MLUPS = float64(cells[l]) / float64(sweepNs[l]) * 1e3
+				}
+				res.Levels = append(res.Levels, ls)
+				updates += cells[l]
+			}
+			if wall > 0 {
+				res.MLUPS = float64(updates) / float64(wall.Nanoseconds()) * 1e3
+				res.RegradePct = float64(regradeNs+migrateNs) / float64(wall.Nanoseconds()) * 100
+			}
+		})
+		return res
+	}
+
+	coarseCfg := baseCfg(1)
+	coarse := run("uniform-coarse", coarseCfg, 1, steps)
+
+	refinedCfg := baseCfg(1)
+	refinedCfg.Refinement = amr.Refinement{
+		MaxLevel:     maxLevel,
+		Criterion:    amr.CriterionGradient,
+		RefineAbove:  0.008,
+		CoarsenBelow: 0.001,
+		Interval:     4,
+	}
+	refined := run("refined", refinedCfg, 1, steps)
+
+	fine := run("uniform-fine", baseCfg(fineScale), fineScale, steps*fineScale)
+	ratio := float64(fine.Cells) / float64(refined.Cells)
+
+	fmt.Printf("# jet: grid=%dx%dx%d cells=%d^3 max_level=%d coarse_steps=%d ranks=%d workers=%d\n",
+		grid[0], grid[1], grid[2], edge, maxLevel, steps, ranks, workers)
+	fmt.Println("run\tcells\tsteps\twall_s\tmlups\tjet_energy\trms_err\tregrades\tsplits\tmerges\tmigrated\tregrade_pct")
+	for _, r := range []amrRunResult{coarse, refined, fine} {
+		fmt.Printf("%s\t%d\t%d\t%.3f\t%.1f\t%.6g\t%.3g\t%d\t%d\t%d\t%d\t%.2f\n",
+			r.Name, r.Cells, r.Steps, r.WallSeconds, r.MLUPS, r.JetEnergy, r.JetError,
+			r.Regrades, r.Splits, r.Merges, r.Migrated, r.RegradePct)
+	}
+	fmt.Println("level\tleaves\tcell_updates\tmlups\tsweep_ms\texchange_ms")
+	for _, l := range refined.Levels {
+		fmt.Printf("L%d\t%d\t%d\t%.1f\t%.2f\t%.2f\n", l.Level, l.Leaves, l.Updates, l.MLUPS, l.SweepMs, l.ExchangeMs)
+	}
+	fmt.Printf("refined holds %.2fx fewer cells than uniform fine at %.3g rms profile error (coarse %.3g, fine floor %.3g); regrade+migration %.2f%% of wall\n",
+		ratio, refined.JetError, coarse.JetError, fine.JetError, refined.RegradePct)
+
+	h, err := loadAmrHistory(amrFile)
+	if err != nil {
+		fail(err)
+	}
+	h.Records = append(h.Records, amrRecord{
+		Time:  time.Now().UTC().Format(time.RFC3339),
+		Quick: *quick, Grid: grid, Edge: edge, MaxLevel: maxLevel,
+		Steps: steps, Ranks: ranks, Workers: workers,
+		Runs:            []amrRunResult{coarse, refined, fine},
+		CellRatioVsFine: ratio,
+		ErrRefined:      refined.JetError,
+		ErrCoarse:       coarse.JetError,
+	})
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(amrFile, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("appended record %d to %s\n", len(h.Records), amrFile)
+}

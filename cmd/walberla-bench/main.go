@@ -21,8 +21,8 @@ import (
 var quick = flag.Bool("quick", false, "reduce problem sizes for fast runs")
 
 func main() {
-	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|comm|resilience|phases|net|serve|all")
-	compare := flag.Bool("compare", false, "compare the newest record of every benchmark history on disk (BENCH_phases.json, BENCH_resilience.json) against its best recorded baseline and fail on a regression")
+	figure := flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|8|sparse|filesize|balance|iaca|hybrid|comm|resilience|phases|net|serve|amr|all")
+	compare := flag.Bool("compare", false, "compare the newest record of every benchmark history on disk (BENCH_phases.json, BENCH_resilience.json, BENCH_amr.json) against its best recorded baseline and fail on a regression")
 	flag.Parse()
 
 	if *compare {
@@ -52,9 +52,10 @@ func main() {
 		"phases":     phasesBench,
 		"net":        netBench,
 		"serve":      serveBench,
+		"amr":        amrBench,
 	}
 	if *figure == "all" {
-		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca", "hybrid", "comm", "resilience", "phases", "net", "serve"} {
+		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "sparse", "filesize", "balance", "iaca", "hybrid", "comm", "resilience", "phases", "net", "serve", "amr"} {
 			figures[name]()
 		}
 		return
@@ -81,6 +82,7 @@ func compareAll() error {
 	}{
 		{phasesFile, comparePhases},
 		{resilienceFile, compareResilience},
+		{amrFile, compareAmr},
 	} {
 		if _, err := os.Stat(c.file); err != nil {
 			continue

@@ -71,6 +71,12 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", `serve live metrics snapshots over HTTP on this address while the run is in flight (e.g. "localhost:6060")`)
 		machineName = flag.String("machine", "supermuc", "perfmodel machine for the roofline comparison: supermuc or juqueen")
 
+		amrMaxLevel     = flag.Int("amr-max-level", 0, "enable runtime adaptive mesh refinement up to this octree depth (0 = uniform grid; needs -scenario, see docs/AMR.md)")
+		amrCriterion    = flag.String("amr-criterion", "", "AMR refine/coarsen criterion: gradient (default) or vorticity")
+		amrRefineAbove  = flag.Float64("amr-refine-above", 0, "AMR criterion threshold above which a block refines")
+		amrCoarsenBelow = flag.Float64("amr-coarsen-below", 0, "AMR criterion threshold below which a block coarsens")
+		amrInterval     = flag.Int("amr-interval", 0, "coarse steps between AMR controller passes (default 4)")
+
 		checkpointEvery = flag.Int("checkpoint-every", 0, "run the fault-tolerant driver, taking a coordinated checkpoint set every N steps (0 = off)")
 		checkpointSets  = flag.String("checkpoint-sets", "checkpoint-sets", "directory for coordinated checkpoint sets (with -checkpoint-every)")
 		injectFault     = flag.String("inject-fault", "", `deterministic fault plan, e.g. "crash=1@40,hang=2@80,drop=0.001,delay=0.01:2ms,seed=7"`)
@@ -103,6 +109,9 @@ func main() {
 		if err := faults.Validate(*ranks + *spares); err != nil {
 			fatal(fmt.Errorf("-inject-fault: %w", err))
 		}
+	}
+	if *amrMaxLevel > 0 && *scenarioPath == "" {
+		fatal(fmt.Errorf("-amr-max-level needs -scenario (AMR runs are scenario-driven; see docs/AMR.md)"))
 	}
 	resilient := *checkpointEvery > 0 || faults != nil
 	if resilient && *rebalance > 0 {
@@ -222,6 +231,16 @@ func main() {
 				sc.Transport.Addrs = strings.Split(*transAddrs, ",")
 			case "heartbeat":
 				sc.Transport.Heartbeat = scenario.Duration(*heartbeat)
+			case "amr-max-level":
+				sc.Refinement.MaxLevel = *amrMaxLevel
+			case "amr-criterion":
+				sc.Refinement.Criterion = *amrCriterion
+			case "amr-refine-above":
+				sc.Refinement.RefineAbove = *amrRefineAbove
+			case "amr-coarsen-below":
+				sc.Refinement.CoarsenBelow = *amrCoarsenBelow
+			case "amr-interval":
+				sc.Refinement.Interval = *amrInterval
 			}
 		})
 		if err := sc.Validate(); err != nil {
@@ -246,6 +265,8 @@ func main() {
 		}
 		if res.Interrupted {
 			fmt.Printf("interrupted at step %d (state is consistent at this boundary)\n", res.Steps)
+		} else if len(res.Levels) > 0 {
+			fmt.Printf("AMR run complete: %d steps, leaves per level %v\n", res.Steps, res.Levels)
 		} else {
 			fmt.Println("simulation:", res.Metrics)
 		}

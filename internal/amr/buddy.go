@@ -1,0 +1,363 @@
+package amr
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/output"
+	"walberla/internal/telemetry"
+)
+
+// In-memory buddy checkpointing and shrinking recovery for refined
+// worlds. The discipline mirrors the uniform simulation's (sim/buddy.go)
+// with one structural simplification: because the leaf list is
+// replicated metadata and flag fields are a pure function of the
+// config, a replica needs no side-band block metadata — the WBK2
+// records already carry the full leaf identity, and the post-shrink
+// topology is rebuilt by the same leaf-descriptor allgather the disk
+// restore uses. On the in-memory path recovery touches the disk zero
+// times (asserted via RecoveryStats.DiskReadsDuringRecovery).
+
+// tagBuddy carries replica generations; kept away from the exchange
+// (tagExchange+level) and migration (tagMigrate) windows.
+const tagBuddy = 1<<28 + 96
+
+// buddyMsg is one replication generation shipped to the buddy rank.
+type buddyMsg struct {
+	// Step is the generation's coarse-step barrier.
+	Step int
+	// SrcWorld is the producing rank's world rank — stable across
+	// shrinks, unlike communicator ranks.
+	SrcWorld int
+	// Payload is the WBK2 leaf-file encoding of all owned leaves; CRC is
+	// its CRC32C.
+	Payload []byte
+	CRC     uint32
+}
+
+// replicaGen is one received generation, CRC-validated and decoded at
+// receipt so the eventual restore is a pure memory operation.
+type replicaGen struct {
+	step     int
+	srcWorld int
+	snaps    []output.LeafSnapshot
+}
+
+// ownGen is one locally-held snapshot generation: the owned leaf
+// descriptors plus raw field copies (in the configured layout),
+// restored without decoding.
+type ownGen struct {
+	step   int
+	leaves []blockforest.Leaf
+	src    [][]float64
+	dst    [][]float64
+}
+
+// buddyState is the double-buffered replication state of one rank.
+type buddyState struct {
+	parity  int            // slot the next generation writes
+	own     [2]ownGen      // this rank's raw snapshots
+	replica [2]*replicaGen // the ward's decoded generations held here
+	// lastStep is the step of the newest generation this rank produced
+	// (-1 before the first), deduplicating the post-restore generation.
+	lastStep int
+}
+
+func newBuddyState() *buddyState {
+	b := &buddyState{lastStep: -1}
+	b.own[0].step, b.own[1].step = -1, -1
+	return b
+}
+
+// ownAt returns the own snapshot of the given step, or nil.
+func (b *buddyState) ownAt(step int) *ownGen {
+	for i := range b.own {
+		if b.own[i].step == step {
+			return &b.own[i]
+		}
+	}
+	return nil
+}
+
+// replicaAt returns the committed replica generation of the given
+// producing world rank and step, or nil.
+func (b *buddyState) replicaAt(srcWorld, step int) *replicaGen {
+	for _, g := range b.replica {
+		if g != nil && g.srcWorld == srcWorld && g.step == step {
+			return g
+		}
+	}
+	return nil
+}
+
+// replicaLatest returns the newest committed generation step held for
+// the producing world rank (-1 if none).
+func (b *buddyState) replicaLatest(srcWorld int) int {
+	latest := -1
+	for _, g := range b.replica {
+		if g != nil && g.srcWorld == srcWorld && g.step > latest {
+			latest = g.step
+		}
+	}
+	return latest
+}
+
+// copyInto copies src into dst, reusing dst's storage when it fits.
+func copyInto(dst, src []float64) []float64 {
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
+}
+
+// replicate produces one protection generation at a coarse-step
+// barrier: the own raw snapshot, and the serialized replica shipped to
+// the buddy rank (rank+1) mod size. Collective over s.Comm.
+func (s *Sim) replicate(step int, rec *RecoveryStats) error {
+	b := s.buddy
+	c := s.Comm
+
+	// Own snapshot first: purely local, so every survivor of a failure
+	// during the exchange below still owns this generation.
+	p := b.parity
+	og := &b.own[p]
+	og.step = step
+	og.leaves = og.leaves[:0]
+	if len(og.src) != len(s.blocks) {
+		og.src = make([][]float64, len(s.blocks))
+		og.dst = make([][]float64, len(s.blocks))
+	}
+	for i, bd := range s.blocks {
+		og.leaves = append(og.leaves, blockforest.Leaf{ID: bd.ID, Coord: bd.Coord})
+		og.src[i] = copyInto(og.src[i], bd.Src.Data())
+		og.dst[i] = copyInto(og.dst[i], bd.Dst.Data())
+	}
+	b.lastStep = step
+
+	if c.Size() < 2 {
+		b.parity ^= 1
+		return nil // no buddy to protect or be protected by
+	}
+
+	var payload bytes.Buffer
+	_, crc, err := output.WriteLeafFile(&payload, s.leafSnapshots())
+	if err != nil {
+		return fmt.Errorf("amr: encoding replica payload: %w", err)
+	}
+	msg := &buddyMsg{Step: step, SrcWorld: c.WorldRank(), Payload: payload.Bytes(), CRC: crc}
+	buddy := (c.Rank() + 1) % c.Size()
+	ward := (c.Rank() + c.Size() - 1) % c.Size()
+	if err := c.SendErr(buddy, tagBuddy, msg); err != nil {
+		return err
+	}
+	got, _, err := c.RecvErr(ward, tagBuddy)
+	if err != nil {
+		return err
+	}
+	in, ok := got.(*buddyMsg)
+	if !ok {
+		return fmt.Errorf("amr: unexpected buddy payload %T", got)
+	}
+	rec.Replications++
+	rec.ReplicaBytes += int64(len(msg.Payload))
+	// Validate and decode at receipt: a corrupt generation is simply not
+	// committed, and the previous one stays restorable.
+	if output.CRC32C(in.Payload) == in.CRC {
+		if snaps, rcrc, derr := output.ReadLeafFileStored(bytes.NewReader(in.Payload), s.cfg.Stencil); derr == nil && rcrc == in.CRC {
+			b.replica[p] = &replicaGen{step: in.Step, srcWorld: in.SrcWorld, snaps: snaps}
+		}
+	}
+	b.parity ^= 1
+	// Commit barrier: bounds generation skew at one under gray failures,
+	// guaranteeing the recovery vote always finds a common restorable
+	// generation (see sim/buddy.go for the full argument).
+	return c.BarrierErr()
+}
+
+// shrinkRecover repairs the world after permanent failures: shrink the
+// communicator onto the survivors, vote on the newest restorable
+// generation, rewind every survivor from its own snapshot, let each
+// dead rank's buddy adopt the replica leaves, and rebuild the whole
+// topology (leaf list, kernels, exchange plan) from the restored leaf
+// descriptors. Falls back to the disk checkpoint sets when no common
+// in-memory generation survives. Returns the restored coarse step.
+func (s *Sim) shrinkRecover(dead []int, rc ResilienceConfig, rec *RecoveryStats, start time.Time) (int64, error) {
+	shrinkStart := s.tel.driver.Start()
+	c := s.Comm
+	b := s.buddy
+	oldSize := c.Size()
+	oldRank := c.Rank()
+
+	deadOld := make(map[int]bool, len(dead)) // dead old-comm ranks
+	for _, d := range dead {
+		r := c.CommRankOf(d)
+		if r < 0 {
+			return 0, fmt.Errorf("amr: dead world rank %d is not a member of the communicator", d)
+		}
+		deadOld[r] = true
+	}
+
+	newComm, _ := c.Shrink()
+	if newComm == nil {
+		return 0, ErrRetired
+	}
+
+	// The adopter of each dead rank is its buddy — deterministic, so no
+	// agreement traffic is needed. A dead buddy means the replica died
+	// with it: compound failure, unrecoverable in memory.
+	var myWardWorlds []int // dead world ranks this rank adopts from
+	var myWardOld []int    // the same wards as old-comm ranks (disk rung)
+	for dr := range deadOld {
+		a := (dr + 1) % oldSize
+		if deadOld[a] {
+			return 0, fmt.Errorf("amr: buddy rank of dead rank %d died too; compound failure is unrecoverable", dr)
+		}
+		if a == oldRank {
+			myWardWorlds = append(myWardWorlds, c.WorldRankOf(dr))
+			myWardOld = append(myWardOld, dr)
+		}
+	}
+
+	// Vote on the restore generation: the newest step every survivor can
+	// serve from memory — own snapshots everywhere, plus the replicas of
+	// the dead on their adopters.
+	cand := b.own[0].step
+	if b.own[1].step > cand {
+		cand = b.own[1].step
+	}
+	for _, w := range myWardWorlds {
+		if lw := b.replicaLatest(w); lw < cand {
+			cand = lw
+		}
+	}
+	g, err := newComm.AllreduceInt64Err(int64(cand), comm.Min[int64])
+	if err != nil {
+		return 0, err
+	}
+	have := int64(1)
+	if g >= 0 {
+		if b.ownAt(int(g)) == nil {
+			have = 0
+		}
+		for _, w := range myWardWorlds {
+			if b.replicaAt(w, int(g)) == nil {
+				have = 0
+			}
+		}
+	}
+	agree, err := newComm.AllreduceInt64Err(have, comm.Min[int64])
+	if err != nil {
+		return 0, err
+	}
+
+	var restored int64
+	var blocks []*Block
+	if g >= 0 && agree == 1 {
+		// Pure in-memory path: raw rewind + decoded replica adoption.
+		og := b.ownAt(int(g))
+		for i, bl := range og.leaves {
+			bl.Rank = newComm.Rank()
+			blk := s.newBlock(leafFrom(bl), false)
+			copy(blk.Src.Data(), og.src[i])
+			copy(blk.Dst.Data(), og.dst[i])
+			blocks = append(blocks, blk)
+		}
+		for _, w := range myWardWorlds {
+			gen := b.replicaAt(w, int(g))
+			adopted, err := s.blocksFromSnapshots(gen.snaps, newComm.Rank())
+			if err != nil {
+				return 0, err
+			}
+			blocks = append(blocks, adopted...)
+			rec.LeavesAdopted += len(adopted)
+		}
+		restored = g
+		rec.BuddyRestores++
+	} else {
+		restored, blocks, err = s.diskShrinkRestore(oldRank, oldSize, myWardOld, rc, newComm, rec)
+		if err != nil {
+			return 0, err
+		}
+		rec.DiskRestores++
+	}
+
+	// Commit the new topology: the leaf-descriptor allgather of
+	// installRestored rebuilds the forest with new-communicator ranks,
+	// so no old→new renumbering pass is needed.
+	s.Comm = newComm
+	if err := s.installRestored(blocks, int(restored)); err != nil {
+		return 0, err
+	}
+	rec.Shrinks++
+
+	// Drop all pre-shrink generations (their ranks are stale); the time
+	// loop re-replicates on the new topology before the first
+	// post-restore step, since a restored step is always a checkpoint
+	// barrier.
+	s.buddy = newBuddyState()
+
+	ready := time.Since(start)
+	if err := newComm.BarrierErr(); err != nil {
+		return 0, err
+	}
+	rec.RestoreLatency += ready
+	s.tel.driver.Span(telemetry.PhaseShrink, int(restored), 0, shrinkStart)
+	return restored, nil
+}
+
+// diskShrinkRestore is the fallback rung of shrinking recovery: the
+// survivors restore their own leaves from the newest valid disk set
+// written by the pre-shrink world, and each adopter reads its dead
+// wards' rank files too. Collective over newComm.
+func (s *Sim) diskShrinkRestore(oldRank, oldSize int, wardOld []int, rc ResilienceConfig, newComm *comm.Comm, rec *RecoveryStats) (int64, []*Block, error) {
+	if rc.Dir == "" {
+		return 0, nil, fmt.Errorf("amr: no common in-memory generation and no disk checkpoint directory configured")
+	}
+	var candidates []int64
+	if newComm.Rank() == 0 {
+		candidates = output.ListValidSets(rc.Dir)
+		s.recoveryDiskReads++
+	}
+	v, err := newComm.BcastErr(0, candidates)
+	if err != nil {
+		return 0, nil, err
+	}
+	if v != nil {
+		candidates = v.([]int64)
+	}
+
+	for _, step := range candidates {
+		setDir := filepath.Join(rc.Dir, output.SetDirName(int(step)))
+		blocks, loadErr := s.loadRankLeafFile(setDir, oldRank, oldSize, newComm.Rank())
+		if loadErr == nil {
+			for _, w := range wardOld {
+				var adopted []*Block
+				adopted, loadErr = s.loadRankLeafFile(setDir, w, oldSize, newComm.Rank())
+				if loadErr != nil {
+					break
+				}
+				blocks = append(blocks, adopted...)
+				rec.LeavesAdopted += len(adopted)
+			}
+		}
+		ok := int64(1)
+		if loadErr != nil {
+			ok = 0
+		}
+		agree, err := newComm.AllreduceInt64Err(ok, comm.Min[int64])
+		if err != nil {
+			return 0, nil, err
+		}
+		if agree == 0 {
+			continue
+		}
+		return step, blocks, nil
+	}
+	return 0, nil, fmt.Errorf("amr: no usable disk checkpoint set for shrink recovery in %s", rc.Dir)
+}

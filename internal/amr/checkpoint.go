@@ -1,0 +1,321 @@
+package amr
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"walberla/internal/blockforest"
+	"walberla/internal/comm"
+	"walberla/internal/output"
+)
+
+// Level-aware checkpoint sets. The directory protocol is the same as
+// the uniform simulation's (set-<step> directories, per-rank files, a
+// CRC-carrying manifest, atomic rename commit), but the rank files use
+// the WBK2 leaf encoding: each record carries the full leaf identity
+// (tree, octree path, level, coordinates) alongside both PDF fields, so
+// a restore rebuilds the *forest topology of the checkpointed step* —
+// which later re-grades may since have changed — not just the field
+// contents. Replay from a restored set is bit-identical because
+// stepping, the refinement controller and the balancer are all
+// deterministic functions of the restored state.
+
+// ckptStatus is the coordination payload broadcast by rank 0 when a
+// checkpoint set is opened and closed.
+type ckptStatus struct {
+	Err    string
+	Skip   bool
+	Total  int64
+	Commit bool
+}
+
+// WriteCheckpointSet writes a coordinated checkpoint set for the given
+// coarse step: every rank snapshots all of its leaves (both PDF fields)
+// into a per-rank WBK2 file, rank 0 gathers sizes and CRC32Cs into the
+// manifest, and the set directory is renamed into place atomically.
+// Returns the bytes this rank wrote (0 if the set already existed).
+func (s *Sim) WriteCheckpointSet(dir string, step int) (int64, error) {
+	c := s.Comm
+	final := filepath.Join(dir, output.SetDirName(step))
+	tmp := filepath.Join(dir, output.TmpSetDirName(step))
+
+	var open ckptStatus
+	if c.Rank() == 0 {
+		if _, err := os.Stat(final); err == nil {
+			open.Skip = true
+		} else {
+			os.RemoveAll(tmp)
+			if err := os.MkdirAll(tmp, 0o755); err != nil {
+				open.Err = err.Error()
+			}
+		}
+	}
+	v, err := c.BcastErr(0, open)
+	if err != nil {
+		return 0, err
+	}
+	open = v.(ckptStatus)
+	if open.Err != "" {
+		return 0, fmt.Errorf("amr: opening checkpoint set %d: %s", step, open.Err)
+	}
+	if open.Skip {
+		return 0, nil
+	}
+
+	type contribution struct {
+		Entry output.ManifestEntry
+		Err   string
+	}
+	var contrib contribution
+	contrib.Entry.Name = output.RankFileName(c.Rank())
+	snaps := s.leafSnapshots()
+	if f, err := os.Create(filepath.Join(tmp, contrib.Entry.Name)); err != nil {
+		contrib.Err = err.Error()
+	} else {
+		size, crc, werr := output.WriteLeafFile(f, snaps)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			contrib.Err = werr.Error()
+		}
+		contrib.Entry.Size, contrib.Entry.CRC = size, crc
+	}
+
+	gathered, err := c.GatherErr(0, contrib)
+	if err != nil {
+		return 0, err
+	}
+
+	var closeSt ckptStatus
+	if c.Rank() == 0 {
+		m := &output.SetManifest{Step: int64(step), Ranks: int32(c.Size())}
+		for r, g := range gathered {
+			gc := g.(contribution)
+			if gc.Err != "" && closeSt.Err == "" {
+				closeSt.Err = fmt.Sprintf("rank %d: %s", r, gc.Err)
+			}
+			m.Entries = append(m.Entries, gc.Entry)
+			closeSt.Total += gc.Entry.Size
+		}
+		if closeSt.Err == "" {
+			if err := writeManifestFile(filepath.Join(tmp, output.ManifestName), m); err != nil {
+				closeSt.Err = err.Error()
+			} else if err := os.Rename(tmp, final); err != nil {
+				closeSt.Err = err.Error()
+			} else {
+				closeSt.Commit = true
+			}
+		}
+		if closeSt.Err != "" {
+			os.RemoveAll(tmp)
+		}
+	}
+	v, err = c.BcastErr(0, closeSt)
+	if err != nil {
+		return 0, err
+	}
+	closeSt = v.(ckptStatus)
+	if closeSt.Err != "" {
+		return 0, fmt.Errorf("amr: committing checkpoint set %d: %s", step, closeSt.Err)
+	}
+	return contrib.Entry.Size, nil
+}
+
+func writeManifestFile(path string, m *output.SetManifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := output.WriteManifest(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// leafSnapshots converts the owned blocks into WBK2 records.
+func (s *Sim) leafSnapshots() []output.LeafSnapshot {
+	snaps := make([]output.LeafSnapshot, len(s.blocks))
+	for i, b := range s.blocks {
+		snaps[i] = output.LeafSnapshot{
+			Tree: b.ID.Tree, Path: b.ID.Path, Level: b.ID.Level,
+			Coord: b.Coord, Src: b.Src, Dst: b.Dst,
+		}
+	}
+	return snaps
+}
+
+// RestoreLatestCheckpointSet rewinds the simulation to the newest
+// checkpoint set every rank can load and CRC-validate, voting unusable
+// sets down collectively. The restored forest topology replaces the
+// current one entirely (re-grades between the checkpoint and the
+// failure are undone together with the field state). With no usable
+// set, the world rewinds to the initial uniform forest. Returns the
+// restored coarse step.
+func (s *Sim) RestoreLatestCheckpointSet(dir string) (int64, error) {
+	c := s.Comm
+
+	var candidates []int64
+	if c.Rank() == 0 {
+		candidates = output.ListValidSets(dir)
+		s.recoveryDiskReads++
+	}
+	v, err := c.BcastErr(0, candidates)
+	if err != nil {
+		return 0, err
+	}
+	if v != nil {
+		candidates = v.([]int64)
+	}
+
+	for _, step := range candidates {
+		setDir := filepath.Join(dir, output.SetDirName(int(step)))
+		blocks, loadErr := s.loadRankLeafFile(setDir, c.Rank(), c.Size(), c.Rank())
+		ok := int64(1)
+		if loadErr != nil {
+			ok = 0
+		}
+		agree, err := c.AllreduceInt64Err(ok, comm.Min[int64])
+		if err != nil {
+			return 0, err
+		}
+		if agree == 0 {
+			continue // some rank cannot use this set; try the next older one
+		}
+		if err := s.installRestored(blocks, int(step)); err != nil {
+			return 0, err
+		}
+		return step, nil
+	}
+
+	// No usable checkpoint: rewind to the initial uniform forest.
+	if err := s.buildInitialForest(); err != nil {
+		return 0, err
+	}
+	s.step = 0
+	return 0, nil
+}
+
+// loadRankLeafFile reads and fully validates one rank's WBK2 file of a
+// set (manifest CRC and size, per-record CRCs) and builds runtime
+// blocks owned by newRank. wantRanks is the world size the set must
+// have been written by; fileRank names the rank file inside the set.
+func (s *Sim) loadRankLeafFile(setDir string, fileRank, wantRanks, newRank int) ([]*Block, error) {
+	s.recoveryDiskReads++
+	m, err := output.ValidateSetDir(setDir)
+	if err != nil {
+		return nil, err
+	}
+	if int(m.Ranks) != wantRanks {
+		return nil, fmt.Errorf("amr: checkpoint set %s was written by %d ranks, need %d",
+			setDir, m.Ranks, wantRanks)
+	}
+	name := output.RankFileName(fileRank)
+	var entry *output.ManifestEntry
+	for i := range m.Entries {
+		if m.Entries[i].Name == name {
+			entry = &m.Entries[i]
+			break
+		}
+	}
+	if entry == nil {
+		return nil, fmt.Errorf("amr: checkpoint set %s has no file for rank %d", setDir, fileRank)
+	}
+	f, err := os.Open(filepath.Join(setDir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snaps, crc, err := output.ReadLeafFileStored(f, s.cfg.Stencil)
+	if err != nil {
+		return nil, err
+	}
+	if crc != entry.CRC {
+		return nil, fmt.Errorf("amr: rank file %s CRC %08x does not match manifest %08x", name, crc, entry.CRC)
+	}
+	return s.blocksFromSnapshots(snaps, newRank)
+}
+
+// blocksFromSnapshots turns decoded WBK2 records into runtime blocks
+// owned by the given rank, converting layouts and regenerating flag
+// fields from the pure config function.
+func (s *Sim) blocksFromSnapshots(snaps []output.LeafSnapshot, rank int) ([]*Block, error) {
+	C := s.cfg.Cells
+	blocks := make([]*Block, 0, len(snaps))
+	for _, sn := range snaps {
+		for _, pf := range []*fieldShape{{sn.Src.Nx, sn.Src.Ny, sn.Src.Nz}, {sn.Dst.Nx, sn.Dst.Ny, sn.Dst.Nz}} {
+			if pf.nx != C[0] || pf.ny != C[1] || pf.nz != C[2] {
+				return nil, fmt.Errorf("amr: snapshot leaf %d/%d shape mismatch", sn.Tree, sn.Path)
+			}
+		}
+		bl := blockforest.Leaf{
+			ID:    blockforest.BlockID{Tree: sn.Tree, Path: sn.Path, Level: sn.Level},
+			Coord: sn.Coord,
+			Rank:  rank,
+		}
+		b := &Block{Leaf: leafFrom(bl), Src: s.ensureLayout(sn.Src), Dst: s.ensureLayout(sn.Dst)}
+		s.attachFlags(b)
+		blocks = append(blocks, b)
+	}
+	return blocks, nil
+}
+
+type fieldShape struct{ nx, ny, nz int }
+
+// installRestored commits a restored local block set: the global forest
+// is rebuilt by allgathering every rank's restored leaf descriptors, so
+// topology recovery needs no side channel — the rank files themselves
+// carry the forest. Collective over s.Comm.
+func (s *Sim) installRestored(blocks []*Block, step int) error {
+	type leafDesc struct {
+		Tree  uint32
+		Path  uint64
+		Level uint8
+		Coord [3]int
+	}
+	local := make([]leafDesc, len(blocks))
+	for i, b := range blocks {
+		local[i] = leafDesc{Tree: b.ID.Tree, Path: b.ID.Path, Level: b.ID.Level, Coord: b.Coord}
+	}
+	gathered, err := s.Comm.AllgatherErr(local)
+	if err != nil {
+		return err
+	}
+	var all []blockforest.Leaf
+	for r, g := range gathered {
+		for _, d := range g.([]leafDesc) {
+			all = append(all, blockforest.Leaf{
+				ID:    blockforest.BlockID{Tree: d.Tree, Path: d.Path, Level: d.Level},
+				Coord: d.Coord,
+				Rank:  r,
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		ki, kj := blockforest.MortonKey(all[i].Coord), blockforest.MortonKey(all[j].Coord)
+		if ki != kj {
+			return ki < kj
+		}
+		return all[i].ID.Less(all[j].ID)
+	})
+	if err := blockforest.CheckGraded(all, s.cfg.Grid, s.cfg.Periodic); err != nil {
+		return fmt.Errorf("amr: restored forest is not 2:1 graded: %w", err)
+	}
+	s.setLeaves(all)
+	s.blocks = nil
+	s.byID = nil
+	for _, b := range blocks {
+		b.Rank = s.Comm.Rank()
+		s.addBlock(b)
+	}
+	s.sortBlocks()
+	if err := s.rebuildKernels(); err != nil {
+		return err
+	}
+	s.rebuildPlan()
+	s.step = step
+	return nil
+}

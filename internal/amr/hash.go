@@ -1,0 +1,103 @@
+package amr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"walberla/internal/field"
+	"walberla/internal/lattice"
+)
+
+// FieldHash folds every interior PDF value of every leaf into one
+// FNV-1a hash, identical on all ranks. Leaves are hashed locally, the
+// digests gathered on rank 0, sorted by the full leaf identity (forest
+// order is placement-independent) and folded with level metadata, so
+// equal hashes mean bit-identical refined worlds regardless of rank
+// count, worker count, transport or layout.
+func (s *Sim) FieldHash() (uint64, error) {
+	type leafHash struct {
+		Tree  uint32
+		Path  uint64
+		Level uint8
+		Coord [3]int
+		Hash  uint64
+	}
+	local := make([]leafHash, 0, len(s.blocks))
+	for _, b := range s.blocks {
+		local = append(local, leafHash{
+			Tree: b.ID.Tree, Path: b.ID.Path, Level: b.ID.Level,
+			Coord: b.Coord, Hash: hashInterior(b.Src),
+		})
+	}
+	gathered, err := s.Comm.GatherErr(0, local)
+	if err != nil {
+		return 0, err
+	}
+	var h uint64
+	if s.Comm.Rank() == 0 {
+		var all []leafHash
+		for _, g := range gathered {
+			all = append(all, g.([]leafHash)...)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			a, b := all[i], all[j]
+			if a.Tree != b.Tree {
+				return a.Tree < b.Tree
+			}
+			if a.Level != b.Level {
+				return a.Level < b.Level
+			}
+			return a.Path < b.Path
+		})
+		h = fnvOffset
+		for _, lh := range all {
+			h = fnvMix(h, uint64(lh.Tree))
+			h = fnvMix(h, lh.Path)
+			h = fnvMix(h, uint64(lh.Level))
+			for _, c := range lh.Coord {
+				h = fnvMix(h, uint64(int64(c)))
+			}
+			h = fnvMix(h, lh.Hash)
+		}
+	}
+	v, err := s.Comm.BcastErr(0, h)
+	if err != nil {
+		return 0, err
+	}
+	hv, ok := v.(uint64)
+	if !ok {
+		return 0, fmt.Errorf("amr: field hash broadcast returned %T", v)
+	}
+	return hv, nil
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// hashInterior hashes the interior cells of a field in layout-agnostic
+// (z, y, x, direction) order.
+func hashInterior(f *field.PDFField) uint64 {
+	h := uint64(fnvOffset)
+	for z := 0; z < f.Nz; z++ {
+		for y := 0; y < f.Ny; y++ {
+			for x := 0; x < f.Nx; x++ {
+				for a := 0; a < f.Stencil.Q; a++ {
+					h = fnvMix(h, math.Float64bits(f.Get(x, y, z, lattice.Direction(a))))
+				}
+			}
+		}
+	}
+	return h
+}

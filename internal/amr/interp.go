@@ -1,0 +1,217 @@
+package amr
+
+import (
+	"math"
+
+	"walberla/internal/field"
+	"walberla/internal/lattice"
+)
+
+// Level-interface PDF transfer. Three operators share the same
+// arithmetic so ghost exchange, block splitting and block merging stay
+// mutually consistent:
+//
+//   - sampleCoarse: trilinear interpolation of a coarse field at a fine
+//     cell center, sampling clamped to the sender's interior so the
+//     result never depends on the sender's ghost state (and therefore
+//     not on the block distribution);
+//   - restrictFine: average of an aligned 2×2×2 fine cell group;
+//   - rescaleNeq: rescaling of the non-equilibrium part, applied per
+//     relaxation parity: f = f_eq + λ⁺ n⁺ + λ⁻ n⁻ with n± the even/odd
+//     halves of f − f_eq over opposite direction pairs.
+//
+// The λ factors are the post-collision (Filippova–Hänel) ones,
+//
+//	λ_p,toFine = (τ_p,fine − 1) / (2 (τ_p,coarse − 1)),
+//
+// and the reciprocal going coarser, because the sweep kernels are fused
+// stream-collide pulls: the stored state every exchange and migration
+// reads is POST-collision, whose non-equilibrium part per parity p is
+// (1 − 1/τ_p) n_pre with n_pre ≈ −τ_p Δt (∂_t + c·∇) f_eq, i.e.
+// n_post ∝ (τ_p − 1) Δt. Two consequences worth spelling out:
+//
+//   - the pre-collision Dupuis–Chopard factor τ_f/(2 τ_c) is WRONG for
+//     this data — with τ_c < 1 < τ_f it does not even have the right
+//     sign, and the mis-scaled ghost stress acts as a persistent
+//     momentum-flux defect at every interface (a linear shear profile
+//     is then not a fixed point and visibly flattens near interfaces);
+//   - each parity needs its own τ: under TRT the odd relaxation time
+//     follows the magic-parameter constraint Λ = (τ⁺−½)(τ⁻−½), not the
+//     acoustic 2^ℓ scaling of τ⁺ (SRT relaxes both parities with τ).
+//
+// At τ_p,src = 1 the source's post-collision non-equilibrium vanishes
+// identically and carries no information; the factor degrades to 0
+// (equilibrium transfer) instead of dividing by zero.
+//
+// All loops run in a fixed order with no reductions, so every operator
+// is bitwise deterministic.
+
+// interpScratch is the per-worker scratch of the transfer operators.
+// f2 holds the second time level of a temporally interpolated
+// coarse→fine sample (see exchange.go sampleCoarseAt).
+type interpScratch struct {
+	f   []float64
+	f2  []float64
+	feq []float64
+	neq []float64
+}
+
+func newInterpScratch(q int) interpScratch {
+	return interpScratch{
+		f: make([]float64, q), f2: make([]float64, q),
+		feq: make([]float64, q), neq: make([]float64, q),
+	}
+}
+
+// lambdaPair carries the per-parity non-equilibrium scale factors of
+// one transfer direction.
+type lambdaPair struct {
+	even, odd float64
+}
+
+// rescaleNeq rescales the non-equilibrium part of f in place, each
+// direction parity by its own factor.
+func (s *Sim) rescaleNeq(f []float64, lam lambdaPair, sc *interpScratch) {
+	st := s.cfg.Stencil
+	rho, ux, uy, uz := st.Moments(f)
+	st.Equilibrium(sc.feq, rho, ux, uy, uz)
+	for a := range f {
+		sc.neq[a] = f[a] - sc.feq[a]
+	}
+	for a := range f {
+		ab := int(st.Inv[a])
+		p := 0.5 * (sc.neq[a] + sc.neq[ab])
+		m := 0.5 * (sc.neq[a] - sc.neq[ab])
+		f[a] = sc.feq[a] + lam.even*p + lam.odd*m
+	}
+}
+
+// postNeqRatio is the post-collision non-equilibrium scale factor for a
+// src → dst transfer of one parity: (τ_dst − 1) Δt_dst over
+// (τ_src − 1) Δt_src with dtRatio = Δt_dst/Δt_src. Zero when the source
+// relaxes at τ = 1 (its post-collision non-equilibrium is identically
+// zero, so there is nothing to rescale).
+func postNeqRatio(tauDst, tauSrc, dtRatio float64) float64 {
+	d := tauSrc - 1
+	if math.Abs(d) < 1e-12 {
+		return 0
+	}
+	return dtRatio * (tauDst - 1) / d
+}
+
+// lambdaToFine is the non-equilibrium scale pair for coarse(src) →
+// fine(dst) transfer between adjacent levels.
+func (s *Sim) lambdaToFine(fineLevel int) lambdaPair {
+	return lambdaPair{
+		even: postNeqRatio(s.cfg.tauAt(fineLevel), s.cfg.tauAt(fineLevel-1), 0.5),
+		odd:  postNeqRatio(s.cfg.tauOddAt(fineLevel), s.cfg.tauOddAt(fineLevel-1), 0.5),
+	}
+}
+
+// lambdaToCoarse is the inverse pair for fine(src) → coarse(dst).
+func (s *Sim) lambdaToCoarse(fineLevel int) lambdaPair {
+	return lambdaPair{
+		even: postNeqRatio(s.cfg.tauAt(fineLevel-1), s.cfg.tauAt(fineLevel), 2),
+		odd:  postNeqRatio(s.cfg.tauOddAt(fineLevel-1), s.cfg.tauOddAt(fineLevel), 2),
+	}
+}
+
+// sampleCoarse gathers the full PDF vector of a coarse field at the
+// center of fine cell F of the sender's 2× subdivision (F in units of
+// half the coarse cell size, possibly outside [0, 2C) for ghost
+// targets). Only interior values are read: positions beyond the edge
+// cell centers — every interface-adjacent fine ghost cell lands 0.25
+// coarse cells past the last center — extrapolate linearly from the
+// two nearest interior centers. Clamping onto the edge center instead
+// would shift those samples by a quarter cell toward the block
+// interior, a first-order bias that pumps momentum across every
+// coarse→fine interface sitting in a gradient.
+func (s *Sim) sampleCoarse(src *field.PDFField, F [3]int, out []float64) {
+	C := s.cfg.Cells
+	var i0, i1 [3]int
+	var w1 [3]float64
+	for d := 0; d < 3; d++ {
+		q := (float64(F[d]) + 0.5) / 2.0
+		q -= 0.5 // cell-center coordinates
+		lo := int(math.Floor(q))
+		if lo > C[d]-2 {
+			lo = C[d] - 2
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		i0[d], i1[d] = lo, lo+1
+		if i1[d] > C[d]-1 {
+			i1[d] = C[d] - 1
+		}
+		w1[d] = q - float64(lo)
+	}
+	w0 := [3]float64{1 - w1[0], 1 - w1[1], 1 - w1[2]}
+	for a := range out {
+		v := 0.0
+		v += w0[2] * (w0[1]*(w0[0]*src.Get(i0[0], i0[1], i0[2], lattice.Direction(a))+w1[0]*src.Get(i1[0], i0[1], i0[2], lattice.Direction(a))) +
+			w1[1]*(w0[0]*src.Get(i0[0], i1[1], i0[2], lattice.Direction(a))+w1[0]*src.Get(i1[0], i1[1], i0[2], lattice.Direction(a))))
+		v += w1[2] * (w0[1]*(w0[0]*src.Get(i0[0], i0[1], i1[2], lattice.Direction(a))+w1[0]*src.Get(i1[0], i0[1], i1[2], lattice.Direction(a))) +
+			w1[1]*(w0[0]*src.Get(i0[0], i1[1], i1[2], lattice.Direction(a))+w1[0]*src.Get(i1[0], i1[1], i1[2], lattice.Direction(a))))
+		out[a] = v
+	}
+}
+
+// restrictFine averages the aligned 2×2×2 fine cell group with origin
+// F (fine interior coordinates; the group never straddles blocks
+// because cells per block is even).
+func restrictFine(src *field.PDFField, F [3]int, out []float64) {
+	for a := range out {
+		v := 0.0
+		for bz := 0; bz < 2; bz++ {
+			for by := 0; by < 2; by++ {
+				for bx := 0; bx < 2; bx++ {
+					v += src.Get(F[0]+bx, F[1]+by, F[2]+bz, lattice.Direction(a))
+				}
+			}
+		}
+		out[a] = v * 0.125
+	}
+}
+
+// prolongBlock fills a child field from its parent: child octant oct of
+// the parent's 2× subdivision, interior cells only, with non-equilibrium
+// rescaling for the finer level.
+func (s *Sim) prolongBlock(parent *field.PDFField, oct int, fineLevel int, child *field.PDFField, sc *interpScratch) {
+	C := s.cfg.Cells
+	lam := s.lambdaToFine(fineLevel)
+	org := [3]int{(oct & 1) * C[0], (oct >> 1 & 1) * C[1], (oct >> 2 & 1) * C[2]}
+	for z := 0; z < C[2]; z++ {
+		for y := 0; y < C[1]; y++ {
+			for x := 0; x < C[0]; x++ {
+				F := [3]int{org[0] + x, org[1] + y, org[2] + z}
+				s.sampleCoarse(parent, F, sc.f)
+				s.rescaleNeq(sc.f, lam, sc)
+				for a, v := range sc.f {
+					child.Set(x, y, z, lattice.Direction(a), v)
+				}
+			}
+		}
+	}
+}
+
+// restrictBlock fills one octant of a parent field from a child:
+// interior cells only, with non-equilibrium rescaling for the coarser
+// level.
+func (s *Sim) restrictBlock(child *field.PDFField, oct int, fineLevel int, parent *field.PDFField, sc *interpScratch) {
+	C := s.cfg.Cells
+	lam := s.lambdaToCoarse(fineLevel)
+	half := [3]int{C[0] / 2, C[1] / 2, C[2] / 2}
+	org := [3]int{(oct & 1) * half[0], (oct >> 1 & 1) * half[1], (oct >> 2 & 1) * half[2]}
+	for z := 0; z < half[2]; z++ {
+		for y := 0; y < half[1]; y++ {
+			for x := 0; x < half[0]; x++ {
+				restrictFine(child, [3]int{2 * x, 2 * y, 2 * z}, sc.f)
+				s.rescaleNeq(sc.f, lam, sc)
+				for a, v := range sc.f {
+					parent.Set(org[0]+x, org[1]+y, org[2]+z, lattice.Direction(a), v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package amr
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool is the AMR twin of the sim package's fork-join pool: tasks
+// self-schedule off an atomic cursor, panics re-raise on the caller,
+// and a single-worker pool degrades to a serial inline loop. All tasks
+// write disjoint state, so results are bit-identical for every worker
+// count.
+type workerPool struct {
+	workers int
+}
+
+type poolRun struct {
+	cursor atomic.Int64
+	_      [56]byte // keep the cursor on its own cache line
+	wg     sync.WaitGroup
+	panic  atomic.Value
+}
+
+// run executes task(worker, i) for i in [0, n).
+func (p *workerPool) run(n int, task func(worker, i int)) {
+	if n == 0 {
+		return
+	}
+	if p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			task(0, i)
+		}
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	var r poolRun
+	r.wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(worker int) {
+			defer r.wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					r.panic.CompareAndSwap(nil, v)
+				}
+			}()
+			for {
+				i := int(r.cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(worker, i)
+			}
+		}(k)
+	}
+	r.wg.Wait()
+	if v := r.panic.Load(); v != nil {
+		panic(v)
+	}
+}

@@ -1,0 +1,359 @@
+package amr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"walberla/internal/comm"
+	"walberla/internal/telemetry"
+)
+
+// Resilient execution for refined worlds: coordinated WBK2 checkpoint
+// sets plus automatic rewind-and-replay (RecoverRewind), or in-memory
+// buddy replication with shrinking recovery (RecoverShrink). Because
+// stepping, the refinement controller and the balancer are all
+// deterministic, a recovered run finishes bit-identical to an
+// uninterrupted one. Heal (re-growing the world onto a spare rank) is
+// not supported for refined worlds; use the uniform simulation's driver
+// when healing is required.
+
+// RecoveryMode selects how RunResilient repairs the world after a
+// permanent rank failure.
+type RecoveryMode int
+
+const (
+	// RecoverRewind keeps the world intact: every rank backs off,
+	// rendezvouses and rewinds from the newest valid disk checkpoint
+	// set — re-grades since the checkpoint are undone and replayed.
+	RecoverRewind RecoveryMode = iota
+	// RecoverShrink drops the failed rank: the survivors shrink the
+	// communicator, the dead rank's buddy re-owns its leaves from the
+	// in-memory replica, and the run resumes from the replicated step
+	// with zero disk I/O.
+	RecoverShrink
+)
+
+// ErrRetired is returned by RunResilient on a rank that failed
+// permanently under RecoverShrink: the rank has been removed from the
+// world and must not communicate again.
+var ErrRetired = errors.New("amr: rank retired after permanent failure (shrinking recovery)")
+
+// errSilenced is the internal conversion of an injected Hang: the rank
+// goes dark without marking itself dead.
+var errSilenced = errors.New("amr: rank silenced by injected hang")
+
+// ErrInterrupted is returned (wrapped) by RunResilientCtx when the run
+// was stopped by context cancellation rather than by an error.
+var ErrInterrupted = errors.New("amr: run interrupted")
+
+// ResilienceConfig tunes RunResilient. The semantics match the uniform
+// simulation's sim.ResilienceConfig field for field.
+type ResilienceConfig struct {
+	// CheckpointEvery protects every multiple of this coarse-step count.
+	// 0 disables protection: failures rewind to the initial state, and
+	// shrink recovery has no replicas to restore from.
+	CheckpointEvery int
+	// Dir is the checkpoint root directory; empty disables disk
+	// checkpointing (RecoverShrink then runs purely in memory).
+	Dir string
+	// Mode selects rewind (default) or shrinking recovery.
+	Mode RecoveryMode
+	// MaxFailures caps tolerated rank-failure events. Negative selects
+	// the default of 8; 0 aborts on the first failure.
+	MaxFailures int
+	// BackoffBase and BackoffMax shape the capped exponential delay
+	// between failure detection and the recovery rendezvous; zero means
+	// 10ms base, 2s cap.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// Validate normalizes the configuration in place and rejects unknown
+// recovery modes.
+func (rc *ResilienceConfig) Validate() error {
+	if rc.Mode != RecoverRewind && rc.Mode != RecoverShrink {
+		return fmt.Errorf("amr: unknown or unsupported recovery mode %d", rc.Mode)
+	}
+	if rc.CheckpointEvery < 0 {
+		return fmt.Errorf("amr: negative checkpoint interval %d", rc.CheckpointEvery)
+	}
+	if rc.MaxFailures < 0 {
+		rc.MaxFailures = 8
+	}
+	if rc.BackoffBase == 0 {
+		rc.BackoffBase = 10 * time.Millisecond
+	}
+	if rc.BackoffMax == 0 {
+		rc.BackoffMax = 2 * time.Second
+	}
+	return nil
+}
+
+// backoff returns the capped exponential delay for the nth failure
+// (1-based).
+func (rc *ResilienceConfig) backoff(n int) time.Duration {
+	d := rc.BackoffBase
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= rc.BackoffMax {
+			return rc.BackoffMax
+		}
+	}
+	if d > rc.BackoffMax {
+		return rc.BackoffMax
+	}
+	return d
+}
+
+// RecoveryStats accumulates what resilient execution did.
+type RecoveryStats struct {
+	FailuresDetected        int
+	Restores                int
+	BuddyRestores           int // in-memory shrink restores
+	DiskRestores            int // disk-fallback shrink restores
+	Shrinks                 int
+	StepsReplayed           int
+	CheckpointsWritten      int
+	CheckpointBytes         int64
+	Replications            int
+	ReplicaBytes            int64
+	LeavesAdopted           int
+	DiskReadsDuringRecovery int64
+	TimeLost                time.Duration
+	RestoreLatency          time.Duration
+}
+
+// RunResilient advances the simulation by the given number of coarse
+// steps under the fault-tolerant driver. Under RecoverShrink a rank
+// that failed permanently returns ErrRetired.
+func (s *Sim) RunResilient(steps int, rc ResilienceConfig) (RecoveryStats, error) {
+	return s.RunResilientCtx(context.Background(), steps, rc)
+}
+
+// RunResilientCtx is RunResilient bound to a context. Cancellation
+// stops the driver at the next coarse-step boundary, never inside a
+// checkpoint; the cancellation vote costs one scalar allreduce per
+// step.
+func (s *Sim) RunResilientCtx(ctx context.Context, steps int, rc ResilienceConfig) (RecoveryStats, error) {
+	if err := rc.Validate(); err != nil {
+		return RecoveryStats{}, err
+	}
+	if rc.Mode == RecoverShrink {
+		s.buddy = newBuddyState()
+	}
+	var rec RecoveryStats
+	failures := 0
+	needRestore := false
+	var deadPending []int // world ranks whose leaves still need re-owning
+
+	// onFailure classifies one rank-failure event; non-nil means this
+	// rank is done (retired or out of budget).
+	onFailure := func(err error) error {
+		var rfe *comm.RankFailedError
+		if !errors.As(err, &rfe) {
+			return err
+		}
+		failures++
+		rec.FailuresDetected++
+		if failures > rc.MaxFailures {
+			return fmt.Errorf("amr: giving up after %d rank failures: %w", failures, err)
+		}
+		if rc.Mode == RecoverShrink {
+			if rfe.Rank == s.Comm.WorldRank() {
+				s.Comm.Retire()
+				return ErrRetired
+			}
+			found := false
+			for _, d := range deadPending {
+				found = found || d == rfe.Rank
+			}
+			if !found {
+				deadPending = append(deadPending, rfe.Rank)
+			}
+		}
+		return nil
+	}
+
+	for {
+		if needRestore {
+			recStart := s.tel.driver.Start()
+			tRec := time.Now()
+			sleepCtx(ctx, rc.backoff(failures))
+			if rc.Mode == RecoverShrink {
+				for _, d := range deadPending {
+					s.Comm.MarkDead(d)
+				}
+			}
+			s.Comm.Recover()
+			resStart := s.tel.driver.Start()
+			tRestore := time.Now()
+			prevStep := s.step
+			diskBefore := s.recoveryDiskReads
+			var restored int64
+			var err error
+			if rc.Mode == RecoverShrink {
+				restored, err = s.shrinkRestoreAttempt(deadPending, rc, &rec, tRestore)
+			} else {
+				restored, err = s.restoreAttempt(rc.Dir)
+			}
+			rec.DiskReadsDuringRecovery += s.recoveryDiskReads - diskBefore
+			if err != nil {
+				rec.TimeLost += time.Since(tRec)
+				if terminal := onFailure(err); terminal != nil {
+					return rec, terminal
+				}
+				continue
+			}
+			deadPending = nil
+			rec.Restores++
+			if rc.Mode == RecoverRewind {
+				rec.RestoreLatency += time.Since(tRestore)
+			}
+			if prevStep > int(restored) {
+				rec.StepsReplayed += prevStep - int(restored)
+			}
+			rec.TimeLost += time.Since(tRec)
+			s.tel.driver.Span(telemetry.PhaseRestore, s.step, 0, resStart)
+			s.tel.driver.Span(telemetry.PhaseRecovery, s.step, 0, recStart)
+			needRestore = false
+		}
+
+		err := s.runAttempt(ctx, steps, rc, &rec)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, ErrInterrupted) {
+			return rec, err
+		}
+		if errors.Is(err, errSilenced) {
+			// Injected silent failure: go dark without a trace; the
+			// survivors detect the silence by timeout and shrink.
+			return rec, ErrRetired
+		}
+		if terminal := onFailure(err); terminal != nil {
+			return rec, terminal
+		}
+		needRestore = true
+	}
+	return rec, nil
+}
+
+// runAttempt executes coarse steps until completion or the first
+// detected failure, converting injected-crash panics into the typed
+// error the communication layer returns.
+func (s *Sim) runAttempt(ctx context.Context, total int, rc ResilienceConfig, rec *RecoveryStats) (err error) {
+	defer convertCrash(&err)
+	for s.step < total {
+		if stop, verr := s.cancelVote(ctx); verr != nil {
+			return verr
+		} else if stop {
+			return interrupted(ctx)
+		}
+		// Arm this step's injected crashes and hangs before any
+		// collective work (each spec fires at most once across replays).
+		s.Comm.SetStep(s.step)
+		if rc.Mode == RecoverShrink && rc.CheckpointEvery > 0 &&
+			s.step%rc.CheckpointEvery == 0 && s.buddy.lastStep != s.step {
+			// Produce a replica generation, including one at step 0 so
+			// the buddy always holds at least the initial state.
+			repStart := s.tel.driver.Start()
+			if err := s.replicate(s.step, rec); err != nil {
+				return err
+			}
+			s.tel.driver.Span(telemetry.PhaseReplicate, s.step, 0, repStart)
+		}
+		if rc.CheckpointEvery > 0 && rc.Dir != "" && s.step > 0 && s.step%rc.CheckpointEvery == 0 {
+			ckStart := s.tel.driver.Start()
+			n, err := s.WriteCheckpointSet(rc.Dir, s.step)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				rec.CheckpointsWritten++
+				rec.CheckpointBytes += n
+			}
+			s.tel.driver.Span(telemetry.PhaseCheckpoint, s.step, 0, ckStart)
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return s.Comm.BarrierErr()
+}
+
+// restoreAttempt wraps RestoreLatestCheckpointSet with panic conversion
+// (a crash can be scheduled to fire during recovery traffic too).
+func (s *Sim) restoreAttempt(dir string) (step int64, err error) {
+	defer convertCrash(&err)
+	return s.RestoreLatestCheckpointSet(dir)
+}
+
+// shrinkRestoreAttempt wraps shrinkRecover the same way.
+func (s *Sim) shrinkRestoreAttempt(dead []int, rc ResilienceConfig, rec *RecoveryStats, start time.Time) (step int64, err error) {
+	defer convertCrash(&err)
+	return s.shrinkRecover(dead, rc, rec, start)
+}
+
+// convertCrash converts injected-failure panics into the typed errors
+// of the communication layer; other panics propagate.
+func convertCrash(err *error) {
+	if r := recover(); r != nil {
+		if cr, ok := r.(comm.Crash); ok {
+			*err = &comm.RankFailedError{Rank: cr.Rank, Cause: "injected crash"}
+			return
+		}
+		if _, ok := r.(comm.Hang); ok {
+			*err = errSilenced
+			return
+		}
+		var rfe *comm.RankFailedError
+		if e, isErr := r.(error); isErr && errors.As(e, &rfe) {
+			*err = rfe
+			return
+		}
+		panic(r)
+	}
+}
+
+// cancelVote is the collective cancellation check: the loop stops iff
+// any rank's context is done, so all ranks agree on the exact step the
+// run ends at. No communication for non-cancellable contexts.
+func (s *Sim) cancelVote(ctx context.Context) (stop bool, err error) {
+	if ctx == nil || ctx.Done() == nil {
+		return false, nil
+	}
+	flag := int64(0)
+	if ctx.Err() != nil {
+		flag = 1
+	}
+	v, err := s.Comm.AllreduceInt64Err(flag, comm.Max[int64])
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+// interrupted builds the ErrInterrupted-wrapping error of a cancelled
+// run.
+func interrupted(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return fmt.Errorf("%w: %w", ErrInterrupted, cause)
+	}
+	return ErrInterrupted
+}
+
+// sleepCtx sleeps for d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

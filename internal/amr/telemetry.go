@@ -1,0 +1,61 @@
+package amr
+
+import (
+	"walberla/internal/telemetry"
+)
+
+// amrTel bundles the pre-resolved telemetry handles of one rank. All
+// handles are nil-safe, so an untraced simulation pays one branch per
+// recording site.
+type amrTel struct {
+	tracer *telemetry.Tracer
+	driver *telemetry.Lane
+
+	steps    *telemetry.Counter
+	regrades *telemetry.Counter
+	splits   *telemetry.Counter
+	merges   *telemetry.Counter
+	migrated *telemetry.Counter
+
+	leaves   *telemetry.Gauge
+	maxLevel *telemetry.Gauge
+	cells    *telemetry.Gauge
+
+	regradeNs *telemetry.Counter
+	migrateNs *telemetry.Counter
+
+	// Per-level phase times, pre-resolved for the full level range.
+	sweepNs    [9]*telemetry.Counter
+	exchangeNs [9]*telemetry.Counter
+}
+
+func resolveAMRTel(tr *telemetry.Tracer, reg *telemetry.Registry) amrTel {
+	t := amrTel{
+		tracer:    tr,
+		driver:    tr.Driver(),
+		steps:     reg.Counter("amr.steps"),
+		regrades:  reg.Counter("amr.regrades"),
+		splits:    reg.Counter("amr.blocks_split"),
+		merges:    reg.Counter("amr.blocks_merged"),
+		migrated:  reg.Counter("amr.blocks_migrated"),
+		leaves:    reg.Gauge("amr.leaves"),
+		maxLevel:  reg.Gauge("amr.max_level"),
+		cells:     reg.Gauge("amr.cells"),
+		regradeNs: reg.Counter("amr.regrade_ns"),
+		migrateNs: reg.Counter("amr.migrate_ns"),
+	}
+	names := [9]string{"0", "1", "2", "3", "4", "5", "6", "7", "8"}
+	for l := range t.sweepNs {
+		t.sweepNs[l] = reg.Counter("amr.level" + names[l] + ".sweep_ns")
+		t.exchangeNs[l] = reg.Counter("amr.level" + names[l] + ".exchange_ns")
+	}
+	return t
+}
+
+// publishGauges refreshes the forest-shape gauges after construction
+// and every re-grade.
+func (s *Sim) publishGauges() {
+	s.tel.leaves.Set(float64(len(s.leaves)))
+	s.tel.maxLevel.Set(float64(s.maxLevel))
+	s.tel.cells.Set(float64(s.TotalCells()))
+}

@@ -1,0 +1,405 @@
+package blockforest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Shared 2:1 grading: the one routine that turns a set of per-leaf
+// refine/coarsen marks into a new, 2:1-balanced leaf set. Both the
+// setup-time refinement path (SetupForest.Grade) and the runtime AMR
+// re-grade controller (internal/amr) call Grade, so the invariants —
+// octet-complete coarsening, 2:1 balance across all 26 neighbor
+// directions, exact volume conservation — are enforced in exactly one
+// place.
+
+// Mark is a per-leaf refinement vote fed into Grade.
+type Mark int8
+
+const (
+	// MarkKeep leaves the block at its current level.
+	MarkKeep Mark = 0
+	// MarkRefine splits the block into its eight children (unless it is
+	// already at the maximum level).
+	MarkRefine Mark = 1
+	// MarkCoarsen votes to merge the block into its parent; the merge
+	// happens only if all eight siblings are leaves and all vote to
+	// coarsen (octet-complete coarsening).
+	MarkCoarsen Mark = -1
+)
+
+// Leaf is the lightweight leaf descriptor Grade operates on: enough to
+// identify the block in the octree and on the root grid, plus the rank
+// currently owning it. Runtime AMR replicates the full leaf list on
+// every rank so re-grade decisions are computed identically everywhere.
+type Leaf struct {
+	ID    BlockID
+	Coord [3]int // root-tree grid coordinate
+	Rank  int
+}
+
+// Level returns the leaf's refinement level.
+func (l Leaf) Level() int { return int(l.ID.Level) }
+
+// LevelIndex returns the block's index on its level's grid: level ℓ
+// subdivides every root tree into 2^ℓ blocks per axis, so the level grid
+// spans GridSize·2^ℓ cells. The index follows the octree path from the
+// root coordinate, using the AABB.Octant bit convention (bit d of an
+// octant selects the upper half of axis d).
+func LevelIndex(coord [3]int, id BlockID) [3]int {
+	idx := coord
+	for l := int(id.Level) - 1; l >= 0; l-- {
+		oct := int(id.Path >> (3 * uint(l)) & 7)
+		for d := 0; d < 3; d++ {
+			idx[d] = idx[d]<<1 | (oct >> d & 1)
+		}
+	}
+	return idx
+}
+
+// lkey addresses a block region by level and level-grid index.
+type lkey struct {
+	level int
+	idx   [3]int
+}
+
+// graded is the mutable working set of one Grade run.
+type graded struct {
+	grid     [3]int
+	periodic [3]bool
+	leaves   map[lkey]Leaf
+}
+
+func (g *graded) key(l Leaf) lkey {
+	return lkey{level: l.Level(), idx: LevelIndex(l.Coord, l.ID)}
+}
+
+// neighbor resolves the level-ℓ region adjacent to idx in direction off,
+// honoring periodic wrap. ok is false outside a non-periodic boundary.
+func (g *graded) neighbor(level int, idx, off [3]int) (n [3]int, ok bool) {
+	for d := 0; d < 3; d++ {
+		ext := g.grid[d] << uint(level)
+		n[d] = idx[d] + off[d]
+		if n[d] < 0 || n[d] >= ext {
+			if !g.periodic[d] {
+				return n, false
+			}
+			n[d] = ((n[d] % ext) + ext) % ext
+		}
+	}
+	return n, true
+}
+
+// covering finds the leaf covering the level-ℓ region idx at level ℓ or
+// coarser. Regions outside the forest (geometry-trimmed trees) have no
+// covering leaf.
+func (g *graded) covering(level int, idx [3]int) (Leaf, int, bool) {
+	for lv := level; lv >= 0; lv-- {
+		shift := uint(level - lv)
+		k := lkey{level: lv, idx: [3]int{idx[0] >> shift, idx[1] >> shift, idx[2] >> shift}}
+		if l, ok := g.leaves[k]; ok {
+			return l, lv, true
+		}
+	}
+	return Leaf{}, 0, false
+}
+
+// split replaces a leaf with its eight children (children inherit the
+// rank until the next balancing pass reassigns them).
+func (g *graded) split(l Leaf) {
+	delete(g.leaves, g.key(l))
+	for o := 0; o < 8; o++ {
+		c := Leaf{ID: l.ID.Child(o), Coord: l.Coord, Rank: l.Rank}
+		g.leaves[g.key(c)] = c
+	}
+}
+
+// Grade applies marks to a leaf set and returns the new leaf set,
+// re-graded under 2:1 balance:
+//
+//  1. every MarkRefine leaf below maxLevel splits into its 8 children;
+//  2. a MarkCoarsen octet (all 8 siblings present as leaves, all marked)
+//     merges into its parent;
+//  3. the result is iterated to a fixpoint where no two face-, edge- or
+//     corner-adjacent leaves differ by more than one level — conflicts
+//     are always resolved by refining the coarser block, never by
+//     undoing a refinement, so marks act as resolution floors.
+//
+// marks runs parallel to leaves. The returned slice is sorted in
+// canonical forest order (Morton key of the root coordinate, then
+// BlockID), and the call is deterministic: equal inputs produce equal
+// outputs on every rank. Volume is conserved exactly — the sum of
+// 8^-level over leaves never changes.
+func Grade(leaves []Leaf, marks []Mark, grid [3]int, periodic [3]bool, maxLevel int) []Leaf {
+	if len(marks) != len(leaves) {
+		panic(fmt.Sprintf("blockforest: Grade got %d marks for %d leaves", len(marks), len(leaves)))
+	}
+	g := &graded{grid: grid, periodic: periodic, leaves: make(map[lkey]Leaf, len(leaves))}
+	for _, l := range leaves {
+		g.leaves[g.key(l)] = l
+	}
+
+	// Phase 1: refine marks.
+	for i, l := range leaves {
+		if marks[i] == MarkRefine && l.Level() < maxLevel {
+			g.split(l)
+		}
+	}
+
+	// Phase 2: octet-complete coarsening. Group coarsen votes by parent;
+	// merge only octets whose every sibling is still a leaf (a sibling
+	// split in phase 1 vetoes the merge).
+	type octet struct {
+		count int
+		coord [3]int
+	}
+	votes := make(map[BlockID]*octet)
+	for i, l := range leaves {
+		if marks[i] == MarkCoarsen && l.Level() > 0 {
+			p := l.ID.Parent()
+			if v := votes[p]; v != nil {
+				v.count++
+			} else {
+				votes[p] = &octet{count: 1, coord: l.Coord}
+			}
+		}
+	}
+	for parent, v := range votes {
+		if v.count != 8 {
+			continue
+		}
+		ok := true
+		children := [8]Leaf{}
+		for o := 0; o < 8; o++ {
+			c, exists := g.leaves[g.key(Leaf{ID: parent.Child(o), Coord: v.coord})]
+			if !exists || c.ID != parent.Child(o) {
+				ok = false
+				break
+			}
+			children[o] = c
+		}
+		if !ok {
+			continue
+		}
+		for o := 0; o < 8; o++ {
+			delete(g.leaves, g.key(children[o]))
+		}
+		p := Leaf{ID: parent, Coord: children[0].Coord, Rank: children[0].Rank}
+		g.leaves[g.key(p)] = p
+	}
+
+	// Phase 3: 2:1 fixpoint. Any leaf with a neighbor two or more levels
+	// coarser forces that coarse leaf to split. Iterate until quiet; each
+	// pass walks a sorted snapshot so the split order (and therefore the
+	// intermediate map state) is deterministic.
+	var offs [][3]int
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx != 0 || dy != 0 || dz != 0 {
+					offs = append(offs, [3]int{dx, dy, dz})
+				}
+			}
+		}
+	}
+	for {
+		snapshot := g.sorted()
+		var tooCoarse []Leaf
+		seen := make(map[lkey]bool)
+		for _, l := range snapshot {
+			lv := l.Level()
+			idx := LevelIndex(l.Coord, l.ID)
+			for _, off := range offs {
+				n, ok := g.neighbor(lv, idx, off)
+				if !ok {
+					continue
+				}
+				c, clv, found := g.covering(lv, n)
+				if !found || clv >= lv-1 {
+					continue
+				}
+				k := g.key(c)
+				if !seen[k] {
+					seen[k] = true
+					tooCoarse = append(tooCoarse, c)
+				}
+			}
+		}
+		if len(tooCoarse) == 0 {
+			break
+		}
+		for _, c := range tooCoarse {
+			if _, still := g.leaves[g.key(c)]; still {
+				g.split(c)
+			}
+		}
+	}
+	return g.sorted()
+}
+
+// sorted returns the working set in canonical forest order.
+func (g *graded) sorted() []Leaf {
+	out := make([]Leaf, 0, len(g.leaves))
+	for _, l := range g.leaves {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := mortonKey(out[i].Coord), mortonKey(out[j].Coord)
+		if ki != kj {
+			return ki < kj
+		}
+		return out[i].ID.Less(out[j].ID)
+	})
+	return out
+}
+
+// CheckGraded verifies the 2:1 invariant of a leaf set: no two adjacent
+// leaves (faces, edges or corners, with periodic wrap) differ by more
+// than one level, and every region is covered at most once.
+func CheckGraded(leaves []Leaf, grid [3]int, periodic [3]bool) error {
+	g := &graded{grid: grid, periodic: periodic, leaves: make(map[lkey]Leaf, len(leaves))}
+	for _, l := range leaves {
+		k := g.key(l)
+		if prev, dup := g.leaves[k]; dup {
+			return fmt.Errorf("blockforest: leaves %v and %v cover the same region %v", prev.ID, l.ID, k)
+		}
+		g.leaves[k] = l
+	}
+	for _, l := range leaves {
+		lv := l.Level()
+		idx := LevelIndex(l.Coord, l.ID)
+		// Overlap with a strict ancestor region is also a double cover.
+		if _, clv, found := g.covering(lv, idx); found && clv != lv {
+			return fmt.Errorf("blockforest: leaf %v shadowed by coarser leaf at level %d", l.ID, clv)
+		}
+		for dz := -1; dz <= 1; dz++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 && dz == 0 {
+						continue
+					}
+					n, ok := g.neighbor(lv, idx, [3]int{dx, dy, dz})
+					if !ok {
+						continue
+					}
+					if c, clv, found := g.covering(lv, n); found && clv < lv-1 {
+						return fmt.Errorf("blockforest: leaves %v (level %d) and %v (level %d) break 2:1 balance", l.ID, lv, c.ID, clv)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AssignContiguous splits a workload sequence into numRanks contiguous
+// chunks of near-equal weight and returns the rank of every entry — the
+// one balancing rule behind BalanceMorton, BalanceMortonLeaves and the
+// AMR level-weighted rebalancer. Entries must already be in curve order
+// (Morton), so each rank receives a spatially compact run.
+func AssignContiguous(workloads []float64, numRanks int) []int {
+	if numRanks <= 0 {
+		panic("blockforest: AssignContiguous requires at least one rank")
+	}
+	var total float64
+	for _, w := range workloads {
+		total += w
+	}
+	target := total / float64(numRanks)
+	ranks := make([]int, len(workloads))
+	rank := 0
+	var acc float64
+	for i, w := range workloads {
+		if acc >= target && rank < numRanks-1 {
+			rank++
+			acc = 0
+		}
+		ranks[i] = rank
+		acc += w
+	}
+	return ranks
+}
+
+// Grade re-grades the forest's leaf set in place from per-leaf marks:
+// the setup-time twin of the runtime AMR controller, sharing the same
+// 2:1 routine. Blocks created by refinement carry 1/8 of their parent's
+// workload and memory per level; merged parents reaggregate them.
+func (f *SetupForest) Grade(marks map[BlockID]Mark, maxLevel int) error {
+	f.ensureRefinedIndex()
+	old := f.AllLeaves()
+	leaves := make([]Leaf, len(old))
+	ms := make([]Mark, len(old))
+	byID := make(map[BlockID]*SetupBlock, len(old))
+	for i, b := range old {
+		leaves[i] = Leaf{ID: b.ID, Coord: b.Coord, Rank: b.Rank}
+		ms[i] = marks[b.ID]
+		byID[b.ID] = b
+	}
+	graded := Grade(leaves, ms, f.GridSize, f.Periodic, maxLevel)
+
+	// Rebuild the block maps: keep survivors, derive splits and merges
+	// from the nearest surviving ancestor/descendants.
+	newRefined := make(map[BlockID]*SetupBlock, len(graded))
+	newRoots := make(map[[3]int]*SetupBlock)
+	for _, l := range graded {
+		b := byID[l.ID]
+		if b == nil {
+			b = f.deriveBlock(l, byID)
+		}
+		if l.ID.Level == 0 {
+			newRoots[b.Coord] = b
+		} else {
+			newRefined[l.ID] = b
+		}
+	}
+	f.blocks = newRoots
+	f.refined = newRefined
+	return nil
+}
+
+// deriveBlock materializes a SetupBlock for a graded leaf that did not
+// exist before: either a child of a surviving ancestor (split) or the
+// parent of merged children.
+func (f *SetupForest) deriveBlock(l Leaf, byID map[BlockID]*SetupBlock) *SetupBlock {
+	// Split path: walk up to the nearest pre-existing ancestor.
+	id := l.ID
+	var path []int
+	for {
+		if anc, ok := byID[id]; ok {
+			b := &SetupBlock{ID: l.ID, Coord: anc.Coord, AABB: anc.AABB, Workload: anc.Workload, Memory: anc.Memory, Rank: l.Rank}
+			for i := len(path) - 1; i >= 0; i-- {
+				b.AABB = b.AABB.Octant(path[i])
+				b.Workload /= 8
+				b.Memory /= 8
+			}
+			return b
+		}
+		if id.Level == 0 {
+			break
+		}
+		path = append(path, id.Octant())
+		id = id.Parent()
+	}
+	// Merge path: aggregate the eight former children.
+	var b *SetupBlock
+	for o := 0; o < 8; o++ {
+		c := byID[l.ID.Child(o)]
+		if c == nil {
+			panic(fmt.Sprintf("blockforest: graded leaf %v has neither ancestor nor children", l.ID))
+		}
+		if b == nil {
+			b = &SetupBlock{ID: l.ID, Coord: c.Coord, AABB: c.AABB, Rank: l.Rank}
+		}
+		for d := 0; d < 3; d++ {
+			if c.AABB.Min[d] < b.AABB.Min[d] {
+				b.AABB.Min[d] = c.AABB.Min[d]
+			}
+			if c.AABB.Max[d] > b.AABB.Max[d] {
+				b.AABB.Max[d] = c.AABB.Max[d]
+			}
+		}
+		b.Workload += c.Workload
+		b.Memory += c.Memory
+	}
+	return b
+}

@@ -137,24 +137,13 @@ func (f *SetupForest) TotalLeafVolume() float64 {
 // ranks along the Morton curve by workload — the refinement-aware variant
 // of BalanceMorton.
 func (f *SetupForest) BalanceMortonLeaves(numRanks int) {
-	if numRanks <= 0 {
-		panic("blockforest: BalanceMortonLeaves requires at least one rank")
-	}
 	leaves := f.AllLeaves()
-	var total float64
-	for _, b := range leaves {
-		total += b.Workload
+	workloads := make([]float64, len(leaves))
+	for i, b := range leaves {
+		workloads[i] = b.Workload
 	}
-	target := total / float64(numRanks)
-	rank := 0
-	var acc float64
-	for _, b := range leaves {
-		if acc >= target && rank < numRanks-1 {
-			rank++
-			acc = 0
-		}
-		b.Rank = rank
-		acc += b.Workload
+	for i, r := range AssignContiguous(workloads, numRanks) {
+		leaves[i].Rank = r
 	}
 }
 

@@ -202,28 +202,13 @@ func mortonKey(c [3]int) uint64 {
 // than ranks (the paper notes the cost of a few empty processes is
 // negligible for memory-bound kernels).
 func (f *SetupForest) BalanceMorton(numRanks int) {
-	if numRanks <= 0 {
-		panic("blockforest: BalanceMorton requires at least one rank")
-	}
 	blocks := f.Blocks()
-	var total float64
-	for _, b := range blocks {
-		total += b.Workload
-	}
-	target := total / float64(numRanks)
-	rank := 0
-	var acc float64
+	workloads := make([]float64, len(blocks))
 	for i, b := range blocks {
-		remainingBlocks := len(blocks) - i
-		remainingRanks := numRanks - rank
-		// Never leave more blocks than ranks can still take won't happen
-		// (multiple blocks per rank allowed); but never run out of ranks.
-		if acc >= target && rank < numRanks-1 && remainingBlocks >= 1 && remainingRanks > 1 {
-			rank++
-			acc = 0
-		}
-		b.Rank = rank
-		acc += b.Workload
+		workloads[i] = b.Workload
+	}
+	for i, r := range AssignContiguous(workloads, numRanks) {
+		blocks[i].Rank = r
 	}
 }
 

@@ -1,0 +1,168 @@
+package output
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+
+	"walberla/internal/field"
+	"walberla/internal/lattice"
+)
+
+// Leaf rank files ("WBK2") are the level-aware sibling of the WBK1
+// block rank file: one file holds the checkpointed Src/Dst fields of
+// every octree leaf a rank owns, each record keyed by the full leaf
+// identity (root tree, octree path, level, root grid coordinate) instead
+// of a flat block coordinate. The same format is the unit of block
+// migration during AMR re-grading — one aggregated WBK2 blob per
+// destination rank — and of the AMR buddy replica, so checkpointing,
+// migration and in-memory recovery all share one codec. Record framing,
+// per-record CRC32C protection and the whole-file CRC mirror WBK1, and
+// leaf files plug into the same WBS1 set manifest machinery.
+
+const leafFileMagic = "WBK2"
+
+// LeafSnapshot is one octree leaf's contribution to a WBK2 file.
+type LeafSnapshot struct {
+	Tree  uint32
+	Path  uint64
+	Level uint8
+	Coord [3]int
+	Src   *field.PDFField
+	Dst   *field.PDFField
+}
+
+// WriteLeafFile writes the leaves of one rank, returning the byte size
+// and the CRC32C of everything written.
+func WriteLeafFile(w io.Writer, leaves []LeafSnapshot) (int64, uint32, error) {
+	crc := crc32.New(castagnoli)
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: io.MultiWriter(bw, crc)}
+	io.WriteString(cw, leafFileMagic)
+	binary.Write(cw, binary.LittleEndian, uint32(len(leaves)))
+	for _, l := range leaves {
+		var rec bytes.Buffer
+		binary.Write(&rec, binary.LittleEndian, l.Tree)
+		binary.Write(&rec, binary.LittleEndian, l.Path)
+		rec.WriteByte(l.Level)
+		for _, c := range l.Coord {
+			binary.Write(&rec, binary.LittleEndian, int64(c))
+		}
+		var src, dst bytes.Buffer
+		if err := SaveCheckpoint(&src, l.Src); err != nil {
+			return 0, 0, err
+		}
+		if err := SaveCheckpoint(&dst, l.Dst); err != nil {
+			return 0, 0, err
+		}
+		binary.Write(&rec, binary.LittleEndian, uint64(src.Len()))
+		rec.Write(src.Bytes())
+		binary.Write(&rec, binary.LittleEndian, uint64(dst.Len()))
+		rec.Write(dst.Bytes())
+		recCRC := crc32.Checksum(rec.Bytes(), castagnoli)
+		if _, err := cw.Write(rec.Bytes()); err != nil {
+			return 0, 0, err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, recCRC); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, 0, err
+	}
+	return cw.n, crc.Sum32(), nil
+}
+
+// ReadLeafFile reads a WBK2 leaf file, restoring every field in the
+// given layout, and returns the leaves plus the whole-stream CRC32C.
+func ReadLeafFile(r io.Reader, s *lattice.Stencil, layout field.Layout) ([]LeafSnapshot, uint32, error) {
+	return readLeafFile(r, s, layout, false)
+}
+
+// ReadLeafFileStored is ReadLeafFile with every field restored in the
+// layout recorded in its own checkpoint header.
+func ReadLeafFileStored(r io.Reader, s *lattice.Stencil) ([]LeafSnapshot, uint32, error) {
+	return readLeafFile(r, s, field.AoS, true)
+}
+
+func readLeafFile(r io.Reader, s *lattice.Stencil, layout field.Layout, useStored bool) ([]LeafSnapshot, uint32, error) {
+	cr := newCRCReader(bufio.NewReader(r))
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, 0, corruptf(leafFileMagic, "reading magic: %v", err)
+	}
+	if string(magic) != leafFileMagic {
+		return nil, 0, corruptf(leafFileMagic, "bad magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(cr, binary.LittleEndian, &count); err != nil {
+		return nil, 0, corruptf(leafFileMagic, "truncated leaf count: %v", err)
+	}
+	if count > maxRankFileBlocks {
+		return nil, 0, corruptf(leafFileMagic, "implausible leaf count %d", count)
+	}
+	initialCap := count
+	if initialCap > 1024 {
+		initialCap = 1024
+	}
+	leaves := make([]LeafSnapshot, 0, initialCap)
+	for i := uint32(0); i < count; i++ {
+		recCRC := crc32.New(castagnoli)
+		rr := io.TeeReader(cr, recCRC)
+		var l LeafSnapshot
+		if err := binary.Read(rr, binary.LittleEndian, &l.Tree); err != nil {
+			return nil, 0, corruptf(leafFileMagic, "leaf %d: truncated tree: %v", i, err)
+		}
+		if err := binary.Read(rr, binary.LittleEndian, &l.Path); err != nil {
+			return nil, 0, corruptf(leafFileMagic, "leaf %d: truncated path: %v", i, err)
+		}
+		var level [1]byte
+		if _, err := io.ReadFull(rr, level[:]); err != nil {
+			return nil, 0, corruptf(leafFileMagic, "leaf %d: truncated level: %v", i, err)
+		}
+		l.Level = level[0]
+		if l.Level > 20 {
+			return nil, 0, corruptf(leafFileMagic, "leaf %d: implausible level %d", i, l.Level)
+		}
+		for d := 0; d < 3; d++ {
+			var c int64
+			if err := binary.Read(rr, binary.LittleEndian, &c); err != nil {
+				return nil, 0, corruptf(leafFileMagic, "leaf %d: truncated coordinates: %v", i, err)
+			}
+			l.Coord[d] = int(c)
+		}
+		for fi, dst := range []**field.PDFField{&l.Src, &l.Dst} {
+			var n uint64
+			if err := binary.Read(rr, binary.LittleEndian, &n); err != nil {
+				return nil, 0, corruptf(leafFileMagic, "leaf %d: truncated field length: %v", i, err)
+			}
+			if n == 0 || n > 1<<40 {
+				return nil, 0, corruptf(leafFileMagic, "leaf %d: implausible field length %d", i, n)
+			}
+			f, err := loadCheckpoint(io.LimitReader(rr, int64(n)), s, layout, useStored)
+			if err != nil {
+				// Any undecodable embedded field makes the record unusable —
+				// classify it as corruption so callers can vote the whole
+				// file down uniformly.
+				return nil, 0, corruptf(leafFileMagic, "leaf %d field %d: %v", i, fi, err)
+			}
+			*dst = f
+		}
+		var stored uint32
+		want := recCRC.Sum32()
+		if err := binary.Read(cr, binary.LittleEndian, &stored); err != nil {
+			return nil, 0, corruptf(leafFileMagic, "leaf %d: missing record CRC: %v", i, err)
+		}
+		if stored != want {
+			return nil, 0, corruptf(leafFileMagic,
+				"leaf %d: record CRC mismatch: stored %08x, computed %08x", i, stored, want)
+		}
+		leaves = append(leaves, l)
+	}
+	if _, err := io.Copy(io.Discard, cr); err != nil {
+		return nil, 0, corruptf(leafFileMagic, "draining trailer: %v", err)
+	}
+	return leaves, cr.crc.Sum32(), nil
+}

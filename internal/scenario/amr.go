@@ -1,0 +1,302 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"walberla/internal/amr"
+	"walberla/internal/boundary"
+	"walberla/internal/comm"
+	"walberla/internal/field"
+	"walberla/internal/kernels"
+	"walberla/internal/lattice"
+	"walberla/internal/output"
+	"walberla/internal/sim"
+)
+
+// Runtime adaptive mesh refinement support. A scenario with
+// refinement.max_level > 0 executes on the AMR driver (internal/amr):
+// level-wise timestepping on a 2:1-graded octree with a runtime
+// refine/coarsen controller. The AMR driver constrains the schema —
+// D3Q19 only, dense examples only (no tree/SDF geometry, no obstacle),
+// no sparse kernels, no per-pair exchange, no heal-mode recovery and no
+// workload rebalancing (re-grades rebalance by construction) — and
+// validateRefinement rejects the unsupported combinations loudly.
+
+// validateRefinement applies the AMR-specific schema restrictions and
+// delegates numeric checks to amr.Config.Validate. Called from Validate
+// once the generic sections are normalized.
+func (sc *Scenario) validateRefinement() error {
+	r := &sc.Refinement
+	if r.MaxLevel == 0 {
+		if *r != (RefinementSpec{}) {
+			return fmt.Errorf("scenario: refinement needs max_level > 0 (got %+v)", *r)
+		}
+		return nil
+	}
+	if r.MaxLevel < 0 {
+		return fmt.Errorf("scenario: refinement.max_level must be non-negative, got %d", r.MaxLevel)
+	}
+	switch r.Criterion {
+	case "":
+		r.Criterion = "gradient"
+	case "gradient", "vorticity":
+	default:
+		return fmt.Errorf("scenario: unknown refinement.criterion %q (want gradient or vorticity)", r.Criterion)
+	}
+	if r.Interval == 0 {
+		r.Interval = 4
+	}
+	if sc.Geometry.Example == "tree" {
+		return fmt.Errorf("scenario: refinement does not support the tree example (SDF geometry needs a uniform forest)")
+	}
+	if sc.Geometry.Obstacle != nil {
+		return fmt.Errorf("scenario: geometry.obstacle is not supported with refinement")
+	}
+	if sc.Lattice.Stencil != "d3q19" {
+		return fmt.Errorf("scenario: refinement requires lattice.stencil d3q19, got %q", sc.Lattice.Stencil)
+	}
+	if kernels.Choice(sc.Collision.Kernel) == kernels.ChoiceSparse {
+		return fmt.Errorf("scenario: refinement does not support the sparse kernel %q", sc.Collision.Kernel)
+	}
+	if sc.Parallel.Exchange == "per-pair" {
+		return fmt.Errorf("scenario: refinement requires the aggregated exchange (parallel.exchange %q)", sc.Parallel.Exchange)
+	}
+	if sc.Resilience.Mode == "heal" {
+		return fmt.Errorf("scenario: refinement does not support resilience.mode heal (use rewind or shrink)")
+	}
+	if sc.Run.RebalanceEvery > 0 {
+		return fmt.Errorf("scenario: run.rebalance_every is not supported with refinement (re-grades rebalance by construction)")
+	}
+	if sc.Physics.Force != [3]float64{} {
+		return fmt.Errorf("scenario: physics.force is not supported with refinement")
+	}
+	_, err := sc.AMRConfig()
+	return err
+}
+
+// AMR reports whether the scenario runs on the AMR driver.
+func (sc *Scenario) AMR() bool { return sc.Refinement.MaxLevel > 0 }
+
+// AMRConfig maps a validated scenario onto the AMR driver's
+// configuration. The mapping is pure, like Problem.
+func (sc *Scenario) AMRConfig() (amr.Config, error) {
+	tau := sc.Collision.Tau
+	if tau == 0 {
+		tau = 0.9
+	}
+	cfg := amr.Config{
+		Stencil:         sc.stencil(),
+		Grid:            sc.Resolution.Grid,
+		Cells:           sc.Resolution.CellsPerBlock,
+		Tau:             tau,
+		Magic:           sc.Collision.Magic,
+		Workers:         sc.Parallel.Workers,
+		InitialRho:      sc.Physics.InitialRho,
+		InitialVelocity: sc.Physics.InitialVelocity,
+		Refinement: amr.Refinement{
+			MaxLevel:     sc.Refinement.MaxLevel,
+			Criterion:    amr.Criterion(sc.Refinement.Criterion),
+			RefineAbove:  sc.Refinement.RefineAbove,
+			CoarsenBelow: sc.Refinement.CoarsenBelow,
+			Interval:     sc.Refinement.Interval,
+		},
+	}
+	switch sim.LayoutChoice(sc.Collision.Layout) {
+	case sim.LayoutAoS:
+		cfg.Layout = field.AoS
+	default:
+		// Auto resolves to the vectorizable layout: the split SoA kernel
+		// is the distributed hot path.
+		cfg.Layout = field.SoA
+	}
+	if kc := kernels.Choice(sc.Collision.Kernel); kc != kernels.Choice(sim.KernelAuto) {
+		cfg.Choice = kc
+	}
+	switch sc.Geometry.Example {
+	case "taylor-green":
+		cfg.Periodic = [3]bool{true, true, true}
+		amp := sc.Geometry.Amplitude
+		kx := 2 * math.Pi / float64(sc.Resolution.Grid[0]*sc.Resolution.CellsPerBlock[0])
+		ky := 2 * math.Pi / float64(sc.Resolution.Grid[1]*sc.Resolution.CellsPerBlock[1])
+		cfg.InitialState = func(x, y, z float64) (rho, ux, uy, uz float64) {
+			return 1, amp * math.Cos(x*kx) * math.Sin(y*ky), -amp * math.Sin(x*kx) * math.Cos(y*ky), 0
+		}
+	case "cavity":
+		cfg.Boundary = boundary.Config{WallVelocity: [3]float64{sc.Geometry.LidVelocity, 0, 0}}
+		cfg.Flags = domainFaceFlags(map[lattice.Face]field.CellType{lattice.FaceT: field.VelocityBounce})
+	case "channel":
+		cfg.Boundary = boundary.Config{WallVelocity: [3]float64{sc.Geometry.InflowVelocity, 0, 0}, Density: 1}
+		cfg.Flags = domainFaceFlags(map[lattice.Face]field.CellType{
+			lattice.FaceW: field.VelocityBounce,
+			lattice.FaceE: field.PressureBounce,
+		})
+	default:
+		return amr.Config{}, fmt.Errorf("scenario: refinement does not support the %s example", sc.Geometry.Example)
+	}
+	if err := cfg.Validate(); err != nil {
+		return amr.Config{}, fmt.Errorf("scenario: %w", err)
+	}
+	return cfg, nil
+}
+
+// domainFaceFlags builds the level-aware boundary flag function of a
+// box domain: leaves touching a domain face get that face's ghost layer
+// marked (special cases from the map, no-slip otherwise); interior
+// leaves stay flag-free and take the dense kernel fast path. Pure in
+// the leaf identity, as migration and recovery require.
+func domainFaceFlags(special map[lattice.Face]field.CellType) amr.FlagsFunc {
+	return func(leaf amr.Leaf, grid, cells [3]int) *field.FlagField {
+		level := leaf.Level()
+		var faces []lattice.Face
+		for f := lattice.FaceW; f < lattice.NumFaces; f++ {
+			nx, ny, nz := f.Normal()
+			n := [3]int{nx, ny, nz}
+			for d := 0; d < 3; d++ {
+				if (n[d] < 0 && leaf.Idx[d] == 0) || (n[d] > 0 && leaf.Idx[d] == grid[d]<<uint(level)-1) {
+					faces = append(faces, f)
+				}
+			}
+		}
+		if len(faces) == 0 {
+			return nil
+		}
+		fl := field.NewFlagField(cells[0], cells[1], cells[2], 1)
+		fl.Fill(field.Fluid)
+		for _, f := range faces {
+			t, ok := special[f]
+			if !ok {
+				t = field.NoSlip
+			}
+			sim.MarkGhostFace(fl, f, t)
+		}
+		return fl
+	}
+}
+
+// AMRResilient reports whether the AMR run uses the fault-tolerant
+// driver, and with which configuration.
+func (sc *Scenario) AMRResilient() (amr.ResilienceConfig, bool) {
+	if sc.Resilience.CheckpointEvery == 0 {
+		return amr.ResilienceConfig{}, false
+	}
+	rc := amr.ResilienceConfig{
+		CheckpointEvery: sc.Resilience.CheckpointEvery,
+		Dir:             sc.Resilience.Dir,
+		MaxFailures:     -1,
+	}
+	if sc.Resilience.Mode == "shrink" {
+		rc.Mode = amr.RecoverShrink
+	}
+	if sc.Resilience.MaxFailures != nil {
+		rc.MaxFailures = *sc.Resilience.MaxFailures
+	}
+	return rc, true
+}
+
+// executeAMR is the AMR arm of Execute: same contract, refined world.
+func executeAMR(ctx context.Context, sc *Scenario, opts ExecuteOptions) (Result, error) {
+	var mu sync.Mutex
+	var res Result
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	comm.RunWithOptions(sc.Parallel.Ranks, sc.CommOptions(), func(c *comm.Comm) {
+		cfg, err := sc.AMRConfig()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if opts.TelemetryFor != nil {
+			cfg.Tracer, cfg.Metrics = opts.TelemetryFor(c.WorldRank())
+		}
+		s, err := amr.New(c, cfg)
+		if err != nil {
+			fail(err)
+			return
+		}
+		rc, resilient := sc.AMRResilient()
+		var runErr error
+		if resilient {
+			_, runErr = s.RunResilientCtx(ctx, sc.Run.Steps, rc)
+		} else {
+			runErr = s.RunCtx(ctx, sc.Run.Steps)
+		}
+		interrupted := false
+		switch {
+		case errors.Is(runErr, amr.ErrInterrupted), errors.Is(runErr, context.Canceled),
+			errors.Is(runErr, context.DeadlineExceeded):
+			interrupted = true
+		case errors.Is(runErr, amr.ErrRetired):
+			// This rank failed permanently under shrinking recovery; the
+			// survivors carry its leaves (and the result) on.
+			return
+		case runErr != nil:
+			fail(runErr)
+			return
+		}
+		hash, err := s.FieldHash()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if opts.VTKDir != "" {
+			if err := writeAMRVTK(opts.VTKDir, s); err != nil {
+				fail(err)
+				return
+			}
+		}
+		if opts.EachAMR != nil {
+			opts.EachAMR(s.Comm, s)
+		}
+		if s.Comm.Rank() == 0 {
+			mu.Lock()
+			res = Result{Hash: hash, Steps: s.Steps(), Levels: s.LevelCounts(), Interrupted: interrupted}
+			mu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	return res, nil
+}
+
+// writeAMRVTK dumps every local leaf's field as block_L<level>_X_Y_Z.vtk
+// into dir; the spacing halves per level so viewers reassemble the
+// mixed-resolution domain in physical coordinates.
+func writeAMRVTK(dir string, s *amr.Sim) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, b := range s.OwnedBlocks() {
+		h := 1.0 / float64(int(1)<<uint(b.Level()))
+		origin := [3]float64{
+			(float64(b.Idx[0]*b.Src.Nx) + 0.5) * h,
+			(float64(b.Idx[1]*b.Src.Ny) + 0.5) * h,
+			(float64(b.Idx[2]*b.Src.Nz) + 0.5) * h,
+		}
+		name := fmt.Sprintf("block_L%d_%d_%d_%d", b.Level(), b.Idx[0], b.Idx[1], b.Idx[2])
+		f, err := os.Create(filepath.Join(dir, name+".vtk"))
+		if err != nil {
+			return err
+		}
+		err = output.WriteVTK(f, name, b.Src, b.Flags, origin, h)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"walberla/internal/amr"
 	"walberla/internal/blockforest"
 	"walberla/internal/comm"
 	"walberla/internal/output"
@@ -27,6 +28,9 @@ type ExecuteOptions struct {
 	// Each, if non-nil, runs on every rank's goroutine after its time
 	// loop with the local simulation state (probing, assertions).
 	Each func(c *comm.Comm, s *sim.Simulation)
+	// EachAMR is Each for refined scenarios (refinement.max_level > 0),
+	// which run on the AMR driver.
+	EachAMR func(c *comm.Comm, s *amr.Sim)
 }
 
 // Result is what one scenario execution produced.
@@ -41,6 +45,9 @@ type Result struct {
 	// Steps is the number of steps rank 0 executed (less than the
 	// scenario's run.steps when interrupted).
 	Steps int
+	// Levels is the final leaf count per refinement level (AMR runs
+	// only; nil for uniform runs).
+	Levels []int
 	// Interrupted reports that the context cancelled the run at a step
 	// boundary; the fields (and Hash) are the consistent state there.
 	Interrupted bool
@@ -54,6 +61,9 @@ type Result struct {
 func Execute(ctx context.Context, sc *Scenario, opts ExecuteOptions) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
+	}
+	if sc.AMR() {
+		return executeAMR(ctx, sc, opts)
 	}
 	p, err := sc.Problem()
 	if err != nil {

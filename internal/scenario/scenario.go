@@ -40,12 +40,13 @@ type Scenario struct {
 	// telemetry); optional.
 	Name string `json:"name,omitempty"`
 
-	Geometry   Geometry   `json:"geometry"`
-	Lattice    Lattice    `json:"lattice"`
-	Resolution Resolution `json:"resolution"`
-	Collision  Collision  `json:"collision"`
-	Physics    Physics    `json:"physics"`
-	Parallel   Parallel   `json:"parallel"`
+	Geometry   Geometry       `json:"geometry"`
+	Lattice    Lattice        `json:"lattice"`
+	Resolution Resolution     `json:"resolution"`
+	Collision  Collision      `json:"collision"`
+	Physics    Physics        `json:"physics"`
+	Refinement RefinementSpec `json:"refinement"`
+	Parallel   Parallel       `json:"parallel"`
 	Transport  Transport  `json:"transport"`
 	Resilience Resilience `json:"resilience"`
 	Faults     Faults     `json:"faults"`
@@ -118,6 +119,29 @@ type Collision struct {
 	Tau float64 `json:"tau,omitempty"`
 	// Magic is the TRT magic parameter; default 3/16.
 	Magic float64 `json:"magic,omitempty"`
+}
+
+// RefinementSpec enables runtime adaptive mesh refinement: the
+// simulation runs on the AMR driver, which refines/coarsens a
+// 2:1-graded block octree at runtime from a flow criterion and
+// rebalances by level-weighted cost on every re-grade. See docs/AMR.md
+// for the constraints (D3Q19, dense examples, no sparse kernels, no
+// heal-mode recovery).
+type RefinementSpec struct {
+	// MaxLevel caps the refinement depth; 0 (the default) runs the
+	// uniform drivers and makes the other fields invalid.
+	MaxLevel int `json:"max_level,omitempty"`
+	// Criterion is "gradient" (default; velocity-gradient magnitude) or
+	// "vorticity".
+	Criterion string `json:"criterion,omitempty"`
+	// RefineAbove and CoarsenBelow are the criterion hysteresis band (in
+	// physical units); refine_above must be positive, coarsen_below in
+	// [0, refine_above).
+	RefineAbove  float64 `json:"refine_above,omitempty"`
+	CoarsenBelow float64 `json:"coarsen_below,omitempty"`
+	// Interval is the number of coarse steps between controller passes;
+	// default 4.
+	Interval int `json:"interval,omitempty"`
 }
 
 // Physics sets body forces and the initial state.
@@ -440,6 +464,15 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Run.RebalanceEvery > 0 && sc.Resilience.CheckpointEvery > 0 {
 		return fmt.Errorf("scenario: run.rebalance_every cannot be combined with the fault-tolerant driver")
+	}
+	if err := sc.validateRefinement(); err != nil {
+		return err
+	}
+	if sc.AMR() {
+		// Solver-level checks were delegated to amr.Config.Validate inside
+		// validateRefinement; the uniform-driver delegate below does not
+		// apply to refined worlds.
+		return nil
 	}
 	// Delegate solver-level checks (tau range, kernel/stencil pairing) to
 	// the single normalization point; the built problem is discarded.

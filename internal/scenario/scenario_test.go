@@ -146,7 +146,7 @@ func TestValidateErrors(t *testing.T) {
 // same value — the schema is closed under its own serialization, which
 // the daemon relies on when echoing a session's scenario back.
 func TestRoundTrip(t *testing.T) {
-	for _, file := range []string{"cavity.json", "taylorgreen.json"} {
+	for _, file := range []string{"cavity.json", "taylorgreen.json", "amr-cavity.json"} {
 		sc, err := ParseFile(filepath.Join("testdata", file))
 		if err != nil {
 			t.Fatal(err)

@@ -332,3 +332,23 @@ func mustJSON(t *testing.T, v any) []byte {
 	}
 	return b
 }
+
+// TestCreateRejectsRefinement: refined scenarios run on the AMR driver,
+// which the stateful session loop does not host — Create must refuse
+// them with a 400 rather than silently running uniform.
+func TestCreateRejectsRefinement(t *testing.T) {
+	s := newTestServer(t, Config{})
+	sc := testScenario(t, 4)
+	sc.Refinement = scenario.RefinementSpec{MaxLevel: 1, RefineAbove: 0.01}
+	_, err := s.Create(sc, "tenant-a")
+	if err == nil {
+		t.Fatal("Create accepted a refined scenario")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("want 400 APIError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "refinement") {
+		t.Errorf("error %q does not mention refinement", err)
+	}
+}

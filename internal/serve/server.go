@@ -94,6 +94,12 @@ func (s *Server) Create(sc *scenario.Scenario, tenant string) (*Session, error) 
 	if err := sc.Validate(); err != nil {
 		return nil, &APIError{Status: 400, Err: err}
 	}
+	if sc.AMR() {
+		// Sessions run the stateful uniform driver (suspend/resume via
+		// checkpoint sets, supervised respawn); the AMR driver is batch-run
+		// only for now. Refusing here beats silently dropping refinement.
+		return nil, &APIError{Status: 400, Err: fmt.Errorf("serve: refined scenarios (refinement.max_level > 0) are not supported as sessions; run them with walberla-sim or scenario.Execute")}
+	}
 	p, err := sc.Problem()
 	if err != nil {
 		return nil, &APIError{Status: 400, Err: err}

@@ -114,6 +114,21 @@ const (
 	// after a connection stalled past FailTimeout (instant). Arg is the
 	// accused world rank.
 	PhaseNetAccuse
+	// PhaseAMRExchange is one level's ghost exchange in the AMR
+	// sub-cycled step (pack, wire, interpolate/restrict, unpack). Arg is
+	// the refinement level.
+	PhaseAMRExchange
+	// PhaseAMRSweep covers one level's boundary + collide-stream sweeps
+	// in the AMR sub-cycled step. Arg is the refinement level.
+	PhaseAMRSweep
+	// PhaseRegrade spans one refine/coarsen controller pass: criterion
+	// evaluation, mark gather and 2:1 re-grading. Arg is the number of
+	// leaves after the pass.
+	PhaseRegrade
+	// PhaseMigrate spans the block migration of one re-grade: split,
+	// ship, merge and plan rebuild. Arg is the number of leaves that
+	// moved between ranks.
+	PhaseMigrate
 	// NumPhases bounds the phase space.
 	NumPhases
 )
@@ -153,6 +168,10 @@ var phaseTable = [NumPhases]phaseInfo{
 	PhaseNetResend:     {name: "net-resend", argName: "peer", instant: true},
 	PhaseNetFault:      {name: "net-fault", argName: "peer", instant: true},
 	PhaseNetAccuse:     {name: "net-accuse", argName: "rank", instant: true},
+	PhaseAMRExchange:   {name: "amr-exchange", argName: "level"},
+	PhaseAMRSweep:      {name: "amr-sweep", argName: "level"},
+	PhaseRegrade:       {name: "regrade", argName: "leaves"},
+	PhaseMigrate:       {name: "migrate", argName: "moved"},
 }
 
 // String returns the phase's exporter name.
